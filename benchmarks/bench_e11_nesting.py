@@ -1,0 +1,100 @@
+"""E11 (Moss lock inheritance): sibling concurrency after child commit.
+
+Paper mechanism: when a subtransaction commits, its locks pass to the
+parent, at which point siblings (which conflict with non-ancestors only)
+may proceed.  The payoff of nesting is intra-transaction concurrency.
+
+Reproduction: sweep the nesting shape -- parallel vs sequential sibling
+execution, and fan-out -- on a moderately contended workload; report
+throughput/latency.  Expected shape: parallel siblings beat sequential
+ones, and the gain grows with fan-out.
+"""
+
+from conftest import print_table, run_once
+
+from repro.sim import (
+    SimulationConfig,
+    WorkloadConfig,
+    make_store,
+    make_workload,
+    run_simulation,
+)
+
+
+def run_shape(parallel, fanout, depth=2):
+    config = WorkloadConfig(
+        programs=24,
+        objects=32,
+        read_fraction=0.6,
+        zipf_skew=0.0,
+        depth=depth,
+        fanout=fanout,
+        accesses_per_block=2,
+        parallel_blocks=parallel,
+    )
+    programs = make_workload(6, config)
+    return run_simulation(
+        programs,
+        make_store(config),
+        SimulationConfig(mpl=4, policy="moss-rw", seed=5),
+    )
+
+
+def test_e11_sibling_concurrency(benchmark):
+    def experiment():
+        rows = []
+        for fanout in (1, 2, 4):
+            for parallel in (False, True):
+                metrics = run_shape(parallel, fanout)
+                rows.append(
+                    {
+                        "fanout": fanout,
+                        "siblings": "parallel" if parallel else "sequential",
+                        "committed": metrics.committed,
+                        "throughput": round(metrics.throughput, 3),
+                        "mean_latency": round(metrics.mean_latency, 2),
+                        "makespan": round(metrics.makespan, 1),
+                    }
+                )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print_table("E11: nesting shape sweep (moss-rw)", rows)
+
+    def latency(fanout, siblings):
+        return next(
+            row["mean_latency"]
+            for row in rows
+            if row["fanout"] == fanout and row["siblings"] == siblings
+        )
+
+    assert all(row["committed"] == 24 for row in rows)
+    # Parallel siblings cut latency at every fan-out above 1 ...
+    for fanout in (2, 4):
+        assert latency(fanout, "parallel") < latency(fanout, "sequential")
+    # ... and the sequential/parallel latency gap grows with fan-out.
+    gap2 = latency(2, "sequential") / latency(2, "parallel")
+    gap4 = latency(4, "sequential") / latency(4, "parallel")
+    assert gap4 > gap2
+
+
+def test_e11_depth_sweep(benchmark):
+    """Deep trees still complete and inherit locks correctly."""
+
+    def experiment():
+        rows = []
+        for depth in (1, 2, 3):
+            metrics = run_shape(True, 2, depth=depth)
+            rows.append(
+                {
+                    "depth": depth,
+                    "committed": metrics.committed,
+                    "throughput": round(metrics.throughput, 3),
+                    "mean_latency": round(metrics.mean_latency, 2),
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print_table("E11b: nesting depth sweep (moss-rw)", rows)
+    assert all(row["committed"] == 24 for row in rows)

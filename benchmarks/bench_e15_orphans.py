@@ -1,0 +1,77 @@
+"""E15 (Section 3.5 remark): orphans may see inconsistent data.
+
+Paper claim: Theorem 34 covers *non-orphan* transactions only, and
+deliberately so -- "It would be best if every transaction (whether an
+orphan or not) saw consistent data.  Ensuring this requires a much more
+intricate scheduler" (orphan elimination, [HLMW]).
+
+Reproduction, both directions of the boundary:
+
+* **orphans can misbehave** -- a constructed witness schedule (driven
+  through the real composed automata) in which an orphan reads x = 0 and
+  then x = 5 with no intervening write of its own: impossible in any
+  serial execution;
+* **non-orphans never do** -- the same anomaly detector sweeps every
+  non-orphan subtree of hundreds of random Moss schedules and finds
+  nothing.
+"""
+
+from conftest import print_table, run_once
+
+from repro.checking.anomalies import (
+    find_register_anomalies,
+    orphan_anomaly_witness,
+)
+from repro.checking.random_systems import random_system_type
+from repro.core.systems import RWLockingSystem
+from repro.core.visibility import is_orphan
+from repro.ioa.explorer import random_schedules
+
+
+def test_e15_orphan_witness(benchmark):
+    def experiment():
+        witness = orphan_anomaly_witness()
+        return witness
+
+    witness = run_once(benchmark, experiment)
+    print("\n== E15: orphan inconsistency witness ==")
+    print("  schedule length: %d events" % len(witness.schedule))
+    for anomaly in witness.anomalies:
+        print("  %s" % anomaly)
+    assert is_orphan(witness.schedule, witness.orphan)
+    assert len(witness.anomalies) == 1
+    assert witness.anomalies[0].expected == 0
+    assert witness.anomalies[0].observed == 5
+
+
+def test_e15_non_orphans_clean(benchmark):
+    def experiment():
+        rows = []
+        violations = 0
+        for system_seed in range(4):
+            system_type = random_system_type(system_seed)
+            system = RWLockingSystem(system_type)
+            subtrees_checked = 0
+            for alpha in random_schedules(
+                system, 8, 300, seed=system_seed + 61
+            ):
+                for name in system_type.internal_transactions():
+                    if is_orphan(alpha, name):
+                        continue
+                    subtrees_checked += 1
+                    if find_register_anomalies(
+                        system_type, alpha, name
+                    ):
+                        violations += 1
+            rows.append(
+                {
+                    "system_seed": system_seed,
+                    "non_orphan_subtrees_checked": subtrees_checked,
+                    "anomalies": violations,
+                }
+            )
+        return rows, violations
+
+    rows, violations = run_once(benchmark, experiment)
+    print_table("E15b: non-orphan subtrees are anomaly-free", rows)
+    assert violations == 0

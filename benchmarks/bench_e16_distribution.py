@@ -1,0 +1,166 @@
+"""E16 (extension: the Moss-thesis distributed setting).
+
+The paper's algorithm shipped inside a distributed system (Argus); its
+footnote 9 declares the distribution machinery orthogonal to correctness.
+This bench supplies the distribution *performance* dimension: nested
+workloads over multi-site deployments where remote accesses pay round
+trips and top-level commits run two-phase commit across participants.
+
+Reported series: makespan / message counts vs (a) site count, (b) one-way
+latency, (c) data locality.  Expected shapes: messages grow with sites
+and with remoteness; makespan grows linearly in latency; placing a
+program's data at its home site recovers local performance.
+"""
+
+from conftest import print_table, run_once
+
+from repro.adt import IntRegister
+from repro.dist import (
+    DistributedConfig,
+    Topology,
+    run_distributed_simulation,
+    uniform_topology,
+)
+from repro.sim import WorkloadConfig, make_store, make_workload
+
+
+def base_workload():
+    config = WorkloadConfig(
+        programs=20,
+        objects=12,
+        read_fraction=0.7,
+        zipf_skew=0.3,
+        depth=2,
+        fanout=2,
+        accesses_per_block=2,
+    )
+    return make_workload(16, config), make_store(config)
+
+
+def run_case(programs, store, topology):
+    return run_distributed_simulation(
+        programs,
+        store,
+        topology,
+        DistributedConfig(mpl=4, policy="moss-rw", seed=4),
+    )
+
+
+def test_e16_site_count_sweep(benchmark):
+    def experiment():
+        programs, store = base_workload()
+        names = [spec.name for spec in store]
+        rows = []
+        for sites in (1, 2, 4, 8):
+            topology = uniform_topology(names, sites=sites)
+            metrics = run_case(programs, store, topology)
+            rows.append(
+                {
+                    "sites": sites,
+                    "committed": metrics.committed,
+                    "makespan": round(metrics.makespan, 1),
+                    "messages": metrics.messages,
+                    "remote_fraction": round(
+                        metrics.remote_fraction, 3
+                    ),
+                    "commit_2pc_rounds": metrics.commit_rounds,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print_table("E16: distribution vs site count", rows)
+    assert all(row["committed"] == 20 for row in rows)
+    assert rows[0]["messages"] == 0
+    # More sites -> more remoteness -> more messages, longer makespan.
+    assert rows[-1]["messages"] > rows[1]["messages"]
+    assert rows[-1]["makespan"] > rows[0]["makespan"]
+
+
+def test_e16_latency_sweep(benchmark):
+    def experiment():
+        programs, store = base_workload()
+        names = [spec.name for spec in store]
+        rows = []
+        for latency in (0.25, 1.0, 4.0):
+            topology = uniform_topology(names, sites=4)
+            topology.one_way_latency = latency
+            metrics = run_case(programs, store, topology)
+            rows.append(
+                {
+                    "one_way_latency": latency,
+                    "committed": metrics.committed,
+                    "makespan": round(metrics.makespan, 1),
+                    "mean_latency": round(metrics.mean_latency, 2),
+                    "messages": metrics.messages,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print_table("E16b: distribution vs message latency", rows)
+    assert all(row["committed"] == 20 for row in rows)
+    spans = [row["makespan"] for row in rows]
+    assert spans[0] < spans[1] < spans[2]
+
+
+def test_e16_locality(benchmark):
+    """Perfect locality (every program's data at its home site) performs
+    like a local system; anti-locality pays full freight."""
+
+    def experiment():
+        store = [IntRegister("r%d" % index) for index in range(4)]
+        from repro.sim import AccessOp, Block, Program
+
+        # Program i touches only object i.
+        programs = [
+            Program(
+                body=Block(
+                    steps=[
+                        AccessOp("r%d" % (index % 4), IntRegister.add(1))
+                        for _ in range(3)
+                    ],
+                    parallel=False,
+                )
+            )
+            for index in range(8)
+        ]
+        rows = []
+        # Local placement: object i on site i (homes are round-robin).
+        local = Topology(
+            sites=4,
+            placement={"r%d" % i: i for i in range(4)},
+            one_way_latency=5.0,
+        )
+        # Anti-local placement: object i on site (i + 1) % 4.
+        remote = Topology(
+            sites=4,
+            placement={"r%d" % i: (i + 1) % 4 for i in range(4)},
+            one_way_latency=5.0,
+        )
+        for label, topology in (("local", local), ("anti-local", remote)):
+            metrics = run_distributed_simulation(
+                programs,
+                store,
+                topology,
+                DistributedConfig(mpl=8, policy="moss-rw", seed=5),
+            )
+            rows.append(
+                {
+                    "placement": label,
+                    "committed": metrics.committed,
+                    "makespan": round(metrics.makespan, 1),
+                    "messages": metrics.messages,
+                    "remote_fraction": round(
+                        metrics.remote_fraction, 3
+                    ),
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print_table("E16c: data locality", rows)
+    local_row, remote_row = rows
+    assert local_row["messages"] == 0
+    assert remote_row["messages"] > 0
+    assert remote_row["makespan"] > local_row["makespan"]

@@ -1,0 +1,98 @@
+"""E17 (extension, [HLMW]): eager orphan elimination.
+
+Paper pointer: consistent data for orphans "requires a much more
+intricate scheduler"; the authors' companion work [HLMW] proves orphan-
+elimination algorithms correct.  This bench measures the eager variant
+implemented in :mod:`repro.core.orphan_elimination`:
+
+* the plain R/W Locking system schedules the E15 anomaly; the eliminated
+  system cannot (the orphan's observing step is never enabled);
+* randomised sweeps: orphan anomalies per thousand events, plain vs
+  eliminated, under abort-heavy exploration;
+* the price: eliminated runs do strictly less work (orphan steps are
+  starved), measured as events per run.
+"""
+
+from conftest import print_table, run_once
+
+from repro.checking.anomalies import find_register_anomalies
+from repro.checking.random_systems import random_system_type
+from repro.core.correctness import check_serial_correctness
+from repro.core.orphan_elimination import OrphanFreeRWLockingSystem
+from repro.core.systems import RWLockingSystem
+from repro.ioa.explorer import random_schedules
+
+
+def sweep(system, system_type, seed):
+    events = 0
+    anomalies = 0
+    orphan_subtrees = 0
+    from repro.core.visibility import is_orphan
+
+    for alpha in random_schedules(system, 12, 300, seed=seed):
+        events += len(alpha)
+        for name in system_type.internal_transactions():
+            found = find_register_anomalies(system_type, alpha, name)
+            anomalies += len(found)
+            if is_orphan(alpha, name):
+                orphan_subtrees += 1
+    return events, anomalies, orphan_subtrees
+
+
+def test_e17_elimination_sweep(benchmark):
+    def experiment():
+        rows = []
+        for system_seed in range(4):
+            system_type = random_system_type(system_seed)
+            plain = RWLockingSystem(system_type)
+            eager = OrphanFreeRWLockingSystem(system_type)
+            plain_events, plain_anoms, plain_orphans = sweep(
+                plain, system_type, seed=system_seed + 41
+            )
+            eager_events, eager_anoms, eager_orphans = sweep(
+                eager, system_type, seed=system_seed + 41
+            )
+            rows.append(
+                {
+                    "system_seed": system_seed,
+                    "plain_events": plain_events,
+                    "plain_anomalies": plain_anoms,
+                    "eager_events": eager_events,
+                    "eager_anomalies": eager_anoms,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print_table("E17: eager orphan elimination", rows)
+    # Elimination removes every anomaly...
+    assert all(row["eager_anomalies"] == 0 for row in rows)
+    # ...by starving orphans (never doing *more* work).
+    assert all(
+        row["eager_events"] <= row["plain_events"] * 1.05 for row in rows
+    )
+
+
+def test_e17_theorem34_preserved(benchmark):
+    """The eliminated system stays serially correct (sub-automaton)."""
+
+    def experiment():
+        violations = 0
+        checked = 0
+        for system_seed in range(3):
+            system_type = random_system_type(system_seed)
+            system = OrphanFreeRWLockingSystem(system_type)
+            for alpha in random_schedules(
+                system, 5, 300, seed=system_seed + 47
+            ):
+                checked += 1
+                if not check_serial_correctness(system, alpha).ok:
+                    violations += 1
+        return checked, violations
+
+    checked, violations = run_once(benchmark, experiment)
+    print(
+        "\nE17b: %d eliminated-system schedules checked, %d violations"
+        % (checked, violations)
+    )
+    assert violations == 0

@@ -1,0 +1,107 @@
+"""E18 (performance characterisation of the reproduction itself).
+
+Not a paper claim -- an engineering report: how the implementation's core
+paths scale, so downstream users know what system sizes are practical.
+
+* checker throughput: events/second of the full Theorem 34 pipeline
+  (serialize + write-equivalence + serial replay) vs system size;
+* engine throughput: committed transactions/second of the raw engine on
+  an uncontended workload;
+* M(X) step rate: automaton transitions/second.
+"""
+
+import random
+import time
+
+from conftest import print_table, run_once
+
+from repro.adt import Counter, IntRegister
+from repro.checking.random_systems import (
+    RandomSystemConfig,
+    random_system_type,
+)
+from repro.core.correctness import check_serial_correctness
+from repro.core.systems import RWLockingSystem
+from repro.engine import Engine
+from repro.ioa.explorer import random_schedule
+
+
+def test_e18_checker_scaling(benchmark):
+    def experiment():
+        rows = []
+        for top_level in (2, 4, 8):
+            config = RandomSystemConfig(
+                top_level=top_level, objects=3, max_depth=3
+            )
+            system_type = random_system_type(3, config)
+            system = RWLockingSystem(system_type)
+            alpha = random_schedule(system, 600, random.Random(7))
+            started = time.perf_counter()
+            report = check_serial_correctness(system, alpha)
+            elapsed = time.perf_counter() - started
+            assert report.ok
+            rows.append(
+                {
+                    "top_level_txns": top_level,
+                    "tree_size": system_type.size(),
+                    "events": len(alpha),
+                    "check_seconds": round(elapsed, 3),
+                    "events_per_sec": int(len(alpha) / max(elapsed, 1e-9)),
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print_table("E18: Theorem 34 checker scaling", rows)
+    assert all(row["events_per_sec"] > 50 for row in rows)
+
+
+def test_e18_engine_throughput(benchmark):
+    """Raw engine speed: uncontended nested transactions per second."""
+
+    def run_batch():
+        engine = Engine(
+            [IntRegister("r%d" % index) for index in range(16)]
+        )
+        for index in range(300):
+            top = engine.begin_top()
+            child = top.begin_child()
+            child.perform("r%d" % (index % 16), IntRegister.add(1))
+            child.commit()
+            top.commit()
+        return engine.stats["commits"]
+
+    commits = benchmark(run_batch)
+    assert commits == 600  # 300 tops + 300 children
+
+
+def test_e18_mx_step_rate(benchmark):
+    """M(X) automaton transition rate on a hot single-object run."""
+    from repro.core.events import Create, InformCommitAt
+    from repro.core.names import ROOT, SystemTypeBuilder
+    from repro.core.rw_object import RWLockingObject
+
+    builder = SystemTypeBuilder()
+    builder.add_object(Counter("c"))
+    tops = []
+    for _ in range(100):
+        top = builder.add_child(ROOT)
+        builder.add_access(top, "c", Counter.increment(1))
+        tops.append(top)
+    system_type = builder.build()
+
+    def run_object():
+        mx = RWLockingObject(system_type, "c")
+        steps = 0
+        for top in tops:
+            access = top + (0,)
+            mx.apply(Create(access))
+            action = next(iter(mx.enabled_outputs()))
+            mx.apply(action)
+            mx.apply(InformCommitAt("c", access))
+            mx.apply(InformCommitAt("c", top))
+            steps += 4
+        return steps
+
+    steps = benchmark(run_object)
+    assert steps == 400

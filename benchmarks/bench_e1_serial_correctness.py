@@ -1,0 +1,70 @@
+"""E1 (Theorem 34 / Corollary 35): serial correctness of R/W Locking.
+
+Paper claim: every schedule of a R/W Locking system is serially correct
+for every non-orphan non-access transaction, in particular for T0.
+
+Reproduction: seeded random schedules over a family of random system
+types; every generated schedule is serialised and replayed against the
+serial system.  Reported series: per-system-type validation counts.
+"""
+
+from conftest import print_table, run_once
+
+from repro.checking import validate_random_schedules
+from repro.checking.random_systems import RandomSystemConfig
+
+
+def test_e1_theorem34_validation(benchmark):
+    def experiment():
+        rows = []
+        total_violations = 0
+        for system_seed in range(5):
+            stats = validate_random_schedules(
+                system_seed=system_seed,
+                schedules=10,
+                max_steps=300,
+                seed=system_seed + 1,
+            )
+            total_violations += stats.violations
+            rows.append(
+                {
+                    "system_seed": system_seed,
+                    "schedules": stats.schedules,
+                    "events": stats.events,
+                    "transactions_checked": stats.transactions_checked,
+                    "violations": stats.violations,
+                }
+            )
+        return rows, total_violations
+
+    rows, total_violations = run_once(benchmark, experiment)
+    print_table("E1: Theorem 34 validation", rows)
+    assert total_violations == 0
+
+
+def test_e1_read_fraction_robustness(benchmark):
+    """Theorem 34 across the read-fraction spectrum."""
+
+    def experiment():
+        rows = []
+        for fraction in (0.0, 0.25, 0.5, 0.75, 1.0):
+            stats = validate_random_schedules(
+                config=RandomSystemConfig(read_fraction=fraction),
+                system_seed=11,
+                schedules=6,
+                max_steps=250,
+                seed=int(fraction * 100) + 7,
+            )
+            rows.append(
+                {
+                    "read_fraction": fraction,
+                    "schedules": stats.schedules,
+                    "events": stats.events,
+                    "violations": stats.violations,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print_table("E1b: Theorem 34 vs read fraction", rows)
+    assert all(row["violations"] == 0 for row in rows)

@@ -1,0 +1,94 @@
+"""E3 (Lemmas 5, 26) and E4 (Lemma 6): structural guarantees.
+
+Paper claims: every serial schedule and every concurrent schedule is
+well-formed; in serial schedules only ancestrally-related transactions are
+ever concurrently live.
+
+Reproduction: generate schedules from both systems and check the
+definitions on every schedule (and, for Lemma 6, every prefix).
+"""
+
+from conftest import print_table, run_once
+
+from repro.checking.random_systems import random_system_type
+from repro.core.systems import RWLockingSystem, SerialSystem
+from repro.core.visibility import live_transactions
+from repro.core.wellformed import is_well_formed
+from repro.ioa.explorer import random_schedules
+
+
+def test_e3_well_formedness(benchmark):
+    def experiment():
+        rows = []
+        violations = 0
+        for system_seed in range(4):
+            system_type = random_system_type(system_seed)
+            serial_bad = 0
+            concurrent_bad = 0
+            serial_events = 0
+            concurrent_events = 0
+            serial = SerialSystem(system_type)
+            for alpha in random_schedules(
+                serial, 5, 300, seed=system_seed
+            ):
+                serial_events += len(alpha)
+                if not is_well_formed(system_type, alpha):
+                    serial_bad += 1
+            concurrent = RWLockingSystem(system_type)
+            for alpha in random_schedules(
+                concurrent, 5, 300, seed=system_seed
+            ):
+                concurrent_events += len(alpha)
+                if not is_well_formed(system_type, alpha, locking=True):
+                    concurrent_bad += 1
+            violations += serial_bad + concurrent_bad
+            rows.append(
+                {
+                    "system_seed": system_seed,
+                    "serial_events": serial_events,
+                    "serial_violations": serial_bad,
+                    "concurrent_events": concurrent_events,
+                    "concurrent_violations": concurrent_bad,
+                }
+            )
+        return rows, violations
+
+    rows, violations = run_once(benchmark, experiment)
+    print_table("E3: well-formedness (Lemmas 5, 26)", rows)
+    assert violations == 0
+
+
+def test_e4_serial_liveness_chain(benchmark):
+    """Lemma 6, checked on every prefix of every serial schedule."""
+
+    def experiment():
+        rows = []
+        violations = 0
+        for system_seed in range(4):
+            system_type = random_system_type(system_seed)
+            serial = SerialSystem(system_type)
+            prefixes = 0
+            for alpha in random_schedules(
+                serial, 5, 300, seed=system_seed + 40
+            ):
+                prefix = []
+                for event in alpha:
+                    prefix.append(event)
+                    prefixes += 1
+                    live = sorted(live_transactions(prefix))
+                    for index in range(len(live) - 1):
+                        a, b = live[index], live[index + 1]
+                        if b[: len(a)] != a:
+                            violations += 1
+            rows.append(
+                {
+                    "system_seed": system_seed,
+                    "prefixes_checked": prefixes,
+                    "violations": violations,
+                }
+            )
+        return rows, violations
+
+    rows, violations = run_once(benchmark, experiment)
+    print_table("E4: serial liveness chains (Lemma 6)", rows)
+    assert violations == 0

@@ -1,0 +1,142 @@
+"""E5 (Lemmas 21, 22) and E6 (Lemmas 23, 24): M(X) state soundness.
+
+Paper claims:
+
+* Lemma 21: whenever a write-lockholder exists, every pair of lockholders
+  is ancestrally related (lock tables form chains).
+* Lemma 22: a responded, non-orphan access's highest committed-at
+  ancestor holds the appropriate lock.
+* Lemma 23: essence(visible_X(alpha, T)) is a schedule of basic object X
+  reaching the stored version map(T') -- versions are exactly the states
+  the serial object would reach.
+* Lemma 24: visible_X(alpha, T) is itself a schedule of X (resilience).
+
+Reproduction: replay random concurrent schedules through M(X) and check
+each invariant at every step / at the end.
+"""
+
+from conftest import print_table, run_once
+
+from repro.checking.random_systems import random_system_type
+from repro.core.equieffective import replay_basic_object
+from repro.core.names import is_ancestor
+from repro.core.rw_object import RWLockingObject
+from repro.core.systems import RWLockingSystem
+from repro.core.visibility import essence, is_orphan_at, visible_x
+from repro.ioa.explorer import random_schedules
+
+
+def object_projections(system_type, alpha, object_name):
+    mx = RWLockingObject(system_type, object_name)
+    return [event for event in alpha if mx.has_action(event)]
+
+
+def test_e5_lock_table_invariants(benchmark):
+    def experiment():
+        rows = []
+        violations = 0
+        for system_seed in range(4):
+            system_type = random_system_type(system_seed)
+            system = RWLockingSystem(system_type)
+            states_checked = 0
+            for alpha in random_schedules(
+                system, 5, 300, seed=system_seed + 9
+            ):
+                for object_name in system_type.object_names():
+                    mx = RWLockingObject(system_type, object_name)
+                    for event in alpha:
+                        if not mx.has_action(event):
+                            continue
+                        mx.apply(event)
+                        states_checked += 1
+                        holders = (
+                            mx.write_lockholders | mx.read_lockholders
+                        )
+                        for writer in mx.write_lockholders:
+                            for holder in holders:
+                                if not (
+                                    is_ancestor(writer, holder)
+                                    or is_ancestor(holder, writer)
+                                ):
+                                    violations += 1
+                        if set(mx.map) != set(mx.write_lockholders):
+                            violations += 1
+            rows.append(
+                {
+                    "system_seed": system_seed,
+                    "states_checked": states_checked,
+                    "violations": violations,
+                }
+            )
+        return rows, violations
+
+    rows, violations = run_once(benchmark, experiment)
+    print_table("E5: lock-table invariants (Lemma 21)", rows)
+    assert violations == 0
+
+
+def test_e6_version_map_soundness(benchmark):
+    def experiment():
+        rows = []
+        violations = 0
+        for system_seed in range(4):
+            system_type = random_system_type(system_seed)
+            system = RWLockingSystem(system_type)
+            essences_checked = 0
+            for alpha in random_schedules(
+                system, 4, 300, seed=system_seed + 19
+            ):
+                created = {
+                    event.transaction
+                    for event in alpha
+                    if type(event).__name__ == "Create"
+                }
+                for object_name in system_type.object_names():
+                    projected = object_projections(
+                        system_type, alpha, object_name
+                    )
+                    mx = RWLockingObject(system_type, object_name)
+                    for event in projected:
+                        mx.apply(event)
+                    spec = system_type.object_spec(object_name)
+                    for name in sorted(created)[:6]:
+                        if is_orphan_at(projected, object_name, name):
+                            continue
+                        beta = essence(
+                            visible_x(
+                                projected, system_type, object_name, name
+                            ),
+                            system_type,
+                            object_name,
+                        )
+                        final = replay_basic_object(
+                            system_type, object_name, beta
+                        )
+                        essences_checked += 1
+                        if final is None:
+                            violations += 1
+                            continue
+                        holder = next(
+                            (
+                                name[:length]
+                                for length in range(len(name), -1, -1)
+                                if name[:length] in mx.write_lockholders
+                            ),
+                            None,
+                        )
+                        if holder is not None and not spec.values_equal(
+                            final.value, mx.map[holder]
+                        ):
+                            violations += 1
+            rows.append(
+                {
+                    "system_seed": system_seed,
+                    "essences_checked": essences_checked,
+                    "violations": violations,
+                }
+            )
+        return rows, violations
+
+    rows, violations = run_once(benchmark, experiment)
+    print_table("E6: version-map soundness (Lemmas 23, 24)", rows)
+    assert violations == 0

@@ -1,0 +1,135 @@
+"""E7 (Section 4.3, Lemma 20): semantic conditions and write-equality.
+
+Paper claims: CREATE operations and read-access responses are transparent
+(semantic conditions 1-3), and write-equal well-formed schedules of a
+basic object are equieffective.
+
+Reproduction: for every ADT in the library, generate random well-formed
+basic-object schedules, (a) strip all read responses / move CREATEs and
+confirm equieffectiveness, (b) generate pairs that are write-equal by
+construction and confirm the Lemma 20 conclusion.
+"""
+
+import random
+
+from conftest import print_table, run_once
+
+from repro.adt import BankAccount, Counter, FifoQueue, IntRegister, SetObject
+from repro.core.equieffective import equieffective
+from repro.core.events import Create, RequestCommit
+from repro.core.names import ROOT, SystemTypeBuilder
+
+
+def random_operations(rng, spec, count):
+    pool = list(spec.example_operations())
+    return [rng.choice(pool) for _ in range(count)]
+
+
+def build_type_and_schedule(rng, spec, operations):
+    """A linear system type plus the canonical schedule running it."""
+    builder = SystemTypeBuilder()
+    builder.add_object(spec)
+    top = builder.add_child(ROOT)
+    accesses = [
+        builder.add_access(top, spec.name, operation)
+        for operation in operations
+    ]
+    system_type = builder.build()
+    value = spec.initial_value()
+    schedule = []
+    for access, operation in zip(accesses, operations):
+        result, value = spec.apply(value, operation)
+        schedule.append(Create(access))
+        schedule.append(RequestCommit(access, result))
+    return system_type, schedule
+
+
+SPECS = [
+    IntRegister("x"),
+    Counter("c"),
+    SetObject("s"),
+    FifoQueue("q"),
+    BankAccount("b", 100),
+]
+
+
+def test_e7_read_transparency_and_lemma20(benchmark):
+    def experiment():
+        rng = random.Random(123)
+        rows = []
+        violations = 0
+        for spec in SPECS:
+            pairs_checked = 0
+            for _ in range(20):
+                operations = random_operations(rng, spec, 6)
+                system_type, schedule = build_type_and_schedule(
+                    rng, spec, operations
+                )
+                # (a) Dropping every read access is equieffective.
+                reads_stripped = []
+                skip = set()
+                for index, operation in enumerate(operations):
+                    if operation.is_read:
+                        skip.add((0, index))
+                reads_stripped = [
+                    event
+                    for event in schedule
+                    if event.transaction not in skip
+                ]
+                pairs_checked += 1
+                if not equieffective(
+                    system_type, spec.name,
+                    tuple(schedule), tuple(reads_stripped),
+                ):
+                    violations += 1
+                # (b) Moving every CREATE to the front (write-equal
+                # permutation) is equieffective.
+                fronted = (
+                    [e for e in schedule if isinstance(e, Create)]
+                    + [e for e in schedule if not isinstance(e, Create)]
+                )
+                pairs_checked += 1
+                if not equieffective(
+                    system_type, spec.name,
+                    tuple(schedule), tuple(fronted),
+                ):
+                    violations += 1
+            rows.append(
+                {
+                    "spec": type(spec).__name__,
+                    "pairs_checked": pairs_checked,
+                    "violations": violations,
+                }
+            )
+        return rows, violations
+
+    rows, violations = run_once(benchmark, experiment)
+    print_table("E7: semantic conditions / Lemma 20", rows)
+    assert violations == 0
+
+
+def test_e7_write_reorder_detected(benchmark):
+    """Negative control: swapping two non-commuting write responses is NOT
+    equieffective, so the decision procedure has discriminating power."""
+
+    def experiment():
+        spec = IntRegister("x")
+        builder = SystemTypeBuilder()
+        builder.add_object(spec)
+        top = builder.add_child(ROOT)
+        first = builder.add_access(top, "x", IntRegister.write(1))
+        second = builder.add_access(top, "x", IntRegister.write(2))
+        system_type = builder.build()
+        one = (
+            Create(first), RequestCommit(first, 0),
+            Create(second), RequestCommit(second, 1),
+        )
+        other = (
+            Create(second), RequestCommit(second, 0),
+            Create(first), RequestCommit(first, 2),
+        )
+        return equieffective(system_type, "x", one, other)
+
+    same = run_once(benchmark, experiment)
+    print("\nE7 negative control: reordered writes equieffective ->", same)
+    assert same is False

@@ -1,0 +1,107 @@
+"""E8 (Section 1 / 4.3 remark): all-writes Moss == exclusive locking.
+
+Paper claim: "if all accesses are designated as writes, Moss' algorithm
+as given in this paper degenerates into exclusive locking" (recovering the
+main result of [LM]).
+
+Reproduction: (a) model level -- exhaustive schedule-set comparison of an
+all-writes M(X) against an independently implemented exclusive-locking
+object; (b) engine level -- identical grant/deny decision sequences of the
+moss-rw and exclusive policies over randomised all-write workloads.
+"""
+
+import random
+
+from conftest import print_table, run_once
+
+from repro.adt import Counter, IntRegister
+from repro.engine import Engine
+from repro.errors import LockDenied
+
+
+def test_e8_engine_decision_equality(benchmark):
+    def experiment():
+        rows = []
+        mismatches = 0
+        for seed in range(5):
+            decisions = {}
+            for policy in ("moss-rw", "exclusive"):
+                rng = random.Random(seed)
+                engine = Engine(
+                    [IntRegister("x"), IntRegister("y"), Counter("c")],
+                    policy=policy,
+                )
+                tops = [engine.begin_top() for _ in range(3)]
+                trace = []
+                operations = [
+                    ("x", IntRegister.add(1)),
+                    ("y", IntRegister.add(2)),
+                    ("c", Counter.increment(1)),
+                ]
+                for _ in range(40):
+                    txn = rng.choice(tops)
+                    if not txn.is_active:
+                        continue
+                    roll = rng.random()
+                    if roll < 0.75:
+                        object_name, operation = rng.choice(operations)
+                        try:
+                            txn.perform(object_name, operation)
+                            trace.append("grant")
+                        except LockDenied:
+                            trace.append("deny")
+                    elif roll < 0.9:
+                        if not txn.live_children():
+                            txn.commit()
+                            trace.append("commit")
+                    else:
+                        txn.abort()
+                        trace.append("abort")
+                decisions[policy] = trace
+            equal = decisions["moss-rw"] == decisions["exclusive"]
+            if not equal:
+                mismatches += 1
+            rows.append(
+                {
+                    "seed": seed,
+                    "decisions": len(decisions["moss-rw"]),
+                    "identical": equal,
+                }
+            )
+        return rows, mismatches
+
+    rows, mismatches = run_once(benchmark, experiment)
+    print_table("E8: all-writes moss-rw vs exclusive decisions", rows)
+    assert mismatches == 0
+
+
+def test_e8_read_workload_diverges(benchmark):
+    """Negative control: with genuine reads, the policies differ."""
+
+    def experiment():
+        differences = 0
+        for seed in range(5):
+            outcomes = {}
+            for policy in ("moss-rw", "exclusive"):
+                rng = random.Random(seed)
+                engine = Engine([IntRegister("x")], policy=policy)
+                tops = [engine.begin_top() for _ in range(3)]
+                grants = 0
+                for _ in range(20):
+                    txn = rng.choice(tops)
+                    if not txn.is_active:
+                        continue
+                    try:
+                        txn.perform("x", IntRegister.read())
+                        grants += 1
+                    except LockDenied:
+                        pass
+                outcomes[policy] = grants
+            if outcomes["moss-rw"] > outcomes["exclusive"]:
+                differences += 1
+        return differences
+
+    differences = run_once(benchmark, experiment)
+    print("\nE8 negative control: read workloads where moss-rw grants "
+          "strictly more: %d/5" % differences)
+    assert differences >= 4

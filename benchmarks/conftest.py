@@ -1,0 +1,47 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark regenerates one experiment from DESIGN.md's index (E1-E14)
+and prints the rows/series it reports, so ``pytest benchmarks/
+--benchmark-only -s`` reproduces the EXPERIMENTS.md tables.  Timings are
+collected with one round per experiment: the quantity of interest is the
+experiment's *output*, not its wall-clock, but pytest-benchmark still
+records how long each reproduction takes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def run_once(benchmark, fn):
+    """Run *fn* exactly once under pytest-benchmark; return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def print_table(title: str, rows: Sequence[Dict]) -> None:
+    """Print rows as an aligned table (the series the experiment reports)."""
+    print("\n== %s ==" % title)
+    if not rows:
+        print("  (no rows)")
+        return
+    columns = list(rows[0].keys())
+    widths = {
+        column: max(
+            len(str(column)),
+            max(len(str(row.get(column, ""))) for row in rows),
+        )
+        for column in columns
+    }
+    header = "  ".join(
+        str(column).ljust(widths[column]) for column in columns
+    )
+    print("  " + header)
+    print("  " + "-" * len(header))
+    for row in rows:
+        print(
+            "  "
+            + "  ".join(
+                str(row.get(column, "")).ljust(widths[column])
+                for column in columns
+            )
+        )

@@ -1,0 +1,102 @@
+"""Banking: money transfers with independently-abortable legs.
+
+The scenario the nested-transaction literature is motivated by: a transfer
+debits one account and credits another; each leg is a subtransaction so a
+failed debit aborts *only its own work* and the parent decides what to do
+-- retry against an alternative account, or give up cleanly.  A flat
+transaction system would have to abort the entire transfer.
+
+The example runs a batch of randomised transfers between ten accounts,
+with insufficient-funds failures handled by falling back to a second
+source account, then proves conservation of money and engine/model
+conformance.
+
+Run:  python examples/banking.py
+"""
+
+import random
+
+from repro.adt import BankAccount
+from repro.checking import check_engine_trace
+from repro.engine import Engine
+from repro.errors import LockDenied
+
+ACCOUNTS = ["acct%d" % index for index in range(10)]
+INITIAL = 100
+
+
+def try_transfer(engine, source, fallback, target, amount):
+    """One nested transfer: debit source (or fallback), credit target.
+
+    Returns the name of the account actually debited, or None if both
+    legs failed and the transfer aborted.
+    """
+    with engine.begin_top() as transfer:
+        debited = None
+        for candidate in (source, fallback):
+            leg = transfer.begin_child()
+            try:
+                if leg.perform(candidate, BankAccount.withdraw(amount)):
+                    leg.commit()
+                    debited = candidate
+                    break
+                # Insufficient funds: abort just this leg; its read of
+                # the balance (and any partial work) is undone.
+                leg.abort()
+            except LockDenied:
+                leg.abort()
+        if debited is None:
+            transfer.abort()
+            return None
+        credit = transfer.begin_child()
+        credit.perform(target, BankAccount.deposit(amount))
+        credit.commit()
+    return debited
+
+
+def total_money(engine):
+    return sum(engine.object_value(name) for name in ACCOUNTS)
+
+
+def main():
+    rng = random.Random(2024)
+    engine = Engine(
+        [BankAccount(name, INITIAL) for name in ACCOUNTS], trace=True
+    )
+    succeeded = 0
+    fell_back = 0
+    failed = 0
+    for _ in range(60):
+        source, fallback, target = rng.sample(ACCOUNTS, 3)
+        amount = rng.randrange(10, 120)
+        debited = try_transfer(engine, source, fallback, target, amount)
+        if debited is None:
+            failed += 1
+        elif debited == fallback:
+            fell_back += 1
+            succeeded += 1
+        else:
+            succeeded += 1
+
+    print("transfers: %d ok (%d via fallback), %d aborted"
+          % (succeeded, fell_back, failed))
+    conservation = total_money(engine)
+    print("total money: %d (expected %d)"
+          % (conservation, INITIAL * len(ACCOUNTS)))
+    assert conservation == INITIAL * len(ACCOUNTS), "money leaked!"
+
+    conformance = check_engine_trace(engine)
+    print(
+        "trace of %d events refines Moss' model: %s; serially correct: %s"
+        % (
+            conformance.trace_length,
+            conformance.refinement_ok,
+            conformance.ok,
+        )
+    )
+    assert conformance.ok
+    print("banking example OK")
+
+
+if __name__ == "__main__":
+    main()

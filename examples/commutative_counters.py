@@ -1,0 +1,93 @@
+"""Semantic locking showcase: high-traffic counters without contention.
+
+The paper's intro lists "arbitrary conflict-based locking" next to Moss'
+read/write rule, citing Weihl's atomic data types.  This example runs a
+page-view analytics service where dozens of concurrent sessions bump
+shared counters: under Moss, every bump takes a write lock and sessions
+serialize; under the ``semantic`` policy, bumps commute and run
+concurrently -- with undo logs still giving exact subtransaction abort
+semantics.
+
+Run:  python examples/commutative_counters.py
+"""
+
+import random
+
+from repro.adt import Counter, SetObject
+from repro.engine import Engine
+from repro.errors import LockDenied
+
+PAGES = ["home", "docs", "pricing", "blog"]
+
+
+def record_visit(engine, session_id, page, also_fails=False):
+    """One analytics transaction: bump the page counter, bump the global
+    total, tag the visitor set; optionally a doomed A/B-test leg."""
+    with engine.begin_top() as visit:
+        visit.perform(page, Counter.bump(1))
+        visit.perform("total", Counter.bump(1))
+        visit.perform("visitors", SetObject.insert(session_id))
+        if also_fails:
+            experiment = visit.begin_child()
+            experiment.perform("total", Counter.bump(1000))
+            experiment.abort()   # undo log removes exactly this bump
+
+
+def run_workload(policy):
+    engine = Engine(
+        [Counter(page) for page in PAGES]
+        + [Counter("total"), SetObject("visitors")],
+        policy=policy,
+    )
+    rng = random.Random(99)
+    concurrent = []
+    denials = 0
+    visits = 0
+    for session_id in range(40):
+        page = rng.choice(PAGES)
+        try:
+            record_visit(
+                engine, session_id, page,
+                also_fails=(session_id % 5 == 0),
+            )
+            visits += 1
+        except LockDenied:
+            denials += 1
+        # Keep a few transactions open concurrently to expose conflicts.
+        if session_id % 3 == 0:
+            txn = engine.begin_top()
+            try:
+                txn.perform(rng.choice(PAGES), Counter.bump(1))
+                concurrent.append(txn)
+                visits += 1
+            except LockDenied:
+                txn.abort()
+                denials += 1
+    for txn in concurrent:
+        txn.commit()
+    return engine, visits, denials
+
+
+def main():
+    print("40 sessions + overlapping background bumps:")
+    for policy in ("moss-rw", "semantic"):
+        engine, visits, denials = run_workload(policy)
+        total = engine.object_value("total")
+        print(
+            "  %-9s visits committed: %2d, lock denials: %2d, "
+            "total counter: %d"
+            % (policy, visits, denials, total)
+        )
+        if policy == "semantic":
+            assert denials == 0, "commuting bumps must never conflict"
+            semantic_total = total
+        else:
+            moss_denials = denials
+    assert moss_denials > 0, "Moss should have hit write-lock conflicts"
+    # The doomed A/B legs never leak their +1000 bumps.
+    assert semantic_total < 1000
+    print("commutative counters example OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,120 @@
+"""Travel booking: Argus-style nested remote services.
+
+The paper's setting is distributed systems like Argus where "providing a
+service will often require using other services, [so] the transactions
+that implement services ought to be nested."  This example models a travel
+agent whose `book_trip` service calls flight, hotel and car services, each
+a subtransaction over shared inventory objects:
+
+* the three reservations run as *sibling* subtransactions (they would be
+  parallel RPCs in Argus; Moss locking keeps them atomic),
+* a sold-out hotel aborts only the hotel leg; the agent retries a cheaper
+  hotel rather than cancelling the flight,
+* an unbookable trip aborts wholesale, releasing every seat it took.
+
+Run:  python examples/travel_booking.py
+"""
+
+import random
+
+from repro.adt import Counter, SetObject
+from repro.checking import check_engine_trace
+from repro.engine import Engine
+from repro.errors import LockDenied
+
+FLIGHT_SEATS = 10
+HOTEL_ROOMS = {"grand": 4, "budget": 8}
+CARS = 6
+
+
+def build_inventory():
+    objects = [
+        Counter("flight-seats", initial=FLIGHT_SEATS),
+        Counter("cars", initial=CARS),
+        SetObject("manifest"),
+    ]
+    for hotel, rooms in HOTEL_ROOMS.items():
+        objects.append(Counter("rooms-%s" % hotel, initial=rooms))
+    return objects
+
+
+def reserve(txn, counter_name):
+    """Take one unit from a counter; abort the leg when sold out."""
+    leg = txn.begin_child()
+    try:
+        remaining = leg.perform(counter_name, Counter.decrement(1))
+    except LockDenied:
+        leg.abort()
+        return False
+    if remaining < 0:
+        leg.abort()          # undo the decrement: inventory restored
+        return False
+    leg.commit()
+    return True
+
+
+def book_trip(engine, customer):
+    """The top-level service call: flight + hotel (with fallback) + car."""
+    with engine.begin_top() as trip:
+        if not reserve(trip, "flight-seats"):
+            trip.abort()
+            return None
+        hotel_booked = None
+        for hotel in ("grand", "budget"):
+            if reserve(trip, "rooms-%s" % hotel):
+                hotel_booked = hotel
+                break
+        if hotel_booked is None:
+            trip.abort()     # releases the flight seat too
+            return None
+        reserve(trip, "cars")  # car is optional: failure tolerated
+        manifest = trip.begin_child()
+        manifest.perform("manifest", SetObject.insert(customer))
+        manifest.commit()
+        return hotel_booked
+    return None
+
+
+def main():
+    rng = random.Random(7)
+    engine = Engine(build_inventory(), trace=True)
+    booked = {"grand": 0, "budget": 0}
+    refused = 0
+    for customer in range(18):
+        hotel = book_trip(engine, "customer-%d" % customer)
+        if hotel is None:
+            refused += 1
+        else:
+            booked[hotel] += 1
+
+    seats_left = engine.object_value("flight-seats")
+    print("booked: %d grand, %d budget; refused: %d"
+          % (booked["grand"], booked["budget"], refused))
+    print("flight seats left: %d" % seats_left)
+
+    # Inventory invariants: nothing oversold, aborted trips released seats.
+    total_booked = booked["grand"] + booked["budget"]
+    assert seats_left == FLIGHT_SEATS - total_booked
+    assert seats_left >= 0
+    for hotel, rooms in HOTEL_ROOMS.items():
+        left = engine.object_value("rooms-%s" % hotel)
+        assert left == rooms - booked[hotel]
+        assert left >= 0
+    manifest = engine.object_value("manifest")
+    assert len(manifest) == total_booked
+
+    conformance = check_engine_trace(engine)
+    print(
+        "trace of %d events refines Moss' model: %s; serially correct: %s"
+        % (
+            conformance.trace_length,
+            conformance.refinement_ok,
+            conformance.ok,
+        )
+    )
+    assert conformance.ok
+    print("travel booking example OK")
+
+
+if __name__ == "__main__":
+    main()

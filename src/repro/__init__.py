@@ -1,0 +1,44 @@
+"""repro: Nested Transactions and Read/Write Locking (PODS 1987).
+
+A full reproduction of Fekete, Lynch, Merritt & Weihl's correctness theory
+for Moss' read/write locking algorithm, plus the executable substrates the
+paper relies on but does not build:
+
+* :mod:`repro.ioa` -- the I/O automaton model (Section 2);
+* :mod:`repro.core` -- serial systems, R/W Locking systems, visibility,
+  equieffectiveness, the Lemma 33 serializer and the Theorem 34 checker;
+* :mod:`repro.adt` -- abstract data types satisfying the Section 4.3
+  semantic conditions;
+* :mod:`repro.engine` -- a production-style nested-transaction engine
+  implementing Moss' algorithm (the Argus-style substrate);
+* :mod:`repro.mvto` -- a Reed-style multiversion timestamp baseline;
+* :mod:`repro.sim` -- a discrete-event simulator and workload generators
+  for the system evaluation;
+* :mod:`repro.checking` -- statistical and exhaustive validation harnesses.
+
+Quickstart::
+
+    from repro.core import (
+        ROOT, SystemTypeBuilder, RWLockingSystem, check_serial_correctness,
+    )
+    from repro.adt import IntRegister
+    from repro.ioa import random_schedule
+    import random
+
+    builder = SystemTypeBuilder()
+    builder.add_object(IntRegister("x"))
+    t1 = builder.add_child(ROOT)
+    builder.add_access(t1, "x", IntRegister.write(5))
+    t2 = builder.add_child(ROOT)
+    builder.add_access(t2, "x", IntRegister.read())
+    system_type = builder.build()
+
+    system = RWLockingSystem(system_type)
+    alpha = random_schedule(system, 100, random.Random(0))
+    report = check_serial_correctness(system, alpha)
+    assert report.ok
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,25 @@
+"""Abstract data types used as shared-object states.
+
+Each class is an :class:`~repro.core.object_spec.ObjectSpec` with a pure,
+deterministic ``apply`` and read/write-classified operations, matching the
+paper's Section 4.3 semantic conditions (read accesses are transparent).
+Operation constructors are provided as static methods, e.g.
+``IntRegister.read()`` / ``IntRegister.write(5)``.
+"""
+
+from repro.adt.register import IntRegister, Register
+from repro.adt.counter import Counter
+from repro.adt.set_adt import SetObject
+from repro.adt.queue_adt import FifoQueue
+from repro.adt.bank_account import BankAccount
+from repro.adt.kvmap import KVMap
+
+__all__ = [
+    "BankAccount",
+    "Counter",
+    "FifoQueue",
+    "IntRegister",
+    "KVMap",
+    "Register",
+    "SetObject",
+]

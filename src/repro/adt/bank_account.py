@@ -1,0 +1,101 @@
+"""A bank account object with balance-protecting withdrawals."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence, Tuple
+
+from repro.core.object_spec import ObjectSpec, Operation
+from repro.errors import ReproError
+
+
+class BankAccount(ObjectSpec):
+    """An account balance (integer cents).
+
+    Operations: ``deposit(n)`` and ``withdraw(n)`` (write accesses;
+    ``withdraw`` returns True and debits only when funds suffice, else
+    returns False and leaves the balance alone) and ``balance()`` (a read
+    access).  The conditional withdraw is exactly the pattern nested
+    transactions are motivated by: a parent transfer can abort one leg
+    independently.
+    """
+
+    def __init__(self, name: str, initial: int = 0):
+        super().__init__(name)
+        self._initial = int(initial)
+
+    @staticmethod
+    def deposit(amount: int) -> Operation:
+        """A write access crediting *amount*; returns the new balance."""
+        return Operation("deposit", (int(amount),), is_read=False)
+
+    @staticmethod
+    def withdraw(amount: int) -> Operation:
+        """A write access debiting *amount* if covered; returns success."""
+        return Operation("withdraw", (int(amount),), is_read=False)
+
+    @staticmethod
+    def balance() -> Operation:
+        """A read access returning the balance."""
+        return Operation("balance", (), is_read=True)
+
+    def initial_value(self) -> int:
+        return self._initial
+
+    @staticmethod
+    def credit(amount: int) -> Operation:
+        """An *effect-only* deposit: credits *amount*, returns None.
+
+        Two credits commute in both state and observation, so they are
+        non-conflicting under semantic locking (deposit returns the new
+        balance and keeps Moss' rule).
+        """
+        return Operation("credit", (int(amount),), is_read=False)
+
+    def apply(self, value: int, operation: Operation) -> Tuple[Any, int]:
+        if operation.kind == "credit":
+            return None, value + operation.args[0]
+        if operation.kind == "deposit":
+            new_value = value + operation.args[0]
+            return new_value, new_value
+        if operation.kind == "withdraw":
+            amount = operation.args[0]
+            if amount <= value:
+                return True, value - amount
+            return False, value
+        if operation.kind == "balance":
+            return value, value
+        raise ReproError(
+            "%r: unknown operation %s" % (self.name, operation)
+        )
+
+    def example_operations(self) -> Sequence[Operation]:
+        return (
+            self.deposit(100),
+            self.withdraw(40),
+            self.withdraw(10 ** 9),
+            self.balance(),
+        )
+
+    # -- semantic locking: credits commute with credits -------------------
+    def conflicts(self, a: Operation, b: Operation) -> bool:
+        if a.kind == "credit" and b.kind == "credit":
+            return False
+        return super().conflicts(a, b)
+
+    def inverse(self, operation: Operation, result):
+        if operation.kind == "credit":
+            return Operation(
+                "credit", (-operation.args[0],), is_read=False
+            )
+        if operation.kind == "deposit":
+            return Operation(
+                "credit", (-operation.args[0],), is_read=False
+            )
+        if operation.kind == "withdraw":
+            if result:
+                return self.credit(operation.args[0])
+            return None
+        return super().inverse(operation, result)
+
+    def example_values(self) -> Sequence[int]:
+        return (0, 100, 12345)

@@ -1,0 +1,94 @@
+"""A commutative counter."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence, Tuple
+
+from repro.core.object_spec import ObjectSpec, Operation
+from repro.errors import ReproError
+
+
+class Counter(ObjectSpec):
+    """An integer counter.
+
+    Operations: ``increment(n)`` / ``decrement(n)`` (write accesses
+    returning the resulting total) and ``value()`` (a read access).
+    Increments commute, which makes counters a good stress case for
+    distinguishing *conflict*-based locking (Moss treats all writes as
+    conflicting) from what a semantics-aware scheme could allow -- the
+    paper's closing remark about designating accesses.
+    """
+
+    def __init__(self, name: str, initial: int = 0):
+        super().__init__(name)
+        self._initial = int(initial)
+
+    @staticmethod
+    def increment(amount: int = 1) -> Operation:
+        """A write access adding *amount*; returns the new total."""
+        return Operation("increment", (int(amount),), is_read=False)
+
+    @staticmethod
+    def decrement(amount: int = 1) -> Operation:
+        """A write access subtracting *amount*; returns the new total."""
+        return Operation("decrement", (int(amount),), is_read=False)
+
+    @staticmethod
+    def value() -> Operation:
+        """A read access returning the current total."""
+        return Operation("value", (), is_read=True)
+
+    def initial_value(self) -> int:
+        return self._initial
+
+    def apply(self, value: int, operation: Operation) -> Tuple[Any, int]:
+        if operation.kind == "bump":
+            return None, value + operation.args[0]
+        if operation.kind == "increment":
+            new_value = value + operation.args[0]
+            return new_value, new_value
+        if operation.kind == "decrement":
+            new_value = value - operation.args[0]
+            return new_value, new_value
+        if operation.kind == "value":
+            return value, value
+        raise ReproError(
+            "%r: unknown operation %s" % (self.name, operation)
+        )
+
+    def example_operations(self) -> Sequence[Operation]:
+        return (
+            self.increment(1),
+            self.increment(10),
+            self.decrement(4),
+            self.value(),
+        )
+
+    def example_values(self) -> Sequence[int]:
+        return (0, 3, -7)
+
+    # -- semantic locking ------------------------------------------------
+    @staticmethod
+    def bump(amount: int = 1) -> Operation:
+        """An *effect-only* increment: adds *amount*, returns None.
+
+        Because it returns nothing, two bumps commute in both state and
+        observation, which is what makes them safely non-conflicting
+        under semantic locking (increment/decrement return running
+        totals and therefore keep Moss' conflict rule).
+        """
+        return Operation("bump", (int(amount),), is_read=False)
+
+    def conflicts(self, a: Operation, b: Operation) -> bool:
+        if a.kind == "bump" and b.kind == "bump":
+            return False
+        return super().conflicts(a, b)
+
+    def inverse(self, operation: Operation, result):
+        if operation.kind == "bump":
+            return Operation("bump", (-operation.args[0],), is_read=False)
+        if operation.kind == "increment":
+            return self.decrement(operation.args[0])
+        if operation.kind == "decrement":
+            return self.increment(operation.args[0])
+        return super().inverse(operation, result)

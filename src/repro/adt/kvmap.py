@@ -1,0 +1,83 @@
+"""A key-value map object."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Sequence, Tuple
+
+from repro.core.object_spec import ObjectSpec, Operation
+
+
+def _freeze(mapping: Dict[Any, Any]) -> Tuple[Tuple[Any, Any], ...]:
+    return tuple(sorted(mapping.items(), key=repr))
+
+
+class KVMap(ObjectSpec):
+    """A map from hashable keys to values.
+
+    Values are stored canonically as a sorted tuple of pairs so that two
+    maps with equal contents compare equal regardless of insertion order.
+
+    Operations: ``put(k, v)`` and ``delete(k)`` (write accesses returning
+    the displaced value), ``get(k)`` and ``keys()`` (read accesses).
+    """
+
+    def __init__(self, name: str, initial: Dict[Any, Any] = None):
+        super().__init__(name)
+        self._initial = _freeze(dict(initial or {}))
+
+    @staticmethod
+    def put(key: Any, value: Any) -> Operation:
+        """A write access binding *key* to *value*; returns the old value."""
+        return Operation("put", (key, value), is_read=False)
+
+    @staticmethod
+    def delete(key: Any) -> Operation:
+        """A write access unbinding *key*; returns the old value."""
+        return Operation("delete", (key,), is_read=False)
+
+    @staticmethod
+    def get(key: Any) -> Operation:
+        """A read access returning the value bound to *key* (or None)."""
+        return Operation("get", (key,), is_read=True)
+
+    @staticmethod
+    def keys() -> Operation:
+        """A read access returning the sorted tuple of keys."""
+        return Operation("keys", (), is_read=True)
+
+    def initial_value(self) -> Tuple[Tuple[Any, Any], ...]:
+        return self._initial
+
+    def apply(self, value, operation: Operation):
+        mapping = dict(value)
+        if operation.kind == "put":
+            key, new = operation.args
+            old = mapping.get(key)
+            mapping[key] = new
+            return old, _freeze(mapping)
+        if operation.kind == "delete":
+            key = operation.args[0]
+            old = mapping.pop(key, None)
+            return old, _freeze(mapping)
+        if operation.kind == "get":
+            return mapping.get(operation.args[0]), value
+        if operation.kind == "keys":
+            return tuple(sorted(mapping, key=repr)), value
+        raise ValueError(
+            "%r: unknown operation %s" % (self.name, operation)
+        )
+
+    def example_operations(self) -> Sequence[Operation]:
+        return (
+            self.put("k", 1),
+            self.delete("k"),
+            self.get("k"),
+            self.keys(),
+        )
+
+    def example_values(self) -> Sequence[Any]:
+        return (
+            _freeze({}),
+            _freeze({"k": 1}),
+            _freeze({"a": 1, "b": 2}),
+        )

@@ -1,0 +1,69 @@
+"""A FIFO queue object."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence, Tuple
+
+from repro.core.object_spec import ObjectSpec, Operation
+from repro.errors import ReproError
+
+
+class FifoQueue(ObjectSpec):
+    """A first-in-first-out queue, represented as a tuple.
+
+    Operations: ``enqueue(e)`` and ``dequeue()`` (write accesses;
+    ``dequeue`` returns the removed head or None when empty), ``peek()``
+    and ``length()`` (read accesses).
+    """
+
+    def __init__(self, name: str, initial: Sequence[Any] = ()):
+        super().__init__(name)
+        self._initial: Tuple[Any, ...] = tuple(initial)
+
+    @staticmethod
+    def enqueue(element: Any) -> Operation:
+        """A write access appending *element*; returns the new length."""
+        return Operation("enqueue", (element,), is_read=False)
+
+    @staticmethod
+    def dequeue() -> Operation:
+        """A write access removing the head; returns it (None if empty)."""
+        return Operation("dequeue", (), is_read=False)
+
+    @staticmethod
+    def peek() -> Operation:
+        """A read access returning the head without removing it."""
+        return Operation("peek", (), is_read=True)
+
+    @staticmethod
+    def length() -> Operation:
+        """A read access returning the queue length."""
+        return Operation("length", (), is_read=True)
+
+    def initial_value(self) -> Tuple[Any, ...]:
+        return self._initial
+
+    def apply(
+        self, value: Tuple[Any, ...], operation: Operation
+    ) -> Tuple[Any, Tuple[Any, ...]]:
+        if operation.kind == "enqueue":
+            new_value = value + (operation.args[0],)
+            return len(new_value), new_value
+        if operation.kind == "dequeue":
+            if not value:
+                return None, value
+            return value[0], value[1:]
+        if operation.kind == "peek":
+            return (value[0] if value else None), value
+        if operation.kind == "length":
+            return len(value), value
+        raise ReproError(
+            "%r: unknown operation %s" % (self.name, operation)
+        )
+
+    def example_operations(self) -> Sequence[Operation]:
+        return (self.enqueue("job"), self.dequeue(), self.peek(),
+                self.length())
+
+    def example_values(self) -> Sequence[Tuple[Any, ...]]:
+        return ((), ("a",), ("a", "b", "c"))

@@ -1,0 +1,90 @@
+"""Read/write registers: the canonical lock-granularity object."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence, Tuple
+
+from repro.core.object_spec import ObjectSpec, Operation
+from repro.errors import ReproError
+
+
+class Register(ObjectSpec):
+    """A single-value register holding any hashable value.
+
+    Operations: ``read()`` (a read access returning the current value) and
+    ``write(v)`` (a write access storing v and returning the *old* value,
+    so writes are observable in traces).
+    """
+
+    def __init__(self, name: str, initial: Any = None):
+        super().__init__(name)
+        self._initial = initial
+
+    @staticmethod
+    def read() -> Operation:
+        """A read access returning the register's value."""
+        return Operation("read", (), is_read=True)
+
+    @staticmethod
+    def write(value: Any) -> Operation:
+        """A write access storing *value*; returns the previous value."""
+        return Operation("write", (value,), is_read=False)
+
+    def initial_value(self) -> Any:
+        return self._initial
+
+    def apply(self, value: Any, operation: Operation) -> Tuple[Any, Any]:
+        if operation.kind == "read":
+            return value, value
+        if operation.kind == "write":
+            return value, operation.args[0]
+        raise ReproError(
+            "%r: unknown operation %s" % (self.name, operation)
+        )
+
+    def example_operations(self) -> Sequence[Operation]:
+        return (self.read(), self.write(self._initial), self.write(object))
+
+    def example_values(self) -> Sequence[Any]:
+        return (self._initial, 0, "text", (1, 2))
+
+    def inverse(self, operation: Operation, result: Any):
+        """Writes return the displaced value, which is exactly the undo."""
+        if operation.kind == "write":
+            return self.write(result)
+        return super().inverse(operation, result)
+
+
+class IntRegister(Register):
+    """A register constrained to integers, initialised to 0.
+
+    Adds ``add(n)``: a write access incrementing the register and returning
+    the new value -- handy for building counters at register granularity.
+    """
+
+    def __init__(self, name: str, initial: int = 0):
+        super().__init__(name, initial=int(initial))
+
+    @staticmethod
+    def add(amount: int) -> Operation:
+        """A write access adding *amount*; returns the new value."""
+        return Operation("add", (int(amount),), is_read=False)
+
+    def apply(self, value: int, operation: Operation) -> Tuple[Any, int]:
+        if operation.kind == "add":
+            new_value = value + operation.args[0]
+            return new_value, new_value
+        if operation.kind == "write":
+            return value, int(operation.args[0])
+        return super().apply(value, operation)
+
+    def example_operations(self) -> Sequence[Operation]:
+        return (self.read(), self.write(7), self.add(3), self.add(-2))
+
+    def example_values(self) -> Sequence[Any]:
+        return (0, 1, -5, 100)
+
+    def inverse(self, operation: Operation, result: Any):
+        if operation.kind == "add":
+            return self.add(-operation.args[0])
+        return super().inverse(operation, result)

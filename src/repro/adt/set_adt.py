@@ -1,0 +1,95 @@
+"""A mathematical set object."""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, Sequence, Tuple
+
+from repro.core.object_spec import ObjectSpec, Operation
+from repro.errors import ReproError
+
+
+class SetObject(ObjectSpec):
+    """A set of hashable elements, represented as a frozenset.
+
+    Operations: ``insert(e)`` and ``remove(e)`` (write accesses returning
+    whether the set changed), ``contains(e)`` and ``size()`` (read
+    accesses).
+    """
+
+    def __init__(self, name: str, initial: Sequence[Any] = ()):
+        super().__init__(name)
+        self._initial: FrozenSet[Any] = frozenset(initial)
+
+    @staticmethod
+    def insert(element: Any) -> Operation:
+        """A write access adding *element*; returns True if it was new."""
+        return Operation("insert", (element,), is_read=False)
+
+    @staticmethod
+    def remove(element: Any) -> Operation:
+        """A write access removing *element*; returns True if present."""
+        return Operation("remove", (element,), is_read=False)
+
+    @staticmethod
+    def contains(element: Any) -> Operation:
+        """A read access testing membership of *element*."""
+        return Operation("contains", (element,), is_read=True)
+
+    @staticmethod
+    def size() -> Operation:
+        """A read access returning the cardinality."""
+        return Operation("size", (), is_read=True)
+
+    def initial_value(self) -> FrozenSet[Any]:
+        return self._initial
+
+    def apply(
+        self, value: FrozenSet[Any], operation: Operation
+    ) -> Tuple[Any, FrozenSet[Any]]:
+        if operation.kind == "insert":
+            element = operation.args[0]
+            changed = element not in value
+            return changed, value | {element}
+        if operation.kind == "remove":
+            element = operation.args[0]
+            changed = element in value
+            return changed, value - {element}
+        if operation.kind == "contains":
+            return operation.args[0] in value, value
+        if operation.kind == "size":
+            return len(value), value
+        raise ReproError(
+            "%r: unknown operation %s" % (self.name, operation)
+        )
+
+    def example_operations(self) -> Sequence[Operation]:
+        return (
+            self.insert("a"),
+            self.remove("a"),
+            self.contains("a"),
+            self.size(),
+        )
+
+    def example_values(self) -> Sequence[FrozenSet[Any]]:
+        return (frozenset(), frozenset({"a"}), frozenset({"a", "b", 3}))
+
+    # -- semantic locking: operations on distinct elements commute -------
+    def conflicts(self, a: Operation, b: Operation) -> bool:
+        element_ops = {"insert", "remove", "contains"}
+        if a.kind in element_ops and b.kind in element_ops:
+            if a.args[0] != b.args[0]:
+                # Different elements: state and return values are both
+                # unaffected by order.
+                return False
+        return super().conflicts(a, b)
+
+    def inverse(self, operation: Operation, result):
+        if operation.kind == "insert":
+            if result:  # the element was new: undo removes it
+                return self.remove(operation.args[0])
+            return None
+        if operation.kind == "remove":
+            if result:  # the element was present: undo restores it
+                return self.insert(operation.args[0])
+            return None
+        return super().inverse(operation, result)

@@ -1,0 +1,30 @@
+"""Validation harnesses tying the executable layers back to the theory.
+
+* :mod:`~repro.checking.random_systems` -- seeded random system-type and
+  schedule generation for the model;
+* :mod:`~repro.checking.conformance` -- replay engine traces against the
+  R/W Locking system automata and the Theorem 34 checker;
+* :mod:`~repro.checking.harness` -- batch statistical validation used by
+  the E1-E7 benchmarks.
+"""
+
+from repro.checking.conformance import (
+    ConformanceReport,
+    check_engine_trace,
+    trace_logic_factory,
+)
+from repro.checking.harness import ValidationStats, validate_random_schedules
+from repro.checking.random_systems import (
+    RandomSystemConfig,
+    random_system_type,
+)
+
+__all__ = [
+    "ConformanceReport",
+    "RandomSystemConfig",
+    "ValidationStats",
+    "check_engine_trace",
+    "random_system_type",
+    "trace_logic_factory",
+    "validate_random_schedules",
+]

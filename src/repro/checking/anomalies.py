@@ -1,0 +1,247 @@
+"""Observable-consistency anomalies: what orphans may see.
+
+The paper is careful to claim serial correctness only for *non-orphan*
+transactions and remarks: "It would be best if every transaction (whether
+an orphan or not) saw consistent data.  Ensuring this requires a much more
+intricate scheduler" (orphan elimination, [HLMW]).  This module makes that
+boundary observable:
+
+* :func:`find_register_anomalies` is a *sound* anomaly detector on
+  register-valued objects: within one transaction's subtree, the stream
+  of access results on an object must be explainable by a single starting
+  value evolved only by the subtree's own operations -- in every serial
+  schedule nothing else touches the object while the transaction runs
+  (Lemma 6).  A violated stream (e.g. two reads returning different
+  values with no intervening subtree write) is impossible serially.
+* :func:`orphan_anomaly_witness` constructs, step by step through a real
+  R/W Locking system, a schedule in which an **orphan** exhibits exactly
+  such an anomaly -- while Theorem 34 (checked everywhere else in this
+  library) guarantees non-orphans never do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.adt import IntRegister
+from repro.core.events import (
+    Abort,
+    Commit,
+    Create,
+    Event,
+    InformAbortAt,
+    InformCommitAt,
+    ReportCommit,
+    RequestCommit,
+    RequestCreate,
+)
+from repro.core.names import (
+    ROOT,
+    SystemType,
+    SystemTypeBuilder,
+    TransactionName,
+    chain_between,
+    is_descendant,
+    pretty_name,
+)
+from repro.core.systems import RWLockingSystem
+from repro.core.visibility import is_orphan
+
+
+@dataclass(frozen=True)
+class Anomaly:
+    """A serially-impossible observation stream inside one subtree."""
+
+    transaction: TransactionName
+    object_name: str
+    access: TransactionName
+    expected: Any
+    observed: Any
+
+    def __str__(self) -> str:
+        return (
+            "%s at %s: access %s observed %r where any serial execution "
+            "shows %r"
+            % (
+                pretty_name(self.transaction),
+                self.object_name,
+                pretty_name(self.access),
+                self.observed,
+                self.expected,
+            )
+        )
+
+
+def _register_objects(system_type: SystemType) -> List[str]:
+    return [
+        name
+        for name in system_type.object_names()
+        if isinstance(system_type.object_spec(name), IntRegister)
+    ]
+
+
+def find_register_anomalies(
+    system_type: SystemType,
+    alpha: Sequence[Event],
+    subtree: TransactionName,
+) -> List[Anomaly]:
+    """Anomalies in *subtree*'s view of every IntRegister object.
+
+    Walks the subtree's responded accesses in schedule order and checks
+    each result against a value evolved from the first observation by the
+    subtree's own operations alone.  Any mismatch is impossible in a
+    serial schedule, where no sibling interleaves with the subtree.
+    """
+    anomalies: List[Anomaly] = []
+    registers = set(_register_objects(system_type))
+    abort_events = {
+        event for event in alpha if isinstance(event, Abort)
+    }
+    known: Dict[str, Any] = {}
+    for event in alpha:
+        if not isinstance(event, RequestCommit):
+            continue
+        access = event.transaction
+        if not system_type.is_access(access):
+            continue
+        if not is_descendant(access, subtree):
+            continue
+        # Skip accesses rolled back *inside* the subtree: an aborted
+        # subtransaction's accesses "never happened" in any serial view
+        # (Moss' versions restore their effects), so their observations
+        # cannot witness an anomaly.  Pending and committed accesses
+        # stay -- they are what the subtree actually experienced.
+        if any(
+            Abort(node) in abort_events
+            for node in chain_between(access, subtree)
+        ):
+            continue
+        object_name = system_type.object_of(access)
+        if object_name not in registers:
+            continue
+        operation = system_type.operation_of(access)
+        current = known.get(object_name)
+        if operation.kind == "read":
+            if current is not None and event.value != current:
+                anomalies.append(
+                    Anomaly(
+                        transaction=subtree,
+                        object_name=object_name,
+                        access=access,
+                        expected=current,
+                        observed=event.value,
+                    )
+                )
+            known[object_name] = event.value
+        elif operation.kind == "write":
+            known[object_name] = operation.args[0]
+        elif operation.kind == "add":
+            if current is not None:
+                expected = current + operation.args[0]
+                if event.value != expected:
+                    anomalies.append(
+                        Anomaly(
+                            transaction=subtree,
+                            object_name=object_name,
+                            access=access,
+                            expected=expected,
+                            observed=event.value,
+                        )
+                    )
+            known[object_name] = event.value
+    return anomalies
+
+
+def orphan_demo_system_type() -> SystemType:
+    """The smallest system exhibiting an orphan anomaly.
+
+    Tree: T0.0 has one child T0.0.0 with two read accesses on register x;
+    T0.1 writes x.  The anomaly: T0.0.0 reads x twice around T0.1's
+    committed write, after T0.0 has been aborted.
+    """
+    builder = SystemTypeBuilder()
+    builder.add_object(IntRegister("x", initial=0))
+    victim_top = builder.add_child(ROOT)           # (0,)
+    orphan = builder.add_child(victim_top)         # (0,0)
+    builder.add_access(orphan, "x", IntRegister.read())   # (0,0,0)
+    builder.add_access(orphan, "x", IntRegister.read())   # (0,0,1)
+    writer_top = builder.add_child(ROOT)           # (1,)
+    builder.add_access(writer_top, "x", IntRegister.write(5))  # (1,0)
+    return builder.build()
+
+
+@dataclass
+class OrphanWitness:
+    """A concrete schedule showing an orphan's inconsistent view."""
+
+    system_type: SystemType
+    schedule: Tuple[Event, ...]
+    orphan: TransactionName
+    anomalies: List[Anomaly]
+
+
+def orphan_anomaly_witness() -> OrphanWitness:
+    """Drive a real R/W Locking system into the orphan anomaly.
+
+    Every event is applied through the composed automata, so the witness
+    is a genuine concurrent schedule, not a hand-written sequence:
+
+    1. T0.0 and its child T0.0.0 start; T0.0.0 reads x = 0.
+    2. The generic scheduler unilaterally aborts T0.0 (it may: T0.0 has
+       not returned).  T0.0.0 is now an orphan but keeps running.
+       INFORM_ABORT releases the subtree's read lock at M(x).
+    3. T0.1 writes x = 5 and commits to the top; M(x) is informed, so the
+       committed value becomes 5.
+    4. The orphan T0.0.0 performs its second read and sees 5.
+
+    The orphan observed x = 0 and then x = 5 with no intervening write of
+    its own -- impossible in any serial schedule.
+    """
+    system_type = orphan_demo_system_type()
+    system = RWLockingSystem(system_type, propose_aborts=True)
+    orphan = (0, 0)
+    read_one, read_two = (0, 0, 0), (0, 0, 1)
+    writer_access = (1, 0)
+    script: List[Event] = [
+        Create(ROOT),
+        RequestCreate((0,)),
+        Create((0,)),
+        RequestCreate(orphan),
+        Create(orphan),
+        RequestCreate(read_one),
+        Create(read_one),
+        RequestCommit(read_one, 0),
+        # The scheduler aborts T0.0 while its subtree is still running.
+        Abort((0,)),
+        InformAbortAt("x", (0,)),
+        # An unrelated top-level writes x and commits all the way.
+        RequestCreate((1,)),
+        Create((1,)),
+        RequestCreate(writer_access),
+        Create(writer_access),
+        RequestCommit(writer_access, 0),
+        Commit(writer_access),
+        InformCommitAt("x", writer_access),
+        ReportCommit(writer_access, 0),
+        RequestCommit((1,), ((0, "C", 0),)),
+        Commit((1,)),
+        InformCommitAt("x", (1,)),
+        # The orphan keeps going and re-reads x.
+        RequestCreate(read_two),
+        Create(read_two),
+        RequestCommit(read_two, 5),
+    ]
+    applied: List[Event] = []
+    for event in script:
+        system.apply(event)
+        applied.append(event)
+    schedule = tuple(applied)
+    assert is_orphan(schedule, orphan)
+    anomalies = find_register_anomalies(system_type, schedule, orphan)
+    return OrphanWitness(
+        system_type=system_type,
+        schedule=schedule,
+        orphan=orphan,
+        anomalies=anomalies,
+    )

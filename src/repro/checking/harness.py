@@ -1,0 +1,87 @@
+"""Batch statistical validation of the paper's theorems.
+
+Drives seeded random exploration of R/W Locking systems and checks
+Theorem 34 (and whatever extra per-schedule predicates a caller supplies)
+on every generated schedule.  This is the engine room of benchmarks E1-E7:
+each bench configures a schedule source and reports validation rates.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.checking.random_systems import (
+    RandomSystemConfig,
+    random_system_type,
+)
+from repro.core.correctness import check_serial_correctness
+from repro.core.events import Event
+from repro.core.names import SystemType
+from repro.core.systems import RWLockingSystem
+from repro.ioa.explorer import random_schedule
+
+
+@dataclass
+class ValidationStats:
+    """Aggregate outcome of a validation batch."""
+
+    schedules: int = 0
+    events: int = 0
+    transactions_checked: int = 0
+    violations: int = 0
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.violations == 0
+
+    def merge(self, other: "ValidationStats") -> None:
+        self.schedules += other.schedules
+        self.events += other.events
+        self.transactions_checked += other.transactions_checked
+        self.violations += other.violations
+        self.failures.extend(other.failures)
+
+
+def validate_random_schedules(
+    system_type: Optional[SystemType] = None,
+    schedules: int = 20,
+    max_steps: int = 400,
+    seed: int = 0,
+    system_seed: int = 0,
+    config: Optional[RandomSystemConfig] = None,
+    propose_aborts: bool = True,
+    extra_check: Optional[Callable[[SystemType, Sequence[Event]], Optional[str]]] = None,
+) -> ValidationStats:
+    """Generate random concurrent schedules and check Theorem 34 on each.
+
+    When *system_type* is omitted a random one is generated from
+    *system_seed* / *config*.  *extra_check* may return an error string to
+    record an additional per-schedule violation (used by the lemma-level
+    benches).
+    """
+    if system_type is None:
+        system_type = random_system_type(system_seed, config)
+    system = RWLockingSystem(system_type, propose_aborts=propose_aborts)
+    rng = random.Random(seed)
+    stats = ValidationStats()
+    for _ in range(schedules):
+        alpha = random_schedule(system, max_steps, rng)
+        stats.schedules += 1
+        stats.events += len(alpha)
+        report = check_serial_correctness(system, alpha)
+        stats.transactions_checked += len(report.reports)
+        if not report.ok:
+            stats.violations += 1
+            for item in report.failed()[:3]:
+                stats.failures.append(
+                    "txn %r: %s" % (item.transaction, item.failures[:2])
+                )
+        if extra_check is not None:
+            problem = extra_check(system_type, alpha)
+            if problem is not None:
+                stats.violations += 1
+                stats.failures.append(problem)
+    return stats

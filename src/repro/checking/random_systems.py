@@ -1,0 +1,119 @@
+"""Seeded random system types for validation and benchmarking.
+
+Generates concrete :class:`~repro.core.names.SystemType` instances with
+configurable tree shape, object mix and read fraction.  The generator is a
+pure function of its RNG, so every experiment is reproducible from its
+seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.adt import BankAccount, Counter, IntRegister, SetObject
+from repro.core.names import ROOT, SystemType, SystemTypeBuilder
+from repro.core.object_spec import ObjectSpec, Operation
+
+
+@dataclass
+class RandomSystemConfig:
+    """Shape parameters for random system types."""
+
+    objects: int = 2
+    top_level: int = 3
+    max_depth: int = 3
+    max_fanout: int = 3
+    accesses_per_leaf_parent: int = 2
+    read_fraction: float = 0.5
+
+
+def _random_object(rng: random.Random, index: int) -> ObjectSpec:
+    kind = rng.randrange(4)
+    name = "obj%d" % index
+    if kind == 0:
+        return IntRegister(name, initial=rng.randrange(10))
+    if kind == 1:
+        return Counter(name, initial=0)
+    if kind == 2:
+        return BankAccount(name, initial=100)
+    return SetObject(name)
+
+
+def _random_operation(
+    rng: random.Random, spec: ObjectSpec, read_fraction: float
+) -> Operation:
+    want_read = rng.random() < read_fraction
+    if isinstance(spec, IntRegister):
+        if want_read:
+            return IntRegister.read()
+        return rng.choice(
+            [IntRegister.write(rng.randrange(100)), IntRegister.add(1)]
+        )
+    if isinstance(spec, Counter):
+        if want_read:
+            return Counter.value()
+        return Counter.increment(rng.randrange(1, 5))
+    if isinstance(spec, BankAccount):
+        if want_read:
+            return BankAccount.balance()
+        return rng.choice(
+            [
+                BankAccount.deposit(rng.randrange(1, 50)),
+                BankAccount.withdraw(rng.randrange(1, 50)),
+            ]
+        )
+    if isinstance(spec, SetObject):
+        if want_read:
+            return rng.choice(
+                [SetObject.contains(rng.randrange(5)), SetObject.size()]
+            )
+        return rng.choice(
+            [
+                SetObject.insert(rng.randrange(5)),
+                SetObject.remove(rng.randrange(5)),
+            ]
+        )
+    raise TypeError("unsupported spec %r" % spec)
+
+
+def random_system_type(
+    seed: int,
+    config: Optional[RandomSystemConfig] = None,
+) -> SystemType:
+    """Build a random concrete system type from *seed*."""
+    rng = random.Random(seed)
+    config = config or RandomSystemConfig()
+    builder = SystemTypeBuilder()
+    specs: List[ObjectSpec] = []
+    for index in range(config.objects):
+        spec = _random_object(rng, index)
+        specs.append(spec)
+        builder.add_object(spec)
+
+    def grow(parent, depth: int) -> None:
+        if depth >= config.max_depth:
+            for _ in range(config.accesses_per_leaf_parent):
+                spec = rng.choice(specs)
+                operation = _random_operation(
+                    rng, spec, config.read_fraction
+                )
+                builder.add_access(parent, spec.name, operation)
+            return
+        fanout = rng.randrange(1, config.max_fanout + 1)
+        for _ in range(fanout):
+            if depth + 1 < config.max_depth and rng.random() < 0.5:
+                child = builder.add_child(parent)
+                grow(child, depth + 1)
+            else:
+                spec = rng.choice(specs)
+                operation = _random_operation(
+                    rng, spec, config.read_fraction
+                )
+                builder.add_access(parent, spec.name, operation)
+
+    for _ in range(config.top_level):
+        top = builder.add_child(ROOT)
+        grow(top, 1)
+    return builder.build()

@@ -1,0 +1,338 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Five commands, one per way of exercising the reproduction:
+
+* ``validate``     -- run the Theorem 34 statistical harness.
+* ``explore``      -- exhaustively check a micro system type.
+* ``sweep``        -- the policy x read-fraction simulation sweep (E9).
+* ``conformance``  -- drive a random engine workload and replay its trace
+  against the formal model.
+* ``orphan``       -- print the orphan-inconsistency witness (E15).
+
+Every command takes ``--seed`` and prints a deterministic report, so CLI
+runs are as reproducible as the test suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import Optional, Sequence
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.checking import validate_random_schedules
+
+    total_violations = 0
+    for system_seed in range(args.systems):
+        stats = validate_random_schedules(
+            system_seed=args.seed + system_seed,
+            schedules=args.schedules,
+            max_steps=args.steps,
+            seed=args.seed + system_seed + 1,
+        )
+        total_violations += stats.violations
+        print(
+            "system %2d: %3d schedules, %5d events, %3d transactions "
+            "checked, %d violations"
+            % (
+                system_seed,
+                stats.schedules,
+                stats.events,
+                stats.transactions_checked,
+                stats.violations,
+            )
+        )
+        for failure in stats.failures[:3]:
+            print("  ! %s" % failure)
+    print(
+        "Theorem 34: %s"
+        % ("HOLDS on every schedule" if total_violations == 0
+           else "%d VIOLATIONS" % total_violations)
+    )
+    return 0 if total_violations == 0 else 1
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from repro.adt import IntRegister
+    from repro.core import (
+        ROOT,
+        RWLockingSystem,
+        SystemTypeBuilder,
+        check_serial_correctness,
+    )
+    from repro.ioa import explore_exhaustive
+
+    builder = SystemTypeBuilder()
+    builder.add_object(IntRegister("x"))
+    writer = builder.add_child(ROOT)
+    builder.add_access(writer, "x", IntRegister.write(1))
+    reader = builder.add_child(ROOT)
+    builder.add_access(reader, "x", IntRegister.read())
+    system_type = builder.build()
+    system = RWLockingSystem(system_type)
+    result = explore_exhaustive(
+        system,
+        max_depth=args.depth,
+        max_schedules=args.cap,
+        collect_all=False,
+    )
+    violations = 0
+    for alpha in result.maximal_schedules:
+        if not check_serial_correctness(system, alpha).ok:
+            violations += 1
+    print(
+        "exhaustive: %d maximal schedules (depth <= %d%s), %d violations"
+        % (
+            len(result.maximal_schedules),
+            args.depth,
+            ", truncated" if result.truncated else "",
+            violations,
+        )
+    )
+    return 0 if violations == 0 else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.sim import (
+        SimulationConfig,
+        WorkloadConfig,
+        make_store,
+        make_workload,
+        run_simulation,
+    )
+
+    policies = args.policies.split(",")
+    header = (
+        "read%", "policy", "committed", "throughput", "mean_lat",
+        "p95_lat", "aborts",
+    )
+    print("  ".join("%-10s" % column for column in header))
+    for read_fraction in (0.0, 0.25, 0.5, 0.75, 0.95):
+        config = WorkloadConfig(
+            programs=args.programs,
+            objects=args.objects,
+            read_fraction=read_fraction,
+            zipf_skew=args.skew,
+            depth=2,
+            fanout=2,
+            accesses_per_block=2,
+        )
+        programs = make_workload(args.seed, config)
+        store = make_store(config)
+        for policy in policies:
+            metrics = run_simulation(
+                programs,
+                store,
+                SimulationConfig(
+                    mpl=args.mpl, policy=policy, seed=args.seed
+                ),
+            )
+            row = (
+                "%.2f" % read_fraction,
+                policy,
+                str(metrics.committed),
+                "%.3f" % metrics.throughput,
+                "%.2f" % metrics.mean_latency,
+                "%.2f" % metrics.p95_latency,
+                str(metrics.deadlock_aborts),
+            )
+            print("  ".join("%-10s" % cell for cell in row))
+    return 0
+
+
+def _cmd_conformance(args: argparse.Namespace) -> int:
+    from repro.adt import Counter, IntRegister
+    from repro.checking import check_engine_trace
+    from repro.engine import Engine
+    from repro.errors import LockDenied
+
+    rng = random.Random(args.seed)
+    engine = Engine([Counter("c"), IntRegister("x")], trace=True)
+    tops = [engine.begin_top() for _ in range(args.transactions)]
+    operations = [
+        ("c", Counter.increment(1)),
+        ("c", Counter.value()),
+        ("x", IntRegister.add(2)),
+        ("x", IntRegister.read()),
+    ]
+    live = {top.name: top for top in tops}
+    for _ in range(args.operations):
+        if not live:
+            break
+        txn = rng.choice(list(live.values()))
+        roll = rng.random()
+        if roll < 0.6:
+            try:
+                txn.perform(*rng.choice(operations))
+            except LockDenied:
+                pass
+        elif roll < 0.8:
+            child = txn.begin_child()
+            try:
+                child.perform(*rng.choice(operations))
+            except LockDenied:
+                pass
+            if rng.random() < 0.5:
+                child.commit()
+            else:
+                child.abort()
+        elif roll < 0.9 and not txn.live_children():
+            txn.commit()
+            del live[txn.name]
+        else:
+            txn.abort()
+            del live[txn.name]
+    for txn in list(live.values()):
+        for child in txn.live_children():
+            child.abort()
+        txn.commit()
+    report = check_engine_trace(engine)
+    print("trace length : %d events" % report.trace_length)
+    print("refinement   : %s" % report.refinement_ok)
+    if report.rejection:
+        print("  rejected: %s" % report.rejection)
+    if report.correctness is not None:
+        print("theorem 34   : %s" % bool(report.correctness))
+    print("conformance  : %s" % ("OK" if report.ok else "FAILED"))
+    return 0 if report.ok else 1
+
+
+def _cmd_dist(args: argparse.Namespace) -> int:
+    from repro.dist import DistributedConfig, run_distributed_simulation
+    from repro.dist import uniform_topology
+    from repro.sim import WorkloadConfig, make_store, make_workload
+
+    config = WorkloadConfig(
+        programs=args.programs,
+        objects=args.objects,
+        read_fraction=0.7,
+        depth=2,
+        fanout=2,
+        accesses_per_block=2,
+    )
+    programs = make_workload(args.seed, config)
+    store = make_store(config)
+    names = [spec.name for spec in store]
+    header = ("sites", "committed", "makespan", "messages",
+              "remote%", "2pc_rounds")
+    print("  ".join("%-10s" % column for column in header))
+    for sites in (1, 2, 4, 8):
+        topology = uniform_topology(names, sites=sites)
+        topology.one_way_latency = args.latency
+        metrics = run_distributed_simulation(
+            programs,
+            store,
+            topology,
+            DistributedConfig(mpl=4, policy="moss-rw", seed=args.seed),
+        )
+        row = (
+            str(sites),
+            str(metrics.committed),
+            "%.1f" % metrics.makespan,
+            str(metrics.messages),
+            "%.1f" % (100 * metrics.remote_fraction),
+            str(metrics.commit_rounds),
+        )
+        print("  ".join("%-10s" % cell for cell in row))
+    return 0
+
+
+def _cmd_orphan(args: argparse.Namespace) -> int:
+    from repro.checking.anomalies import orphan_anomaly_witness
+    from repro.core.names import pretty_name
+
+    witness = orphan_anomaly_witness()
+    print(
+        "orphan %s in a %d-event concurrent schedule:"
+        % (pretty_name(witness.orphan), len(witness.schedule))
+    )
+    if args.verbose:
+        for index, event in enumerate(witness.schedule):
+            print("  %2d  %s" % (index, event))
+    for anomaly in witness.anomalies:
+        print("anomaly: %s" % anomaly)
+    print(
+        "(Theorem 34 deliberately excludes orphans; see EXPERIMENTS.md "
+        "E15 and the paper's Section 3.5 remark.)"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Nested Transactions and Read/Write Locking (PODS 1987) -- "
+            "reproduction toolkit"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    validate = commands.add_parser(
+        "validate", help="statistical Theorem 34 validation"
+    )
+    validate.add_argument("--seed", type=int, default=0)
+    validate.add_argument("--systems", type=int, default=3)
+    validate.add_argument("--schedules", type=int, default=10)
+    validate.add_argument("--steps", type=int, default=300)
+    validate.set_defaults(handler=_cmd_validate)
+
+    explore = commands.add_parser(
+        "explore", help="exhaustive micro-system check"
+    )
+    explore.add_argument("--depth", type=int, default=12)
+    explore.add_argument("--cap", type=int, default=3000)
+    explore.set_defaults(handler=_cmd_explore)
+
+    sweep = commands.add_parser(
+        "sweep", help="policy x read-fraction simulation sweep"
+    )
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--programs", type=int, default=30)
+    sweep.add_argument("--objects", type=int, default=10)
+    sweep.add_argument("--skew", type=float, default=0.6)
+    sweep.add_argument("--mpl", type=int, default=8)
+    sweep.add_argument(
+        "--policies",
+        default="serial,exclusive,flat-2pl,moss-rw,mvto",
+        help="comma-separated policy list",
+    )
+    sweep.set_defaults(handler=_cmd_sweep)
+
+    conformance = commands.add_parser(
+        "conformance", help="engine-trace -> model conformance demo"
+    )
+    conformance.add_argument("--seed", type=int, default=0)
+    conformance.add_argument("--transactions", type=int, default=4)
+    conformance.add_argument("--operations", type=int, default=60)
+    conformance.set_defaults(handler=_cmd_conformance)
+
+    orphan = commands.add_parser(
+        "orphan", help="print the orphan-inconsistency witness"
+    )
+    orphan.add_argument("--verbose", action="store_true")
+    orphan.set_defaults(handler=_cmd_orphan)
+
+    dist = commands.add_parser(
+        "dist", help="distributed deployment sweep (sites x costs)"
+    )
+    dist.add_argument("--seed", type=int, default=0)
+    dist.add_argument("--programs", type=int, default=16)
+    dist.add_argument("--objects", type=int, default=12)
+    dist.add_argument("--latency", type=float, default=1.0)
+    dist.set_defaults(handler=_cmd_dist)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,94 @@
+"""Basic object automata (Sections 3.2 and 4.3).
+
+One automaton per object (not per access): its operations are the CREATE
+and REQUEST_COMMIT operations of all accesses to that object.  The
+implementation follows the paper's Section 4.3 example exactly: the state
+is a set of *pending* accesses plus an instance of an abstract data type;
+CREATE(T) adds T to pending; at any time a pending T may be chosen, its
+operation applied to the ADT instance (yielding return value v and a new
+instance), and REQUEST_COMMIT(T, v) output -- one atomic step.
+
+Because every :class:`~repro.core.object_spec.ObjectSpec` keeps read
+operations transparent and ``apply`` pure, objects built this way satisfy
+the paper's three semantic conditions by construction (verified by the
+property tests in ``tests/adt``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Set
+
+from repro.core.events import Create, RequestCommit
+from repro.core.names import SystemType, TransactionName
+from repro.core.object_spec import ObjectSpec
+from repro.ioa.automaton import Action, Automaton
+
+
+class BasicObjectAutomaton(Automaton):
+    """The serial-system automaton for one shared object."""
+
+    state_attrs = ("pending", "value", "responded")
+
+    def __init__(self, system_type: SystemType, object_name: str):
+        super().__init__("obj:%s" % object_name)
+        self.system_type = system_type
+        self.object_name = object_name
+        self.spec: ObjectSpec = system_type.object_spec(object_name)
+        self.pending: Set[TransactionName] = set()
+        self.responded: Set[TransactionName] = set()
+        self.value: Any = self.spec.initial_value()
+
+    def _is_local_access(self, name: TransactionName) -> bool:
+        return (
+            self.system_type.is_access(name)
+            and self.system_type.object_of(name) == self.object_name
+        )
+
+    # ------------------------------------------------------------------
+    # Signature
+    # ------------------------------------------------------------------
+    def is_input(self, action: Action) -> bool:
+        return isinstance(action, Create) and self._is_local_access(
+            action.transaction
+        )
+
+    def is_output(self, action: Action) -> bool:
+        return isinstance(action, RequestCommit) and self._is_local_access(
+            action.transaction
+        )
+
+    # ------------------------------------------------------------------
+    # Transitions
+    # ------------------------------------------------------------------
+    def enabled_outputs(self) -> Iterator[Action]:
+        for name in sorted(self.pending):
+            operation = self.system_type.operation_of(name)
+            result, _ = self.spec.apply(self.value, operation)
+            yield RequestCommit(name, result)
+
+    def output_enabled(self, action: Action) -> bool:
+        if not isinstance(action, RequestCommit):
+            return False
+        name = action.transaction
+        if name not in self.pending:
+            return False
+        operation = self.system_type.operation_of(name)
+        result, _ = self.spec.apply(self.value, operation)
+        return result == action.value
+
+    def _apply(self, action: Action) -> None:
+        if isinstance(action, Create):
+            name = action.transaction
+            # Behaviour after a well-formedness violation (repeated CREATE)
+            # is unconstrained; re-adding is the benign choice.
+            if name not in self.responded:
+                self.pending.add(name)
+            return
+        if isinstance(action, RequestCommit):
+            name = action.transaction
+            operation = self.system_type.operation_of(name)
+            _, new_value = self.spec.apply(self.value, operation)
+            self.pending.discard(name)
+            self.responded.add(name)
+            self.value = new_value
+            return

@@ -1,0 +1,211 @@
+"""Serial correctness checking (Section 3.5, Theorem 34, Corollary 35).
+
+A sequence of operations is **serially correct for transaction T** when its
+projection on T equals the projection on T of some serial schedule.  The
+paper's main theorem: every schedule of a R/W Locking system is serially
+correct for every non-orphan non-access transaction (Corollary 35: in
+particular for the root T0, the external environment).
+
+:func:`check_schedule` verifies the theorem *end to end* for a given
+concurrent schedule:
+
+1. run the :class:`~repro.core.serializer.Serializer` to obtain, for each
+   created non-orphan non-access transaction T, a candidate serial schedule
+   beta;
+2. check beta is write-equivalent to ``visible(alpha, T)`` (Lemma 33's
+   postcondition);
+3. **replay** beta against a freshly instantiated serial system -- the same
+   transaction automata composed with basic objects and the serial
+   scheduler -- so serial-ness is established by an independent oracle, not
+   assumed from the construction;
+4. check the projection equality ``alpha | T == beta | T`` that defines
+   serial correctness.
+
+The division of labour mirrors the paper: the serializer is the proof's
+constructive content, the replay is the statement being proved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.equieffective import write_equivalence_failures
+from repro.core.events import Create, Event
+from repro.core.names import SystemType, TransactionName, pretty_name
+from repro.core.serializer import Serializer
+from repro.core.systems import SerialSystem
+from repro.core.visibility import is_orphan, visible
+from repro.core.wellformed import (
+    is_well_formed,
+    transaction_signature_events,
+)
+from repro.errors import NotEnabledError, SerializationFailure
+
+
+@dataclass
+class CorrectnessReport:
+    """Outcome of checking serial correctness for one transaction."""
+
+    transaction: TransactionName
+    ok: bool
+    serial_schedule: Tuple[Event, ...] = ()
+    visible_schedule: Tuple[Event, ...] = ()
+    failures: List[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+@dataclass
+class ScheduleReport:
+    """Outcome of checking a whole concurrent schedule."""
+
+    ok: bool
+    well_formed: bool
+    reports: List[CorrectnessReport] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def failed(self) -> List[CorrectnessReport]:
+        """The per-transaction reports that failed."""
+        return [report for report in self.reports if not report.ok]
+
+
+def project_transaction_automaton(
+    alpha: Sequence[Event], name: TransactionName
+) -> Tuple[Event, ...]:
+    """Project onto the *automaton* operations of transaction T.
+
+    This is what T itself observes (CREATE, its requests, its children's
+    reports) -- the projection serial correctness speaks about.
+    """
+    return tuple(
+        event
+        for event in alpha
+        if transaction_signature_events(name, event)
+    )
+
+
+def replay_serial(
+    serial_system: SerialSystem, beta: Sequence[Event]
+) -> Optional[str]:
+    """Replay *beta* on a fresh copy of *serial_system*.
+
+    Returns None on success, or a description of the first rejected event.
+    """
+    system = serial_system.fresh()
+    for index, event in enumerate(beta):
+        try:
+            system.apply(event)
+        except NotEnabledError as exc:
+            return "event %d (%s) rejected: %s" % (index, event, exc)
+    return None
+
+
+def check_transaction(
+    system_type: SystemType,
+    serial_system: SerialSystem,
+    alpha: Sequence[Event],
+    beta: Tuple[Event, ...],
+    name: TransactionName,
+) -> CorrectnessReport:
+    """Check serial correctness of *alpha* for one transaction.
+
+    *beta* is the serializer's candidate serial schedule for *name*.
+    """
+    failures: List[str] = []
+    vis = visible(alpha, name)
+    failures.extend(write_equivalence_failures(system_type, vis, beta))
+    rejection = replay_serial(serial_system, beta)
+    if rejection is not None:
+        failures.append("not a serial schedule: %s" % rejection)
+    local_alpha = project_transaction_automaton(alpha, name)
+    local_beta = project_transaction_automaton(beta, name)
+    if local_alpha != local_beta:
+        failures.append(
+            "projection at %s differs between alpha and beta"
+            % pretty_name(name)
+        )
+    return CorrectnessReport(
+        transaction=name,
+        ok=not failures,
+        serial_schedule=beta,
+        visible_schedule=vis,
+        failures=failures,
+    )
+
+
+def check_schedule(
+    system_type: SystemType,
+    alpha: Sequence[Event],
+    serial_system: Optional[SerialSystem] = None,
+    transactions: Optional[Sequence[TransactionName]] = None,
+) -> ScheduleReport:
+    """Check Theorem 34 on the concurrent schedule *alpha*.
+
+    Verifies well-formedness (Lemma 26) and serial correctness for every
+    created non-orphan non-access transaction (or the given
+    *transactions*).  *serial_system* supplies the transaction automata
+    for replays; the default uses
+    :func:`~repro.core.systems.default_logic_factory`, which matches a
+    R/W Locking system built with defaults.
+    """
+    if serial_system is None:
+        serial_system = SerialSystem(system_type)
+    well_formed = is_well_formed(system_type, alpha, locking=True)
+    serializer = Serializer(system_type)
+    serializer.extend_all(alpha)
+    if transactions is None:
+        created = [
+            event.transaction
+            for event in alpha
+            if isinstance(event, Create)
+        ]
+        transactions = [
+            name
+            for name in created
+            if not system_type.is_access(name)
+            and not is_orphan(alpha, name)
+        ]
+    reports: List[CorrectnessReport] = []
+    for name in transactions:
+        try:
+            beta = serializer.serial_schedule_for(name)
+        except SerializationFailure as exc:
+            reports.append(
+                CorrectnessReport(
+                    transaction=name, ok=False, failures=[str(exc)]
+                )
+            )
+            continue
+        reports.append(
+            check_transaction(
+                system_type, serial_system, alpha, beta, name
+            )
+        )
+    ok = well_formed and all(report.ok for report in reports)
+    return ScheduleReport(ok=ok, well_formed=well_formed, reports=reports)
+
+
+def check_serial_correctness(
+    rw_system,
+    alpha: Sequence[Event],
+    transactions: Optional[Sequence[TransactionName]] = None,
+) -> ScheduleReport:
+    """Check Theorem 34 using the configuration of a R/W Locking system.
+
+    Builds the serial replay system with the *same* transaction logic
+    factory as *rw_system*, so the two systems share their transaction
+    automata as the paper requires.
+    """
+    serial_system = SerialSystem(
+        rw_system.system_type, logic_factory=rw_system.logic_factory
+    )
+    return check_schedule(
+        rw_system.system_type,
+        alpha,
+        serial_system=serial_system,
+        transactions=transactions,
+    )

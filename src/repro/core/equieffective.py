@@ -1,0 +1,202 @@
+"""Equieffectiveness, transparency, write-equality, write-equivalence
+(Sections 4 and 6.1).
+
+Two well-formed sequences alpha, beta of operations of basic object X are
+**equieffective** when every continuation phi that keeps both well-formed
+extends alpha to a schedule of X exactly when it extends beta.  An
+operation pi is **transparent** when ``alpha + [pi]`` is equieffective to
+``alpha`` for every well-formed schedule ``alpha + [pi]``.
+
+For the deterministic ADT objects of this library, equieffectiveness is
+*decidable* and this module implements the decision procedure:
+
+    alpha and beta are equieffective  <=>
+    neither is a schedule of X, or both are and they leave the ADT instance
+    in values the spec cannot distinguish.
+
+Justification (matching the paper's Lemma 20 argument): a continuation can
+only (a) CREATE fresh accesses and later REQUEST_COMMIT them -- responses
+are a deterministic function of the evolving ADT value -- or (b)
+REQUEST_COMMIT an access pending in *both* sequences (well-formedness after
+each sequence forces the CREATE to be present in each), whose response is
+again determined by the ADT value.  Differences confined to pending sets
+are invisible: an access pending in alpha but absent from beta can never be
+mentioned by a phi that is well-formed after both.
+
+Write-equality and write-equivalence are the rearrangement tolerances of
+the main proof: ``write(alpha)`` keeps only REQUEST_COMMIT events of write
+accesses, and two sequences of serial operations are **write-equivalent**
+when they contain the same events, agree on every per-transaction
+projection, and are write-equal at every object.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.basic_object import BasicObjectAutomaton
+from repro.core.events import Event, transaction_of
+from repro.core.names import SystemType, TransactionName
+from repro.core.visibility import write_subsequence
+from repro.core.wellformed import (
+    BasicObjectWellFormedness,
+    basic_object_signature_events,
+)
+from repro.errors import NotEnabledError, WellFormednessError
+from repro.ioa.execution import same_events
+
+
+def replay_basic_object(
+    system_type: SystemType,
+    object_name: str,
+    alpha: Sequence[Event],
+) -> Optional[BasicObjectAutomaton]:
+    """Run *alpha* on a fresh basic object X.
+
+    Returns the automaton in its final state when *alpha* is a schedule of
+    X, or None when it is not.
+    """
+    automaton = BasicObjectAutomaton(system_type, object_name)
+    try:
+        for event in alpha:
+            automaton.apply(event)
+    except NotEnabledError:
+        return None
+    return automaton
+
+
+def is_basic_object_schedule(
+    system_type: SystemType,
+    object_name: str,
+    alpha: Sequence[Event],
+) -> bool:
+    """Return True if *alpha* is a schedule of basic object X."""
+    return replay_basic_object(system_type, object_name, alpha) is not None
+
+
+def equieffective(
+    system_type: SystemType,
+    object_name: str,
+    alpha: Sequence[Event],
+    beta: Sequence[Event],
+) -> bool:
+    """Decide whether *alpha* and *beta* are equieffective sequences of X.
+
+    Both inputs must be well-formed sequences of operations of X; a
+    :class:`~repro.errors.WellFormednessError` is raised otherwise, since
+    the notion is only defined for well-formed sequences.
+    """
+    for sequence in (alpha, beta):
+        checker = BasicObjectWellFormedness(system_type, object_name)
+        for event in sequence:
+            checker.extend(event)
+    spec = system_type.object_spec(object_name)
+    final_alpha = replay_basic_object(system_type, object_name, alpha)
+    final_beta = replay_basic_object(system_type, object_name, beta)
+    if final_alpha is None or final_beta is None:
+        # If neither is a schedule, equieffectiveness holds trivially.
+        return final_alpha is None and final_beta is None
+    return spec.values_equal(final_alpha.value, final_beta.value)
+
+
+def is_transparent_after(
+    system_type: SystemType,
+    object_name: str,
+    alpha: Sequence[Event],
+    pi: Event,
+) -> bool:
+    """Return True if appending *pi* to the schedule *alpha* is undetectable.
+
+    Checks the transparency obligation at one point: ``alpha + [pi]`` must
+    be a well-formed schedule of X equieffective to ``alpha``.
+    """
+    extended = tuple(alpha) + (pi,)
+    return equieffective(system_type, object_name, extended, tuple(alpha))
+
+
+# ----------------------------------------------------------------------
+# Write-equality and write-equivalence
+# ----------------------------------------------------------------------
+def write_equal(
+    system_type: SystemType,
+    object_name: str,
+    alpha: Sequence[Event],
+    beta: Sequence[Event],
+) -> bool:
+    """Return True if write(alpha) == write(beta) at *object_name*."""
+    return write_subsequence(alpha, system_type, object_name) == (
+        write_subsequence(beta, system_type, object_name)
+    )
+
+
+def project_transaction(
+    alpha: Sequence[Event], name: TransactionName
+) -> Tuple[Event, ...]:
+    """Project *alpha* onto the operations pi with ``transaction(pi) == T``.
+
+    Following the paper, this includes T's automaton operations *and* the
+    return (COMMIT/ABORT) operations for T's children.
+    """
+    return tuple(
+        event for event in alpha if transaction_of(event) == name
+    )
+
+
+def write_equivalent(
+    system_type: SystemType,
+    alpha: Sequence[Event],
+    beta: Sequence[Event],
+) -> bool:
+    """Decide write-equivalence of two sequences of serial operations.
+
+    Checks the three defining conditions: same events, identical projection
+    at every transaction, write-equality at every object.
+    """
+    return not write_equivalence_failures(system_type, alpha, beta)
+
+
+def write_equivalence_failures(
+    system_type: SystemType,
+    alpha: Sequence[Event],
+    beta: Sequence[Event],
+) -> List[str]:
+    """Explain how *alpha* and *beta* fail to be write-equivalent.
+
+    Returns an empty list when they are write-equivalent; otherwise a list
+    of human-readable violation descriptions (used by the correctness
+    checker's diagnostics).
+    """
+    failures: List[str] = []
+    if not same_events(alpha, beta):
+        failures.append("the sequences do not contain the same events")
+    owners = {
+        transaction_of(event)
+        for event in tuple(alpha) + tuple(beta)
+    }
+    owners.discard(None)
+    for owner in sorted(owners):
+        if project_transaction(alpha, owner) != project_transaction(
+            beta, owner
+        ):
+            failures.append(
+                "projections at transaction %r differ" % (owner,)
+            )
+    for object_name in system_type.object_names():
+        if not write_equal(system_type, object_name, alpha, beta):
+            failures.append(
+                "write() sequences at object %r differ" % object_name
+            )
+    return failures
+
+
+def project_object(
+    system_type: SystemType,
+    object_name: str,
+    alpha: Sequence[Event],
+) -> Tuple[Event, ...]:
+    """Project *alpha* onto the operations of basic object *object_name*."""
+    return tuple(
+        event
+        for event in alpha
+        if basic_object_signature_events(system_type, object_name, event)
+    )

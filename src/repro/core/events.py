@@ -1,0 +1,212 @@
+"""The operation alphabet of nested-transaction systems (Sections 3 and 5).
+
+Nine event kinds, each a frozen dataclass so events are hashable values
+usable directly as I/O automaton operations:
+
+=====================  ==========================================  =========
+Event                  Paper name                                  Kind
+=====================  ==========================================  =========
+:class:`Create`        CREATE(T)                                   serial
+:class:`RequestCreate` REQUEST_CREATE(T')                          serial
+:class:`RequestCommit` REQUEST_COMMIT(T, v)                        serial
+:class:`Commit`        COMMIT(T)                                   serial
+:class:`Abort`         ABORT(T)                                    serial
+:class:`ReportCommit`  REPORT_COMMIT(T', v)                        serial
+:class:`ReportAbort`   REPORT_ABORT(T')                            serial
+:class:`InformCommitAt` INFORM_COMMIT_AT(X)OF(T)                   concurrent
+:class:`InformAbortAt` INFORM_ABORT_AT(X)OF(T)                     concurrent
+=====================  ==========================================  =========
+
+:func:`transaction_of` implements the paper's ``transaction(pi)``
+assignment: CREATE(T) and REQUEST_COMMIT(T, v) belong to T; the request,
+return and report operations for a child T' belong to ``parent(T')``.  The
+INFORM operations are not serial operations and have no assigned
+transaction (they never appear in ``visible(alpha, T)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple, Union
+
+from repro.core.names import TransactionName, parent, pretty_name
+
+Value = Any
+
+
+@dataclass(frozen=True)
+class Create:
+    """CREATE(T): wakes the transaction (or invokes the access) T."""
+
+    transaction: TransactionName
+
+    def __str__(self) -> str:
+        return "CREATE(%s)" % pretty_name(self.transaction)
+
+
+@dataclass(frozen=True)
+class RequestCreate:
+    """REQUEST_CREATE(T'): T' 's parent asks the scheduler to create T'."""
+
+    transaction: TransactionName
+
+    def __str__(self) -> str:
+        return "REQUEST_CREATE(%s)" % pretty_name(self.transaction)
+
+
+@dataclass(frozen=True)
+class RequestCommit:
+    """REQUEST_COMMIT(T, v): T announces completion with return value v."""
+
+    transaction: TransactionName
+    value: Value
+
+    def __str__(self) -> str:
+        return "REQUEST_COMMIT(%s, %r)" % (
+            pretty_name(self.transaction),
+            self.value,
+        )
+
+
+@dataclass(frozen=True)
+class Commit:
+    """COMMIT(T): the scheduler irrevocably decides T committed."""
+
+    transaction: TransactionName
+
+    def __str__(self) -> str:
+        return "COMMIT(%s)" % pretty_name(self.transaction)
+
+
+@dataclass(frozen=True)
+class Abort:
+    """ABORT(T): the scheduler irrevocably decides T aborted."""
+
+    transaction: TransactionName
+
+    def __str__(self) -> str:
+        return "ABORT(%s)" % pretty_name(self.transaction)
+
+
+@dataclass(frozen=True)
+class ReportCommit:
+    """REPORT_COMMIT(T', v): T' 's parent learns T' committed with value v."""
+
+    transaction: TransactionName
+    value: Value
+
+    def __str__(self) -> str:
+        return "REPORT_COMMIT(%s, %r)" % (
+            pretty_name(self.transaction),
+            self.value,
+        )
+
+
+@dataclass(frozen=True)
+class ReportAbort:
+    """REPORT_ABORT(T'): T' 's parent learns T' aborted."""
+
+    transaction: TransactionName
+
+    def __str__(self) -> str:
+        return "REPORT_ABORT(%s)" % pretty_name(self.transaction)
+
+
+@dataclass(frozen=True)
+class InformCommitAt:
+    """INFORM_COMMIT_AT(X)OF(T): object X learns T committed."""
+
+    object_name: str
+    transaction: TransactionName
+
+    def __str__(self) -> str:
+        return "INFORM_COMMIT_AT(%s)OF(%s)" % (
+            self.object_name,
+            pretty_name(self.transaction),
+        )
+
+
+@dataclass(frozen=True)
+class InformAbortAt:
+    """INFORM_ABORT_AT(X)OF(T): object X learns T aborted."""
+
+    object_name: str
+    transaction: TransactionName
+
+    def __str__(self) -> str:
+        return "INFORM_ABORT_AT(%s)OF(%s)" % (
+            self.object_name,
+            pretty_name(self.transaction),
+        )
+
+
+Event = Union[
+    Create,
+    RequestCreate,
+    RequestCommit,
+    Commit,
+    Abort,
+    ReportCommit,
+    ReportAbort,
+    InformCommitAt,
+    InformAbortAt,
+]
+
+#: Event classes that are operations of serial systems.
+SERIAL_EVENT_TYPES: Tuple[type, ...] = (
+    Create,
+    RequestCreate,
+    RequestCommit,
+    Commit,
+    Abort,
+    ReportCommit,
+    ReportAbort,
+)
+
+#: Event classes classified as *report* operations for a transaction.
+REPORT_EVENT_TYPES: Tuple[type, ...] = (ReportCommit, ReportAbort)
+
+#: Event classes classified as *return* operations for a transaction.
+RETURN_EVENT_TYPES: Tuple[type, ...] = (Commit, Abort)
+
+
+def is_serial_operation(event: Event) -> bool:
+    """Return True if *event* is an operation of the serial system."""
+    return isinstance(event, SERIAL_EVENT_TYPES)
+
+
+def is_return_event(event: Event) -> bool:
+    """Return True if *event* is COMMIT(T) or ABORT(T) for some T."""
+    return isinstance(event, RETURN_EVENT_TYPES)
+
+
+def is_report_event(event: Event) -> bool:
+    """Return True if *event* is a report operation for some transaction."""
+    return isinstance(event, REPORT_EVENT_TYPES)
+
+
+def transaction_of(event: Event) -> Optional[TransactionName]:
+    """The paper's ``transaction(pi)`` assignment.
+
+    Returns None for INFORM operations, which are not serial operations and
+    belong to no transaction.
+    """
+    if isinstance(event, (Create, RequestCommit)):
+        return event.transaction
+    if isinstance(
+        event, (RequestCreate, Commit, Abort, ReportCommit, ReportAbort)
+    ):
+        return parent(event.transaction)
+    return None
+
+
+def subject_of(event: Event) -> Optional[TransactionName]:
+    """Return the transaction the event is *about* (its name argument).
+
+    Unlike :func:`transaction_of`, which assigns the event to the component
+    whose operation it is, this returns the T appearing in the event --
+    convenient for filtering.
+    """
+    if isinstance(event, (InformCommitAt, InformAbortAt)):
+        return event.transaction
+    return event.transaction

@@ -1,0 +1,103 @@
+"""Human-readable rendering of schedules.
+
+Debugging nested-transaction schedules by staring at event reprs is
+painful; these helpers render a schedule as an indented timeline (one
+line per event, indented by the acting transaction's depth) and as a
+per-transaction swimlane summary.  Used by the CLI and handy in test
+failure messages.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.events import (
+    Abort,
+    Commit,
+    Create,
+    Event,
+    InformAbortAt,
+    InformCommitAt,
+    RequestCommit,
+    transaction_of,
+)
+from repro.core.names import SystemType, TransactionName, pretty_name
+
+
+def format_event(
+    event: Event, system_type: Optional[SystemType] = None
+) -> str:
+    """One event as text, annotating accesses with their operations."""
+    text = str(event)
+    if system_type is None:
+        return text
+    if isinstance(event, (Create, RequestCommit)):
+        name = event.transaction
+        if system_type.is_access(name):
+            operation = system_type.operation_of(name)
+            return "%s  {%s %s}" % (
+                text,
+                system_type.object_of(name),
+                operation,
+            )
+    return text
+
+
+def format_schedule(
+    alpha: Sequence[Event],
+    system_type: Optional[SystemType] = None,
+    numbered: bool = True,
+) -> str:
+    """Render *alpha* as an indented timeline.
+
+    Indentation tracks the depth of the event's transaction, so the
+    nesting structure is visible at a glance; INFORM operations sit at
+    the left margin (they belong to no transaction).
+    """
+    lines: List[str] = []
+    for index, event in enumerate(alpha):
+        owner = transaction_of(event)
+        depth = len(owner) if owner is not None else 0
+        prefix = "%3d  " % index if numbered else ""
+        lines.append(
+            "%s%s%s"
+            % (prefix, "  " * depth, format_event(event, system_type))
+        )
+    return "\n".join(lines)
+
+
+def format_swimlanes(
+    alpha: Sequence[Event],
+    system_type: Optional[SystemType] = None,
+) -> str:
+    """Render *alpha* grouped by transaction (one lane per transaction).
+
+    Each lane lists the transaction's own events in order, giving the
+    per-transaction projection the correctness definitions talk about.
+    """
+    lanes: Dict[TransactionName, List[str]] = {}
+    order: List[TransactionName] = []
+    for event in alpha:
+        owner = transaction_of(event)
+        if owner is None:
+            continue
+        if owner not in lanes:
+            lanes[owner] = []
+            order.append(owner)
+        lanes[owner].append(format_event(event, system_type))
+    blocks: List[str] = []
+    for owner in sorted(order):
+        header = pretty_name(owner)
+        body = "\n".join("  %s" % line for line in lanes[owner])
+        blocks.append("%s\n%s" % (header, body))
+    return "\n".join(blocks)
+
+
+def summarize_schedule(alpha: Sequence[Event]) -> Dict[str, int]:
+    """Event-kind counts for quick sanity output."""
+    summary: Dict[str, int] = {}
+    for event in alpha:
+        kind = type(event).__name__
+        summary[kind] = summary.get(kind, 0) + 1
+    summary["total"] = len(alpha)
+    return summary

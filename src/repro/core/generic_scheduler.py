@@ -1,0 +1,234 @@
+"""The generic scheduler (Section 5.2), transcribed verbatim.
+
+The generic scheduler is "very nondeterministic": it forwards creation
+requests and responses with arbitrary delay, lets siblings run
+concurrently, may unilaterally abort any requested transaction that has not
+returned (even one that has been created and has done work), and informs
+R/W Locking objects of commits and aborts.
+
+Enumeration-only restrictions (sub-automaton; ``output_enabled`` keeps the
+paper's full preconditions so replay accepts anything the paper allows):
+
+* ``once_reports`` / ``once_informs`` suppress re-emitting duplicate report
+  and INFORM operations;
+* ``relevant_informs`` only proposes INFORM_*_AT(X)OF(T) when some access
+  below T touches X (an INFORM for an unrelated object never changes M(X)
+  state);
+* ``abort_rate`` is a knob for the validation harness: when 0 no ABORT
+  outputs are *proposed* (they stay enabled per the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Set, Tuple
+
+from repro.core.events import (
+    Abort,
+    Commit,
+    Create,
+    InformAbortAt,
+    InformCommitAt,
+    ReportAbort,
+    ReportCommit,
+    RequestCommit,
+    RequestCreate,
+)
+from repro.core.names import (
+    ROOT,
+    SystemType,
+    TransactionName,
+    is_descendant,
+)
+from repro.ioa.automaton import Action, Automaton
+
+
+class GenericScheduler(Automaton):
+    """The generic scheduler automaton for R/W Locking systems."""
+
+    state_attrs = (
+        "create_requested",
+        "created",
+        "commit_requested",
+        "committed",
+        "aborted",
+        "returned",
+        "reported",
+        "informed",
+    )
+
+    def __init__(
+        self,
+        system_type: SystemType,
+        once_reports: bool = True,
+        once_informs: bool = True,
+        relevant_informs: bool = True,
+        propose_aborts: bool = True,
+    ):
+        super().__init__("generic-scheduler")
+        self.system_type = system_type
+        self.once_reports = once_reports
+        self.once_informs = once_informs
+        self.relevant_informs = relevant_informs
+        self.propose_aborts = propose_aborts
+        self.create_requested: Set[TransactionName] = {ROOT}
+        self.created: Set[TransactionName] = set()
+        self.commit_requested: Set[Tuple[TransactionName, Any]] = set()
+        self.committed: Set[TransactionName] = set()
+        self.aborted: Set[TransactionName] = set()
+        self.returned: Set[TransactionName] = set()
+        self.reported: Set[TransactionName] = set()
+        self.informed: Set[Tuple[str, TransactionName]] = set()
+        self._relevant_objects: Dict[TransactionName, Tuple[str, ...]] = {}
+
+    # ------------------------------------------------------------------
+    # Signature
+    # ------------------------------------------------------------------
+    def is_input(self, action: Action) -> bool:
+        return isinstance(action, (RequestCreate, RequestCommit))
+
+    def is_output(self, action: Action) -> bool:
+        if isinstance(action, Create):
+            return True
+        if isinstance(
+            action,
+            (Commit, Abort, ReportCommit, ReportAbort, InformCommitAt,
+             InformAbortAt),
+        ):
+            return action.transaction != ROOT
+        return False
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _children_returned(self, name: TransactionName) -> bool:
+        return all(
+            child in self.returned
+            for child in self.system_type.children(name)
+            if child in self.create_requested
+        )
+
+    def _objects_below(self, name: TransactionName) -> Tuple[str, ...]:
+        """Object names touched by accesses in *name*'s subtree (cached)."""
+        cached = self._relevant_objects.get(name)
+        if cached is None:
+            touched = sorted(
+                {
+                    self.system_type.object_of(access)
+                    for access in self.system_type.all_accesses()
+                    if is_descendant(access, name)
+                }
+            )
+            cached = tuple(touched)
+            self._relevant_objects[name] = cached
+        return cached
+
+    def _inform_targets(self, name: TransactionName) -> Tuple[str, ...]:
+        if self.relevant_informs:
+            return self._objects_below(name)
+        return self.system_type.object_names()
+
+    # ------------------------------------------------------------------
+    # Transitions
+    # ------------------------------------------------------------------
+    def enabled_outputs(self) -> Iterator[Action]:
+        for name in sorted(self.create_requested - self.created):
+            yield Create(name)
+        for name, value in sorted(self.commit_requested, key=repr):
+            if (
+                name != ROOT
+                and name not in self.returned
+                and self._children_returned(name)
+            ):
+                yield Commit(name)
+        if self.propose_aborts:
+            for name in sorted(self.create_requested - self.returned):
+                if name != ROOT:
+                    yield Abort(name)
+        for name, value in sorted(self.commit_requested, key=repr):
+            if name in self.committed and not (
+                self.once_reports and name in self.reported
+            ):
+                yield ReportCommit(name, value)
+        for name in sorted(self.aborted):
+            if not (self.once_reports and name in self.reported):
+                yield ReportAbort(name)
+        for name in sorted(self.committed):
+            for object_name in self._inform_targets(name):
+                if not (
+                    self.once_informs
+                    and (object_name, name) in self.informed
+                ):
+                    yield InformCommitAt(object_name, name)
+        for name in sorted(self.aborted):
+            for object_name in self._inform_targets(name):
+                if not (
+                    self.once_informs
+                    and (object_name, name) in self.informed
+                ):
+                    yield InformAbortAt(object_name, name)
+
+    def output_enabled(self, action: Action) -> bool:
+        if isinstance(action, Create):
+            return (
+                action.transaction in self.create_requested
+                and action.transaction not in self.created
+            )
+        if isinstance(action, Commit):
+            name = action.transaction
+            if name == ROOT or name in self.returned:
+                return False
+            has_request = any(
+                pair[0] == name for pair in self.commit_requested
+            )
+            return has_request and self._children_returned(name)
+        if isinstance(action, Abort):
+            name = action.transaction
+            return (
+                name != ROOT
+                and name in self.create_requested
+                and name not in self.returned
+            )
+        if isinstance(action, ReportCommit):
+            return (
+                action.transaction in self.committed
+                and (action.transaction, action.value)
+                in self.commit_requested
+            )
+        if isinstance(action, ReportAbort):
+            return action.transaction in self.aborted
+        if isinstance(action, InformCommitAt):
+            return (
+                action.transaction != ROOT
+                and action.transaction in self.committed
+            )
+        if isinstance(action, InformAbortAt):
+            return (
+                action.transaction != ROOT
+                and action.transaction in self.aborted
+            )
+        return False
+
+    def _apply(self, action: Action) -> None:
+        if isinstance(action, RequestCreate):
+            self.create_requested.add(action.transaction)
+            return
+        if isinstance(action, RequestCommit):
+            self.commit_requested.add((action.transaction, action.value))
+            return
+        if isinstance(action, Create):
+            self.created.add(action.transaction)
+            return
+        if isinstance(action, Commit):
+            self.committed.add(action.transaction)
+            self.returned.add(action.transaction)
+            return
+        if isinstance(action, Abort):
+            self.aborted.add(action.transaction)
+            self.returned.add(action.transaction)
+            return
+        if isinstance(action, (ReportCommit, ReportAbort)):
+            self.reported.add(action.transaction)
+            return
+        if isinstance(action, (InformCommitAt, InformAbortAt)):
+            self.informed.add((action.object_name, action.transaction))
+            return

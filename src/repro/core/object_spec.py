@@ -1,0 +1,179 @@
+"""Abstract data type object specifications (Section 4.3's construction).
+
+The paper's example basic object keeps "an instance of an abstract data
+type" and applies the access's function to it, yielding a return value and a
+possibly altered instance.  :class:`ObjectSpec` captures exactly that: a
+named ADT with a deterministic, **pure** transition function
+
+    ``apply(value, operation) -> (result, new_value)``
+
+plus a read/write classification of operations.  Everything downstream --
+basic objects, R/W Locking objects, the executable engine -- interprets
+object state only through a spec.
+
+The paper's semantic conditions on read accesses (Section 4.3) become
+checkable obligations here:
+
+* every read operation must be *transparent*: ``apply`` must return the
+  value unchanged (as far as :meth:`ObjectSpec.values_equal` can tell);
+* CREATE transparency/mobility is guaranteed structurally by the basic
+  object construction (pending-set bookkeeping never affects the ADT value).
+
+Use :func:`check_read_transparency` to verify a spec against sample values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class Operation:
+    """An abstract operation: a kind plus immutable arguments.
+
+    ``Operation("write", (5,), is_read=False)`` is the paper's "function" an
+    access applies to the ADT instance.  Transactions with different input
+    parameters are different transactions (paper, footnote 6), so arguments
+    live in the operation -- and therefore in the access name's
+    classification -- not in any message.
+    """
+
+    kind: str
+    args: Tuple[Hashable, ...] = ()
+    is_read: bool = False
+
+    def __str__(self) -> str:
+        rendered = ", ".join(repr(argument) for argument in self.args)
+        marker = "r" if self.is_read else "w"
+        return "%s(%s)[%s]" % (self.kind, rendered, marker)
+
+
+class ObjectSpec:
+    """A deterministic serial specification of a shared object.
+
+    Subclasses implement :meth:`initial_value` and :meth:`apply`.  ``apply``
+    must be pure: it may not mutate *value* and must return a fresh (or
+    shared immutable) new value.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def initial_value(self) -> Any:
+        """Return the ADT's initial instance."""
+        raise NotImplementedError
+
+    def apply(self, value: Any, operation: Operation) -> Tuple[Any, Any]:
+        """Apply *operation* to *value*; return ``(result, new_value)``."""
+        raise NotImplementedError
+
+    def values_equal(self, a: Any, b: Any) -> bool:
+        """Equality of ADT instances "as far as later operations can detect".
+
+        The default is plain ``==``; override for representations with
+        non-canonical forms.
+        """
+        return a == b
+
+    # ------------------------------------------------------------------
+    # Semantic (commutativity-based) locking hooks -- the [We] direction
+    # ------------------------------------------------------------------
+    def conflicts(self, a: Operation, b: Operation) -> bool:
+        """Whether two operations conflict for semantic locking.
+
+        The default is Moss' read/write rule: two operations conflict
+        unless both are reads.  ADTs may override with a finer relation
+        (e.g. counter increments commute); operations declared
+        non-conflicting must commute *both* in final state and in return
+        values, in either order.
+        """
+        return not (a.is_read and b.is_read)
+
+    def inverse(
+        self, operation: Operation, result: Any
+    ) -> Optional[Operation]:
+        """The undo operation for *operation* (given its *result*).
+
+        Required for any state-changing operation an ADT wants to run
+        under semantic locking with undo recovery: applying the inverse
+        right after the operation must restore the observable state.
+        Return None for read operations (nothing to undo).  The default
+        (None for everything) means the ADT only supports version-based
+        recovery, i.e. Moss locking.
+        """
+        if operation.is_read:
+            return None
+        raise NotImplementedError(
+            "%s does not define inverses; use Moss locking" % self.name
+        )
+
+    def example_operations(self) -> Sequence[Operation]:
+        """Return representative operations (used by semantic self-checks)."""
+        return ()
+
+    def example_values(self) -> Sequence[Any]:
+        """Return representative ADT values (used by semantic self-checks)."""
+        return (self.initial_value(),)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<%s %r>" % (type(self).__name__, self.name)
+
+
+class SemanticConditionViolation(ReproError):
+    """An :class:`ObjectSpec` breaks a Section 4.3 semantic condition."""
+
+
+def check_read_transparency(
+    spec: ObjectSpec,
+    operations: Iterable[Operation] = (),
+    values: Iterable[Any] = (),
+) -> None:
+    """Verify semantic condition 3 for *spec* on the given samples.
+
+    Every read operation applied to every sample value must leave the value
+    "essentially" unchanged (:meth:`ObjectSpec.values_equal`).  Raises
+    :class:`SemanticConditionViolation` on failure.
+    """
+    operation_pool: List[Operation] = list(operations) or list(
+        spec.example_operations()
+    )
+    value_pool: List[Any] = list(values) or list(spec.example_values())
+    for operation in operation_pool:
+        if not operation.is_read:
+            continue
+        for value in value_pool:
+            _, new_value = spec.apply(value, operation)
+            if not spec.values_equal(value, new_value):
+                raise SemanticConditionViolation(
+                    "%r: read %s changed value %r -> %r"
+                    % (spec.name, operation, value, new_value)
+                )
+
+
+def check_purity(
+    spec: ObjectSpec,
+    operations: Iterable[Operation] = (),
+    values: Iterable[Any] = (),
+) -> None:
+    """Verify ``apply`` is deterministic on the given samples.
+
+    Applies each operation twice to each value and demands identical
+    results.  (True purity -- no mutation of the argument -- is enforced by
+    convention and by the ADT implementations using immutable values.)
+    """
+    operation_pool = list(operations) or list(spec.example_operations())
+    value_pool = list(values) or list(spec.example_values())
+    for operation in operation_pool:
+        for value in value_pool:
+            first = spec.apply(value, operation)
+            second = spec.apply(value, operation)
+            if first[0] != second[0] or not spec.values_equal(
+                first[1], second[1]
+            ):
+                raise SemanticConditionViolation(
+                    "%r: %s is not deterministic on %r"
+                    % (spec.name, operation, value)
+                )

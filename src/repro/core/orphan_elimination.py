@@ -1,0 +1,172 @@
+"""Eager orphan elimination: the "more intricate scheduler" of §3.5.
+
+The paper: "It would be best if every transaction (whether an orphan or
+not) saw consistent data.  Ensuring this requires a much more intricate
+scheduler ... In [HLMW], we describe and prove correctness of several
+algorithms for maintaining correctness for orphan transactions."
+
+This module implements the *eager* flavour of orphan elimination as two
+local rules layered on the proven components (both yield sub-automata of
+the originals, so every schedule produced is still a schedule of the
+plain R/W Locking system and Theorem 34 continues to apply):
+
+* :class:`EagerGenericScheduler` never performs a CREATE, report or
+  return operation on behalf of a transaction with an aborted ancestor --
+  orphans receive no new work;
+* :class:`QuiescentRWObject` extends M(X) to *drop the pending accesses*
+  of an aborted subtree when INFORM_ABORT arrives, so an access created
+  before the abort can no longer respond after it.
+
+Together: once ABORT(T) has been followed by the relevant INFORM_ABORTs,
+no descendant of T ever observes anything again, so every observation any
+transaction makes happens while it is not yet known-orphaned -- and those
+observations are consistent.  Benchmark E17 verifies the claim
+empirically: the orphan-anomaly witness is unschedulable and randomised
+searches find no orphan anomalies, while the plain system exhibits them.
+
+(The [HLMW] algorithms achieve the same end *in a distributed setting*
+with piggy-backed abort lists; eager elimination is their idealised
+single-authority limit.)
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.core.events import (
+    Abort,
+    Create,
+    Event,
+    InformAbortAt,
+    ReportAbort,
+    ReportCommit,
+)
+from repro.core.generic_scheduler import GenericScheduler
+from repro.core.names import (
+    SystemType,
+    TransactionName,
+    is_descendant,
+)
+from repro.core.rw_object import RWLockingObject
+from repro.core.systems import LogicFactory, RWLockingSystem
+from repro.ioa.automaton import Action
+
+
+class EagerGenericScheduler(GenericScheduler):
+    """A generic scheduler that starves orphans.
+
+    Identical to :class:`~repro.core.generic_scheduler.GenericScheduler`
+    except that output operations whose beneficiary has an aborted
+    ancestor are never enabled.  Suppressing enabled outputs yields a
+    sub-automaton: every schedule is still a schedule of the plain
+    scheduler.
+    """
+
+    def _is_orphaned(self, name: TransactionName) -> bool:
+        return any(
+            is_descendant(name, doomed) for doomed in self.aborted
+        )
+
+    def _beneficiary(self, action: Action) -> Optional[TransactionName]:
+        if isinstance(action, Create):
+            return action.transaction
+        if isinstance(action, (ReportCommit, ReportAbort)):
+            # Reports go to the parent; starve it if *it* is an orphan.
+            return action.transaction[:-1]
+        return None
+
+    def enabled_outputs(self) -> Iterator[Action]:
+        for action in super().enabled_outputs():
+            beneficiary = self._beneficiary(action)
+            if beneficiary is not None and self._is_orphaned(beneficiary):
+                continue
+            yield action
+
+    def output_enabled(self, action: Action) -> bool:
+        if not super().output_enabled(action):
+            return False
+        beneficiary = self._beneficiary(action)
+        if beneficiary is not None and self._is_orphaned(beneficiary):
+            return False
+        return True
+
+
+class QuiescentRWObject(RWLockingObject):
+    """M(X) that silences an aborted subtree's pending accesses.
+
+    INFORM_ABORT already discards the subtree's locks and versions; this
+    variant additionally removes the subtree's created-but-unresponded
+    accesses from ``create_requested``, so they can never respond with a
+    post-abort value.  Responding less is again a sub-automaton.
+    """
+
+    def _inform_abort(self, name: TransactionName) -> None:
+        super()._inform_abort(name)
+        doomed = {
+            access
+            for access in self.create_requested
+            if is_descendant(access, name) and access not in self.run
+        }
+        self.create_requested -= doomed
+
+
+class OrphanFreeRWLockingSystem(RWLockingSystem):
+    """A R/W Locking system with eager orphan elimination.
+
+    Every schedule of this system is a schedule of the plain
+    :class:`~repro.core.systems.RWLockingSystem` (both replacements are
+    sub-automata), so Theorem 34 holds unchanged -- and additionally no
+    orphan observes data after its ancestor's abort reaches the system.
+    """
+
+    def __init__(
+        self,
+        system_type: SystemType,
+        logic_factory: Optional[LogicFactory] = None,
+        once_reports: bool = True,
+        once_informs: bool = True,
+        relevant_informs: bool = True,
+        propose_aborts: bool = True,
+    ):
+        super().__init__(
+            system_type,
+            logic_factory=logic_factory,
+            once_reports=once_reports,
+            once_informs=once_informs,
+            relevant_informs=relevant_informs,
+            propose_aborts=propose_aborts,
+        )
+        # Swap the scheduler and objects for the eager variants, keeping
+        # the same transaction automata.
+        replaced = []
+        for component in self.components:
+            if isinstance(component, GenericScheduler):
+                eager = EagerGenericScheduler(
+                    system_type,
+                    once_reports=once_reports,
+                    once_informs=once_informs,
+                    relevant_informs=relevant_informs,
+                    propose_aborts=propose_aborts,
+                )
+                self.scheduler = eager
+                replaced.append(eager)
+            elif isinstance(component, RWLockingObject):
+                replaced.append(
+                    QuiescentRWObject(system_type, component.object_name)
+                )
+            else:
+                replaced.append(component)
+        self.components = tuple(replaced)
+        self._by_name = {
+            component.name: component for component in replaced
+        }
+
+    def fresh(self) -> "OrphanFreeRWLockingSystem":
+        return OrphanFreeRWLockingSystem(
+            self.system_type,
+            logic_factory=self.logic_factory,
+            once_reports=self.scheduler.once_reports,
+            once_informs=self.scheduler.once_informs,
+            relevant_informs=self.scheduler.relevant_informs,
+            propose_aborts=self.scheduler.propose_aborts,
+        )

@@ -1,0 +1,213 @@
+"""R/W Locking objects M(X): Moss' algorithm (Section 5.1), verbatim.
+
+``M(X)`` is a resilient, lock-managing variant of basic object X.  Its
+state holds:
+
+* ``write_lockholders`` and ``read_lockholders`` -- sets of transactions;
+  two locks *conflict* when held by different transactions and at least one
+  is a write lock;
+* ``create_requested`` and ``run`` -- access bookkeeping;
+* ``map`` -- a function from write-lockholders to states of basic object X
+  (the version store used to restore state after aborts).
+
+Initially ``write_lockholders = {T0}`` and ``map(T0)`` is X's initial
+state.
+
+The transitions implement Moss' rules exactly:
+
+* an access responds only when every holder of a conflicting lock is an
+  ancestor of the access; the response is computed from
+  ``map(least(write_lockholders))`` -- the version of the *least* (most
+  deeply nested) write-lockholder;
+* a responding write access acquires a write lock and stores the new state
+  as its version; a read access acquires a read lock and stores nothing;
+* INFORM_COMMIT passes locks (and the version, if any) to the parent;
+* INFORM_ABORT discards all locks (and versions) held by descendants of the
+  aborted transaction.
+
+As the paper notes, when every access is designated a write access this
+degenerates into exclusive locking (benchmark E8 verifies it).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Set, Tuple
+
+from repro.core.events import (
+    Create,
+    InformAbortAt,
+    InformCommitAt,
+    RequestCommit,
+)
+from repro.core.names import (
+    ROOT,
+    SystemType,
+    TransactionName,
+    is_ancestor,
+    is_descendant,
+    parent,
+)
+from repro.core.object_spec import ObjectSpec
+from repro.errors import ModelError
+from repro.ioa.automaton import Action, Automaton
+
+
+def least_lockholder(holders: Set[TransactionName]) -> TransactionName:
+    """Return the least member of a chain of lockholders.
+
+    "Least" in the ancestor partial order: the most deeply nested holder.
+    The write-lockholders form a chain whenever an access's precondition
+    holds (Lemma 21); callers outside that situation get a
+    :class:`~repro.errors.ModelError` if the set is not a chain.
+    """
+    deepest = max(holders, key=len)
+    for holder in holders:
+        if not is_ancestor(holder, deepest):
+            raise ModelError(
+                "lockholders %r are not a chain" % (sorted(holders),)
+            )
+    return deepest
+
+
+class RWLockingObject(Automaton):
+    """Moss' R/W Locking object M(X) for one shared object X."""
+
+    state_attrs = (
+        "write_lockholders",
+        "read_lockholders",
+        "create_requested",
+        "run",
+        "map",
+    )
+
+    def __init__(self, system_type: SystemType, object_name: str):
+        super().__init__("M(%s)" % object_name)
+        self.system_type = system_type
+        self.object_name = object_name
+        self.spec: ObjectSpec = system_type.object_spec(object_name)
+        self.write_lockholders: Set[TransactionName] = {ROOT}
+        self.read_lockholders: Set[TransactionName] = set()
+        self.create_requested: Set[TransactionName] = set()
+        self.run: Set[TransactionName] = set()
+        self.map: Dict[TransactionName, Any] = {
+            ROOT: self.spec.initial_value()
+        }
+
+    def _is_local_access(self, name: TransactionName) -> bool:
+        return (
+            self.system_type.is_access(name)
+            and self.system_type.object_of(name) == self.object_name
+        )
+
+    # ------------------------------------------------------------------
+    # Signature
+    # ------------------------------------------------------------------
+    def is_input(self, action: Action) -> bool:
+        if isinstance(action, Create):
+            return self._is_local_access(action.transaction)
+        if isinstance(action, (InformCommitAt, InformAbortAt)):
+            return (
+                action.object_name == self.object_name
+                and action.transaction != ROOT
+            )
+        return False
+
+    def is_output(self, action: Action) -> bool:
+        return isinstance(action, RequestCommit) and self._is_local_access(
+            action.transaction
+        )
+
+    # ------------------------------------------------------------------
+    # Moss' preconditions
+    # ------------------------------------------------------------------
+    def current_value(self) -> Any:
+        """The "current state" of X: map(least(write_lockholders))."""
+        return self.map[least_lockholder(self.write_lockholders)]
+
+    def _response(self, name: TransactionName) -> Tuple[Any, Any]:
+        operation = self.system_type.operation_of(name)
+        return self.spec.apply(self.current_value(), operation)
+
+    def _locks_permit(self, name: TransactionName) -> bool:
+        """Every holder of a conflicting lock must be an ancestor of *name*."""
+        if not all(
+            is_ancestor(holder, name) for holder in self.write_lockholders
+        ):
+            return False
+        if self.system_type.is_read_access(name):
+            # A read conflicts only with write locks.
+            return True
+        return all(
+            is_ancestor(holder, name) for holder in self.read_lockholders
+        )
+
+    def _request_commit_enabled(self, name: TransactionName) -> bool:
+        if name not in self.create_requested or name in self.run:
+            return False
+        return self._locks_permit(name)
+
+    # ------------------------------------------------------------------
+    # Transitions
+    # ------------------------------------------------------------------
+    def enabled_outputs(self) -> Iterator[Action]:
+        for name in sorted(self.create_requested - self.run):
+            if self._locks_permit(name):
+                result, _ = self._response(name)
+                yield RequestCommit(name, result)
+
+    def output_enabled(self, action: Action) -> bool:
+        if not isinstance(action, RequestCommit):
+            return False
+        name = action.transaction
+        if not self._request_commit_enabled(name):
+            return False
+        result, _ = self._response(name)
+        return result == action.value
+
+    def _apply(self, action: Action) -> None:
+        if isinstance(action, Create):
+            self.create_requested.add(action.transaction)
+            return
+        if isinstance(action, InformCommitAt):
+            self._inform_commit(action.transaction)
+            return
+        if isinstance(action, InformAbortAt):
+            self._inform_abort(action.transaction)
+            return
+        if isinstance(action, RequestCommit):
+            name = action.transaction
+            _, new_value = self._response(name)
+            self.run.add(name)
+            if self.system_type.is_read_access(name):
+                self.read_lockholders.add(name)
+            else:
+                self.write_lockholders.add(name)
+                self.map[name] = new_value
+            return
+
+    def _inform_commit(self, name: TransactionName) -> None:
+        mother = parent(name)
+        if name in self.write_lockholders:
+            self.write_lockholders.discard(name)
+            version = self.map.pop(name)
+            self.write_lockholders.add(mother)
+            self.map[mother] = version
+        if name in self.read_lockholders:
+            self.read_lockholders.discard(name)
+            self.read_lockholders.add(mother)
+
+    def _inform_abort(self, name: TransactionName) -> None:
+        doomed_writes = {
+            holder
+            for holder in self.write_lockholders
+            if is_descendant(holder, name)
+        }
+        doomed_reads = {
+            holder
+            for holder in self.read_lockholders
+            if is_descendant(holder, name)
+        }
+        self.write_lockholders -= doomed_writes
+        self.read_lockholders -= doomed_reads
+        for holder in doomed_writes:
+            self.map.pop(holder, None)

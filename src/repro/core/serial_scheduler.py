@@ -1,0 +1,193 @@
+"""The serial scheduler (Section 3.3), transcribed verbatim.
+
+The serial scheduler runs transactions according to a depth-first traversal
+of the transaction tree: a transaction is created only when none of its
+previously-created siblings is still running, a transaction commits only
+after all its requested children have returned, and aborts happen only to
+transactions that were requested but never created ("the semantics of
+ABORT(T) are that T was never created").  Serial schedules -- schedules of
+the serial system -- are the correctness yardstick for everything else.
+
+State components and pre/postconditions follow the paper exactly; see each
+``enabled`` clause.  Two practical restrictions (both yielding a
+sub-automaton, hence every schedule produced is still a schedule of the
+paper's scheduler):
+
+* report operations are emitted at most once per transaction when
+  ``once_reports`` is set (the paper allows repeated instances);
+* the scheduler never aborts when ``abort_free`` is set (useful for
+  building failure-free reference schedules).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Set, Tuple
+
+from repro.core.events import (
+    Abort,
+    Commit,
+    Create,
+    ReportAbort,
+    ReportCommit,
+    RequestCommit,
+    RequestCreate,
+)
+from repro.core.names import ROOT, SystemType, TransactionName, parent
+from repro.ioa.automaton import Action, Automaton
+
+
+class SerialScheduler(Automaton):
+    """The fully specified serial scheduler automaton."""
+
+    state_attrs = (
+        "create_requested",
+        "created",
+        "commit_requested",
+        "committed",
+        "aborted",
+        "returned",
+        "reported",
+    )
+
+    def __init__(
+        self,
+        system_type: SystemType,
+        once_reports: bool = True,
+        abort_free: bool = False,
+    ):
+        super().__init__("serial-scheduler")
+        self.system_type = system_type
+        self.once_reports = once_reports
+        self.abort_free = abort_free
+        # There is exactly one initial state: create_requested = {T0}.
+        self.create_requested: Set[TransactionName] = {ROOT}
+        self.created: Set[TransactionName] = set()
+        self.commit_requested: Set[Tuple[TransactionName, Any]] = set()
+        self.committed: Set[TransactionName] = set()
+        self.aborted: Set[TransactionName] = set()
+        self.returned: Set[TransactionName] = set()
+        self.reported: Set[TransactionName] = set()
+
+    # ------------------------------------------------------------------
+    # Signature
+    # ------------------------------------------------------------------
+    def is_input(self, action: Action) -> bool:
+        return isinstance(action, (RequestCreate, RequestCommit))
+
+    def is_output(self, action: Action) -> bool:
+        if isinstance(action, Create):
+            return True
+        if isinstance(action, (Commit, Abort, ReportCommit, ReportAbort)):
+            return action.transaction != ROOT
+        return False
+
+    # ------------------------------------------------------------------
+    # Preconditions
+    # ------------------------------------------------------------------
+    def _siblings_done(self, name: TransactionName) -> bool:
+        """siblings(T) & created <= returned."""
+        mother = parent(name)
+        if mother is None:
+            return True
+        return all(
+            sibling in self.returned
+            for sibling in self.system_type.children(mother)
+            if sibling != name and sibling in self.created
+        )
+
+    def _children_returned(self, name: TransactionName) -> bool:
+        """children(T) & create_requested <= returned."""
+        return all(
+            child in self.returned
+            for child in self.system_type.children(name)
+            if child in self.create_requested
+        )
+
+    def _create_enabled(self, name: TransactionName) -> bool:
+        if name not in self.create_requested:
+            return False
+        if name in self.created or name in self.aborted:
+            return False
+        return self._siblings_done(name)
+
+    def _commit_enabled(self, name: TransactionName, value: Any) -> bool:
+        if name == ROOT:
+            return False
+        if (name, value) not in self.commit_requested:
+            return False
+        if name in self.returned:
+            return False
+        return self._children_returned(name)
+
+    def _abort_enabled(self, name: TransactionName) -> bool:
+        if name == ROOT or self.abort_free:
+            return False
+        if name not in self.create_requested:
+            return False
+        if name in self.created or name in self.aborted:
+            return False
+        return self._siblings_done(name)
+
+    # ------------------------------------------------------------------
+    # Transitions
+    # ------------------------------------------------------------------
+    def enabled_outputs(self) -> Iterator[Action]:
+        for name in sorted(self.create_requested):
+            if self._create_enabled(name):
+                yield Create(name)
+        for name, value in sorted(self.commit_requested, key=repr):
+            if self._commit_enabled(name, value):
+                yield Commit(name)
+        for name in sorted(self.create_requested):
+            if self._abort_enabled(name):
+                yield Abort(name)
+        for name, value in sorted(self.commit_requested, key=repr):
+            if name in self.committed and not (
+                self.once_reports and name in self.reported
+            ):
+                yield ReportCommit(name, value)
+        for name in sorted(self.aborted):
+            if not (self.once_reports and name in self.reported):
+                yield ReportAbort(name)
+
+    def output_enabled(self, action: Action) -> bool:
+        if isinstance(action, Create):
+            return self._create_enabled(action.transaction)
+        if isinstance(action, Commit):
+            return any(
+                self._commit_enabled(action.transaction, value)
+                for name, value in self.commit_requested
+                if name == action.transaction
+            )
+        if isinstance(action, Abort):
+            return self._abort_enabled(action.transaction)
+        if isinstance(action, ReportCommit):
+            return (
+                action.transaction in self.committed
+                and (action.transaction, action.value) in self.commit_requested
+            )
+        if isinstance(action, ReportAbort):
+            return action.transaction in self.aborted
+        return False
+
+    def _apply(self, action: Action) -> None:
+        if isinstance(action, RequestCreate):
+            self.create_requested.add(action.transaction)
+            return
+        if isinstance(action, RequestCommit):
+            self.commit_requested.add((action.transaction, action.value))
+            return
+        if isinstance(action, Create):
+            self.created.add(action.transaction)
+            return
+        if isinstance(action, Commit):
+            self.committed.add(action.transaction)
+            self.returned.add(action.transaction)
+            return
+        if isinstance(action, Abort):
+            self.aborted.add(action.transaction)
+            self.returned.add(action.transaction)
+            return
+        if isinstance(action, (ReportCommit, ReportAbort)):
+            self.reported.add(action.transaction)
+            return

@@ -1,0 +1,253 @@
+"""Classical conflict-serializability: the independent second oracle.
+
+The paper's introduction situates its work in the classical theory
+[EGLT, P, BG]: "a protocol is correct if it ensures that all executions
+are equivalent to serial executions", proved by showing "a precedence
+graph contains no cycles".  This module implements that classical check
+over the *top-level* transactions of a schedule, giving a second,
+independent correctness oracle alongside the paper's own serial-
+correctness machinery:
+
+* collect, per object, the committed accesses in schedule order;
+* draw a precedence edge ``A -> B`` between distinct top-level
+  transactions whenever an access of A conflicts with (shares an object
+  with, at least one a write) and precedes an access of B;
+* the schedule is conflict-serializable iff the graph is acyclic, and a
+  topological order is an equivalent serial order.
+
+:func:`equivalent_serial_order` also *verifies* the equivalence: it
+replays the committed operations in the serial order on fresh ADT values
+and compares final states with the interleaved replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set
+
+from repro.core.events import Commit, Event, RequestCommit
+from repro.core.names import SystemType, TransactionName
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class CommittedAccess:
+    """One access that committed all the way to the root."""
+
+    access: TransactionName
+    top: TransactionName
+    object_name: str
+    is_read: bool
+    position: int
+
+
+@dataclass
+class PrecedenceGraph:
+    """The classical conflict graph over top-level transactions."""
+
+    nodes: Set[TransactionName] = field(default_factory=set)
+    edges: Dict[TransactionName, Set[TransactionName]] = field(
+        default_factory=dict
+    )
+
+    def add_edge(self, a: TransactionName, b: TransactionName) -> None:
+        if a == b:
+            return
+        self.nodes.add(a)
+        self.nodes.add(b)
+        self.edges.setdefault(a, set()).add(b)
+
+    def find_cycle(self) -> Optional[List[TransactionName]]:
+        """Return one cycle as a node list (closed), or None."""
+        state: Dict[TransactionName, int] = {}
+        path: List[TransactionName] = []
+
+        def visit(node: TransactionName) -> Optional[List[TransactionName]]:
+            state[node] = 1
+            path.append(node)
+            for target in sorted(self.edges.get(node, ())):
+                mark = state.get(target, 0)
+                if mark == 1:
+                    return path[path.index(target):] + [target]
+                if mark == 0:
+                    found = visit(target)
+                    if found is not None:
+                        return found
+            path.pop()
+            state[node] = 2
+            return None
+
+        for node in sorted(self.nodes):
+            if state.get(node, 0) == 0:
+                found = visit(node)
+                if found is not None:
+                    return found
+        return None
+
+    def topological_order(self) -> List[TransactionName]:
+        """A topological order of the nodes; raises on a cycle."""
+        cycle = self.find_cycle()
+        if cycle is not None:
+            raise ReproError("precedence graph has cycle %r" % (cycle,))
+        order: List[TransactionName] = []
+        seen: Set[TransactionName] = set()
+
+        def visit(node: TransactionName) -> None:
+            if node in seen:
+                return
+            seen.add(node)
+            for target in sorted(self.edges.get(node, ())):
+                visit(target)
+            order.append(node)
+
+        for node in sorted(self.nodes):
+            visit(node)
+        order.reverse()
+        return order
+
+
+def committed_accesses(
+    system_type: SystemType, alpha: Sequence[Event]
+) -> List[CommittedAccess]:
+    """The accesses of *alpha* whose whole ancestor chain committed.
+
+    Only operations that became permanent take part in the classical
+    analysis; aborted subtrees were never executed as far as serial
+    equivalence is concerned (Moss' versions restore their effects).
+    """
+    committed: Set[TransactionName] = {
+        event.transaction
+        for event in alpha
+        if isinstance(event, Commit)
+    }
+    result: List[CommittedAccess] = []
+    for position, event in enumerate(alpha):
+        if not isinstance(event, RequestCommit):
+            continue
+        access = event.transaction
+        if not system_type.is_access(access):
+            continue
+        chain_committed = all(
+            access[:length] in committed
+            for length in range(1, len(access) + 1)
+        )
+        if not chain_committed:
+            continue
+        result.append(
+            CommittedAccess(
+                access=access,
+                top=access[:1],
+                object_name=system_type.object_of(access),
+                is_read=system_type.is_read_access(access),
+                position=position,
+            )
+        )
+    return result
+
+
+def precedence_graph(
+    system_type: SystemType, alpha: Sequence[Event]
+) -> PrecedenceGraph:
+    """Build the conflict graph of *alpha* over top-level transactions."""
+    graph = PrecedenceGraph()
+    accesses = committed_accesses(system_type, alpha)
+    for item in accesses:
+        graph.nodes.add(item.top)
+    by_object: Dict[str, List[CommittedAccess]] = {}
+    for item in accesses:
+        by_object.setdefault(item.object_name, []).append(item)
+    for items in by_object.values():
+        items.sort(key=lambda item: item.position)
+        for index, earlier in enumerate(items):
+            for later in items[index + 1:]:
+                if earlier.top == later.top:
+                    continue
+                if earlier.is_read and later.is_read:
+                    continue
+                graph.add_edge(earlier.top, later.top)
+    return graph
+
+
+def is_conflict_serializable(
+    system_type: SystemType, alpha: Sequence[Event]
+) -> bool:
+    """The classical test: acyclic precedence graph."""
+    return precedence_graph(system_type, alpha).find_cycle() is None
+
+
+def replay_committed_values(
+    system_type: SystemType,
+    alpha: Sequence[Event],
+    order: Optional[Sequence[TransactionName]] = None,
+) -> Dict[str, Any]:
+    """Final ADT values after applying the committed accesses.
+
+    With *order* given, accesses are applied grouped by top-level
+    transaction in that serial order (schedule order within each
+    transaction); otherwise in plain schedule order.
+    """
+    accesses = committed_accesses(system_type, alpha)
+    if order is not None:
+        rank = {top: index for index, top in enumerate(order)}
+        accesses.sort(
+            key=lambda item: (rank.get(item.top, len(rank)), item.position)
+        )
+    values: Dict[str, Any] = {
+        name: system_type.object_spec(name).initial_value()
+        for name in system_type.object_names()
+    }
+    for item in accesses:
+        spec = system_type.object_spec(item.object_name)
+        operation = system_type.operation_of(item.access)
+        _, values[item.object_name] = spec.apply(
+            values[item.object_name], operation
+        )
+    return values
+
+
+@dataclass
+class SerializabilityReport:
+    """Outcome of the classical analysis of one schedule."""
+
+    serializable: bool
+    cycle: Optional[List[TransactionName]]
+    serial_order: Optional[List[TransactionName]]
+    state_equivalent: Optional[bool]
+
+    def __bool__(self) -> bool:
+        return self.serializable and self.state_equivalent is not False
+
+
+def equivalent_serial_order(
+    system_type: SystemType, alpha: Sequence[Event]
+) -> SerializabilityReport:
+    """Run the full classical pipeline on *alpha*.
+
+    Builds the precedence graph; if acyclic, extracts a serial order and
+    *verifies* equivalence by comparing the interleaved replay's final
+    object values with the serial replay's.
+    """
+    graph = precedence_graph(system_type, alpha)
+    cycle = graph.find_cycle()
+    if cycle is not None:
+        return SerializabilityReport(
+            serializable=False,
+            cycle=cycle,
+            serial_order=None,
+            state_equivalent=None,
+        )
+    order = graph.topological_order()
+    interleaved = replay_committed_values(system_type, alpha)
+    serial = replay_committed_values(system_type, alpha, order=order)
+    equivalent = all(
+        system_type.object_spec(name).values_equal(
+            interleaved[name], serial[name]
+        )
+        for name in system_type.object_names()
+    )
+    return SerializabilityReport(
+        serializable=True,
+        cycle=None,
+        serial_order=order,
+        state_equivalent=equivalent,
+    )

@@ -1,0 +1,221 @@
+"""The constructive proof of Lemma 33 as an algorithm.
+
+Given a concurrent schedule ``alpha`` of a R/W Locking system and a
+transaction T that is not an orphan in ``alpha``, Lemma 33 asserts that a
+*serial* schedule exists that is write-equivalent to ``visible(alpha, T)``.
+The paper proves it by induction on the length of ``alpha``, with a case
+analysis on the last event.  This module turns that induction into an
+incremental algorithm: the :class:`Serializer` consumes the concurrent
+schedule one event at a time and maintains, for every created non-orphan
+transaction U (accesses included), a candidate serial schedule ``B[U]``
+write-equivalent to ``visible(alpha, U)``.
+
+Case analysis implemented (paper's numbering):
+
+1/2. pi is an output of a transaction or of M(X)
+     (REQUEST_CREATE / REQUEST_COMMIT): append pi to B[U] for every U to
+     which ``transaction(pi)`` is visible.
+3.   pi = CREATE(T'): start B[T'] as ``B[parent(T')] + [pi]``.
+4.   pi = COMMIT(T') with T'' = parent(T'): for U a descendant of T',
+     append; for other descendants of T'', splice in the committed child's
+     novel events: ``B[U] <- gamma + (B[T'] - gamma) + [pi] + (B[U] -
+     gamma)`` where ``gamma = B[T'']``.
+5.   pi = ABORT(T'): descendants of T' become orphans and are dropped; for
+     remaining descendants of T'': ``B[U] <- gamma + [pi] + (B[U] -
+     gamma)`` -- the aborted subtree's work simply never appears, matching
+     the serial scheduler's "aborted transactions were never created".
+6/7. reports: append like case 1.
+
+INFORM operations are not serial operations and never touch any B[U].
+
+The serializer is *constructive only*: it does not verify that its outputs
+are serial schedules.  :mod:`repro.core.correctness` replays every produced
+schedule against an actual serial system, so the theorem is checked
+end-to-end rather than assumed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.events import (
+    Abort,
+    Commit,
+    Create,
+    Event,
+    InformAbortAt,
+    InformCommitAt,
+    transaction_of,
+)
+from repro.core.names import (
+    ROOT,
+    SystemType,
+    TransactionName,
+    is_descendant,
+    parent,
+    pretty_name,
+)
+from repro.core.visibility import is_orphan, visible, visible_to
+from repro.errors import SerializationFailure
+from repro.ioa.execution import remove_events
+
+
+class Serializer:
+    """Incremental Lemma 33 construction over a growing concurrent schedule."""
+
+    def __init__(self, system_type: SystemType):
+        self.system_type = system_type
+        self.alpha: List[Event] = []
+        self._serial: Dict[TransactionName, Tuple[Event, ...]] = {}
+        self._orphans: set = set()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def tracked(self) -> Tuple[TransactionName, ...]:
+        """The transactions with a maintained serial schedule, sorted."""
+        return tuple(sorted(self._serial))
+
+    def is_orphan(self, name: TransactionName) -> bool:
+        """Return True if *name* is an orphan in the schedule seen so far."""
+        return any(
+            name[: len(doomed)] == doomed for doomed in self._orphans
+        )
+
+    def serial_schedule_for(
+        self, name: TransactionName
+    ) -> Tuple[Event, ...]:
+        """Return the maintained serial schedule for *name*.
+
+        Defined for created, non-orphan transactions (and for the root
+        before creation, where it is empty).
+        """
+        if self.is_orphan(name):
+            raise SerializationFailure(
+                "%s is an orphan" % pretty_name(name)
+            )
+        if name in self._serial:
+            return self._serial[name]
+        if name == ROOT:
+            return ()
+        raise SerializationFailure(
+            "%s was never created; no serial schedule is maintained"
+            % pretty_name(name)
+        )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def extend(self, event: Event) -> None:
+        """Consume one more event of the concurrent schedule."""
+        if isinstance(event, (InformCommitAt, InformAbortAt)):
+            self.alpha.append(event)
+            return
+        if isinstance(event, Create):
+            self._extend_create(event)
+        elif isinstance(event, Commit):
+            self._extend_commit(event)
+        elif isinstance(event, Abort):
+            self._extend_abort(event)
+        else:
+            self._extend_append(event)
+        self.alpha.append(event)
+
+    def extend_all(self, events: Sequence[Event]) -> "Serializer":
+        for event in events:
+            self.extend(event)
+        return self
+
+    # -- case 3 ---------------------------------------------------------
+    def _extend_create(self, event: Create) -> None:
+        name = event.transaction
+        if self.is_orphan(name):
+            return
+        if name == ROOT:
+            base: Tuple[Event, ...] = ()
+        else:
+            base = self._serial.get(parent(name), ())
+        self._serial[name] = base + (event,)
+
+    # -- cases 1, 2, 6, 7 ------------------------------------------------
+    def _extend_append(self, event: Event) -> None:
+        owner = transaction_of(event)
+        if owner is None:
+            return
+        alpha_after = self.alpha + [event]
+        for name in self._candidates(owner):
+            if visible_to(alpha_after, owner, name):
+                self._serial[name] = self._serial[name] + (event,)
+
+    # -- case 4 ----------------------------------------------------------
+    def _extend_commit(self, event: Commit) -> None:
+        child = event.transaction
+        mother = parent(child)
+        if mother is None:
+            raise SerializationFailure("COMMIT of the root")
+        gamma = self._serial.get(mother)
+        beta_child = self._serial.get(child)
+        for name in self._candidates(mother):
+            if not is_descendant(name, mother):
+                # COMMIT(T') just happened, so T'' cannot have committed
+                # yet; T'' is visible only to its descendants.
+                continue
+            if is_descendant(name, child):
+                self._serial[name] = self._serial[name] + (event,)
+                continue
+            if gamma is None or beta_child is None:
+                raise SerializationFailure(
+                    "COMMIT(%s) before its subtree was tracked"
+                    % pretty_name(child)
+                )
+            beta_one = remove_events(beta_child, gamma)
+            beta_two = remove_events(self._serial[name], gamma)
+            self._serial[name] = (
+                gamma + beta_one + (event,) + beta_two
+            )
+
+    # -- case 5 ----------------------------------------------------------
+    def _extend_abort(self, event: Abort) -> None:
+        child = event.transaction
+        mother = parent(child)
+        if mother is None:
+            raise SerializationFailure("ABORT of the root")
+        # Descendants of the aborted transaction become orphans.
+        self._orphans.add(child)
+        for name in list(self._serial):
+            if is_descendant(name, child):
+                del self._serial[name]
+        gamma = self._serial.get(mother, ())
+        for name in self._candidates(mother):
+            if not is_descendant(name, mother):
+                continue
+            beta_one = remove_events(self._serial[name], gamma)
+            self._serial[name] = gamma + (event,) + beta_one
+
+    def _candidates(self, owner: TransactionName):
+        """Tracked non-orphan transactions that might see *owner*'s events."""
+        return [
+            name
+            for name in self._serial
+            if not self.is_orphan(name)
+        ]
+
+
+def serialize_visible(
+    system_type: SystemType,
+    alpha: Sequence[Event],
+    name: TransactionName,
+) -> Tuple[Event, ...]:
+    """Return a serial schedule write-equivalent to ``visible(alpha, T)``.
+
+    One-shot wrapper over :class:`Serializer`.  Raises
+    :class:`~repro.errors.SerializationFailure` when *name* is an orphan in
+    *alpha* or was never created (Theorem 34 makes no claim for orphans).
+    """
+    if is_orphan(alpha, name):
+        raise SerializationFailure(
+            "%s is an orphan in the given schedule" % pretty_name(name)
+        )
+    serializer = Serializer(system_type)
+    serializer.extend_all(alpha)
+    return serializer.serial_schedule_for(name)

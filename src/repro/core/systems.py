@@ -1,0 +1,122 @@
+"""Serial and R/W Locking system compositions (Sections 3.4 and 5.3).
+
+A *serial system* composes a transaction automaton for every internal node,
+a basic object automaton for every object, and the serial scheduler.  A
+*R/W Locking system* composes the same transaction automata with R/W
+Locking objects M(X) and the generic scheduler.  Both are closed: every
+operation is an output of exactly one component, so schedules are generated
+purely by choosing among enabled outputs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.basic_object import BasicObjectAutomaton
+from repro.core.generic_scheduler import GenericScheduler
+from repro.core.names import SystemType, TransactionName
+from repro.core.rw_object import RWLockingObject
+from repro.core.serial_scheduler import SerialScheduler
+from repro.core.transaction import (
+    ParallelLogic,
+    TransactionAutomaton,
+    TransactionLogic,
+)
+from repro.ioa.composition import Composition
+
+LogicFactory = Callable[[TransactionName], TransactionLogic]
+
+
+def default_logic_factory(name: TransactionName) -> TransactionLogic:
+    """Every internal transaction forks all children, then commits."""
+    return ParallelLogic()
+
+
+class SerialSystem(Composition):
+    """The serial system for a given system type."""
+
+    def __init__(
+        self,
+        system_type: SystemType,
+        logic_factory: Optional[LogicFactory] = None,
+        once_reports: bool = True,
+        abort_free: bool = False,
+    ):
+        self.system_type = system_type
+        self.logic_factory = logic_factory or default_logic_factory
+        transactions = [
+            TransactionAutomaton(system_type, name, self.logic_factory(name))
+            for name in system_type.internal_transactions()
+        ]
+        objects = [
+            BasicObjectAutomaton(system_type, object_name)
+            for object_name in system_type.object_names()
+        ]
+        self.scheduler = SerialScheduler(
+            system_type, once_reports=once_reports, abort_free=abort_free
+        )
+        super().__init__(
+            "serial-system", transactions + objects + [self.scheduler]
+        )
+
+    def object_automaton(self, object_name: str) -> BasicObjectAutomaton:
+        """Return the basic object automaton for *object_name*."""
+        return self.component("obj:%s" % object_name)
+
+    def fresh(self) -> "SerialSystem":
+        """A new serial system in its initial state (for replays)."""
+        return SerialSystem(
+            self.system_type,
+            logic_factory=self.logic_factory,
+            once_reports=self.scheduler.once_reports,
+            abort_free=self.scheduler.abort_free,
+        )
+
+
+class RWLockingSystem(Composition):
+    """The R/W Locking system (Moss' algorithm) for a given system type."""
+
+    def __init__(
+        self,
+        system_type: SystemType,
+        logic_factory: Optional[LogicFactory] = None,
+        once_reports: bool = True,
+        once_informs: bool = True,
+        relevant_informs: bool = True,
+        propose_aborts: bool = True,
+    ):
+        self.system_type = system_type
+        self.logic_factory = logic_factory or default_logic_factory
+        transactions = [
+            TransactionAutomaton(system_type, name, self.logic_factory(name))
+            for name in system_type.internal_transactions()
+        ]
+        objects = [
+            RWLockingObject(system_type, object_name)
+            for object_name in system_type.object_names()
+        ]
+        self.scheduler = GenericScheduler(
+            system_type,
+            once_reports=once_reports,
+            once_informs=once_informs,
+            relevant_informs=relevant_informs,
+            propose_aborts=propose_aborts,
+        )
+        super().__init__(
+            "rw-locking-system", transactions + objects + [self.scheduler]
+        )
+
+    def locking_object(self, object_name: str) -> RWLockingObject:
+        """Return M(X) for *object_name*."""
+        return self.component("M(%s)" % object_name)
+
+    def fresh(self) -> "RWLockingSystem":
+        """A new R/W Locking system in its initial state."""
+        return RWLockingSystem(
+            self.system_type,
+            logic_factory=self.logic_factory,
+            once_reports=self.scheduler.once_reports,
+            once_informs=self.scheduler.once_informs,
+            relevant_informs=self.scheduler.relevant_informs,
+            propose_aborts=self.scheduler.propose_aborts,
+        )

@@ -1,0 +1,282 @@
+"""Transaction automata (Section 3.1).
+
+A non-access transaction T is an I/O automaton with inputs ``CREATE(T)``
+and the report operations for its children, and outputs
+``REQUEST_CREATE(T')`` for children T' and ``REQUEST_COMMIT(T, v)``.  The
+paper leaves particular transaction automata unspecified beyond preserving
+well-formedness; here behaviour is supplied by a :class:`TransactionLogic`
+strategy, so the same automaton class covers everything from the maximally
+nondeterministic transaction (used for exhaustive exploration) to fully
+deterministic scripted workloads.
+
+Crucially, the *same* automaton instances-by-construction are used in both
+serial and R/W Locking systems, which is what makes "serially correct for
+T" meaningful: T cannot tell which system it is running in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Sequence, Tuple
+
+from repro.core.events import (
+    Create,
+    Event,
+    ReportAbort,
+    ReportCommit,
+    RequestCommit,
+    RequestCreate,
+)
+from repro.core.names import SystemType, TransactionName, parent, pretty_name
+from repro.ioa.automaton import Action, Automaton
+
+
+@dataclass(frozen=True)
+class Report:
+    """One report received from a child: ``(child, committed, value)``."""
+
+    child: TransactionName
+    committed: bool
+    value: Any = None
+
+
+@dataclass
+class LocalView:
+    """What a transaction automaton has observed locally so far.
+
+    This is exactly the information a :class:`TransactionLogic` may consult:
+    a transaction is a black box to the rest of the system and sees only its
+    own schedule.
+    """
+
+    name: TransactionName
+    children: Tuple[TransactionName, ...]
+    created: bool = False
+    requested_commit: bool = False
+    requested: Tuple[TransactionName, ...] = ()
+    reports: Tuple[Report, ...] = ()
+
+    def reported(self, child: TransactionName) -> bool:
+        """Return True if some report for *child* has arrived."""
+        return any(report.child == child for report in self.reports)
+
+    def unreported(self) -> Tuple[TransactionName, ...]:
+        """Requested children with no report yet."""
+        seen = {report.child for report in self.reports}
+        return tuple(child for child in self.requested if child not in seen)
+
+    def unrequested(self) -> Tuple[TransactionName, ...]:
+        """Children not yet requested, in declaration order."""
+        requested = set(self.requested)
+        return tuple(
+            child for child in self.children if child not in requested
+        )
+
+
+def default_summary(view: LocalView) -> Any:
+    """The library's canonical deterministic return value.
+
+    A tuple of ``(child-index, "C"/"A", value)`` triples in report-arrival
+    order: a pure function of the local schedule, so any two schedules that
+    look the same to T yield the same value.
+    """
+    return tuple(
+        (report.child[-1], "C" if report.committed else "A", report.value)
+        for report in view.reports
+    )
+
+
+class TransactionLogic:
+    """Strategy deciding which outputs a transaction may produce.
+
+    ``request_candidates`` returns the children T may REQUEST_CREATE right
+    now; ``commit_values`` returns the values v for which
+    ``REQUEST_COMMIT(T, v)`` may be produced right now (empty when T is not
+    ready to finish).  The automaton already enforces well-formedness
+    (created, not yet committed, child not yet requested); logics only add
+    policy on top.
+    """
+
+    def request_candidates(
+        self, view: LocalView
+    ) -> Iterable[TransactionName]:
+        raise NotImplementedError
+
+    def commit_values(self, view: LocalView) -> Iterable[Any]:
+        raise NotImplementedError
+
+
+class ParallelLogic(TransactionLogic):
+    """Fork every child immediately; commit once all children reported.
+
+    The standard workload shape for nested systems: maximal sibling
+    concurrency, then a join.
+    """
+
+    def request_candidates(self, view: LocalView):
+        return view.unrequested()
+
+    def commit_values(self, view: LocalView):
+        if view.unrequested() or view.unreported():
+            return ()
+        return (default_summary(view),)
+
+
+class SequentialLogic(TransactionLogic):
+    """Run children one at a time, in order; commit after the last report."""
+
+    def request_candidates(self, view: LocalView):
+        if view.unreported():
+            return ()
+        unrequested = view.unrequested()
+        return unrequested[:1]
+
+    def commit_values(self, view: LocalView):
+        if view.unrequested() or view.unreported():
+            return ()
+        return (default_summary(view),)
+
+
+class FreeLogic(TransactionLogic):
+    """The maximally nondeterministic well-formed transaction.
+
+    May request any unrequested child at any time and may request to commit
+    at any time after creation (even with children outstanding -- the
+    schedulers hold the COMMIT until the children return).  Used for
+    exhaustive exploration: its schedules include every well-formed
+    behaviour with the canonical value function.
+    """
+
+    def request_candidates(self, view: LocalView):
+        return view.unrequested()
+
+    def commit_values(self, view: LocalView):
+        return (default_summary(view),)
+
+
+class SubsetLogic(TransactionLogic):
+    """Request only a fixed subset of the declared children, in parallel."""
+
+    def __init__(self, wanted: Sequence[TransactionName]):
+        self.wanted = tuple(wanted)
+
+    def request_candidates(self, view: LocalView):
+        requested = set(view.requested)
+        return tuple(
+            child for child in self.wanted if child not in requested
+        )
+
+    def commit_values(self, view: LocalView):
+        requested = set(view.requested)
+        if any(child not in requested for child in self.wanted):
+            return ()
+        if view.unreported():
+            return ()
+        return (default_summary(view),)
+
+
+class TransactionAutomaton(Automaton):
+    """The I/O automaton for one non-access transaction."""
+
+    state_attrs = ("view",)
+
+    def __init__(
+        self,
+        system_type: SystemType,
+        name: TransactionName,
+        logic: TransactionLogic,
+    ):
+        super().__init__("txn:%s" % pretty_name(name))
+        self.system_type = system_type
+        self.txn_name = name
+        self.logic = logic
+        self.view = LocalView(
+            name=name, children=system_type.children(name)
+        )
+
+    # ------------------------------------------------------------------
+    # Signature
+    # ------------------------------------------------------------------
+    def is_input(self, action: Action) -> bool:
+        if isinstance(action, Create):
+            return action.transaction == self.txn_name
+        if isinstance(action, (ReportCommit, ReportAbort)):
+            return parent(action.transaction) == self.txn_name
+        return False
+
+    def is_output(self, action: Action) -> bool:
+        if isinstance(action, RequestCreate):
+            return parent(action.transaction) == self.txn_name
+        if isinstance(action, RequestCommit):
+            return action.transaction == self.txn_name
+        return False
+
+    # ------------------------------------------------------------------
+    # Transitions
+    # ------------------------------------------------------------------
+    def enabled_outputs(self) -> Iterator[Action]:
+        view = self.view
+        if not view.created or view.requested_commit:
+            return
+        requested = set(view.requested)
+        for child in self.logic.request_candidates(view):
+            if child not in requested:
+                yield RequestCreate(child)
+        for value in self.logic.commit_values(view):
+            yield RequestCommit(self.txn_name, value)
+
+    def _apply(self, action: Action) -> None:
+        view = self.view
+        if isinstance(action, Create):
+            self.view = LocalView(
+                name=view.name,
+                children=view.children,
+                created=True,
+                requested_commit=view.requested_commit,
+                requested=view.requested,
+                reports=view.reports,
+            )
+            return
+        if isinstance(action, ReportCommit):
+            report = Report(action.transaction, True, action.value)
+            self._record_report(report)
+            return
+        if isinstance(action, ReportAbort):
+            report = Report(action.transaction, False)
+            self._record_report(report)
+            return
+        if isinstance(action, RequestCreate):
+            self.view = LocalView(
+                name=view.name,
+                children=view.children,
+                created=view.created,
+                requested_commit=view.requested_commit,
+                requested=view.requested + (action.transaction,),
+                reports=view.reports,
+            )
+            return
+        if isinstance(action, RequestCommit):
+            self.view = LocalView(
+                name=view.name,
+                children=view.children,
+                created=view.created,
+                requested_commit=True,
+                requested=view.requested,
+                reports=view.reports,
+            )
+            return
+
+    def _record_report(self, report: Report) -> None:
+        view = self.view
+        # Repeated instances of the same report are allowed (Lemma 2); only
+        # record the first so logics see each child's fate once.
+        if view.reported(report.child):
+            return
+        self.view = LocalView(
+            name=view.name,
+            children=view.children,
+            created=view.created,
+            requested_commit=view.requested_commit,
+            requested=view.requested,
+            reports=view.reports + (report,),
+        )

@@ -1,0 +1,270 @@
+"""Visibility, orphans, liveness and essence (Sections 3.4, 3.5, 5.1).
+
+These are the paper's vocabulary for talking about the fate of transactions
+inside an arbitrary operation sequence:
+
+* T is **committed to** an ancestor T' in alpha when COMMIT(U) occurs for
+  every U that is an ancestor of T and a proper descendant of T'.
+* T is **visible to** T' when T is committed to lca(T, T').
+* ``visible(alpha, T)`` is the subsequence of serial events pi with
+  ``transaction(pi)`` visible to T (INFORM operations never qualify).
+* T is an **orphan** when some ancestor of T has an ABORT in alpha.
+* T is **live** when alpha contains CREATE(T) but no return for T.
+
+The object-local analogues for M(X) schedules use INFORM_COMMIT events in
+ascending (leaf-to-root) order: *committed at X*, *visible at X*,
+``visible_x(alpha, T)``, *orphan at X*.
+
+``essence(beta)`` (Section 5.1) is ``write(beta)`` with a CREATE(U)
+inserted immediately before each REQUEST_COMMIT(U, v).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.core.events import (
+    Abort,
+    Commit,
+    Create,
+    Event,
+    InformAbortAt,
+    InformCommitAt,
+    RequestCommit,
+    is_return_event,
+    transaction_of,
+)
+from repro.core.names import (
+    SystemType,
+    TransactionName,
+    ancestors,
+    chain_between,
+    is_ancestor,
+    lca,
+)
+
+Schedule = Tuple[Event, ...]
+
+
+def committed_to(
+    alpha: Sequence[Event],
+    name: TransactionName,
+    ancestor: TransactionName,
+) -> bool:
+    """Return True if *name* is committed to *ancestor* in *alpha*.
+
+    Requires COMMIT(U) for every U that is an ancestor of *name* and a
+    proper descendant of *ancestor*.  Trivially true when
+    ``name == ancestor``.
+    """
+    needed = set(chain_between(name, ancestor))
+    if not needed:
+        return True
+    for event in alpha:
+        if isinstance(event, Commit) and event.transaction in needed:
+            needed.discard(event.transaction)
+            if not needed:
+                return True
+    return not needed
+
+
+def visible_to(
+    alpha: Sequence[Event],
+    name: TransactionName,
+    other: TransactionName,
+) -> bool:
+    """Return True if *name* is visible to *other* in *alpha*."""
+    return committed_to(alpha, name, lca(name, other))
+
+
+def visible(alpha: Sequence[Event], name: TransactionName) -> Schedule:
+    """Return ``visible(alpha, T)``.
+
+    The subsequence of events pi of *alpha* with ``transaction(pi)`` visible
+    to T in *alpha*.  Visibility is evaluated against the whole sequence,
+    exactly as the paper does.
+    """
+    verdicts = {}
+    kept: List[Event] = []
+    for event in alpha:
+        owner = transaction_of(event)
+        if owner is None:
+            continue
+        verdict = verdicts.get(owner)
+        if verdict is None:
+            verdict = visible_to(alpha, owner, name)
+            verdicts[owner] = verdict
+        if verdict:
+            kept.append(event)
+    return tuple(kept)
+
+
+def is_orphan(alpha: Sequence[Event], name: TransactionName) -> bool:
+    """Return True if ABORT(U) occurs in *alpha* for some ancestor U of T."""
+    doomed = {
+        event.transaction
+        for event in alpha
+        if isinstance(event, Abort)
+    }
+    if not doomed:
+        return False
+    return any(up in doomed for up in ancestors(name))
+
+
+def is_live(alpha: Sequence[Event], name: TransactionName) -> bool:
+    """Return True if CREATE(T) occurs in *alpha* with no return for T."""
+    created = False
+    for event in alpha:
+        if isinstance(event, Create) and event.transaction == name:
+            created = True
+        elif is_return_event(event) and event.transaction == name:
+            return False
+    return created
+
+
+def live_transactions(alpha: Sequence[Event]) -> Set[TransactionName]:
+    """Return every transaction live in *alpha*."""
+    created: Set[TransactionName] = set()
+    returned: Set[TransactionName] = set()
+    for event in alpha:
+        if isinstance(event, Create):
+            created.add(event.transaction)
+        elif is_return_event(event):
+            returned.add(event.transaction)
+    return created - returned
+
+
+# ----------------------------------------------------------------------
+# Object-local (M(X)) notions
+# ----------------------------------------------------------------------
+def committed_at(
+    alpha: Sequence[Event],
+    object_name: str,
+    name: TransactionName,
+    ancestor: TransactionName,
+) -> bool:
+    """Return True if *name* is committed at X to *ancestor* in *alpha*.
+
+    Requires a subsequence of INFORM_COMMIT_AT(X)OF(U) events for the whole
+    chain, arranged in ascending order (the INFORM for parent(U) preceded
+    by the one for U).
+    """
+    chain = list(chain_between(name, ancestor))
+    if not chain:
+        return True
+    position = 0
+    for event in alpha:
+        if position >= len(chain):
+            break
+        if (
+            isinstance(event, InformCommitAt)
+            and event.object_name == object_name
+            and event.transaction == chain[position]
+        ):
+            position += 1
+    return position >= len(chain)
+
+
+def visible_at(
+    alpha: Sequence[Event],
+    object_name: str,
+    name: TransactionName,
+    other: TransactionName,
+) -> bool:
+    """Return True if *name* is visible at X to *other* in *alpha*."""
+    return committed_at(alpha, object_name, name, lca(name, other))
+
+
+def visible_x(
+    alpha: Sequence[Event],
+    system_type: SystemType,
+    object_name: str,
+    name: TransactionName,
+) -> Schedule:
+    """Return ``visible_X(alpha, T)``.
+
+    The subsequence of M(X) access operations (CREATE / REQUEST_COMMIT)
+    whose access transactions are visible at X to T -- a well-formed
+    sequence of operations of basic object X.
+    """
+    verdicts = {}
+    kept: List[Event] = []
+    for event in alpha:
+        if not isinstance(event, (Create, RequestCommit)):
+            continue
+        access = event.transaction
+        if not system_type.is_access(access):
+            continue
+        if system_type.object_of(access) != object_name:
+            continue
+        verdict = verdicts.get(access)
+        if verdict is None:
+            verdict = visible_at(alpha, object_name, access, name)
+            verdicts[access] = verdict
+        if verdict:
+            kept.append(event)
+    return tuple(kept)
+
+
+def is_orphan_at(
+    alpha: Sequence[Event],
+    object_name: str,
+    name: TransactionName,
+) -> bool:
+    """Return True if INFORM_ABORT_AT(X)OF(U) occurs for an ancestor U."""
+    doomed = {
+        event.transaction
+        for event in alpha
+        if isinstance(event, InformAbortAt)
+        and event.object_name == object_name
+    }
+    if not doomed:
+        return False
+    return any(up in doomed for up in ancestors(name))
+
+
+# ----------------------------------------------------------------------
+# write() and essence()
+# ----------------------------------------------------------------------
+def write_subsequence(
+    alpha: Sequence[Event],
+    system_type: SystemType,
+    object_name: Optional[str] = None,
+) -> Schedule:
+    """Return ``write(alpha)``: REQUEST_COMMIT events of write accesses.
+
+    When *object_name* is given, only write accesses to that object are
+    kept; otherwise write accesses to any object.
+    """
+    kept: List[Event] = []
+    for event in alpha:
+        if not isinstance(event, RequestCommit):
+            continue
+        name = event.transaction
+        if not system_type.is_access(name):
+            continue
+        if object_name is not None and (
+            system_type.object_of(name) != object_name
+        ):
+            continue
+        if not system_type.is_read_access(name):
+            kept.append(event)
+    return tuple(kept)
+
+
+def essence(
+    beta: Sequence[Event],
+    system_type: SystemType,
+    object_name: Optional[str] = None,
+) -> Schedule:
+    """Return ``essence(beta)``.
+
+    ``write(beta)`` with a CREATE(U) event placed immediately before each
+    REQUEST_COMMIT(U, u) event.  The result consists of a subset of the
+    events of a well-formed *beta* and is well-formed.
+    """
+    result: List[Event] = []
+    for event in write_subsequence(beta, system_type, object_name):
+        result.append(Create(event.transaction))
+        result.append(event)
+    return tuple(result)

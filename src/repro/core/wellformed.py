@@ -1,0 +1,335 @@
+"""Well-formedness of component schedules (Sections 3.1, 3.2, 5.1).
+
+The paper defines well-formedness recursively for three kinds of component:
+non-access transactions, basic objects, and R/W Locking objects ``M(X)``.
+A sequence of serial (resp. concurrent) operations is well-formed when its
+projection at every transaction and every (R/W Locking) object is.
+
+Each definition is implemented as an incremental checker with an
+``extend(event)`` method, so systems and tests can validate prefixes in
+O(1) amortised per event; whole-sequence helpers wrap them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence, Set
+
+from repro.core.events import (
+    Abort,
+    Commit,
+    Create,
+    Event,
+    InformAbortAt,
+    InformCommitAt,
+    ReportAbort,
+    ReportCommit,
+    RequestCommit,
+    RequestCreate,
+    is_serial_operation,
+)
+from repro.core.names import ROOT, TransactionName, parent, pretty_name
+from repro.core.names import SystemType
+from repro.errors import WellFormednessError
+
+
+def transaction_signature_events(
+    name: TransactionName, event: Event
+) -> bool:
+    """Return True if *event* is an operation of transaction automaton *name*.
+
+    The automaton of a non-access transaction T has inputs CREATE(T) and the
+    report operations for T's children, and outputs REQUEST_CREATE(T') for
+    children T' and REQUEST_COMMIT(T, v).
+    """
+    if isinstance(event, Create):
+        return event.transaction == name
+    if isinstance(event, RequestCommit):
+        return event.transaction == name
+    if isinstance(event, (RequestCreate, ReportCommit, ReportAbort)):
+        return parent(event.transaction) == name
+    return False
+
+
+def basic_object_signature_events(
+    system_type: SystemType, object_name: str, event: Event
+) -> bool:
+    """Return True if *event* is an operation of basic object *object_name*."""
+    if isinstance(event, (Create, RequestCommit)):
+        name = event.transaction
+        return (
+            system_type.is_access(name)
+            and system_type.object_of(name) == object_name
+        )
+    return False
+
+
+def locking_object_signature_events(
+    system_type: SystemType, object_name: str, event: Event
+) -> bool:
+    """Return True if *event* is an operation of M(*object_name*)."""
+    if isinstance(event, (InformCommitAt, InformAbortAt)):
+        return event.object_name == object_name and event.transaction != ROOT
+    return basic_object_signature_events(system_type, object_name, event)
+
+
+class TransactionWellFormedness:
+    """Incremental well-formedness checker for a non-access transaction T.
+
+    Mirrors the five clauses of Section 3.1's recursive definition.
+    """
+
+    def __init__(self, name: TransactionName):
+        self.name = name
+        self.created = False
+        self.requested_commit = False
+        self.requested_children: Set[TransactionName] = set()
+        self.reported_commit: Dict[TransactionName, object] = {}
+        self.reported_abort: Set[TransactionName] = set()
+
+    def _fail(self, message: str) -> None:
+        raise WellFormednessError(
+            "transaction %s: %s" % (pretty_name(self.name), message)
+        )
+
+    def extend(self, event: Event) -> None:
+        """Check and record one more event of T; raise on violation."""
+        if isinstance(event, Create):
+            if event.transaction != self.name:
+                self._fail("foreign CREATE %s" % event)
+            if self.created:
+                self._fail("second CREATE")
+            self.created = True
+            return
+        if isinstance(event, ReportCommit):
+            child = event.transaction
+            if parent(child) != self.name:
+                self._fail("report for non-child %s" % event)
+            if child not in self.requested_children:
+                self._fail("REPORT_COMMIT before REQUEST_CREATE of %s"
+                           % pretty_name(child))
+            if child in self.reported_abort:
+                self._fail("conflicting reports for %s" % pretty_name(child))
+            if child in self.reported_commit and (
+                self.reported_commit[child] != event.value
+            ):
+                self._fail(
+                    "conflicting commit values for %s" % pretty_name(child)
+                )
+            self.reported_commit[child] = event.value
+            return
+        if isinstance(event, ReportAbort):
+            child = event.transaction
+            if parent(child) != self.name:
+                self._fail("report for non-child %s" % event)
+            if child not in self.requested_children:
+                self._fail("REPORT_ABORT before REQUEST_CREATE of %s"
+                           % pretty_name(child))
+            if child in self.reported_commit:
+                self._fail("conflicting reports for %s" % pretty_name(child))
+            self.reported_abort.add(child)
+            return
+        if isinstance(event, RequestCreate):
+            child = event.transaction
+            if parent(child) != self.name:
+                self._fail("REQUEST_CREATE for non-child %s" % event)
+            if child in self.requested_children:
+                self._fail("second REQUEST_CREATE(%s)" % pretty_name(child))
+            if self.requested_commit:
+                self._fail("output after REQUEST_COMMIT")
+            if not self.created:
+                self._fail("output before CREATE")
+            self.requested_children.add(child)
+            return
+        if isinstance(event, RequestCommit):
+            if event.transaction != self.name:
+                self._fail("foreign REQUEST_COMMIT %s" % event)
+            if self.requested_commit:
+                self._fail("second REQUEST_COMMIT")
+            if not self.created:
+                self._fail("REQUEST_COMMIT before CREATE")
+            self.requested_commit = True
+            return
+        self._fail("event %s not in signature" % event)
+
+
+class BasicObjectWellFormedness:
+    """Incremental well-formedness checker for a basic object X (§3.2)."""
+
+    def __init__(self, system_type: SystemType, object_name: str):
+        self.system_type = system_type
+        self.object_name = object_name
+        self.created: Set[TransactionName] = set()
+        self.responded: Set[TransactionName] = set()
+
+    def _fail(self, message: str) -> None:
+        raise WellFormednessError(
+            "object %s: %s" % (self.object_name, message)
+        )
+
+    def _check_access(self, name: TransactionName) -> None:
+        if not self.system_type.is_access(name):
+            self._fail("%s is not an access" % pretty_name(name))
+        if self.system_type.object_of(name) != self.object_name:
+            self._fail("%s accesses another object" % pretty_name(name))
+
+    def extend(self, event: Event) -> None:
+        """Check and record one more event of X; raise on violation."""
+        if isinstance(event, Create):
+            self._check_access(event.transaction)
+            if event.transaction in self.created:
+                self._fail("second CREATE(%s)"
+                           % pretty_name(event.transaction))
+            self.created.add(event.transaction)
+            return
+        if isinstance(event, RequestCommit):
+            self._check_access(event.transaction)
+            if event.transaction in self.responded:
+                self._fail("second REQUEST_COMMIT for %s"
+                           % pretty_name(event.transaction))
+            if event.transaction not in self.created:
+                self._fail("REQUEST_COMMIT before CREATE for %s"
+                           % pretty_name(event.transaction))
+            self.responded.add(event.transaction)
+            return
+        self._fail("event %s not in signature" % event)
+
+    def pending(self) -> Set[TransactionName]:
+        """Accesses created but not yet responded to (the paper's *pending*)."""
+        return self.created - self.responded
+
+
+class LockingObjectWellFormedness(BasicObjectWellFormedness):
+    """Incremental well-formedness checker for M(X) (§5.1)."""
+
+    def __init__(self, system_type: SystemType, object_name: str):
+        super().__init__(system_type, object_name)
+        self.informed_commit: Set[TransactionName] = set()
+        self.informed_abort: Set[TransactionName] = set()
+
+    def extend(self, event: Event) -> None:
+        if isinstance(event, InformCommitAt):
+            if event.object_name != self.object_name:
+                self._fail("INFORM for another object: %s" % event)
+            name = event.transaction
+            if name == ROOT:
+                self._fail("INFORM_COMMIT for the root")
+            if name in self.informed_abort:
+                self._fail("INFORM_COMMIT after INFORM_ABORT for %s"
+                           % pretty_name(name))
+            is_local_access = (
+                self.system_type.is_access(name)
+                and self.system_type.object_of(name) == self.object_name
+            )
+            if is_local_access and name not in self.responded:
+                self._fail(
+                    "INFORM_COMMIT for unresponded access %s"
+                    % pretty_name(name)
+                )
+            self.informed_commit.add(name)
+            return
+        if isinstance(event, InformAbortAt):
+            if event.object_name != self.object_name:
+                self._fail("INFORM for another object: %s" % event)
+            name = event.transaction
+            if name == ROOT:
+                self._fail("INFORM_ABORT for the root")
+            if name in self.informed_commit:
+                self._fail("INFORM_ABORT after INFORM_COMMIT for %s"
+                           % pretty_name(name))
+            self.informed_abort.add(name)
+            return
+        super().extend(event)
+
+
+class SequenceWellFormedness:
+    """Well-formedness of a whole serial or concurrent operation sequence.
+
+    A sequence is well-formed when its projection at every non-access
+    transaction and at every (R/W Locking) object is well-formed.  *locking*
+    selects the M(X) definition (concurrent sequences) over the basic-object
+    one (serial sequences).
+    """
+
+    def __init__(self, system_type: SystemType, locking: bool = False):
+        self.system_type = system_type
+        self.locking = locking
+        self._transactions: Dict[
+            TransactionName, TransactionWellFormedness
+        ] = {}
+        self._objects: Dict[str, BasicObjectWellFormedness] = {}
+        for object_name in system_type.object_names():
+            if locking:
+                self._objects[object_name] = LockingObjectWellFormedness(
+                    system_type, object_name
+                )
+            else:
+                self._objects[object_name] = BasicObjectWellFormedness(
+                    system_type, object_name
+                )
+
+    def _transaction_checker(
+        self, name: TransactionName
+    ) -> TransactionWellFormedness:
+        checker = self._transactions.get(name)
+        if checker is None:
+            checker = TransactionWellFormedness(name)
+            self._transactions[name] = checker
+        return checker
+
+    def extend(self, event: Event) -> None:
+        """Check one more event against every projection it belongs to."""
+        if isinstance(event, (InformCommitAt, InformAbortAt)):
+            if not self.locking:
+                raise WellFormednessError(
+                    "INFORM operation %s in a serial sequence" % event
+                )
+            self._objects[event.object_name].extend(event)
+            return
+        if isinstance(event, (Commit, Abort)):
+            # Return operations belong to the scheduler only; no component
+            # projection constrains them.
+            return
+        if isinstance(event, (Create, RequestCommit)):
+            name = event.transaction
+            if self.system_type.is_access(name):
+                self._objects[self.system_type.object_of(name)].extend(event)
+            else:
+                self._transaction_checker(name).extend(event)
+            return
+        if isinstance(event, (RequestCreate, ReportCommit, ReportAbort)):
+            mother = parent(event.transaction)
+            if mother is None:
+                raise WellFormednessError(
+                    "%s names the root, which has no parent" % event
+                )
+            self._transaction_checker(mother).extend(event)
+            return
+        raise WellFormednessError("unknown event %r" % (event,))
+
+    def extend_all(self, events: Iterable[Event]) -> None:
+        for event in events:
+            self.extend(event)
+
+
+def is_well_formed(
+    system_type: SystemType,
+    events: Sequence[Event],
+    locking: bool = False,
+) -> bool:
+    """Return True if *events* is a well-formed sequence (no exception)."""
+    checker = SequenceWellFormedness(system_type, locking=locking)
+    try:
+        checker.extend_all(events)
+    except WellFormednessError:
+        return False
+    return True
+
+
+def assert_well_formed(
+    system_type: SystemType,
+    events: Sequence[Event],
+    locking: bool = False,
+) -> None:
+    """Raise :class:`WellFormednessError` unless *events* is well-formed."""
+    checker = SequenceWellFormedness(system_type, locking=locking)
+    checker.extend_all(events)

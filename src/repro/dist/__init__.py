@@ -1,0 +1,37 @@
+"""Distributed nested transactions: the Argus/Moss-thesis setting.
+
+The paper's introduction motivates nesting from *distributed* systems:
+"the basic services are often provided by Remote Procedure Calls ...
+since providing a service will often require using other services, the
+transactions that implement services ought to be nested."  Moss' thesis
+[Mo] devotes considerable effort to a distributed implementation; the
+paper's footnote 9 declares those concerns "orthogonal to the correctness
+of the data management algorithms".
+
+This package supplies the missing distributed *performance* dimension
+while keeping the (proven-correct) locking logic untouched:
+
+* a :class:`~repro.dist.topology.Topology` partitions objects across
+  sites and prices inter-site messages;
+* :func:`~repro.dist.runner.run_distributed_simulation` executes nested
+  workloads where every remote access pays a round trip and every
+  top-level commit runs a hierarchical two-phase commit across its
+  participant sites (crash-free, as the paper's model has no crashes --
+  2PC here is a latency/message-cost model, not a fault-tolerance one);
+* message and round-trip counts come out in the metrics (benchmark E16).
+"""
+
+from repro.dist.topology import Topology, uniform_topology
+from repro.dist.runner import (
+    DistributedConfig,
+    DistributedMetrics,
+    run_distributed_simulation,
+)
+
+__all__ = [
+    "DistributedConfig",
+    "DistributedMetrics",
+    "Topology",
+    "run_distributed_simulation",
+    "uniform_topology",
+]

@@ -1,0 +1,82 @@
+"""Site topologies: object placement and message latency."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+
+@dataclass
+class Topology:
+    """A set of sites, object placement, and inter-site latency.
+
+    ``placement`` maps object names to site indices; ``latency`` is the
+    one-way message latency between two distinct sites (intra-site
+    messages are free).  ``home_of`` assigns each top-level transaction a
+    home site (round-robin by default).
+    """
+
+    sites: int
+    placement: Dict[str, int]
+    one_way_latency: float = 1.0
+    per_pair: Optional[Dict[Tuple[int, int], float]] = None
+
+    def __post_init__(self):
+        if self.sites < 1:
+            raise ReproError("a topology needs at least one site")
+        for object_name, site in self.placement.items():
+            if not 0 <= site < self.sites:
+                raise ReproError(
+                    "object %r placed on unknown site %d"
+                    % (object_name, site)
+                )
+
+    def site_of(self, object_name: str) -> int:
+        """The site hosting *object_name*."""
+        try:
+            return self.placement[object_name]
+        except KeyError:
+            raise ReproError(
+                "object %r is not placed on any site" % object_name
+            ) from None
+
+    def home_of(self, top_index: int) -> int:
+        """The home site of the *top_index*-th top-level transaction."""
+        return top_index % self.sites
+
+    def latency(self, a: int, b: int) -> float:
+        """One-way message latency between sites *a* and *b*."""
+        if a == b:
+            return 0.0
+        if self.per_pair is not None:
+            key = (min(a, b), max(a, b))
+            if key in self.per_pair:
+                return self.per_pair[key]
+        return self.one_way_latency
+
+    def round_trip(self, a: int, b: int) -> float:
+        """Request/reply cost between sites *a* and *b*."""
+        return 2.0 * self.latency(a, b)
+
+
+def uniform_topology(
+    object_names: Sequence[str],
+    sites: int,
+    one_way_latency: float = 1.0,
+    seed: Optional[int] = None,
+) -> Topology:
+    """Spread objects over *sites* (round-robin, or shuffled by *seed*)."""
+    names: List[str] = list(object_names)
+    if seed is not None:
+        random.Random(seed).shuffle(names)
+    placement = {
+        name: index % sites for index, name in enumerate(names)
+    }
+    return Topology(
+        sites=sites,
+        placement=placement,
+        one_way_latency=one_way_latency,
+    )

@@ -1,0 +1,138 @@
+"""Waits-for-graph deadlock detection.
+
+Locking with blocking introduces deadlocks the paper leaves to the
+scheduler ("in practice, the scheduler must have some power to decide to
+abort transactions, as when it detects deadlocks").  The engine detects
+them eagerly: every blocked access registers waits-for edges from the
+waiting transaction to the (non-ancestor) holders blocking it; a cycle
+means deadlock and a victim is chosen.
+
+With nesting, the unit that can wait is any transaction in the tree, and a
+conflict's real adversaries are *top-level* subtrees: a lock held by a
+descendant of the waiter's own top-level ancestor cannot be waited out
+(the holder may itself be waiting inside the same tree).  Edges are
+therefore recorded between transactions but cycles are detected on the
+graph collapsed to top-level ancestors, which both catches parent/child
+self-waits (collapsed self-loop) and classic cross-tree cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.core.names import TransactionName
+
+
+def top_level(name: TransactionName) -> TransactionName:
+    """The top-level ancestor of *name* (its first path component)."""
+    return name[:1]
+
+
+class WaitsForGraph:
+    """Waits-for edges with cycle detection over top-level groups."""
+
+    def __init__(self):
+        self._waits: Dict[TransactionName, Set[TransactionName]] = {}
+
+    def add_wait(
+        self,
+        waiter: TransactionName,
+        blockers: Iterable[TransactionName],
+    ) -> Optional[List[TransactionName]]:
+        """Record that *waiter* waits on *blockers*.
+
+        Returns a deadlock cycle as a list of top-level transaction names
+        (closing back on the first element) when one is created, else None.
+        """
+        edges = self._waits.setdefault(waiter, set())
+        edges.update(blockers)
+        return self.find_cycle(top_level(waiter))
+
+    def remove_waiter(self, waiter: TransactionName) -> None:
+        """Drop every edge out of *waiter* (it was granted or aborted)."""
+        self._waits.pop(waiter, None)
+
+    def remove_subtree(self, doomed: TransactionName) -> None:
+        """Drop edges out of every waiter in *doomed*'s subtree."""
+        victims = [
+            waiter
+            for waiter in self._waits
+            if waiter[: len(doomed)] == doomed
+        ]
+        for waiter in victims:
+            del self._waits[waiter]
+
+    def _group_edges(self) -> Dict[TransactionName, Set[TransactionName]]:
+        grouped: Dict[TransactionName, Set[TransactionName]] = {}
+        for waiter, blockers in self._waits.items():
+            source = top_level(waiter)
+            targets = grouped.setdefault(source, set())
+            for blocker in blockers:
+                target = top_level(blocker)
+                if target != source:
+                    targets.add(target)
+        return grouped
+
+    def find_cycle(
+        self, start: Optional[TransactionName] = None
+    ) -> Optional[List[TransactionName]]:
+        """Find a cycle among top-level groups; return it or None.
+
+        When *start* is given only cycles reachable from it are sought
+        (sufficient after adding edges out of that group).
+        """
+        grouped = self._group_edges()
+        roots: Sequence[TransactionName]
+        if start is not None:
+            roots = [start]
+        else:
+            roots = list(grouped)
+        for root in roots:
+            cycle = self._dfs_cycle(root, grouped)
+            if cycle is not None:
+                return cycle
+        return None
+
+    @staticmethod
+    def _dfs_cycle(
+        root: TransactionName,
+        grouped: Dict[TransactionName, Set[TransactionName]],
+    ) -> Optional[List[TransactionName]]:
+        path: List[TransactionName] = []
+        on_path: Set[TransactionName] = set()
+        finished: Set[TransactionName] = set()
+
+        def visit(node: TransactionName) -> Optional[List[TransactionName]]:
+            if node in on_path:
+                at = path.index(node)
+                return path[at:] + [node]
+            if node in finished:
+                return None
+            path.append(node)
+            on_path.add(node)
+            for target in sorted(grouped.get(node, ())):
+                found = visit(target)
+                if found is not None:
+                    return found
+            on_path.discard(node)
+            path.pop()
+            finished.add(node)
+            return None
+
+        return visit(root)
+
+
+def choose_victim(
+    cycle: Sequence[TransactionName],
+    started_at: Dict[TransactionName, float],
+) -> TransactionName:
+    """Pick the deadlock victim: the youngest top-level in the cycle.
+
+    Youngest-first minimises wasted work; ties break on the name so the
+    choice is deterministic.
+    """
+    members = list(dict.fromkeys(cycle))
+    return max(
+        members,
+        key=lambda name: (started_at.get(name, 0.0), name),
+    )

@@ -1,0 +1,305 @@
+"""The nested-transaction engine.
+
+Single-process, non-blocking implementation of Moss' algorithm over the
+:mod:`repro.engine.lockmanager` objects.  Accesses are modelled the way the
+paper models them -- as instantaneous leaf subtransactions: the leaf
+acquires the lock, responds, and commits immediately, passing the lock to
+its parent.  That keeps the engine's lock tables bit-for-bit equal to the
+M(X) automaton state, which the conformance harness exploits.
+
+Concurrency is cooperative: callers (the discrete-event simulator, tests,
+or application code) interleave calls on different transaction handles; a
+conflicting access raises :class:`~repro.errors.LockDenied` and the caller
+retries after the blocker returns.  Blocked/unblocked notifications feed a
+waits-for graph for deadlock detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Dict, Iterable, Optional, Union
+
+from repro.core.events import (
+    Abort,
+    Commit,
+    Create,
+    InformAbortAt,
+    InformCommitAt,
+    ReportAbort,
+    ReportCommit,
+    RequestCommit,
+    RequestCreate,
+)
+from repro.core.names import ROOT, TransactionName, pretty_name
+from repro.core.object_spec import ObjectSpec, Operation
+from repro.engine.deadlock import WaitsForGraph, choose_victim, top_level
+from repro.engine.lockmanager import LockManager
+from repro.engine.locks import LockMode
+from repro.engine.policies import LockingPolicy, make_policy
+from repro.engine.trace import NullRecorder, TraceRecorder
+from repro.engine.transaction import Transaction, TransactionStatus
+from repro.errors import (
+    EngineError,
+    InvalidTransactionState,
+    LockDenied,
+    TransactionAborted,
+)
+
+
+class Engine:
+    """A nested-transaction database engine.
+
+    Lock-based engines can deadlock; the runner resolves via wound-wait
+    or detection (``needs_deadlock_resolution``).
+
+    Parameters
+    ----------
+    specs:
+        The object specifications making up the store.
+    policy:
+        A :class:`~repro.engine.policies.LockingPolicy` or its name
+        (``"moss-rw"``, ``"exclusive"``, ``"flat-2pl"``).
+    trace:
+        When True, record a model-alphabet trace of the run
+        (:attr:`recorder`); only meaningful for lock-moving policies.
+    """
+
+    #: Blocking on locks can form waits-for cycles; callers must
+    #: resolve them (wound-wait or detection).
+    needs_deadlock_resolution = True
+
+    def __init__(
+        self,
+        specs: Iterable[ObjectSpec],
+        policy: Union[str, LockingPolicy] = "moss-rw",
+        trace: bool = False,
+    ):
+        specs = list(specs)
+        if isinstance(policy, str):
+            policy = make_policy(policy)
+        self.locks = LockManager(specs, make_managed=policy.make_managed)
+        self.specs: Dict[str, ObjectSpec] = {
+            spec.name: spec for spec in specs
+        }
+        self.policy = policy
+        self.recorder = TraceRecorder() if trace else NullRecorder()
+        # The model's environment transaction T0 is created by the
+        # scheduler before anything else; mirror that in the trace.
+        self.recorder.record(Create(ROOT))
+        self.waits = WaitsForGraph()
+        self.started_at: Dict[TransactionName, float] = {}
+        self.transactions: Dict[TransactionName, Transaction] = {}
+        self._next_top = 0
+        self._clock = 0.0
+        # Counters for metrics/reporting.
+        self.stats = {
+            "accesses": 0,
+            "denials": 0,
+            "commits": 0,
+            "aborts": 0,
+            "deadlocks": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def begin_top(self, at: Optional[float] = None) -> Transaction:
+        """Start a new top-level transaction."""
+        name = (self._next_top,)
+        self._next_top += 1
+        return self._register(name, parent=None, at=at)
+
+    def object_value(self, object_name: str, committed: bool = True) -> Any:
+        """Inspect an object: its committed (or current) value."""
+        managed = self.locks.object(object_name)
+        return (
+            managed.committed_value() if committed else managed.current_value()
+        )
+
+    def fresh_blockers(
+        self,
+        txn: Transaction,
+        object_name: str,
+        operation: Operation,
+    ):
+        """The transactions currently preventing *txn* from this access.
+
+        Recomputed from the live lock tables (no cached state), so callers
+        can build an always-current waits-for graph.
+        """
+        managed = self.locks.object(object_name)
+        mode = self.policy.mode_for(operation)
+        requester = txn.name + (txn._next_child,)
+        return managed.blockers(requester, mode, operation=operation)
+
+    def transaction(self, name: TransactionName) -> Transaction:
+        """Look up a transaction handle by name."""
+        try:
+            return self.transactions[name]
+        except KeyError:
+            raise EngineError("unknown transaction %r" % (name,)) from None
+
+    # ------------------------------------------------------------------
+    # Deadlock hooks (used by the simulator / blocking wrappers)
+    # ------------------------------------------------------------------
+    def note_blocked(
+        self,
+        txn: Transaction,
+        blockers: Iterable[TransactionName],
+    ) -> Optional[TransactionName]:
+        """Record a blocked access; return a deadlock victim if one arose.
+
+        The victim is the name of a *top-level* transaction; the caller is
+        responsible for aborting it (usually via
+        ``engine.transaction(victim).abort()``).
+        """
+        cycle = self.waits.add_wait(txn.name, blockers)
+        if cycle is None:
+            return None
+        self.stats["deadlocks"] += 1
+        return choose_victim(cycle, self.started_at)
+
+    def note_unblocked(self, txn: Transaction) -> None:
+        """Clear *txn*'s waits-for edges (it was granted or gave up)."""
+        self.waits.remove_waiter(txn.name)
+
+    # ------------------------------------------------------------------
+    # Internal transitions (called through Transaction handles)
+    # ------------------------------------------------------------------
+    def _register(
+        self,
+        name: TransactionName,
+        parent: Optional[Transaction],
+        at: Optional[float] = None,
+    ) -> Transaction:
+        txn = Transaction(self, name, parent)
+        self.transactions[name] = txn
+        if parent is not None:
+            parent.children.append(txn)
+        self._clock += 1.0
+        if len(name) == 1:
+            self.started_at[name] = at if at is not None else self._clock
+        self.recorder.record_internal(name)
+        self.recorder.record(RequestCreate(name))
+        self.recorder.record(Create(name))
+        return txn
+
+    def _begin_child(self, parent: Transaction) -> Transaction:
+        name = parent._claim_child_slot()
+        return self._register(name, parent)
+
+    def _check_not_orphan(self, txn: Transaction) -> None:
+        node: Optional[Transaction] = txn
+        while node is not None:
+            if node.status is TransactionStatus.ABORTED:
+                raise TransactionAborted(
+                    txn.name,
+                    "ancestor %s aborted" % pretty_name(node.name),
+                )
+            node = node.parent
+
+    def _perform(
+        self,
+        txn: Transaction,
+        object_name: str,
+        operation: Operation,
+    ) -> Any:
+        self._check_not_orphan(txn)
+        managed = self.locks.object(object_name)
+        mode = self.policy.mode_for(operation)
+        access = txn.name + (txn._next_child,)
+        owner = self.policy.owner_for(access)
+        blockers = managed.blockers(access, mode, operation=operation)
+        if blockers:
+            self.stats["denials"] += 1
+            raise LockDenied(
+                "%s on %s blocked by %s"
+                % (
+                    pretty_name(txn.name),
+                    object_name,
+                    sorted(pretty_name(b) for b in blockers),
+                ),
+                blockers=blockers,
+            )
+        # Granted: materialise the access leaf, run it, commit it at once.
+        access = txn._claim_child_slot()
+        owner = self.policy.owner_for(access)
+        self.stats["accesses"] += 1
+        # Record the access with the classification the policy actually
+        # used: under "exclusive" every access is designated a write, so
+        # the replayed M(X) takes write locks exactly like the engine did.
+        recorded = operation
+        if operation.is_read and mode is not LockMode.READ:
+            recorded = replace(operation, is_read=False)
+        self.recorder.record_access(access, object_name, recorded)
+        self.recorder.record(RequestCreate(access))
+        self.recorder.record(Create(access))
+        result = managed.acquire(access, operation, mode)
+        self.recorder.record(RequestCommit(access, result))
+        self.recorder.record(Commit(access))
+        self.recorder.record(ReportCommit(access, result))
+        if self.policy.moves_locks:
+            managed.on_commit(access)
+            self.recorder.record(InformCommitAt(object_name, access))
+        elif owner != access:
+            # Flat policy: the leaf never held the lock; re-home it.
+            self._rehome_lock(managed, access, owner, mode)
+        return result
+
+    @staticmethod
+    def _rehome_lock(managed, access, owner, mode) -> None:
+        if mode is LockMode.WRITE:
+            managed.write_holders.discard(access)
+            managed.write_holders.add(owner)
+            if managed.versions.has(access):
+                value = managed.versions.get(access)
+                managed.versions.discard_subtree(access)
+                managed.versions.install(owner, value)
+        else:
+            managed.read_holders.discard(access)
+            managed.read_holders.add(owner)
+
+    def _commit(self, txn: Transaction, value: Any) -> None:
+        self._check_not_orphan(txn)
+        live = txn.live_children()
+        if live:
+            raise InvalidTransactionState(
+                "%s cannot commit with live children %s"
+                % (
+                    pretty_name(txn.name),
+                    [pretty_name(child.name) for child in live],
+                )
+            )
+        txn.status = TransactionStatus.COMMITTED
+        txn.value = value
+        self.stats["commits"] += 1
+        self.waits.remove_waiter(txn.name)
+        self.recorder.record_commit_value(txn.name, value)
+        self.recorder.record(RequestCommit(txn.name, value))
+        self.recorder.record(Commit(txn.name))
+        self.recorder.record(ReportCommit(txn.name, value))
+        if self.policy.moves_locks or txn.is_top_level:
+            touched = self.locks.on_commit(txn.name)
+            for object_name in touched:
+                self.recorder.record(InformCommitAt(object_name, txn.name))
+
+    def _abort(self, txn: Transaction) -> None:
+        if self.policy.escalates_aborts and not txn.is_top_level:
+            top = self.transactions[top_level(txn.name)]
+            if top.is_active:
+                self._abort(top)
+                return
+        self._mark_aborted_subtree(txn)
+        self.stats["aborts"] += 1
+        self.waits.remove_subtree(txn.name)
+        self.recorder.record(Abort(txn.name))
+        self.recorder.record(ReportAbort(txn.name))
+        touched = self.locks.on_abort(txn.name)
+        for object_name in touched:
+            self.recorder.record(InformAbortAt(object_name, txn.name))
+
+    def _mark_aborted_subtree(self, txn: Transaction) -> None:
+        txn.status = TransactionStatus.ABORTED
+        for child in txn.children:
+            if child.is_active:
+                self._mark_aborted_subtree(child)

@@ -1,0 +1,174 @@
+"""The Moss R/W lock manager: one :class:`ManagedObject` per shared object.
+
+A :class:`ManagedObject` is the engine-side twin of the M(X) automaton
+(:mod:`repro.core.rw_object`): the same lockholder sets, the same version
+map, the same grant rule, the same commit/abort lock movement.  The
+conformance harness (:mod:`repro.checking.conformance`) replays engine
+traces against M(X) to demonstrate the two stay in lockstep.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.names import (
+    ROOT,
+    TransactionName,
+    is_descendant,
+    parent,
+)
+from repro.core.object_spec import ObjectSpec, Operation
+from repro.engine.locks import LockMode, blocking_holders
+from repro.engine.versions import VersionMap
+from repro.errors import EngineError, LockDenied
+
+
+class ManagedObject:
+    """Lock table plus version map for one object."""
+
+    def __init__(self, spec: ObjectSpec):
+        self.spec = spec
+        self.write_holders: Set[TransactionName] = {ROOT}
+        self.read_holders: Set[TransactionName] = set()
+        self.versions = VersionMap(spec.initial_value())
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def current_value(self) -> Any:
+        """The current state of the object (deepest write version)."""
+        return self.versions.current()
+
+    def committed_value(self) -> Any:
+        """The state as committed to the root (version of T0)."""
+        return self.versions.get(ROOT)
+
+    def blockers(
+        self,
+        requester: TransactionName,
+        mode: LockMode,
+        operation: Optional[Operation] = None,
+    ) -> Set[TransactionName]:
+        """Non-ancestor conflicting holders preventing the request.
+
+        *operation* is accepted for interface parity with semantic
+        locking; Moss' rule only needs the mode.
+        """
+        return blocking_holders(
+            requester, mode, self.write_holders, self.read_holders
+        )
+
+    def holders(self) -> Tuple[Set[TransactionName], Set[TransactionName]]:
+        """Return ``(write_holders, read_holders)`` copies."""
+        return set(self.write_holders), set(self.read_holders)
+
+    # ------------------------------------------------------------------
+    # Moss' transitions
+    # ------------------------------------------------------------------
+    def acquire(
+        self,
+        owner: TransactionName,
+        operation: Operation,
+        mode: LockMode,
+    ) -> Any:
+        """Grant *owner* the lock and apply *operation*; return its result.
+
+        Raises :class:`~repro.errors.LockDenied` (carrying the blockers)
+        when a conflicting non-ancestor holds a lock.  On a write grant the
+        new object state is stored as *owner*'s version; reads leave the
+        version map untouched.
+        """
+        blockers = self.blockers(owner, mode)
+        if blockers:
+            raise LockDenied(
+                "%s blocked on %r by %r"
+                % (self.spec.name, owner, sorted(blockers)),
+                blockers=blockers,
+            )
+        result, new_value = self.spec.apply(self.current_value(), operation)
+        if mode is LockMode.WRITE:
+            self.write_holders.add(owner)
+            self.versions.install(owner, new_value)
+        else:
+            self.read_holders.add(owner)
+        return result
+
+    def on_commit(self, name: TransactionName) -> None:
+        """Pass *name*'s locks (and version) to its parent."""
+        mother = parent(name)
+        if mother is None:
+            raise EngineError("cannot commit the root")
+        if name in self.write_holders:
+            self.write_holders.discard(name)
+            self.write_holders.add(mother)
+            self.versions.promote(name)
+        if name in self.read_holders:
+            self.read_holders.discard(name)
+            self.read_holders.add(mother)
+
+    def on_abort(self, name: TransactionName) -> None:
+        """Discard every lock and version held below *name* (inclusive)."""
+        self.write_holders = {
+            holder
+            for holder in self.write_holders
+            if not is_descendant(holder, name)
+        }
+        self.read_holders = {
+            holder
+            for holder in self.read_holders
+            if not is_descendant(holder, name)
+        }
+        self.versions.discard_subtree(name)
+
+    def is_locked_by_subtree(self, name: TransactionName) -> bool:
+        """True if some lock is held by *name* or a descendant."""
+        return any(
+            is_descendant(holder, name)
+            for holder in self.write_holders | self.read_holders
+        )
+
+    def holds_lock(self, name: TransactionName) -> bool:
+        """True if *name* itself holds a read or write lock here."""
+        return name in self.write_holders or name in self.read_holders
+
+
+class LockManager:
+    """All managed objects of one engine.
+
+    *make_managed* lets a locking policy substitute its own per-object
+    structure (e.g. semantic locking's undo-log objects); the default is
+    the Moss :class:`ManagedObject`.
+    """
+
+    def __init__(self, specs: Iterable[ObjectSpec], make_managed=None):
+        if make_managed is None:
+            make_managed = ManagedObject
+        self.objects: Dict[str, ManagedObject] = {}
+        for spec in specs:
+            if spec.name in self.objects:
+                raise EngineError("duplicate object %r" % spec.name)
+            self.objects[spec.name] = make_managed(spec)
+
+    def object(self, name: str) -> ManagedObject:
+        try:
+            return self.objects[name]
+        except KeyError:
+            raise EngineError("unknown object %r" % name) from None
+
+    def on_commit(self, name: TransactionName) -> List[str]:
+        """Propagate a commit to every object; return the touched names."""
+        touched = []
+        for object_name, managed in self.objects.items():
+            if managed.holds_lock(name):
+                managed.on_commit(name)
+                touched.append(object_name)
+        return touched
+
+    def on_abort(self, name: TransactionName) -> List[str]:
+        """Propagate an abort to every object; return the touched names."""
+        touched = []
+        for object_name, managed in self.objects.items():
+            if managed.is_locked_by_subtree(name):
+                managed.on_abort(name)
+                touched.append(object_name)
+        return touched

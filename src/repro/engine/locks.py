@@ -1,0 +1,47 @@
+"""Lock modes and conflict rules."""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Set
+
+from repro.core.names import TransactionName, is_ancestor
+
+
+class LockMode(enum.Enum):
+    """Read or write; two locks conflict when held by different
+    transactions and at least one is a write lock."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+def conflicts(mode_a: LockMode, mode_b: LockMode) -> bool:
+    """Return True if the two modes conflict (ignoring holders)."""
+    return mode_a is LockMode.WRITE or mode_b is LockMode.WRITE
+
+
+def blocking_holders(
+    requester: TransactionName,
+    mode: LockMode,
+    write_holders: Iterable[TransactionName],
+    read_holders: Iterable[TransactionName],
+) -> Set[TransactionName]:
+    """Holders that prevent *requester* from acquiring *mode*.
+
+    Moss' rule: every holder of a conflicting lock must be an ancestor of
+    the requester.  The returned set contains the non-ancestor conflicting
+    holders (empty means the request may be granted).
+    """
+    blockers = {
+        holder
+        for holder in write_holders
+        if not is_ancestor(holder, requester)
+    }
+    if mode is LockMode.WRITE:
+        blockers.update(
+            holder
+            for holder in read_holders
+            if not is_ancestor(holder, requester)
+        )
+    return blockers

@@ -1,0 +1,132 @@
+"""Locking policies: Moss R/W, exclusive, and flat two-phase locking.
+
+A policy decides two things for every access:
+
+* the **lock mode** it takes (``moss-rw`` honours the read/write
+  classification; ``exclusive`` takes write locks for everything -- the
+  paper's degeneration remark, benchmark E8);
+* the **lock owner**: Moss grants to the access itself, so locks flow
+  upward on commit; ``flat-2pl`` grants directly to the top-level
+  ancestor, modelling a classical flat two-phase-locking system that has
+  no subtransaction isolation (a subtransaction abort must escalate to a
+  whole-transaction abort, benchmark E10).
+"""
+
+from __future__ import annotations
+
+from repro.core.names import TransactionName
+from repro.core.object_spec import Operation
+from repro.engine.locks import LockMode
+from repro.errors import EngineError
+
+
+class LockingPolicy:
+    """Strategy interface for the engine's lock behaviour."""
+
+    #: Identifier used in reports and by :func:`make_policy`.
+    name = "abstract"
+
+    def mode_for(self, operation: Operation) -> LockMode:
+        """The lock mode an access performing *operation* must take."""
+        raise NotImplementedError
+
+    def owner_for(self, access: TransactionName) -> TransactionName:
+        """The transaction that receives the lock for *access*."""
+        raise NotImplementedError
+
+    @property
+    def escalates_aborts(self) -> bool:
+        """True when a subtransaction abort must abort the whole top-level."""
+        return False
+
+    @property
+    def moves_locks(self) -> bool:
+        """True when commits pass locks upward (Moss inheritance)."""
+        return True
+
+    @property
+    def model_conformant(self) -> bool:
+        """True when traces of this policy refine the paper's M(X)."""
+        return True
+
+    def make_managed(self, spec):
+        """Build the per-object lock structure for this policy."""
+        from repro.engine.lockmanager import ManagedObject
+
+        return ManagedObject(spec)
+
+
+class MossPolicy(LockingPolicy):
+    """Moss' algorithm as in the paper: R/W locks owned by the access."""
+
+    name = "moss-rw"
+
+    def mode_for(self, operation: Operation) -> LockMode:
+        return LockMode.READ if operation.is_read else LockMode.WRITE
+
+    def owner_for(self, access: TransactionName) -> TransactionName:
+        return access
+
+
+class ExclusivePolicy(MossPolicy):
+    """Moss with every access designated a write: exclusive locking."""
+
+    name = "exclusive"
+
+    def mode_for(self, operation: Operation) -> LockMode:
+        return LockMode.WRITE
+
+
+class FlatTwoPhasePolicy(LockingPolicy):
+    """Classical flat 2PL behind the nested API.
+
+    Locks are owned by the top-level transaction, so siblings inside one
+    tree never conflict with each other, but no subtransaction can abort
+    independently: the engine escalates subtransaction aborts to the
+    top-level.
+    """
+
+    name = "flat-2pl"
+
+    def mode_for(self, operation: Operation) -> LockMode:
+        return LockMode.READ if operation.is_read else LockMode.WRITE
+
+    def owner_for(self, access: TransactionName) -> TransactionName:
+        if not access:
+            raise EngineError("the root performs no accesses")
+        return access[:1]
+
+    @property
+    def escalates_aborts(self) -> bool:
+        return True
+
+    @property
+    def moves_locks(self) -> bool:
+        return False
+
+    @property
+    def model_conformant(self) -> bool:
+        return False
+
+
+_POLICIES = {
+    MossPolicy.name: MossPolicy,
+    ExclusivePolicy.name: ExclusivePolicy,
+    FlatTwoPhasePolicy.name: FlatTwoPhasePolicy,
+}
+
+
+def make_policy(name: str) -> LockingPolicy:
+    """Instantiate a policy: moss-rw, exclusive, flat-2pl or semantic."""
+    if name == "semantic":
+        # Imported lazily: semantic.py subclasses MossPolicy.
+        from repro.engine.semantic import SemanticPolicy
+
+        return SemanticPolicy()
+    try:
+        return _POLICIES[name]()
+    except KeyError:
+        raise EngineError(
+            "unknown policy %r (choose from %s)"
+            % (name, ", ".join(sorted(_POLICIES) + ["semantic"]))
+        ) from None

@@ -1,0 +1,138 @@
+"""System R-style savepoints built on nested transactions.
+
+The paper's introduction calls System R's recovery blocks "a primitive
+example" of nesting: "a recovery block can be aborted and the transaction
+restarted at the last savepoint".  This module recovers that interface
+*from* nesting: a :class:`SavepointSession` wraps one engine transaction
+and maintains a chain of open subtransactions; ``savepoint()`` pushes a
+fresh child, ``rollback_to(sp)`` aborts the suffix of the chain (undoing
+exactly the work since that savepoint, courtesy of Moss' version map),
+and ``commit()`` folds the chain up and commits the wrapped transaction.
+
+Example::
+
+    session = SavepointSession(engine.begin_top())
+    session.perform("acct", BankAccount.deposit(10))
+    mark = session.savepoint()
+    session.perform("acct", BankAccount.withdraw(999))
+    session.rollback_to(mark)          # the withdraw never happened
+    session.commit()
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from repro.core.object_spec import Operation
+from repro.engine.transaction import Transaction
+from repro.errors import InvalidTransactionState
+
+
+class Savepoint:
+    """An opaque marker returned by :meth:`SavepointSession.savepoint`."""
+
+    def __init__(self, depth: int):
+        self._depth = depth
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<Savepoint depth=%d>" % self._depth
+
+
+class SavepointSession:
+    """Savepoint semantics over one nested transaction.
+
+    The wrapped transaction's work always happens in the deepest open
+    subtransaction, so rolling back to a savepoint aborts a suffix of the
+    chain -- exactly the state restoration Moss' algorithm provides.
+    """
+
+    def __init__(self, txn: Transaction):
+        self._root = txn
+        self._chain: List[Transaction] = [txn.begin_child()]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def transaction(self) -> Transaction:
+        """The wrapped top transaction."""
+        return self._root
+
+    @property
+    def depth(self) -> int:
+        """Number of open savepoint frames (>= 1 while the session lives)."""
+        return len(self._chain)
+
+    def _require_open(self) -> None:
+        if not self._chain:
+            raise InvalidTransactionState("savepoint session is closed")
+        if not self._root.is_active:
+            raise InvalidTransactionState(
+                "the session's transaction is no longer active"
+            )
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def perform(self, object_name: str, operation: Operation) -> Any:
+        """Run one access inside the current savepoint frame."""
+        self._require_open()
+        return self._chain[-1].perform(object_name, operation)
+
+    def begin_child(self) -> Transaction:
+        """Open an ordinary subtransaction inside the current frame."""
+        self._require_open()
+        return self._chain[-1].begin_child()
+
+    def savepoint(self) -> Savepoint:
+        """Mark the current state; later work can be undone back to here."""
+        self._require_open()
+        marker = Savepoint(len(self._chain))
+        self._chain.append(self._chain[-1].begin_child())
+        return marker
+
+    def rollback_to(self, savepoint: Savepoint) -> None:
+        """Undo every access performed since *savepoint* was taken.
+
+        The savepoint stays valid: work may resume and be rolled back to
+        the same mark again (System R semantics).
+        """
+        self._require_open()
+        if savepoint._depth > len(self._chain) - 1:
+            raise InvalidTransactionState(
+                "savepoint is no longer on the chain"
+            )
+        while len(self._chain) > savepoint._depth:
+            frame = self._chain.pop()
+            if frame.is_active:
+                frame.abort()
+        # Reopen a working frame at the savepoint.
+        self._chain.append(self._chain[-1].begin_child())
+
+    def rollback_all(self) -> None:
+        """Undo everything since the session started (the session stays
+        usable)."""
+        self._require_open()
+        while len(self._chain) > 1:
+            frame = self._chain.pop()
+            if frame.is_active:
+                frame.abort()
+        first = self._chain.pop()
+        if first.is_active:
+            first.abort()
+        self._chain.append(self._root.begin_child())
+
+    def commit(self, value: Any = None) -> None:
+        """Fold up every open frame and commit the wrapped transaction."""
+        self._require_open()
+        while self._chain:
+            frame = self._chain.pop()
+            if frame.is_active:
+                frame.commit()
+        self._root.commit(value)
+
+    def abort(self) -> None:
+        """Abort the wrapped transaction (and every frame with it)."""
+        self._require_open()
+        self._chain.clear()
+        self._root.abort()

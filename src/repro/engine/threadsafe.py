@@ -1,0 +1,160 @@
+"""A thread-safe facade over the engine, with blocking lock waits.
+
+The core engine is deliberately single-threaded and non-blocking (the
+simulator supplies concurrency).  Applications that want to drive one
+engine from several Python threads can wrap it in
+:class:`ThreadSafeEngine`: every engine transition runs under one mutex,
+and :meth:`ThreadSafeTransaction.perform` *blocks* on lock conflicts
+using a condition variable signalled by every commit/abort, with
+wound-wait deadlock resolution (older transaction wins, younger restarts
+via :class:`~repro.errors.TransactionAborted`).
+
+The GIL makes true parallelism moot, but the facade gives downstream
+code the familiar blocking API -- and the test suite uses it to check the
+engine under genuinely interleaved thread schedules.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterable, Optional, Union
+
+from repro.core.object_spec import ObjectSpec, Operation
+from repro.engine.engine import Engine
+from repro.engine.policies import LockingPolicy
+from repro.engine.transaction import Transaction
+from repro.errors import (
+    EngineError,
+    LockDenied,
+    TransactionAborted,
+)
+
+
+class ThreadSafeTransaction:
+    """A handle bound to a :class:`ThreadSafeEngine`."""
+
+    def __init__(self, facade: "ThreadSafeEngine", inner: Transaction):
+        self._facade = facade
+        self._inner = inner
+
+    @property
+    def name(self):
+        return self._inner.name
+
+    @property
+    def is_active(self) -> bool:
+        with self._facade._mutex:
+            return self._inner.is_active
+
+    def begin_child(self) -> "ThreadSafeTransaction":
+        with self._facade._mutex:
+            child = self._inner.begin_child()
+        return ThreadSafeTransaction(self._facade, child)
+
+    def perform(
+        self,
+        object_name: str,
+        operation: Operation,
+        timeout: Optional[float] = None,
+    ) -> Any:
+        """Run one access, blocking while conflicting locks are held.
+
+        Raises :class:`~repro.errors.TransactionAborted` when this
+        transaction is wounded by an older one while waiting, and
+        :class:`~repro.errors.LockDenied` on timeout.
+        """
+        return self._facade._perform_blocking(
+            self._inner, object_name, operation, timeout
+        )
+
+    def commit(self, value: Any = None) -> None:
+        with self._facade._mutex:
+            self._inner.commit(value)
+            self._facade._released.notify_all()
+
+    def abort(self) -> None:
+        with self._facade._mutex:
+            self._inner.abort()
+            self._facade._released.notify_all()
+
+    def __enter__(self) -> "ThreadSafeTransaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None:
+            if self.is_active:
+                self.commit()
+        else:
+            if self.is_active:
+                self.abort()
+        return False
+
+
+class ThreadSafeEngine:
+    """Mutex-guarded engine with blocking, wound-wait access waits."""
+
+    def __init__(
+        self,
+        specs: Iterable[ObjectSpec],
+        policy: Union[str, LockingPolicy] = "moss-rw",
+        trace: bool = False,
+    ):
+        self._engine = Engine(specs, policy=policy, trace=trace)
+        self._mutex = threading.Lock()
+        self._released = threading.Condition(self._mutex)
+
+    @property
+    def engine(self) -> Engine:
+        """The wrapped engine (synchronise access yourself)."""
+        return self._engine
+
+    def begin_top(self) -> ThreadSafeTransaction:
+        with self._mutex:
+            inner = self._engine.begin_top()
+        return ThreadSafeTransaction(self, inner)
+
+    def object_value(self, object_name: str) -> Any:
+        with self._mutex:
+            return self._engine.object_value(object_name)
+
+    # ------------------------------------------------------------------
+    # Blocking access with wound-wait
+    # ------------------------------------------------------------------
+    def _age(self, top):
+        return self._engine.started_at.get(top, float("inf"))
+
+    def _perform_blocking(
+        self,
+        txn: Transaction,
+        object_name: str,
+        operation: Operation,
+        timeout: Optional[float],
+    ) -> Any:
+        with self._released:
+            while True:
+                try:
+                    result = txn.perform(object_name, operation)
+                except LockDenied as denial:
+                    my_top = txn.name[:1]
+                    wounded = False
+                    for blocker in denial.blockers:
+                        target = blocker[:1]
+                        if target == my_top:
+                            continue
+                        if self._age(target) > self._age(my_top):
+                            victim = self._engine.transactions.get(target)
+                            if victim is not None and victim.is_active:
+                                victim.abort()
+                                wounded = True
+                    if wounded:
+                        self._released.notify_all()
+                        continue
+                    signalled = self._released.wait(timeout=timeout)
+                    if not signalled:
+                        raise LockDenied(
+                            "timed out waiting for %r" % object_name,
+                            blockers=denial.blockers,
+                        ) from None
+                    continue
+                self._released.notify_all()
+                return result

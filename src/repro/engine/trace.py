@@ -1,0 +1,86 @@
+"""Model-alphabet trace recording for engine runs.
+
+When tracing is enabled the engine emits exactly the operation alphabet of
+the formal model (:mod:`repro.core.events`) in the order its atomic steps
+happen.  The recorder also keeps enough structure (tree shape, access
+classification, commit values) to rebuild a
+:class:`~repro.core.names.SystemType` after the fact, so a finished run can
+be replayed against the R/W Locking system automata and checked for serial
+correctness -- the engine-conformance pipeline of
+:mod:`repro.checking.conformance`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro.core.events import Event
+from repro.core.names import (
+    ROOT,
+    AccessSpec,
+    SystemType,
+    TransactionName,
+)
+from repro.core.object_spec import ObjectSpec, Operation
+
+
+class TraceRecorder:
+    """Collects an engine run's events and its emergent system type."""
+
+    def __init__(self):
+        self.events: List[Event] = []
+        self._children: Dict[TransactionName, List[TransactionName]] = {
+            ROOT: []
+        }
+        self._accesses: Dict[TransactionName, AccessSpec] = {}
+        self.commit_values: Dict[TransactionName, Any] = {}
+
+    def record(self, event: Event) -> None:
+        """Append one event to the trace."""
+        self.events.append(event)
+
+    def record_internal(self, name: TransactionName) -> None:
+        """Register *name* as an internal transaction node."""
+        mother = name[:-1]
+        self._children.setdefault(mother, []).append(name)
+        self._children.setdefault(name, [])
+
+    def record_access(
+        self,
+        name: TransactionName,
+        object_name: str,
+        operation: Operation,
+    ) -> None:
+        """Register *name* as an access leaf."""
+        mother = name[:-1]
+        self._children.setdefault(mother, []).append(name)
+        self._accesses[name] = AccessSpec(object_name, operation)
+
+    def record_commit_value(
+        self, name: TransactionName, value: Any
+    ) -> None:
+        self.commit_values[name] = value
+
+    def schedule(self) -> Tuple[Event, ...]:
+        """The recorded events as an immutable schedule."""
+        return tuple(self.events)
+
+    def system_type(self, specs: Dict[str, ObjectSpec]) -> SystemType:
+        """Rebuild the concrete system type this run inhabited."""
+        return SystemType(self._children, self._accesses, specs)
+
+
+class NullRecorder:
+    """A recorder that drops everything (tracing disabled)."""
+
+    def record(self, event: Event) -> None:
+        pass
+
+    def record_internal(self, name: TransactionName) -> None:
+        pass
+
+    def record_access(self, name, object_name, operation) -> None:
+        pass
+
+    def record_commit_value(self, name, value) -> None:
+        pass

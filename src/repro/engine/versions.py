@@ -1,0 +1,72 @@
+"""Per-holder version maps: the engine's ``map`` component of M(X).
+
+Moss' state-restoration data is a function from write-lockholders to object
+states.  :class:`VersionMap` implements it with the three operations the
+algorithm needs: install a version for a new write-lockholder, promote a
+committing holder's version to its parent, and discard the versions of an
+aborted subtree.  ``current(chain)`` returns the version of the least
+(deepest) write-lockholder, i.e. "the current state of X".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from repro.core.names import ROOT, TransactionName, is_descendant, parent
+from repro.errors import EngineError
+
+
+class VersionMap:
+    """Versions of one object, keyed by write-lockholder."""
+
+    def __init__(self, initial: Any):
+        self._versions: Dict[TransactionName, Any] = {ROOT: initial}
+
+    def holders(self) -> Tuple[TransactionName, ...]:
+        """Transactions with a stored version, sorted."""
+        return tuple(sorted(self._versions))
+
+    def has(self, holder: TransactionName) -> bool:
+        return holder in self._versions
+
+    def get(self, holder: TransactionName) -> Any:
+        try:
+            return self._versions[holder]
+        except KeyError:
+            raise EngineError("no version for %r" % (holder,)) from None
+
+    def install(self, holder: TransactionName, value: Any) -> None:
+        """Store *value* as *holder*'s version (overwrites)."""
+        self._versions[holder] = value
+
+    def promote(self, holder: TransactionName) -> None:
+        """Pass *holder*'s version to its parent (INFORM_COMMIT effect)."""
+        if holder not in self._versions:
+            return
+        mother = parent(holder)
+        if mother is None:
+            raise EngineError("cannot promote the root version")
+        self._versions[mother] = self._versions.pop(holder)
+
+    def discard_subtree(self, doomed: TransactionName) -> int:
+        """Drop versions of *doomed* and its descendants; return the count."""
+        victims = [
+            holder
+            for holder in self._versions
+            if is_descendant(holder, doomed)
+        ]
+        for holder in victims:
+            del self._versions[holder]
+        return len(victims)
+
+    def deepest(self) -> TransactionName:
+        """The least (most deeply nested) holder with a version."""
+        return max(self._versions, key=len)
+
+    def current(self) -> Any:
+        """The current state of the object: the deepest holder's version.
+
+        Valid whenever the write-lockholders form a chain, which Moss'
+        grant rule maintains (Lemma 21).
+        """
+        return self._versions[self.deepest()]

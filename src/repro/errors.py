@@ -1,0 +1,91 @@
+"""Exception hierarchy shared by every subpackage of :mod:`repro`.
+
+The library distinguishes three failure families:
+
+* **Model errors** -- misuse of the formal I/O-automaton machinery, e.g.
+  applying an operation that is not enabled, or composing automata whose
+  output sets overlap.
+* **Protocol errors** -- violations of the paper's well-formedness
+  conditions detected while checking or constructing schedules.
+* **Engine errors** -- runtime failures of the executable nested-transaction
+  engine: aborted transactions, deadlocks, use of dead handles.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class ModelError(ReproError):
+    """Misuse of the I/O-automaton model machinery."""
+
+
+class NotEnabledError(ModelError):
+    """An operation was applied in a state where it is not enabled."""
+
+
+class CompositionError(ModelError):
+    """Automata cannot be composed (e.g. overlapping output operations)."""
+
+
+class WellFormednessError(ReproError):
+    """A sequence of operations violates a well-formedness condition."""
+
+
+class SystemTypeError(ReproError):
+    """A transaction name or access does not fit the declared system type."""
+
+
+class SerializationFailure(ReproError):
+    """The serializer could not rearrange a schedule.
+
+    Raised when the Lemma 33 construction cannot produce a write-equivalent
+    serial schedule.  In a correct implementation of the model this never
+    happens for genuine R/W Locking schedules; it fires when the input is
+    not actually a concurrent schedule of the system.
+    """
+
+
+class EngineError(ReproError):
+    """Base class for executable-engine failures."""
+
+
+class TransactionAborted(EngineError):
+    """The operation's transaction (or one of its ancestors) was aborted."""
+
+    def __init__(self, transaction_id, reason=""):
+        self.transaction_id = transaction_id
+        self.reason = reason
+        message = "transaction %r aborted" % (transaction_id,)
+        if reason:
+            message = "%s: %s" % (message, reason)
+        super().__init__(message)
+
+
+class DeadlockDetected(EngineError):
+    """A lock request would close a cycle in the waits-for graph."""
+
+    def __init__(self, victim, cycle):
+        self.victim = victim
+        self.cycle = list(cycle)
+        super().__init__(
+            "deadlock: victim %r in cycle %s" % (victim, self.cycle)
+        )
+
+
+class InvalidTransactionState(EngineError):
+    """An engine call is illegal for the transaction's current status."""
+
+
+class LockDenied(EngineError):
+    """A non-blocking lock request could not be granted.
+
+    ``blockers`` holds the (non-ancestor, conflicting) lockholder names so
+    callers can register waits-for edges and retry after they return.
+    """
+
+    def __init__(self, message, blockers=()):
+        self.blockers = frozenset(blockers)
+        super().__init__(message)

@@ -1,0 +1,43 @@
+"""I/O automaton substrate (Section 2 of the paper).
+
+This package implements the computational model the paper builds on:
+input/output automata that interact by synchronising on shared operations,
+their composition, executions and schedules, and explorers that enumerate
+or sample the schedule space of a composed (closed) system.
+
+Key exports:
+
+* :class:`~repro.ioa.automaton.Automaton` -- base class for components.
+* :class:`~repro.ioa.composition.Composition` -- parallel composition with
+  pairwise-disjoint outputs.
+* :mod:`~repro.ioa.execution` -- schedules and projections.
+* :mod:`~repro.ioa.explorer` -- exhaustive and randomised exploration.
+"""
+
+from repro.ioa.automaton import Automaton
+from repro.ioa.composition import Composition
+from repro.ioa.execution import (
+    Execution,
+    project,
+    project_name,
+    schedule_of,
+)
+from repro.ioa.explorer import (
+    ExplorationResult,
+    explore_exhaustive,
+    random_schedule,
+    random_schedules,
+)
+
+__all__ = [
+    "Automaton",
+    "Composition",
+    "Execution",
+    "ExplorationResult",
+    "explore_exhaustive",
+    "project",
+    "project_name",
+    "random_schedule",
+    "random_schedules",
+    "schedule_of",
+]

@@ -1,0 +1,172 @@
+"""The I/O automaton base class.
+
+An I/O automaton (Section 2 of the paper) has a set of states with
+designated start states, a set of *operations* each classified as input or
+output, and a transition relation.  The model's **Input Condition** requires
+every input operation to be enabled in every state: an automaton may never
+refuse an input.
+
+This implementation keeps the state *inside* the automaton object (mutable,
+for speed) and exposes :meth:`Automaton.snapshot` / :meth:`Automaton.restore`
+so explorers can backtrack.  Operations are arbitrary hashable values -- in
+:mod:`repro.core` they are the frozen event dataclasses of
+:mod:`repro.core.events`.
+
+Nondeterminism is expressed in two places:
+
+* several output operations may be enabled at once
+  (:meth:`Automaton.enabled_outputs` enumerates them), and
+* an operation may itself be parameterised (e.g. a scheduler may emit
+  ``CREATE(T)`` for any eligible ``T``); such families are expanded into
+  individual operations by ``enabled_outputs``.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Hashable, Iterable, Iterator, List, Sequence
+
+from repro.errors import NotEnabledError
+
+Action = Hashable
+
+
+class Automaton:
+    """Base class for I/O automaton components.
+
+    Subclasses must implement :meth:`is_input`, :meth:`is_output`,
+    :meth:`enabled_outputs` and :meth:`_apply`, and should list the names of
+    their mutable state attributes in :attr:`state_attrs` so that the default
+    snapshot/restore machinery can deep-copy them.
+    """
+
+    #: Names of instance attributes that constitute the automaton state.
+    state_attrs: Sequence[str] = ()
+
+    def __init__(self, name: str):
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Signature
+    # ------------------------------------------------------------------
+    def is_input(self, action: Action) -> bool:
+        """Return True if *action* is an input operation of this automaton."""
+        raise NotImplementedError
+
+    def is_output(self, action: Action) -> bool:
+        """Return True if *action* is an output operation of this automaton."""
+        raise NotImplementedError
+
+    def has_action(self, action: Action) -> bool:
+        """Return True if *action* is in this automaton's signature."""
+        return self.is_input(action) or self.is_output(action)
+
+    # ------------------------------------------------------------------
+    # Transitions
+    # ------------------------------------------------------------------
+    def enabled_outputs(self) -> Iterator[Action]:
+        """Yield every output operation enabled in the current state."""
+        raise NotImplementedError
+
+    def output_enabled(self, action: Action) -> bool:
+        """Return True if *action* is an output enabled in the current state.
+
+        The default implementation scans :meth:`enabled_outputs`; subclasses
+        with large enabled sets may override it with a direct precondition
+        check.
+        """
+        return any(action == candidate for candidate in self.enabled_outputs())
+
+    def _apply(self, action: Action) -> None:
+        """Perform the state change for *action* (already validated)."""
+        raise NotImplementedError
+
+    def apply(self, action: Action) -> None:
+        """Execute one step of the automaton.
+
+        Inputs are always accepted (the Input Condition).  Outputs are only
+        accepted when enabled; applying a disabled output raises
+        :class:`~repro.errors.NotEnabledError`.
+        """
+        if self.is_input(action):
+            self._apply(action)
+            return
+        if self.is_output(action):
+            if not self.output_enabled(action):
+                raise NotEnabledError(
+                    "%s: output %r not enabled" % (self.name, action)
+                )
+            self._apply(action)
+            return
+        raise NotEnabledError(
+            "%s: action %r not in signature" % (self.name, action)
+        )
+
+    # ------------------------------------------------------------------
+    # State snapshots (for explorers)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Any:
+        """Return an opaque, independent copy of the current state."""
+        return copy.deepcopy(
+            {attr: getattr(self, attr) for attr in self.state_attrs}
+        )
+
+    def restore(self, state: Any) -> None:
+        """Restore a state previously returned by :meth:`snapshot`."""
+        for attr, value in copy.deepcopy(state).items():
+            setattr(self, attr, value)
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def run(self, actions: Iterable[Action]) -> "Automaton":
+        """Apply *actions* in order; return self for chaining."""
+        for action in actions:
+            self.apply(action)
+        return self
+
+    def accepts(self, actions: Iterable[Action]) -> bool:
+        """Return True if *actions* is a schedule of this automaton.
+
+        The automaton state is restored afterwards, so this is a pure test.
+        """
+        saved = self.snapshot()
+        try:
+            for action in actions:
+                self.apply(action)
+            return True
+        except NotEnabledError:
+            return False
+        finally:
+            self.restore(saved)
+
+    def enabled_after(self, actions: Sequence[Action], action: Action) -> bool:
+        """Return True if *action* is enabled after running *actions*.
+
+        Implements the paper's "pi is enabled after a schedule alpha":
+        inputs are enabled after every schedule; outputs are tested against
+        the state reached.  The current state is preserved.
+        """
+        saved = self.snapshot()
+        try:
+            for step in actions:
+                self.apply(step)
+            if self.is_input(action):
+                return True
+            return self.output_enabled(action)
+        except NotEnabledError:
+            return False
+        finally:
+            self.restore(saved)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<%s %r>" % (type(self).__name__, self.name)
+
+
+def sorted_actions(actions: Iterable[Action]) -> List[Action]:
+    """Return *actions* in a deterministic order (by repr).
+
+    Explorers use this so exhaustive enumeration and seeded random walks are
+    reproducible across runs regardless of set/dict iteration order.
+    """
+    return sorted(actions, key=repr)

@@ -1,0 +1,114 @@
+"""Composition of I/O automata.
+
+A set of I/O automata may be composed when their output operation sets are
+pairwise disjoint, so every output of the system is triggered by exactly one
+component.  During a step, every component that has the operation in its
+signature performs it; the others stay put.
+
+Output disjointness is checked dynamically: signatures here are predicates
+(the operation alphabets of nested-transaction systems are infinite), so the
+check happens per-operation, at application and enumeration time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Sequence, Tuple
+
+from repro.errors import CompositionError, NotEnabledError
+from repro.ioa.automaton import Action, Automaton
+
+
+class Composition(Automaton):
+    """The parallel composition of a sequence of component automata.
+
+    The composition is itself an :class:`~repro.ioa.automaton.Automaton`: an
+    operation is an output if it is an output of some component, an input if
+    it is an input of some component and an output of none.
+    """
+
+    def __init__(self, name: str, components: Sequence[Automaton]):
+        super().__init__(name)
+        names = [component.name for component in components]
+        if len(set(names)) != len(names):
+            raise CompositionError("duplicate component names: %r" % (names,))
+        self.components: Tuple[Automaton, ...] = tuple(components)
+        self._by_name = {component.name: component for component in components}
+
+    def component(self, name: str) -> Automaton:
+        """Return the component automaton called *name*."""
+        return self._by_name[name]
+
+    # ------------------------------------------------------------------
+    # Signature
+    # ------------------------------------------------------------------
+    def _output_owners(self, action: Action) -> List[Automaton]:
+        return [c for c in self.components if c.is_output(action)]
+
+    def is_output(self, action: Action) -> bool:
+        return any(c.is_output(action) for c in self.components)
+
+    def is_input(self, action: Action) -> bool:
+        if self.is_output(action):
+            return False
+        return any(c.is_input(action) for c in self.components)
+
+    # ------------------------------------------------------------------
+    # Transitions
+    # ------------------------------------------------------------------
+    def enabled_outputs(self) -> Iterator[Action]:
+        for component in self.components:
+            for action in component.enabled_outputs():
+                yield action
+
+    def output_enabled(self, action: Action) -> bool:
+        owners = self._output_owners(action)
+        if not owners:
+            return False
+        if len(owners) > 1:
+            raise CompositionError(
+                "operation %r is an output of several components: %r"
+                % (action, [owner.name for owner in owners])
+            )
+        return owners[0].output_enabled(action)
+
+    def _apply(self, action: Action) -> None:
+        participants = [c for c in self.components if c.has_action(action)]
+        if not participants:
+            raise NotEnabledError(
+                "%s: no component has action %r" % (self.name, action)
+            )
+        for component in participants:
+            component.apply(action)
+
+    def apply(self, action: Action) -> None:
+        # Validate single ownership before mutating anything.
+        if self.is_output(action):
+            owners = self._output_owners(action)
+            if len(owners) > 1:
+                raise CompositionError(
+                    "operation %r is an output of several components: %r"
+                    % (action, [owner.name for owner in owners])
+                )
+            if not owners[0].output_enabled(action):
+                raise NotEnabledError(
+                    "%s: output %r not enabled at %s"
+                    % (self.name, action, owners[0].name)
+                )
+            self._apply(action)
+            return
+        if self.is_input(action):
+            self._apply(action)
+            return
+        raise NotEnabledError(
+            "%s: action %r not in signature" % (self.name, action)
+        )
+
+    # ------------------------------------------------------------------
+    # State snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Any:
+        return tuple(component.snapshot() for component in self.components)
+
+    def restore(self, state: Any) -> None:
+        for component, piece in zip(self.components, state):
+            component.restore(piece)

@@ -1,0 +1,105 @@
+"""Executions, schedules and projections.
+
+A *schedule* is the operation subsequence of an execution; because we reason
+operationally (as the paper does), schedules -- plain sequences of actions --
+are the central object throughout the library.  This module provides the
+small algebra used everywhere: projection ``alpha | A`` onto a component,
+and the :class:`Execution` record produced by the explorers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Sequence, Tuple
+
+from repro.ioa.automaton import Action, Automaton
+
+Schedule = Tuple[Action, ...]
+
+
+@dataclass(frozen=True)
+class Execution:
+    """A finite execution: alternating states and operations.
+
+    ``states[0]`` is the start state; ``states[i + 1]`` is the state after
+    ``actions[i]``.  States are the opaque snapshots of the automaton that
+    produced the execution.
+    """
+
+    actions: Schedule
+    states: Tuple[Any, ...] = field(default=(), repr=False)
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+    @property
+    def schedule(self) -> Schedule:
+        """The operation subsequence of this execution."""
+        return self.actions
+
+
+def schedule_of(actions: Sequence[Action]) -> Schedule:
+    """Normalise *actions* into the canonical immutable schedule form."""
+    return tuple(actions)
+
+
+def project(alpha: Sequence[Action], automaton: Automaton) -> Schedule:
+    """Return ``alpha | A``: the subsequence of operations of *automaton*.
+
+    Lemma-level fact used constantly in the paper: if ``alpha`` is a schedule
+    of a system with component ``A``, then ``alpha | A`` is a schedule of
+    ``A``.
+    """
+    return tuple(action for action in alpha if automaton.has_action(action))
+
+
+def project_name(
+    alpha: Sequence[Action],
+    belongs: Callable[[Action], bool],
+) -> Schedule:
+    """Project *alpha* onto the operations selected by *belongs*.
+
+    Generalises :func:`project` for signature predicates that are not tied
+    to an instantiated automaton (e.g. "all operations of transaction T").
+    """
+    return tuple(action for action in alpha if belongs(action))
+
+
+def is_subsequence(beta: Sequence[Action], alpha: Sequence[Action]) -> bool:
+    """Return True if *beta* is a (not necessarily contiguous) subsequence."""
+    position = 0
+    for action in alpha:
+        if position < len(beta) and beta[position] == action:
+            position += 1
+    return position == len(beta)
+
+
+def remove_events(
+    alpha: Sequence[Action], removed: Sequence[Action]
+) -> Schedule:
+    """Return ``alpha - removed``: drop one occurrence of each event.
+
+    The paper writes ``beta(alpha - beta)`` for sequence difference; events
+    may repeat, so removal is multiset-style, earliest occurrence first.
+    """
+    remaining: List[Action] = list(removed)
+    kept: List[Action] = []
+    for action in alpha:
+        if action in remaining:
+            remaining.remove(action)
+        else:
+            kept.append(action)
+    return tuple(kept)
+
+
+def same_events(alpha: Sequence[Action], beta: Sequence[Action]) -> bool:
+    """Return True if *alpha* and *beta* contain the same events (as multisets)."""
+    if len(alpha) != len(beta):
+        return False
+    pool: List[Action] = list(beta)
+    for action in alpha:
+        if action in pool:
+            pool.remove(action)
+        else:
+            return False
+    return not pool

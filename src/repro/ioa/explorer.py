@@ -1,0 +1,158 @@
+"""Exploration of the schedule space of a closed composed system.
+
+The nested-transaction systems of :mod:`repro.core` are *closed*: the
+environment (the root transaction T0) is itself a component, so every
+operation of the composition is an output of exactly one component.
+Exploring the system therefore reduces to repeatedly choosing among the
+enabled output operations.
+
+Two explorers are provided:
+
+* :func:`explore_exhaustive` -- bounded DFS enumerating every schedule up to
+  a depth limit (used to *prove by enumeration* properties of small system
+  types, e.g. the exclusive-locking degeneration E8).
+* :func:`random_schedule` / :func:`random_schedules` -- seeded random walks
+  (used by the statistical validation harness, E1-E7).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from repro.ioa.automaton import Action, Automaton, sorted_actions
+from repro.ioa.execution import Schedule
+
+
+@dataclass
+class ExplorationResult:
+    """Summary of an exhaustive exploration."""
+
+    schedules: List[Schedule] = field(default_factory=list)
+    maximal_schedules: List[Schedule] = field(default_factory=list)
+    truncated: bool = False
+    states_visited: int = 0
+
+    def __len__(self) -> int:
+        return len(self.schedules)
+
+
+def explore_exhaustive(
+    automaton: Automaton,
+    max_depth: int,
+    max_schedules: Optional[int] = None,
+    prune: Optional[Callable[[Schedule], bool]] = None,
+    collect_all: bool = True,
+) -> ExplorationResult:
+    """Enumerate schedules of *automaton* by depth-first search.
+
+    Parameters
+    ----------
+    automaton:
+        The (usually composed) closed system to explore.  Its state is
+        restored on return.
+    max_depth:
+        Maximum schedule length.  Schedules cut off at this bound are
+        recorded and ``truncated`` is set.
+    max_schedules:
+        Optional cap on the number of schedules enumerated.
+    prune:
+        Optional predicate on the schedule so far; when it returns True the
+        branch is abandoned (the pruned prefix is still recorded as a
+        schedule when *collect_all* is set).
+    collect_all:
+        When True every prefix is recorded in ``schedules``; otherwise only
+        maximal schedules (no enabled outputs, or depth bound hit) are kept.
+
+    Returns a :class:`ExplorationResult`.  The empty schedule is always a
+    schedule of the system and is included when *collect_all* is set.
+    """
+    result = ExplorationResult()
+    saved = automaton.snapshot()
+
+    def budget_left() -> bool:
+        if max_schedules is None:
+            return True
+        count = len(result.schedules) + len(result.maximal_schedules)
+        return count < max_schedules
+
+    def visit(prefix: Tuple[Action, ...]) -> None:
+        result.states_visited += 1
+        if collect_all:
+            result.schedules.append(prefix)
+        if not budget_left():
+            result.truncated = True
+            return
+        if prune is not None and prefix and prune(prefix):
+            return
+        if len(prefix) >= max_depth:
+            result.truncated = True
+            result.maximal_schedules.append(prefix)
+            return
+        enabled = sorted_actions(set(automaton.enabled_outputs()))
+        if not enabled:
+            result.maximal_schedules.append(prefix)
+            return
+        here = automaton.snapshot()
+        for action in enabled:
+            if not budget_left():
+                result.truncated = True
+                break
+            automaton.apply(action)
+            visit(prefix + (action,))
+            automaton.restore(here)
+
+    try:
+        visit(())
+    finally:
+        automaton.restore(saved)
+    return result
+
+
+def random_schedule(
+    automaton: Automaton,
+    max_steps: int,
+    rng: random.Random,
+    weight: Optional[Callable[[Action], float]] = None,
+) -> Schedule:
+    """Run one seeded random walk and return the resulting schedule.
+
+    At each step one enabled output is chosen uniformly (or by *weight*);
+    the walk stops when nothing is enabled or *max_steps* is reached.  The
+    automaton's state is restored on return.
+    """
+    saved = automaton.snapshot()
+    trace: List[Action] = []
+    try:
+        for _ in range(max_steps):
+            enabled = sorted_actions(set(automaton.enabled_outputs()))
+            if not enabled:
+                break
+            if weight is None:
+                action = rng.choice(enabled)
+            else:
+                weights = [max(weight(candidate), 0.0) for candidate in enabled]
+                total = sum(weights)
+                if total <= 0.0:
+                    action = rng.choice(enabled)
+                else:
+                    action = rng.choices(enabled, weights=weights, k=1)[0]
+            automaton.apply(action)
+            trace.append(action)
+    finally:
+        automaton.restore(saved)
+    return tuple(trace)
+
+
+def random_schedules(
+    automaton: Automaton,
+    count: int,
+    max_steps: int,
+    seed: int = 0,
+    weight: Optional[Callable[[Action], float]] = None,
+) -> Iterator[Schedule]:
+    """Yield *count* independent seeded random schedules."""
+    rng = random.Random(seed)
+    for _ in range(count):
+        yield random_schedule(automaton, max_steps, rng, weight=weight)

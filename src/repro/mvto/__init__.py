@@ -1,0 +1,19 @@
+"""A Reed-style multiversion timestamp-ordering baseline.
+
+The paper cites Reed [R] as the other road to nested-transaction data
+management: multiversion timestamp concurrency control.  This package
+implements a simplified nested MVTO engine behind the same handle API as
+:mod:`repro.engine`, so the simulation runner can sweep it as policy
+``"mvto"`` (benchmark E12).
+
+Simplifications relative to Reed's full design (documented in DESIGN.md):
+timestamps are per *top-level* transaction (a whole nested tree shares its
+root's timestamp; subtransaction aborts discard buffered writes via the
+same per-node version-map discipline Moss uses), and readers wait for
+pending earlier-timestamp writers instead of reading around them.
+"""
+
+from repro.mvto.mv_engine import MVTOEngine
+from repro.mvto.mv_object import MVObject, Version
+
+__all__ = ["MVObject", "MVTOEngine", "Version"]

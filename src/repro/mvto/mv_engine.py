@@ -1,0 +1,253 @@
+"""The MVTO engine facade.
+
+Exposes the same handle API as :class:`repro.engine.Engine` (begin_top /
+begin_child / perform / commit / abort plus the runner hooks
+``fresh_blockers`` / ``stats`` / ``started_at``), implemented with
+multiversion timestamp ordering:
+
+* each top-level tree runs at one timestamp (its admission order);
+* reads see the latest committed version at or before their timestamp --
+  or their own tree's tentative value -- and *wait* (``LockDenied``) while
+  an earlier-timestamp writer is still pending on the object;
+* writes abort the tree (``TransactionAborted``) when a later-timestamp
+  transaction has already read or written the version they would
+  supersede; restarted trees take a fresh, larger timestamp;
+* subtransaction commit/abort moves or discards the tree-internal buffer
+  entries exactly like Moss' version map, so partial aborts are isolated.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional, Set
+
+from repro.core.names import TransactionName, pretty_name
+from repro.core.object_spec import ObjectSpec, Operation
+from repro.engine.transaction import Transaction, TransactionStatus
+from repro.errors import (
+    EngineError,
+    InvalidTransactionState,
+    LockDenied,
+    TransactionAborted,
+)
+from repro.mvto.mv_object import MVObject
+
+
+class _MVTOPolicy:
+    """Minimal policy shim so generic reporting can name the scheme."""
+
+    name = "mvto"
+    moves_locks = False
+    escalates_aborts = False
+
+
+class MVTOEngine:
+    """A nested-transaction engine using multiversion timestamp ordering."""
+
+    #: Waits always point from larger to smaller timestamps, so waits-for
+    #: cycles cannot form and no external deadlock resolution is needed.
+    needs_deadlock_resolution = False
+
+    def __init__(self, specs: Iterable[ObjectSpec]):
+        specs = list(specs)
+        self.objects: Dict[str, MVObject] = {
+            spec.name: MVObject(spec) for spec in specs
+        }
+        self.specs: Dict[str, ObjectSpec] = {
+            spec.name: spec for spec in specs
+        }
+        self.policy = _MVTOPolicy()
+        self.transactions: Dict[TransactionName, Transaction] = {}
+        self.started_at: Dict[TransactionName, float] = {}
+        self._next_top = 0
+        self._next_ts = 1
+        self._tree_ts: Dict[TransactionName, int] = {}
+        #: top-level name per live timestamp (for blocker reporting)
+        self._ts_owner: Dict[int, TransactionName] = {}
+        self.stats = {
+            "accesses": 0,
+            "denials": 0,
+            "commits": 0,
+            "aborts": 0,
+            "deadlocks": 0,
+            "ts_aborts": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Handles (same protocol as repro.engine.Engine)
+    # ------------------------------------------------------------------
+    def begin_top(self, at: Optional[float] = None) -> Transaction:
+        name = (self._next_top,)
+        self._next_top += 1
+        txn = Transaction(self, name, parent=None)
+        self.transactions[name] = txn
+        self.started_at[name] = at if at is not None else float(self._next_ts)
+        ts = self._next_ts
+        self._next_ts += 1
+        self._tree_ts[name] = ts
+        self._ts_owner[ts] = name
+        return txn
+
+    def _begin_child(self, parent: Transaction) -> Transaction:
+        name = parent._claim_child_slot()
+        txn = Transaction(self, name, parent=parent)
+        self.transactions[name] = txn
+        parent.children.append(txn)
+        return txn
+
+    def transaction(self, name: TransactionName) -> Transaction:
+        try:
+            return self.transactions[name]
+        except KeyError:
+            raise EngineError("unknown transaction %r" % (name,)) from None
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _top_of(self, txn: Transaction) -> TransactionName:
+        return txn.name[:1]
+
+    def _ts_of(self, txn: Transaction) -> int:
+        return self._tree_ts[self._top_of(txn)]
+
+    def _check_not_orphan(self, txn: Transaction) -> None:
+        node: Optional[Transaction] = txn
+        while node is not None:
+            if node.status is TransactionStatus.ABORTED:
+                raise TransactionAborted(
+                    txn.name,
+                    "ancestor %s aborted" % pretty_name(node.name),
+                )
+            node = node.parent
+
+    def fresh_blockers(
+        self,
+        txn: Transaction,
+        object_name: str,
+        operation: Operation,
+    ) -> Set[TransactionName]:
+        """Pending earlier writers this access would have to wait for."""
+        mv_object = self.objects[object_name]
+        ts = self._ts_of(txn)
+        owners = set()
+        for wts in mv_object.earlier_pending_writers(ts):
+            owner = self._ts_owner.get(wts)
+            if owner is not None and owner != self._top_of(txn):
+                owners.add(owner)
+        return owners
+
+    # ------------------------------------------------------------------
+    # Access / commit / abort (called via Transaction handles)
+    # ------------------------------------------------------------------
+    def _perform(
+        self,
+        txn: Transaction,
+        object_name: str,
+        operation: Operation,
+    ) -> Any:
+        self._check_not_orphan(txn)
+        mv_object = self.objects.get(object_name)
+        if mv_object is None:
+            raise EngineError("unknown object %r" % object_name)
+        ts = self._ts_of(txn)
+        top = self._top_of(txn)
+        buffer = mv_object.buffers.get(ts)
+        own_dirty = buffer is not None and buffer.dirty()
+        if not own_dirty:
+            # Wait for pending earlier writers before touching committed
+            # state (both reads and writes keep timestamp order this way).
+            blockers = self.fresh_blockers(txn, object_name, operation)
+            if blockers:
+                self.stats["denials"] += 1
+                raise LockDenied(
+                    "mvto: ts=%d waits on %s at %s"
+                    % (ts, sorted(blockers), object_name),
+                    blockers=blockers,
+                )
+        version = mv_object.version_before(ts)
+        if operation.is_read:
+            self.stats["accesses"] += 1
+            if own_dirty:
+                base = buffer.current()
+                result, _ = mv_object.spec.apply(base, operation)
+                return result
+            version.rts = max(version.rts, ts)
+            result, _ = mv_object.spec.apply(version.value, operation)
+            return result
+        # Write path: timestamp-order checks against the committed chain.
+        if not own_dirty and (
+            mv_object.later_committed_write(ts) or version.rts > ts
+        ):
+            self.stats["ts_aborts"] += 1
+            self._abort_tree(top)
+            raise TransactionAborted(
+                txn.name, "timestamp conflict at %s" % object_name
+            )
+        self.stats["accesses"] += 1
+        live_buffer = mv_object.buffer_for(ts, version.value)
+        base = live_buffer.current()
+        result, new_value = mv_object.spec.apply(base, operation)
+        node = txn.name + (txn._next_child,)
+        txn._claim_child_slot()
+        live_buffer.install(node, new_value)
+        # A freshly-written node buffer must merge into the writing
+        # transaction immediately (the access "subtransaction" commits at
+        # once, as in the locking engine).
+        live_buffer.promote(node)
+        mv_object.pending_writers.add(ts)
+        return result
+
+    def _commit(self, txn: Transaction, value: Any) -> None:
+        self._check_not_orphan(txn)
+        live = txn.live_children()
+        if live:
+            raise InvalidTransactionState(
+                "%s cannot commit with live children" % pretty_name(txn.name)
+            )
+        txn.status = TransactionStatus.COMMITTED
+        txn.value = value
+        self.stats["commits"] += 1
+        ts = self._ts_of(txn)
+        if txn.is_top_level:
+            for mv_object in self.objects.values():
+                mv_object.commit_tree(ts)
+            self._ts_owner.pop(ts, None)
+        else:
+            for mv_object in self.objects.values():
+                live_buffer = mv_object.buffers.get(ts)
+                if live_buffer is not None:
+                    live_buffer.promote(txn.name)
+
+    def _abort(self, txn: Transaction) -> None:
+        if txn.is_top_level:
+            self._abort_tree(txn.name)
+            return
+        ts = self._ts_of(txn)
+        self._mark_aborted_subtree(txn)
+        self.stats["aborts"] += 1
+        for mv_object in self.objects.values():
+            live_buffer = mv_object.buffers.get(ts)
+            if live_buffer is not None:
+                live_buffer.discard_subtree(txn.name)
+
+    def _abort_tree(self, top: TransactionName) -> None:
+        txn = self.transactions[top]
+        if txn.is_active:
+            self._mark_aborted_subtree(txn)
+        self.stats["aborts"] += 1
+        ts = self._tree_ts[top]
+        for mv_object in self.objects.values():
+            mv_object.abort_tree(ts)
+        self._ts_owner.pop(ts, None)
+
+    def _mark_aborted_subtree(self, txn: Transaction) -> None:
+        txn.status = TransactionStatus.ABORTED
+        for child in txn.children:
+            if child.is_active:
+                self._mark_aborted_subtree(child)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def object_value(self, object_name: str, committed: bool = True) -> Any:
+        mv_object = self.objects[object_name]
+        return mv_object.versions[-1].value

@@ -1,0 +1,34 @@
+"""Discrete-event simulation substrate for the system evaluation.
+
+The paper evaluates nothing empirically; this package supplies the testbed
+its motivation implies: workload generators over nested-transaction
+programs, a discrete-event simulator giving accesses duration, and a
+runner that executes workloads against :class:`~repro.engine.Engine`
+instances under each locking policy, collecting throughput / latency /
+abort metrics (benchmarks E9-E14).
+"""
+
+from repro.sim.des import Simulator
+from repro.sim.metrics import RunMetrics
+from repro.sim.runner import SimulationConfig, run_simulation
+from repro.sim.workload import (
+    AccessOp,
+    Block,
+    Program,
+    WorkloadConfig,
+    make_store,
+    make_workload,
+)
+
+__all__ = [
+    "AccessOp",
+    "Block",
+    "Program",
+    "RunMetrics",
+    "SimulationConfig",
+    "Simulator",
+    "WorkloadConfig",
+    "make_store",
+    "make_workload",
+    "run_simulation",
+]

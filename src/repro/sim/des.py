@@ -1,0 +1,53 @@
+"""A minimal discrete-event simulator.
+
+Events are ``(time, sequence, callback)`` triples on a heap; callbacks may
+schedule further events.  The sequence number makes simultaneous events
+fire in scheduling order, so runs are fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+
+class Simulator:
+    """The event loop."""
+
+    def __init__(self):
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._sequence = 0
+        self.now = 0.0
+        self.events_run = 0
+
+    def at(self, time: float, callback: Callable[[], None]) -> None:
+        """Schedule *callback* at absolute *time* (not before now)."""
+        when = max(time, self.now)
+        heapq.heappush(self._heap, (when, self._sequence, callback))
+        self._sequence += 1
+
+    def after(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule *callback* *delay* time units from now."""
+        self.at(self.now + max(delay, 0.0), callback)
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> float:
+        """Run until the heap empties (or a bound is hit); return the time."""
+        while self._heap:
+            if max_events is not None and self.events_run >= max_events:
+                break
+            time, _, callback = self._heap[0]
+            if until is not None and time > until:
+                break
+            heapq.heappop(self._heap)
+            self.now = time
+            self.events_run += 1
+            callback()
+        return self.now
+
+    def pending(self) -> int:
+        """Number of events still scheduled."""
+        return len(self._heap)

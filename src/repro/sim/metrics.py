@@ -1,0 +1,83 @@
+"""Run metrics collected by the simulation runner."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+def percentile(values: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of *values* (0 for an empty list)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(
+        len(ordered) - 1, max(0, int(round(fraction * (len(ordered) - 1))))
+    )
+    return ordered[rank]
+
+
+@dataclass
+class RunMetrics:
+    """Everything a policy-sweep benchmark reports about one run."""
+
+    policy: str = ""
+    committed: int = 0
+    injected_aborts: int = 0
+    deadlock_aborts: int = 0
+    subtree_retries: int = 0
+    program_restarts: int = 0
+    lock_denials: int = 0
+    accesses_done: int = 0
+    accesses_redone: int = 0
+    makespan: float = 0.0
+    latencies: List[float] = field(default_factory=list)
+    wait_time: float = 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Committed top-level transactions per simulated time unit."""
+        if self.makespan <= 0.0:
+            return 0.0
+        return self.committed / self.makespan
+
+    @property
+    def mean_latency(self) -> float:
+        if not self.latencies:
+            return 0.0
+        return sum(self.latencies) / len(self.latencies)
+
+    @property
+    def p50_latency(self) -> float:
+        return percentile(self.latencies, 0.50)
+
+    @property
+    def p95_latency(self) -> float:
+        return percentile(self.latencies, 0.95)
+
+    @property
+    def wasted_access_fraction(self) -> float:
+        """Fraction of access work thrown away by aborts/restarts."""
+        total = self.accesses_done
+        if total <= 0:
+            return 0.0
+        return self.accesses_redone / total
+
+    def row(self) -> Dict[str, float]:
+        """A flat dict for tabular reporting."""
+        return {
+            "policy": self.policy,
+            "committed": self.committed,
+            "throughput": round(self.throughput, 4),
+            "mean_latency": round(self.mean_latency, 2),
+            "p95_latency": round(self.p95_latency, 2),
+            "makespan": round(self.makespan, 2),
+            "deadlock_aborts": self.deadlock_aborts,
+            "injected_aborts": self.injected_aborts,
+            "retries": self.subtree_retries,
+            "restarts": self.program_restarts,
+            "denials": self.lock_denials,
+            "wasted_access_fraction": round(
+                self.wasted_access_fraction, 4
+            ),
+        }

@@ -1,0 +1,218 @@
+"""Workload generation: nested-transaction program trees.
+
+A :class:`Program` is a top-level transaction's script: a :class:`Block`
+of steps, each either an :class:`AccessOp` (touch one object for some
+simulated duration) or a nested :class:`Block` run as a subtransaction.
+Blocks can run their steps sequentially or in parallel (sibling
+concurrency -- the thing nesting buys), can fail with a configured
+probability after doing their work (modelling the "subtransactions which
+can be aborted independently" of the paper's introduction), and carry a
+retry budget for their parent.
+
+:func:`make_workload` generates seeded random workloads: read fraction,
+Zipf-skewed object selection (hotspots), nesting depth/fan-out, failure
+injection.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+from repro.adt import BankAccount, Counter, IntRegister, SetObject
+from repro.core.object_spec import ObjectSpec, Operation
+
+
+@dataclass
+class AccessOp:
+    """One data access: which object, which operation, how long it takes."""
+
+    object_name: str
+    operation: Operation
+    duration: float = 1.0
+
+
+@dataclass
+class Block:
+    """A subtransaction: steps run in order (or in parallel).
+
+    ``fail_prob`` injects an abort after the block's work completes;
+    ``retries`` is how many times the parent re-runs the block (as a fresh
+    subtransaction, redoing the work) before giving up and treating the
+    child as aborted.
+    """
+
+    steps: List[Union["Block", AccessOp]] = field(default_factory=list)
+    parallel: bool = False
+    fail_prob: float = 0.0
+    retries: int = 0
+
+    def access_count(self) -> int:
+        """Total accesses in this block's subtree."""
+        total = 0
+        for step in self.steps:
+            if isinstance(step, AccessOp):
+                total += 1
+            else:
+                total += step.access_count()
+        return total
+
+
+@dataclass
+class Program:
+    """A top-level transaction script."""
+
+    body: Block
+    label: str = ""
+
+    def access_count(self) -> int:
+        return self.body.access_count()
+
+
+@dataclass
+class WorkloadConfig:
+    """Knobs for :func:`make_workload`."""
+
+    programs: int = 50
+    objects: int = 16
+    read_fraction: float = 0.5
+    zipf_skew: float = 0.0
+    depth: int = 2
+    fanout: int = 2
+    accesses_per_block: int = 2
+    parallel_blocks: bool = True
+    access_time: float = 1.0
+    fail_prob: float = 0.0
+    retries: int = 0
+    #: "register" (default) or "mixed" -- rotate registers, counters,
+    #: bank accounts and sets through the store.
+    object_kind: str = "register"
+
+
+def make_store(config: WorkloadConfig) -> List[ObjectSpec]:
+    """The object store a workload runs against."""
+    if config.object_kind == "register":
+        return [
+            IntRegister("r%d" % index) for index in range(config.objects)
+        ]
+    if config.object_kind == "mixed":
+        makers = (
+            lambda index: IntRegister("r%d" % index),
+            lambda index: Counter("r%d" % index),
+            lambda index: BankAccount("r%d" % index, initial=1000),
+            lambda index: SetObject("r%d" % index),
+        )
+        return [
+            makers[index % len(makers)](index)
+            for index in range(config.objects)
+        ]
+    if config.object_kind == "commutative":
+        # Counters driven by effect-only bumps: the workload where
+        # semantic locking shines (benchmark E19).
+        return [
+            Counter("r%d" % index) for index in range(config.objects)
+        ]
+    raise ValueError("unknown object_kind %r" % config.object_kind)
+
+
+_KIND_OPERATIONS = {
+    IntRegister: {
+        "read": lambda rng: IntRegister.read(),
+        "write": lambda rng: IntRegister.add(1),
+    },
+    Counter: {
+        "read": lambda rng: Counter.value(),
+        "write": lambda rng: Counter.increment(rng.randrange(1, 4)),
+    },
+    BankAccount: {
+        "read": lambda rng: BankAccount.balance(),
+        "write": lambda rng: (
+            BankAccount.deposit(rng.randrange(1, 20))
+            if rng.random() < 0.5
+            else BankAccount.withdraw(rng.randrange(1, 20))
+        ),
+    },
+    SetObject: {
+        "read": lambda rng: SetObject.contains(rng.randrange(8)),
+        "write": lambda rng: SetObject.insert(rng.randrange(8)),
+    },
+}
+
+
+def _zipf_weights(count: int, skew: float) -> List[float]:
+    if skew <= 0.0:
+        return [1.0] * count
+    return [1.0 / ((rank + 1) ** skew) for rank in range(count)]
+
+
+def _kind_of(config: WorkloadConfig, index: int) -> type:
+    if config.object_kind == "register":
+        return IntRegister
+    if config.object_kind == "commutative":
+        return Counter
+    kinds = (IntRegister, Counter, BankAccount, SetObject)
+    return kinds[index % len(kinds)]
+
+
+def _random_access(
+    rng: random.Random,
+    config: WorkloadConfig,
+    weights: Sequence[float],
+) -> AccessOp:
+    index = rng.choices(range(config.objects), weights=weights, k=1)[0]
+    name = "r%d" % index
+    if config.object_kind == "commutative":
+        if rng.random() < config.read_fraction:
+            operation = Counter.value()
+        else:
+            operation = Counter.bump(rng.randrange(1, 4))
+        return AccessOp(name, operation, duration=config.access_time)
+    kind = _kind_of(config, index)
+    makers = _KIND_OPERATIONS[kind]
+    if rng.random() < config.read_fraction:
+        operation = makers["read"](rng)
+    else:
+        operation = makers["write"](rng)
+    return AccessOp(name, operation, duration=config.access_time)
+
+
+def _random_block(
+    rng: random.Random,
+    config: WorkloadConfig,
+    weights: Sequence[float],
+    depth: int,
+) -> Block:
+    steps: List[Union[Block, AccessOp]] = []
+    if depth <= 1:
+        for _ in range(config.accesses_per_block):
+            steps.append(_random_access(rng, config, weights))
+    else:
+        for _ in range(config.fanout):
+            steps.append(
+                _random_block(rng, config, weights, depth - 1)
+            )
+    return Block(
+        steps=steps,
+        parallel=config.parallel_blocks,
+        fail_prob=config.fail_prob if depth == 1 else 0.0,
+        retries=config.retries if depth == 1 else 0,
+    )
+
+
+def make_workload(
+    seed: int, config: Optional[WorkloadConfig] = None
+) -> List[Program]:
+    """Generate a seeded random workload."""
+    config = config or WorkloadConfig()
+    rng = random.Random(seed)
+    weights = _zipf_weights(config.objects, config.zipf_skew)
+    programs = []
+    for index in range(config.programs):
+        body = _random_block(rng, config, weights, config.depth)
+        # The top level itself never carries injected failure: aborting the
+        # whole program models a client error, not a subtransaction fault.
+        body.fail_prob = 0.0
+        body.retries = 0
+        programs.append(Program(body=body, label="P%d" % index))
+    return programs

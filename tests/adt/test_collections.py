@@ -1,0 +1,150 @@
+"""Unit tests for Counter, SetObject, FifoQueue, BankAccount, KVMap."""
+
+import pytest
+
+from repro.adt import BankAccount, Counter, FifoQueue, KVMap, SetObject
+
+
+class TestCounter:
+    def test_increment(self):
+        spec = Counter("c")
+        result, new_value = spec.apply(0, Counter.increment(3))
+        assert (result, new_value) == (3, 3)
+
+    def test_decrement(self):
+        spec = Counter("c")
+        result, new_value = spec.apply(10, Counter.decrement(4))
+        assert (result, new_value) == (6, 6)
+
+    def test_value_is_read(self):
+        spec = Counter("c")
+        result, new_value = spec.apply(5, Counter.value())
+        assert (result, new_value) == (5, 5)
+        assert Counter.value().is_read
+
+    def test_initial(self):
+        assert Counter("c", initial=9).initial_value() == 9
+
+
+class TestSetObject:
+    def test_insert_reports_novelty(self):
+        spec = SetObject("s")
+        result, new_value = spec.apply(frozenset(), SetObject.insert("a"))
+        assert result is True
+        assert new_value == frozenset({"a"})
+        result, _ = spec.apply(new_value, SetObject.insert("a"))
+        assert result is False
+
+    def test_remove_reports_presence(self):
+        spec = SetObject("s")
+        value = frozenset({"a"})
+        result, new_value = spec.apply(value, SetObject.remove("a"))
+        assert result is True
+        assert new_value == frozenset()
+        result, _ = spec.apply(new_value, SetObject.remove("a"))
+        assert result is False
+
+    def test_reads(self):
+        spec = SetObject("s", initial={"a", "b"})
+        value = spec.initial_value()
+        assert spec.apply(value, SetObject.contains("a"))[0] is True
+        assert spec.apply(value, SetObject.size())[0] == 2
+        assert SetObject.contains("a").is_read
+        assert SetObject.size().is_read
+
+
+class TestFifoQueue:
+    def test_enqueue_dequeue_fifo_order(self):
+        spec = FifoQueue("q")
+        value = spec.initial_value()
+        _, value = spec.apply(value, FifoQueue.enqueue("a"))
+        _, value = spec.apply(value, FifoQueue.enqueue("b"))
+        result, value = spec.apply(value, FifoQueue.dequeue())
+        assert result == "a"
+        result, value = spec.apply(value, FifoQueue.dequeue())
+        assert result == "b"
+
+    def test_dequeue_empty_returns_none(self):
+        spec = FifoQueue("q")
+        result, value = spec.apply((), FifoQueue.dequeue())
+        assert result is None
+        assert value == ()
+
+    def test_peek_and_length_are_reads(self):
+        spec = FifoQueue("q")
+        value = ("x", "y")
+        assert spec.apply(value, FifoQueue.peek()) == ("x", value)
+        assert spec.apply(value, FifoQueue.length()) == (2, value)
+        assert FifoQueue.peek().is_read
+        assert FifoQueue.length().is_read
+
+    def test_enqueue_returns_new_length(self):
+        spec = FifoQueue("q")
+        result, _ = spec.apply(("a",), FifoQueue.enqueue("b"))
+        assert result == 2
+
+
+class TestBankAccount:
+    def test_deposit(self):
+        spec = BankAccount("a")
+        result, new_value = spec.apply(10, BankAccount.deposit(5))
+        assert (result, new_value) == (15, 15)
+
+    def test_withdraw_success(self):
+        spec = BankAccount("a")
+        result, new_value = spec.apply(10, BankAccount.withdraw(4))
+        assert result is True
+        assert new_value == 6
+
+    def test_withdraw_insufficient_funds_is_noop(self):
+        spec = BankAccount("a")
+        result, new_value = spec.apply(3, BankAccount.withdraw(4))
+        assert result is False
+        assert new_value == 3
+
+    def test_withdraw_exact_balance(self):
+        spec = BankAccount("a")
+        result, new_value = spec.apply(4, BankAccount.withdraw(4))
+        assert result is True
+        assert new_value == 0
+
+    def test_balance_is_read(self):
+        assert BankAccount.balance().is_read
+
+
+class TestKVMap:
+    def test_put_returns_displaced(self):
+        spec = KVMap("m")
+        value = spec.initial_value()
+        result, value = spec.apply(value, KVMap.put("k", 1))
+        assert result is None
+        result, value = spec.apply(value, KVMap.put("k", 2))
+        assert result == 1
+
+    def test_delete(self):
+        spec = KVMap("m", initial={"k": 1})
+        result, value = spec.apply(
+            spec.initial_value(), KVMap.delete("k")
+        )
+        assert result == 1
+        assert value == ()
+
+    def test_get_and_keys_are_reads(self):
+        spec = KVMap("m", initial={"a": 1, "b": 2})
+        value = spec.initial_value()
+        assert spec.apply(value, KVMap.get("a"))[0] == 1
+        assert spec.apply(value, KVMap.get("zzz"))[0] is None
+        assert spec.apply(value, KVMap.keys())[0] == ("a", "b")
+        assert KVMap.get("a").is_read
+        assert KVMap.keys().is_read
+
+    def test_canonical_representation(self):
+        """Two insertion orders yield equal values."""
+        spec = KVMap("m")
+        one = spec.initial_value()
+        _, one = spec.apply(one, KVMap.put("a", 1))
+        _, one = spec.apply(one, KVMap.put("b", 2))
+        two = spec.initial_value()
+        _, two = spec.apply(two, KVMap.put("b", 2))
+        _, two = spec.apply(two, KVMap.put("a", 1))
+        assert spec.values_equal(one, two)

@@ -1,0 +1,127 @@
+"""Property-based equieffectiveness tests across all ADTs.
+
+Randomised validation of the Section 4 machinery on every object type:
+
+* Lemma 20: any interleaving of reads into a write schedule, and any
+  repositioning of CREATEs, yields an equieffective schedule;
+* Lemma 15 (restricted transitivity): equieffectiveness chains across
+  read-stripped and create-fronted variants;
+* the decision procedure is symmetric and reflexive.
+"""
+
+import random as stdlib_random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.adt import BankAccount, Counter, FifoQueue, SetObject
+from repro.core.equieffective import equieffective
+from repro.core.events import Create, RequestCommit
+from repro.core.names import ROOT, SystemTypeBuilder
+
+SPEC_FACTORIES = [
+    lambda: Counter("obj"),
+    lambda: BankAccount("obj", 40),
+    lambda: SetObject("obj"),
+    lambda: FifoQueue("obj"),
+]
+
+
+def build_schedule(spec, rng, length):
+    """A random well-formed schedule over *spec*, plus its system type."""
+    builder = SystemTypeBuilder()
+    builder.add_object(spec)
+    top = builder.add_child(ROOT)
+    operations = [
+        rng.choice(list(spec.example_operations())) for _ in range(length)
+    ]
+    accesses = [
+        builder.add_access(top, spec.name, operation)
+        for operation in operations
+    ]
+    system_type = builder.build()
+    value = spec.initial_value()
+    schedule = []
+    for access, operation in zip(accesses, operations):
+        result, value = spec.apply(value, operation)
+        schedule.append(Create(access))
+        schedule.append(RequestCommit(access, result))
+    return system_type, tuple(schedule)
+
+
+def strip_reads(system_type, schedule):
+    return tuple(
+        event
+        for event in schedule
+        if not system_type.is_read_access(event.transaction)
+    )
+
+
+def front_creates(schedule):
+    creates = [e for e in schedule if isinstance(e, Create)]
+    rest = [e for e in schedule if not isinstance(e, Create)]
+    return tuple(creates + rest)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    spec_index=st.integers(0, len(SPEC_FACTORIES) - 1),
+    seed=st.integers(0, 10_000),
+    length=st.integers(1, 7),
+)
+def test_read_stripping_equieffective(spec_index, seed, length):
+    spec = SPEC_FACTORIES[spec_index]()
+    rng = stdlib_random.Random(seed)
+    system_type, schedule = build_schedule(spec, rng, length)
+    stripped = strip_reads(system_type, schedule)
+    assert equieffective(system_type, spec.name, schedule, stripped)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    spec_index=st.integers(0, len(SPEC_FACTORIES) - 1),
+    seed=st.integers(0, 10_000),
+    length=st.integers(1, 7),
+)
+def test_create_fronting_equieffective(spec_index, seed, length):
+    spec = SPEC_FACTORIES[spec_index]()
+    rng = stdlib_random.Random(seed)
+    system_type, schedule = build_schedule(spec, rng, length)
+    fronted = front_creates(schedule)
+    assert equieffective(system_type, spec.name, schedule, fronted)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    spec_index=st.integers(0, len(SPEC_FACTORIES) - 1),
+    seed=st.integers(0, 10_000),
+    length=st.integers(1, 6),
+)
+def test_lemma15_transitivity_chain(spec_index, seed, length):
+    """schedule ~ stripped and stripped ~ fronted(stripped) imply
+    schedule ~ fronted(stripped)."""
+    spec = SPEC_FACTORIES[spec_index]()
+    rng = stdlib_random.Random(seed)
+    system_type, schedule = build_schedule(spec, rng, length)
+    stripped = strip_reads(system_type, schedule)
+    fronted = front_creates(stripped)
+    assert equieffective(system_type, spec.name, schedule, stripped)
+    assert equieffective(system_type, spec.name, stripped, fronted)
+    assert equieffective(system_type, spec.name, schedule, fronted)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    spec_index=st.integers(0, len(SPEC_FACTORIES) - 1),
+    seed=st.integers(0, 10_000),
+    length=st.integers(0, 6),
+)
+def test_reflexive_and_symmetric(spec_index, seed, length):
+    spec = SPEC_FACTORIES[spec_index]()
+    rng = stdlib_random.Random(seed)
+    system_type, schedule = build_schedule(spec, rng, length)
+    stripped = strip_reads(system_type, schedule)
+    assert equieffective(system_type, spec.name, schedule, schedule)
+    assert equieffective(
+        system_type, spec.name, stripped, schedule
+    ) == equieffective(system_type, spec.name, schedule, stripped)

@@ -1,0 +1,61 @@
+"""Unit tests for Register / IntRegister."""
+
+import pytest
+
+from repro.adt import IntRegister, Register
+from repro.errors import ReproError
+
+
+class TestRegister:
+    def test_initial_value(self):
+        assert Register("x", initial="hello").initial_value() == "hello"
+        assert Register("x").initial_value() is None
+
+    def test_read_returns_value_unchanged(self):
+        spec = Register("x", initial=7)
+        result, new_value = spec.apply(7, Register.read())
+        assert result == 7
+        assert new_value == 7
+
+    def test_write_returns_old_value(self):
+        spec = Register("x", initial=1)
+        result, new_value = spec.apply(1, Register.write(9))
+        assert result == 1
+        assert new_value == 9
+
+    def test_read_classified_read(self):
+        assert Register.read().is_read
+        assert not Register.write(0).is_read
+
+    def test_unknown_operation_rejected(self):
+        from repro.core.object_spec import Operation
+
+        with pytest.raises(ReproError):
+            Register("x").apply(None, Operation("explode"))
+
+
+class TestIntRegister:
+    def test_initial_defaults_to_zero(self):
+        assert IntRegister("x").initial_value() == 0
+
+    def test_add_returns_new_value(self):
+        spec = IntRegister("x")
+        result, new_value = spec.apply(10, IntRegister.add(5))
+        assert result == 15
+        assert new_value == 15
+
+    def test_add_negative(self):
+        spec = IntRegister("x")
+        result, _ = spec.apply(10, IntRegister.add(-3))
+        assert result == 7
+
+    def test_write_coerces_int(self):
+        spec = IntRegister("x")
+        _, new_value = spec.apply(0, IntRegister.write(4))
+        assert new_value == 4
+
+    def test_inherits_read(self):
+        spec = IntRegister("x")
+        result, new_value = spec.apply(42, IntRegister.read())
+        assert result == 42
+        assert new_value == 42

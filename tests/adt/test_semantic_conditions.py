@@ -1,0 +1,161 @@
+"""Property-based verification of the Section 4.3 semantic conditions.
+
+Every ADT in :mod:`repro.adt` must satisfy, for the basic-object
+construction to meet the paper's obligations:
+
+* **read transparency** -- read operations leave the value unchanged;
+* **determinism/purity** -- apply is a pure function;
+* **create transparency / mobility** -- holds structurally for the
+  pending-set construction and is exercised against real basic objects
+  here via equieffectiveness.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.adt import (
+    BankAccount,
+    Counter,
+    FifoQueue,
+    IntRegister,
+    KVMap,
+    Register,
+    SetObject,
+)
+from repro.core.object_spec import (
+    check_purity,
+    check_read_transparency,
+)
+
+ALL_SPECS = [
+    Register("r", initial=0),
+    IntRegister("i", initial=3),
+    Counter("c", initial=1),
+    SetObject("s", initial={"a"}),
+    FifoQueue("q", initial=("x",)),
+    BankAccount("b", initial=50),
+    KVMap("m", initial={"k": 1}),
+]
+
+
+@pytest.mark.parametrize(
+    "spec", ALL_SPECS, ids=lambda spec: type(spec).__name__
+)
+def test_read_transparency_on_examples(spec):
+    check_read_transparency(spec)
+
+
+@pytest.mark.parametrize(
+    "spec", ALL_SPECS, ids=lambda spec: type(spec).__name__
+)
+def test_purity_on_examples(spec):
+    check_purity(spec)
+
+
+@given(
+    value=st.integers(-1000, 1000),
+    amount=st.integers(0, 100),
+)
+def test_counter_reads_transparent(value, amount):
+    spec = Counter("c")
+    result, new_value = spec.apply(value, Counter.value())
+    assert result == value
+    assert new_value == value
+    # And writes commute with themselves deterministically.
+    once = spec.apply(value, Counter.increment(amount))
+    again = spec.apply(value, Counter.increment(amount))
+    assert once == again
+
+
+@given(
+    elements=st.frozensets(st.integers(0, 10), max_size=6),
+    probe=st.integers(0, 10),
+)
+def test_set_reads_transparent(elements, probe):
+    spec = SetObject("s")
+    for operation in (SetObject.contains(probe), SetObject.size()):
+        _, new_value = spec.apply(elements, operation)
+        assert new_value == elements
+
+
+@given(
+    balance=st.integers(0, 10_000),
+    amount=st.integers(0, 10_000),
+)
+def test_bank_withdraw_never_overdraws(balance, amount):
+    spec = BankAccount("b")
+    success, new_balance = spec.apply(balance, BankAccount.withdraw(amount))
+    assert new_balance >= 0
+    if success:
+        assert new_balance == balance - amount
+    else:
+        assert new_balance == balance
+
+
+@given(items=st.lists(st.integers(), max_size=8))
+def test_queue_roundtrip_preserves_order(items):
+    spec = FifoQueue("q")
+    value = spec.initial_value()
+    for item in items:
+        _, value = spec.apply(value, FifoQueue.enqueue(item))
+    drained = []
+    for _ in items:
+        result, value = spec.apply(value, FifoQueue.dequeue())
+        drained.append(result)
+    assert drained == items
+    assert value == ()
+
+
+@given(
+    pairs=st.lists(
+        st.tuples(st.integers(0, 5), st.integers(0, 100)), max_size=8
+    )
+)
+def test_kvmap_matches_reference_dict(pairs):
+    spec = KVMap("m")
+    value = spec.initial_value()
+    reference = {}
+    for key, item in pairs:
+        _, value = spec.apply(value, KVMap.put(key, item))
+        reference[key] = item
+    for key in reference:
+        result, _ = spec.apply(value, KVMap.get(key))
+        assert result == reference[key]
+
+
+@settings(max_examples=25)
+@given(
+    writes=st.lists(st.integers(-5, 5), min_size=1, max_size=4),
+    data=st.data(),
+)
+def test_read_insertion_equieffective_on_basic_object(writes, data):
+    """Inserting a read response anywhere in a register schedule is
+    equieffective to omitting it (semantic condition 3 end-to-end)."""
+    from repro.core.equieffective import equieffective
+    from repro.core.events import Create, RequestCommit
+    from repro.core.names import ROOT, SystemTypeBuilder
+
+    builder = SystemTypeBuilder()
+    builder.add_object(IntRegister("x"))
+    top = builder.add_child(ROOT)
+    accesses = [
+        builder.add_access(top, "x", IntRegister.add(amount))
+        for amount in writes
+    ]
+    reader = builder.add_access(top, "x", IntRegister.read())
+    system_type = builder.build()
+
+    base = []
+    value = 0
+    for access, amount in zip(accesses, writes):
+        value += amount
+        base.append(Create(access))
+        base.append(RequestCommit(access, value))
+    cut = data.draw(st.integers(0, len(writes)))
+    prefix_value = sum(writes[:cut])
+    with_read = (
+        base[: 2 * cut]
+        + [Create(reader), RequestCommit(reader, prefix_value)]
+        + base[2 * cut:]
+    )
+    assert equieffective(system_type, "x", tuple(with_read), tuple(base))

@@ -1,0 +1,116 @@
+"""Tests for the anomaly detector and the orphan inconsistency witness."""
+
+import pytest
+
+from repro.adt import IntRegister
+from repro.checking.anomalies import (
+    find_register_anomalies,
+    orphan_anomaly_witness,
+    orphan_demo_system_type,
+)
+from repro.core.events import Commit, Create, RequestCommit
+from repro.core.names import ROOT, SystemTypeBuilder
+from repro.core.visibility import is_orphan
+
+
+@pytest.fixture
+def stream_type():
+    builder = SystemTypeBuilder()
+    builder.add_object(IntRegister("x"))
+    top = builder.add_child(ROOT)
+    builder.add_access(top, "x", IntRegister.read())      # (0,0)
+    builder.add_access(top, "x", IntRegister.write(3))    # (0,1)
+    builder.add_access(top, "x", IntRegister.read())      # (0,2)
+    builder.add_access(top, "x", IntRegister.add(2))      # (0,3)
+    return builder.build()
+
+
+def responses(*pairs):
+    events = []
+    for access, value in pairs:
+        events.append(Create(access))
+        events.append(RequestCommit(access, value))
+    return tuple(events)
+
+
+class TestDetector:
+    def test_consistent_stream_clean(self, stream_type):
+        alpha = responses(
+            ((0, 0), 0), ((0, 1), 0), ((0, 2), 3), ((0, 3), 5)
+        )
+        assert find_register_anomalies(stream_type, alpha, (0,)) == []
+
+    def test_non_repeatable_read_detected(self, stream_type):
+        alpha = responses(((0, 0), 0), ((0, 2), 7))
+        anomalies = find_register_anomalies(stream_type, alpha, (0,))
+        assert len(anomalies) == 1
+        assert anomalies[0].expected == 0
+        assert anomalies[0].observed == 7
+
+    def test_read_after_own_write_checked(self, stream_type):
+        alpha = responses(((0, 1), 0), ((0, 2), 99))
+        anomalies = find_register_anomalies(stream_type, alpha, (0,))
+        assert len(anomalies) == 1
+        assert anomalies[0].expected == 3
+
+    def test_add_result_checked(self, stream_type):
+        alpha = responses(((0, 1), 0), ((0, 3), 4))
+        anomalies = find_register_anomalies(stream_type, alpha, (0,))
+        assert len(anomalies) == 1
+        assert anomalies[0].expected == 5
+
+    def test_subtree_scoping(self, stream_type):
+        # Events outside the subtree are ignored.
+        alpha = responses(((0, 0), 0), ((0, 2), 7))
+        assert find_register_anomalies(stream_type, alpha, (1,)) == []
+
+    def test_str_rendering(self, stream_type):
+        alpha = responses(((0, 0), 0), ((0, 2), 7))
+        anomaly = find_register_anomalies(stream_type, alpha, (0,))[0]
+        assert "T0.0.2" in str(anomaly)
+
+
+class TestOrphanWitness:
+    def test_witness_is_orphan_with_anomaly(self):
+        witness = orphan_anomaly_witness()
+        assert is_orphan(witness.schedule, witness.orphan)
+        assert len(witness.anomalies) == 1
+        assert witness.anomalies[0].expected == 0
+        assert witness.anomalies[0].observed == 5
+
+    def test_witness_schedule_is_genuine(self):
+        """The witness replays on a fresh R/W Locking system."""
+        from repro.core.systems import RWLockingSystem
+
+        witness = orphan_anomaly_witness()
+        system = RWLockingSystem(witness.system_type)
+        for event in witness.schedule:
+            system.apply(event)
+
+    def test_non_orphans_in_witness_still_serially_correct(self):
+        """Theorem 34 untouched: the root and writer check out fine."""
+        from repro.core.correctness import check_schedule
+
+        witness = orphan_anomaly_witness()
+        report = check_schedule(witness.system_type, witness.schedule)
+        assert report.ok
+        checked = {item.transaction for item in report.reports}
+        assert witness.orphan not in checked
+
+    def test_non_orphan_subtrees_never_anomalous(self, nested_system_type):
+        """The detector finds nothing in non-orphan subtrees of random
+        Moss runs -- the positive side of the orphan boundary."""
+        from repro.core.systems import RWLockingSystem
+        from repro.ioa.explorer import random_schedules
+
+        system = RWLockingSystem(nested_system_type)
+        for alpha in random_schedules(system, 10, 300, seed=97):
+            for name in nested_system_type.internal_transactions():
+                if is_orphan(alpha, name):
+                    continue
+                assert (
+                    find_register_anomalies(
+                        nested_system_type, alpha, name
+                    )
+                    == []
+                )

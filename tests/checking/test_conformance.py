@@ -1,0 +1,127 @@
+"""Integration tests: engine traces refine the model and satisfy Theorem 34."""
+
+import random
+
+import pytest
+
+from repro.adt import BankAccount, Counter, IntRegister
+from repro.checking import check_engine_trace, trace_logic_factory
+from repro.engine import Engine
+from repro.errors import EngineError, LockDenied
+
+
+def drive_simple_run(policy="moss-rw"):
+    engine = Engine(
+        [BankAccount("a", 100), BankAccount("b", 0), IntRegister("x")],
+        policy=policy,
+        trace=True,
+    )
+    t1 = engine.begin_top()
+    leg = t1.begin_child()
+    leg.perform("a", BankAccount.withdraw(30))
+    leg.perform("b", BankAccount.deposit(30))
+    leg.commit("moved")
+    t2 = engine.begin_top()
+    t2.perform("x", IntRegister.read())
+    doomed = t1.begin_child()
+    doomed.perform("x", IntRegister.read())
+    doomed.abort()
+    t1.commit("transfer")
+    t2.perform("x", IntRegister.add(1))
+    t2.commit("bump")
+    return engine
+
+
+class TestConformance:
+    def test_moss_trace_conforms(self):
+        report = check_engine_trace(drive_simple_run())
+        assert report.refinement_ok, report.rejection
+        assert report.ok
+        assert report.trace_length > 20
+
+    def test_exclusive_trace_conforms(self):
+        engine = Engine([IntRegister("x")], policy="exclusive", trace=True)
+        one = engine.begin_top()
+        one.perform("x", IntRegister.read())
+        one.commit()
+        two = engine.begin_top()
+        two.perform("x", IntRegister.add(2))
+        two.abort()
+        report = check_engine_trace(engine)
+        assert report.ok, report.rejection
+
+    def test_flat_policy_rejected(self):
+        engine = Engine([IntRegister("x")], policy="flat-2pl", trace=True)
+        with pytest.raises(EngineError):
+            check_engine_trace(engine)
+
+    def test_untraced_engine_rejected(self):
+        engine = Engine([IntRegister("x")])
+        with pytest.raises(EngineError):
+            check_engine_trace(engine)
+
+    def test_random_engine_runs_conform(self):
+        """Randomised interleavings of engine calls all conform."""
+        rng = random.Random(17)
+        for trial in range(5):
+            engine = Engine(
+                [Counter("c"), IntRegister("x")], trace=True
+            )
+            tops = [engine.begin_top() for _ in range(3)]
+            live = {top.name: top for top in tops}
+            operations = [
+                ("c", Counter.increment(1)),
+                ("c", Counter.value()),
+                ("x", IntRegister.add(2)),
+                ("x", IntRegister.read()),
+            ]
+            for _ in range(25):
+                if not live:
+                    break
+                txn = rng.choice(list(live.values()))
+                roll = rng.random()
+                if roll < 0.55:
+                    object_name, operation = rng.choice(operations)
+                    try:
+                        txn.perform(object_name, operation)
+                    except LockDenied:
+                        pass
+                elif roll < 0.7:
+                    child = txn.begin_child()
+                    try:
+                        child.perform(*rng.choice(operations))
+                    except LockDenied:
+                        pass
+                    if rng.random() < 0.5:
+                        child.commit()
+                    else:
+                        child.abort()
+                elif roll < 0.85:
+                    if not txn.live_children():
+                        txn.commit()
+                        del live[txn.name]
+                else:
+                    txn.abort()
+                    del live[txn.name]
+            for txn in list(live.values()):
+                for child in txn.live_children():
+                    child.abort()
+                txn.commit()
+            report = check_engine_trace(engine)
+            assert report.ok, (trial, report.rejection)
+
+
+class TestTraceLogicFactory:
+    def test_reconstructs_requests_and_values(self):
+        engine = drive_simple_run()
+        alpha = engine.recorder.schedule()
+        factory = trace_logic_factory(
+            alpha, engine.recorder.commit_values
+        )
+        logic_t1 = factory((0,))
+        assert logic_t1.has_commit
+        assert logic_t1.commit_value == "transfer"
+        assert set(logic_t1.wanted) == {(0, 0), (0, 1)}
+        logic_root = factory(())
+        assert not logic_root.has_commit
+        assert set(logic_root.wanted) == {(0,), (1,)}

@@ -1,0 +1,57 @@
+"""Tests for the batch validation harness."""
+
+from repro.checking import validate_random_schedules
+from repro.checking.harness import ValidationStats
+
+
+class TestValidationStats:
+    def test_ok_property(self):
+        assert ValidationStats().ok
+        assert not ValidationStats(violations=1).ok
+
+    def test_merge(self):
+        a = ValidationStats(schedules=2, events=10, violations=1,
+                            failures=["x"])
+        b = ValidationStats(schedules=3, events=20,
+                            transactions_checked=4)
+        a.merge(b)
+        assert a.schedules == 5
+        assert a.events == 30
+        assert a.transactions_checked == 4
+        assert a.violations == 1
+
+
+class TestValidateRandomSchedules:
+    def test_fixed_system(self, tiny_system_type):
+        stats = validate_random_schedules(
+            system_type=tiny_system_type, schedules=5, max_steps=150
+        )
+        assert stats.ok, stats.failures
+        assert stats.schedules == 5
+        assert stats.events > 0
+        assert stats.transactions_checked > 0
+
+    def test_random_system(self):
+        stats = validate_random_schedules(
+            schedules=4, max_steps=200, system_seed=5, seed=5
+        )
+        assert stats.ok, stats.failures
+
+    def test_extra_check_hook(self, tiny_system_type):
+        stats = validate_random_schedules(
+            system_type=tiny_system_type,
+            schedules=2,
+            max_steps=50,
+            extra_check=lambda st, alpha: "flagged",
+        )
+        assert stats.violations == 2
+        assert stats.failures == ["flagged", "flagged"]
+
+    def test_abort_free_mode(self, tiny_system_type):
+        stats = validate_random_schedules(
+            system_type=tiny_system_type,
+            schedules=3,
+            max_steps=150,
+            propose_aborts=False,
+        )
+        assert stats.ok

@@ -1,0 +1,56 @@
+"""Unit tests for random system-type generation."""
+
+from repro.checking.random_systems import (
+    RandomSystemConfig,
+    random_system_type,
+)
+from repro.core.names import ROOT
+
+
+class TestGeneration:
+    def test_reproducible(self):
+        one = random_system_type(7)
+        two = random_system_type(7)
+        assert list(one.transactions()) == list(two.transactions())
+        assert list(one.all_accesses()) == list(two.all_accesses())
+
+    def test_seed_changes_shape(self):
+        one = random_system_type(1)
+        two = random_system_type(2)
+        assert (
+            list(one.transactions()) != list(two.transactions())
+            or [str(one.operation_of(a)) for a in one.all_accesses()]
+            != [str(two.operation_of(a)) for a in two.all_accesses()]
+        )
+
+    def test_config_respected(self):
+        config = RandomSystemConfig(objects=5, top_level=4, max_depth=2)
+        system_type = random_system_type(0, config)
+        assert len(system_type.object_names()) == 5
+        assert len(system_type.children(ROOT)) == 4
+        for name in system_type.transactions():
+            assert len(name) <= config.max_depth + 1
+
+    def test_every_access_well_classified(self):
+        system_type = random_system_type(3)
+        for access in system_type.all_accesses():
+            spec = system_type.access_spec(access)
+            assert spec.object_name in system_type.object_names()
+
+    def test_read_fraction_extremes(self):
+        config = RandomSystemConfig(read_fraction=1.0)
+        system_type = random_system_type(0, config)
+        assert all(
+            system_type.is_read_access(access)
+            for access in system_type.all_accesses()
+        )
+        config = RandomSystemConfig(read_fraction=0.0)
+        system_type = random_system_type(0, config)
+        assert not any(
+            system_type.is_read_access(access)
+            for access in system_type.all_accesses()
+        )
+
+    def test_accesses_exist(self):
+        system_type = random_system_type(11)
+        assert list(system_type.all_accesses())

@@ -1,0 +1,58 @@
+"""Shared fixtures: canonical small system types and helpers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.adt import BankAccount, Counter, IntRegister, SetObject
+from repro.core.names import ROOT, SystemTypeBuilder
+
+
+@pytest.fixture
+def tiny_system_type():
+    """Two top-level transactions: one writer, one reader, one register."""
+    builder = SystemTypeBuilder()
+    builder.add_object(IntRegister("x"))
+    t1 = builder.add_child(ROOT)
+    builder.add_access(t1, "x", IntRegister.write(5))
+    t2 = builder.add_child(ROOT)
+    builder.add_access(t2, "x", IntRegister.read())
+    return builder.build()
+
+
+@pytest.fixture
+def nested_system_type():
+    """Three top-levels with nested children over three objects."""
+    builder = SystemTypeBuilder()
+    builder.add_object(IntRegister("x"))
+    builder.add_object(BankAccount("acct", 100))
+    builder.add_object(SetObject("s"))
+    for i in range(3):
+        top = builder.add_child(ROOT)
+        for j in range(2):
+            mid = builder.add_child(top)
+            builder.add_access(mid, "x", IntRegister.add(1))
+            builder.add_access(mid, "x", IntRegister.read())
+            builder.add_access(mid, "acct", BankAccount.withdraw(10))
+            builder.add_access(mid, "s", SetObject.insert((i, j)))
+        builder.add_access(top, "acct", BankAccount.balance())
+    return builder.build()
+
+
+@pytest.fixture
+def counter_system_type():
+    """A counter hammered by increments and reads from two top-levels."""
+    builder = SystemTypeBuilder()
+    builder.add_object(Counter("c"))
+    for _ in range(2):
+        top = builder.add_child(ROOT)
+        builder.add_access(top, "c", Counter.increment(1))
+        builder.add_access(top, "c", Counter.value())
+    return builder.build()
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0xC0FFEE)

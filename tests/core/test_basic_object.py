@@ -1,0 +1,89 @@
+"""Unit tests for basic object automata (Section 3.2 / 4.3 construction)."""
+
+import pytest
+
+from repro.adt import Counter, IntRegister
+from repro.core.basic_object import BasicObjectAutomaton
+from repro.core.events import Create, RequestCommit
+from repro.core.names import ROOT, SystemTypeBuilder
+from repro.errors import NotEnabledError
+
+
+@pytest.fixture
+def system_type():
+    builder = SystemTypeBuilder()
+    builder.add_object(Counter("c"))
+    top = builder.add_child(ROOT)
+    builder.add_access(top, "c", Counter.increment(2))
+    builder.add_access(top, "c", Counter.value())
+    return builder.build()
+
+
+@pytest.fixture
+def automaton(system_type):
+    return BasicObjectAutomaton(system_type, "c")
+
+
+INC = (0, 0)
+READ = (0, 1)
+
+
+class TestSignature:
+    def test_inputs_are_local_creates(self, automaton):
+        assert automaton.is_input(Create(INC))
+        assert not automaton.is_input(Create((0,)))
+        assert not automaton.is_input(RequestCommit(INC, 2))
+
+    def test_outputs_are_local_responses(self, automaton):
+        assert automaton.is_output(RequestCommit(INC, 2))
+        assert not automaton.is_output(RequestCommit((0,), 2))
+
+
+class TestBehaviour:
+    def test_create_makes_access_pending(self, automaton):
+        automaton.apply(Create(INC))
+        assert automaton.pending == {INC}
+
+    def test_response_applies_operation(self, automaton):
+        automaton.apply(Create(INC))
+        enabled = list(automaton.enabled_outputs())
+        assert enabled == [RequestCommit(INC, 2)]
+        automaton.apply(enabled[0])
+        assert automaton.value == 2
+        assert automaton.pending == set()
+
+    def test_read_does_not_change_value(self, automaton):
+        automaton.apply(Create(READ))
+        automaton.apply(RequestCommit(READ, 0))
+        assert automaton.value == 0
+
+    def test_wrong_value_not_enabled(self, automaton):
+        automaton.apply(Create(INC))
+        assert not automaton.output_enabled(RequestCommit(INC, 99))
+        with pytest.raises(NotEnabledError):
+            automaton.apply(RequestCommit(INC, 99))
+
+    def test_response_without_create_rejected(self, automaton):
+        with pytest.raises(NotEnabledError):
+            automaton.apply(RequestCommit(INC, 2))
+
+    def test_pending_order_independent(self, automaton):
+        automaton.apply(Create(INC))
+        automaton.apply(Create(READ))
+        enabled = set(automaton.enabled_outputs())
+        assert enabled == {RequestCommit(INC, 2), RequestCommit(READ, 0)}
+
+    def test_value_evolution_across_accesses(self, automaton):
+        automaton.apply(Create(INC))
+        automaton.apply(RequestCommit(INC, 2))
+        automaton.apply(Create(READ))
+        # The read now sees the incremented value.
+        assert list(automaton.enabled_outputs()) == [RequestCommit(READ, 2)]
+
+    def test_snapshot_restore(self, automaton):
+        automaton.apply(Create(INC))
+        saved = automaton.snapshot()
+        automaton.apply(RequestCommit(INC, 2))
+        automaton.restore(saved)
+        assert automaton.value == 0
+        assert automaton.pending == {INC}

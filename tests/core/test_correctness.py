@@ -1,0 +1,140 @@
+"""Unit tests for the serial-correctness checker (Theorem 34)."""
+
+import pytest
+
+from repro.core.correctness import (
+    check_schedule,
+    check_serial_correctness,
+    project_transaction_automaton,
+    replay_serial,
+)
+from repro.core.events import (
+    Abort,
+    Commit,
+    Create,
+    ReportCommit,
+    RequestCommit,
+    RequestCreate,
+)
+from repro.core.names import ROOT
+from repro.core.systems import RWLockingSystem, SerialSystem
+from repro.ioa.explorer import random_schedules
+
+
+class TestProjection:
+    def test_automaton_projection(self):
+        alpha = (
+            Create((0,)),
+            RequestCreate((0, 0)),
+            Commit((0, 0)),          # return op: not in automaton signature
+            ReportCommit((0, 0), 1),
+            RequestCommit((0,), "v"),
+        )
+        projected = project_transaction_automaton(alpha, (0,))
+        assert Commit((0, 0)) not in projected
+        assert ReportCommit((0, 0), 1) in projected
+        assert len(projected) == 4
+
+
+class TestReplay:
+    def test_replay_accepts_serial_schedule(self, tiny_system_type):
+        from repro.ioa.explorer import random_schedule
+        import random
+
+        serial = SerialSystem(tiny_system_type)
+        alpha = random_schedule(serial, 200, random.Random(5))
+        assert replay_serial(serial, alpha) is None
+
+    def test_replay_rejects_non_serial(self, tiny_system_type):
+        serial = SerialSystem(tiny_system_type)
+        # CREATE without REQUEST_CREATE is never serial.
+        rejection = replay_serial(serial, (Create((0,)),))
+        assert rejection is not None
+        assert "rejected" in rejection
+
+
+class TestTheorem34:
+    def test_random_schedules_serially_correct(self, nested_system_type):
+        system = RWLockingSystem(nested_system_type)
+        for alpha in random_schedules(system, 10, 300, seed=31):
+            report = check_serial_correctness(system, alpha)
+            assert report.ok, [
+                (item.transaction, item.failures)
+                for item in report.failed()
+            ]
+            assert report.well_formed
+
+    def test_root_always_checked(self, tiny_system_type):
+        """Corollary 35: serial correctness at T0."""
+        system = RWLockingSystem(tiny_system_type)
+        for alpha in random_schedules(system, 5, 200, seed=33):
+            if Create(ROOT) not in alpha:
+                continue
+            report = check_serial_correctness(system, alpha)
+            checked = {item.transaction for item in report.reports}
+            assert ROOT in checked
+
+    def test_orphans_not_checked(self, tiny_system_type):
+        system = RWLockingSystem(tiny_system_type)
+        for alpha in random_schedules(system, 20, 200, seed=35):
+            aborted = {
+                event.transaction
+                for event in alpha
+                if isinstance(event, Abort)
+            }
+            if not aborted:
+                continue
+            report = check_serial_correctness(system, alpha)
+            for item in report.reports:
+                assert item.transaction not in aborted
+            break
+
+    def test_accesses_not_checked(self, nested_system_type):
+        system = RWLockingSystem(nested_system_type)
+        alpha = next(iter(random_schedules(system, 1, 300, seed=37)))
+        report = check_serial_correctness(system, alpha)
+        for item in report.reports:
+            assert not nested_system_type.is_access(item.transaction)
+
+    def test_corrupted_visible_event_detected(self, tiny_system_type):
+        """The oracle must reject values the serial system cannot produce."""
+        system = RWLockingSystem(tiny_system_type, propose_aborts=False)
+        for alpha in random_schedules(system, 30, 300, seed=39):
+            mutated = list(alpha)
+            target = None
+            for index, event in enumerate(mutated):
+                if (
+                    isinstance(event, RequestCommit)
+                    and event.transaction == (0, 0)
+                ):
+                    target = index
+                    break
+            if target is None:
+                continue
+            mutated[target] = RequestCommit((0, 0), "corrupted")
+            from repro.core.visibility import visible
+
+            if mutated[target] not in visible(tuple(mutated), ROOT):
+                continue
+            report = check_serial_correctness(system, tuple(mutated))
+            assert not report.ok
+            return
+        pytest.fail("never produced a checkable corrupted schedule")
+
+    def test_report_structure(self, tiny_system_type):
+        system = RWLockingSystem(tiny_system_type)
+        alpha = next(iter(random_schedules(system, 1, 200, seed=41)))
+        report = check_serial_correctness(system, alpha)
+        assert bool(report) == report.ok
+        for item in report.reports:
+            assert bool(item) == item.ok
+            if item.ok:
+                assert item.failures == []
+
+    def test_explicit_transaction_list(self, tiny_system_type):
+        system = RWLockingSystem(tiny_system_type)
+        alpha = next(iter(random_schedules(system, 1, 200, seed=43)))
+        report = check_schedule(
+            tiny_system_type, alpha, transactions=[ROOT]
+        )
+        assert [item.transaction for item in report.reports] == [ROOT]

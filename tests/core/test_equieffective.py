@@ -1,0 +1,198 @@
+"""Unit tests for equieffectiveness, transparency and write-equivalence
+(Sections 4, 6.1; Lemmas 15-17, 20, 29-31)."""
+
+import pytest
+
+from repro.adt import Counter, IntRegister
+from repro.core.equieffective import (
+    equieffective,
+    is_basic_object_schedule,
+    is_transparent_after,
+    project_object,
+    project_transaction,
+    write_equal,
+    write_equivalence_failures,
+    write_equivalent,
+)
+from repro.core.events import Commit, Create, RequestCommit, RequestCreate
+from repro.core.names import ROOT, SystemTypeBuilder
+from repro.errors import WellFormednessError
+
+
+@pytest.fixture
+def system_type():
+    builder = SystemTypeBuilder()
+    builder.add_object(Counter("c"))
+    top = builder.add_child(ROOT)                         # (0,)
+    builder.add_access(top, "c", Counter.increment(1))    # (0,0)
+    builder.add_access(top, "c", Counter.value())         # (0,1)
+    builder.add_access(top, "c", Counter.increment(5))    # (0,2)
+    return builder.build()
+
+
+INC1, READ, INC5 = (0, 0), (0, 1), (0, 2)
+
+
+class TestScheduleRecognition:
+    def test_valid_schedule(self, system_type):
+        alpha = [Create(INC1), RequestCommit(INC1, 1)]
+        assert is_basic_object_schedule(system_type, "c", alpha)
+
+    def test_wrong_value_not_schedule(self, system_type):
+        alpha = [Create(INC1), RequestCommit(INC1, 99)]
+        assert not is_basic_object_schedule(system_type, "c", alpha)
+
+
+class TestEquieffectiveness:
+    def test_schedule_equieffective_to_itself(self, system_type):
+        alpha = (Create(INC1), RequestCommit(INC1, 1))
+        assert equieffective(system_type, "c", alpha, alpha)
+
+    def test_read_removal_is_equieffective(self, system_type):
+        """Semantic condition 3: read responses are transparent."""
+        with_read = (
+            Create(READ),
+            RequestCommit(READ, 0),
+            Create(INC1),
+            RequestCommit(INC1, 1),
+        )
+        without_read = (Create(INC1), RequestCommit(INC1, 1))
+        assert equieffective(system_type, "c", with_read, without_read)
+
+    def test_create_is_transparent(self, system_type):
+        """Semantic condition 1."""
+        alpha = (Create(INC1), RequestCommit(INC1, 1))
+        assert is_transparent_after(
+            system_type, "c", alpha, Create(INC5)
+        )
+
+    def test_create_mobility(self, system_type):
+        """Semantic condition 2: when a CREATE happened is undetectable."""
+        early = (
+            Create(INC5),
+            Create(INC1),
+            RequestCommit(INC1, 1),
+            RequestCommit(INC5, 6),
+        )
+        late = (
+            Create(INC1),
+            RequestCommit(INC1, 1),
+            Create(INC5),
+            RequestCommit(INC5, 6),
+        )
+        assert equieffective(system_type, "c", early, late)
+
+    def test_write_response_not_transparent(self, system_type):
+        alpha = (Create(INC1),)
+        assert not is_transparent_after(
+            system_type, "c", alpha, RequestCommit(INC1, 1)
+        )
+
+    def test_different_final_values_not_equieffective(self, system_type):
+        one = (Create(INC1), RequestCommit(INC1, 1))
+        other = (Create(INC5), RequestCommit(INC5, 5))
+        assert not equieffective(system_type, "c", one, other)
+
+    def test_non_schedules_trivially_equieffective(self, system_type):
+        bogus_a = (Create(INC1), RequestCommit(INC1, 99))
+        bogus_b = (Create(INC5), RequestCommit(INC5, 99))
+        assert equieffective(system_type, "c", bogus_a, bogus_b)
+
+    def test_schedule_vs_non_schedule_not_equieffective(self, system_type):
+        good = (Create(INC1), RequestCommit(INC1, 1))
+        bogus = (Create(INC1), RequestCommit(INC1, 99))
+        assert not equieffective(system_type, "c", good, bogus)
+
+    def test_ill_formed_input_rejected(self, system_type):
+        with pytest.raises(WellFormednessError):
+            equieffective(
+                system_type, "c", (RequestCommit(INC1, 1),), ()
+            )
+
+
+class TestLemma20:
+    def test_write_equal_well_formed_schedules_are_equieffective(
+        self, system_type
+    ):
+        """Lemma 20 checked on a concrete pair."""
+        alpha = (
+            Create(READ),
+            Create(INC1),
+            RequestCommit(READ, 0),
+            RequestCommit(INC1, 1),
+        )
+        beta = (
+            Create(INC1),
+            RequestCommit(INC1, 1),
+        )
+        assert write_equal(system_type, "c", alpha, beta)
+        assert equieffective(system_type, "c", alpha, beta)
+
+
+class TestWriteEquivalence:
+    def test_reflexive(self, system_type):
+        alpha = (Create(INC1), RequestCommit(INC1, 1))
+        assert write_equivalent(system_type, alpha, alpha)
+
+    def test_reordering_read_responses_allowed(self, system_type):
+        alpha = (
+            Create(READ),
+            RequestCommit(READ, 0),
+            Create(INC1),
+            RequestCommit(INC1, 1),
+        )
+        beta = (
+            Create(INC1),
+            RequestCommit(INC1, 1),
+            Create(READ),
+            RequestCommit(READ, 0),
+        )
+        assert write_equivalent(system_type, alpha, beta)
+
+    def test_reordering_write_responses_forbidden(self, system_type):
+        alpha = (
+            Create(INC1),
+            RequestCommit(INC1, 1),
+            Create(INC5),
+            RequestCommit(INC5, 6),
+        )
+        beta = (
+            Create(INC5),
+            RequestCommit(INC5, 6),
+            Create(INC1),
+            RequestCommit(INC1, 1),
+        )
+        failures = write_equivalence_failures(system_type, alpha, beta)
+        assert any("write()" in failure for failure in failures)
+
+    def test_different_events_detected(self, system_type):
+        alpha = (Create(INC1),)
+        beta = (Create(INC5),)
+        failures = write_equivalence_failures(system_type, alpha, beta)
+        assert any("same events" in failure for failure in failures)
+
+    def test_transaction_projection_differences_detected(self, system_type):
+        alpha = (RequestCreate((0, 0)), RequestCreate((0, 1)))
+        beta = (RequestCreate((0, 1)), RequestCreate((0, 0)))
+        failures = write_equivalence_failures(system_type, alpha, beta)
+        assert any("projections" in failure for failure in failures)
+
+
+class TestProjections:
+    def test_project_transaction_includes_child_returns(self):
+        alpha = (Create((0,)), Commit((0, 0)), Commit((1, 0)))
+        assert project_transaction(alpha, (0,)) == (
+            Create((0,)),
+            Commit((0, 0)),
+        )
+
+    def test_project_object(self, system_type):
+        alpha = (
+            Create(INC1),
+            RequestCreate((0, 0)),
+            RequestCommit(INC1, 1),
+        )
+        assert project_object(system_type, "c", alpha) == (
+            Create(INC1),
+            RequestCommit(INC1, 1),
+        )

@@ -1,0 +1,83 @@
+"""Unit tests for the operation alphabet."""
+
+from repro.core.events import (
+    Abort,
+    Commit,
+    Create,
+    InformAbortAt,
+    InformCommitAt,
+    ReportAbort,
+    ReportCommit,
+    RequestCommit,
+    RequestCreate,
+    is_report_event,
+    is_return_event,
+    is_serial_operation,
+    subject_of,
+    transaction_of,
+)
+from repro.core.names import ROOT
+
+
+class TestTransactionAssignment:
+    """The paper's transaction(pi) mapping."""
+
+    def test_create_belongs_to_its_transaction(self):
+        assert transaction_of(Create((1, 2))) == (1, 2)
+
+    def test_request_commit_belongs_to_its_transaction(self):
+        assert transaction_of(RequestCommit((1, 2), "v")) == (1, 2)
+
+    def test_request_create_belongs_to_parent(self):
+        assert transaction_of(RequestCreate((1, 2))) == (1,)
+
+    def test_returns_belong_to_parent(self):
+        assert transaction_of(Commit((1, 2))) == (1,)
+        assert transaction_of(Abort((1, 2))) == (1,)
+
+    def test_reports_belong_to_parent(self):
+        assert transaction_of(ReportCommit((1, 2), "v")) == (1,)
+        assert transaction_of(ReportAbort((1, 2))) == (1,)
+
+    def test_informs_have_no_transaction(self):
+        assert transaction_of(InformCommitAt("x", (1,))) is None
+        assert transaction_of(InformAbortAt("x", (1,))) is None
+
+    def test_create_of_root(self):
+        assert transaction_of(Create(ROOT)) == ROOT
+
+
+class TestClassifiers:
+    def test_serial_operations(self):
+        assert is_serial_operation(Create((1,)))
+        assert is_serial_operation(Commit((1,)))
+        assert not is_serial_operation(InformCommitAt("x", (1,)))
+
+    def test_return_events(self):
+        assert is_return_event(Commit((1,)))
+        assert is_return_event(Abort((1,)))
+        assert not is_return_event(ReportCommit((1,), 0))
+
+    def test_report_events(self):
+        assert is_report_event(ReportCommit((1,), 0))
+        assert is_report_event(ReportAbort((1,)))
+        assert not is_report_event(Commit((1,)))
+
+    def test_subject_of(self):
+        assert subject_of(Commit((1, 2))) == (1, 2)
+        assert subject_of(InformAbortAt("x", (3,))) == (3,)
+
+
+class TestValueSemantics:
+    def test_events_hashable_and_equal_by_value(self):
+        assert Create((1,)) == Create((1,))
+        assert hash(Create((1,))) == hash(Create((1,)))
+        assert Create((1,)) != Create((2,))
+
+    def test_request_commit_distinguishes_values(self):
+        assert RequestCommit((1,), 1) != RequestCommit((1,), 2)
+
+    def test_str_rendering(self):
+        assert str(Create((0, 1))) == "CREATE(T0.0.1)"
+        assert "INFORM_COMMIT_AT(x)" in str(InformCommitAt("x", (0,)))
+        assert str(Abort((2,))) == "ABORT(T0.2)"

@@ -1,0 +1,84 @@
+"""Unit tests for schedule rendering helpers."""
+
+from repro.core.events import (
+    Commit,
+    Create,
+    InformCommitAt,
+    RequestCommit,
+    RequestCreate,
+)
+from repro.core.format import (
+    format_event,
+    format_schedule,
+    format_swimlanes,
+    summarize_schedule,
+)
+from repro.core.names import ROOT
+
+
+class TestFormatEvent:
+    def test_plain_event(self):
+        assert format_event(Create((0,))) == "CREATE(T0.0)"
+
+    def test_access_annotated_with_operation(self, tiny_system_type):
+        text = format_event(Create((0, 0)), tiny_system_type)
+        assert "CREATE(T0.0.0)" in text
+        assert "{x write(5)[w]}" in text
+
+    def test_non_access_unannotated(self, tiny_system_type):
+        assert format_event(Create((0,)), tiny_system_type) == (
+            "CREATE(T0.0)"
+        )
+
+
+class TestFormatSchedule:
+    def test_indentation_tracks_depth(self):
+        alpha = [Create(ROOT), Create((0,)), Create((0, 0))]
+        lines = format_schedule(alpha, numbered=False).splitlines()
+        assert lines[0].startswith("CREATE(T0)")
+        assert lines[1].startswith("  CREATE")
+        assert lines[2].startswith("    CREATE")
+
+    def test_numbering(self):
+        alpha = [Create(ROOT), Create((0,))]
+        lines = format_schedule(alpha).splitlines()
+        assert lines[0].startswith("  0  ")
+        assert lines[1].startswith("  1  ")
+
+    def test_informs_at_margin(self):
+        alpha = [InformCommitAt("x", (0,))]
+        line = format_schedule(alpha, numbered=False)
+        assert line.startswith("INFORM_COMMIT")
+
+    def test_empty_schedule(self):
+        assert format_schedule([]) == ""
+
+
+class TestSwimlanes:
+    def test_one_lane_per_transaction(self):
+        alpha = [
+            Create(ROOT),
+            RequestCreate((0,)),
+            Create((0,)),
+            RequestCommit((0,), "v"),
+            Commit((0,)),
+        ]
+        text = format_swimlanes(alpha)
+        assert text.count("T0\n") == 1
+        assert "\nT0.0\n" in text
+        # The root's lane includes its child's return operation.
+        root_block = text.split("\nT0.0\n")[0]
+        assert "COMMIT(T0.0)" in root_block
+
+    def test_informs_excluded(self):
+        text = format_swimlanes([InformCommitAt("x", (0,))])
+        assert text == ""
+
+
+class TestSummary:
+    def test_counts(self):
+        alpha = [Create(ROOT), Create((0,)), Commit((0,))]
+        summary = summarize_schedule(alpha)
+        assert summary["Create"] == 2
+        assert summary["Commit"] == 1
+        assert summary["total"] == 3

@@ -1,0 +1,145 @@
+"""Unit tests for the generic scheduler (Section 5.2)."""
+
+import pytest
+
+from repro.core.events import (
+    Abort,
+    Commit,
+    Create,
+    InformAbortAt,
+    InformCommitAt,
+    ReportAbort,
+    ReportCommit,
+    RequestCommit,
+    RequestCreate,
+)
+from repro.core.generic_scheduler import GenericScheduler
+from repro.core.names import ROOT
+
+
+@pytest.fixture
+def scheduler(tiny_system_type):
+    return GenericScheduler(tiny_system_type)
+
+
+class TestConcurrencyFreedom:
+    def test_siblings_may_run_concurrently(self, scheduler):
+        """Unlike the serial scheduler, both siblings can be live."""
+        scheduler.apply(Create(ROOT))
+        scheduler.apply(RequestCreate((0,)))
+        scheduler.apply(RequestCreate((1,)))
+        scheduler.apply(Create((0,)))
+        assert scheduler.output_enabled(Create((1,)))
+        scheduler.apply(Create((1,)))
+
+    def test_abort_after_work(self, scheduler):
+        """The generic scheduler may abort a created, running transaction."""
+        scheduler.apply(Create(ROOT))
+        scheduler.apply(RequestCreate((0,)))
+        scheduler.apply(Create((0,)))
+        assert scheduler.output_enabled(Abort((0,)))
+        scheduler.apply(Abort((0,)))
+        # But never twice, and never after a return.
+        assert not scheduler.output_enabled(Abort((0,)))
+        assert not scheduler.output_enabled(Commit((0,)))
+
+    def test_root_is_never_returned(self, scheduler):
+        scheduler.apply(Create(ROOT))
+        assert not scheduler.output_enabled(Abort(ROOT))
+        scheduler.apply(RequestCommit(ROOT, "done"))
+        assert not scheduler.output_enabled(Commit(ROOT))
+        assert Commit(ROOT) not in set(scheduler.enabled_outputs())
+
+
+class TestCommitRules:
+    def test_commit_waits_for_requested_children(self, scheduler):
+        scheduler.apply(Create(ROOT))
+        scheduler.apply(RequestCreate((0,)))
+        scheduler.apply(Create((0,)))
+        scheduler.apply(RequestCreate((0, 0)))
+        scheduler.apply(RequestCommit((0,), "v"))
+        assert not scheduler.output_enabled(Commit((0,)))
+        scheduler.apply(Abort((0, 0)))
+        assert scheduler.output_enabled(Commit((0,)))
+
+
+class TestInformOperations:
+    def commit_one(self, scheduler):
+        scheduler.apply(Create(ROOT))
+        scheduler.apply(RequestCreate((0,)))
+        scheduler.apply(Create((0,)))
+        scheduler.apply(RequestCommit((0,), "v"))
+        scheduler.apply(Commit((0,)))
+
+    def test_inform_commit_after_commit(self, scheduler):
+        self.commit_one(scheduler)
+        assert scheduler.output_enabled(InformCommitAt("x", (0,)))
+        assert not scheduler.output_enabled(InformAbortAt("x", (0,)))
+
+    def test_inform_abort_after_abort(self, scheduler):
+        scheduler.apply(Create(ROOT))
+        scheduler.apply(RequestCreate((0,)))
+        scheduler.apply(Abort((0,)))
+        assert scheduler.output_enabled(InformAbortAt("x", (0,)))
+        assert not scheduler.output_enabled(InformCommitAt("x", (0,)))
+
+    def test_inform_never_for_root(self, scheduler):
+        scheduler.apply(Create(ROOT))
+        assert not scheduler.output_enabled(InformCommitAt("x", ROOT))
+
+    def test_once_informs_suppresses_proposals(self, scheduler):
+        self.commit_one(scheduler)
+        scheduler.apply(InformCommitAt("x", (0,)))
+        assert InformCommitAt("x", (0,)) not in set(
+            scheduler.enabled_outputs()
+        )
+        # Still accepted on replay.
+        assert scheduler.output_enabled(InformCommitAt("x", (0,)))
+
+    def test_relevant_informs_limits_targets(self, nested_system_type):
+        scheduler = GenericScheduler(nested_system_type)
+        scheduler.apply(Create(ROOT))
+        scheduler.apply(RequestCreate((0,)))
+        scheduler.apply(Create((0,)))
+        scheduler.apply(RequestCreate((0, 2)))  # the balance access
+        scheduler.apply(Create((0, 2)))
+        scheduler.apply(RequestCommit((0, 2), 100))
+        scheduler.apply(Commit((0, 2)))
+        proposals = {
+            action
+            for action in scheduler.enabled_outputs()
+            if isinstance(action, InformCommitAt)
+        }
+        # (0,2) accesses only "acct"; no INFORM proposed at x or s.
+        assert proposals == {InformCommitAt("acct", (0, 2))}
+
+
+class TestLemma25StateCorrespondence:
+    def test_state_matches_schedule(self, scheduler):
+        scheduler.apply(Create(ROOT))
+        scheduler.apply(RequestCreate((0,)))
+        scheduler.apply(RequestCreate((1,)))
+        scheduler.apply(Create((0,)))
+        scheduler.apply(Abort((1,)))
+        scheduler.apply(RequestCommit((0,), "v"))
+        scheduler.apply(Commit((0,)))
+        assert scheduler.create_requested == {ROOT, (0,), (1,)}
+        assert scheduler.created == {ROOT, (0,)}
+        assert scheduler.commit_requested == {((0,), "v")}
+        assert scheduler.committed == {(0,)}
+        assert scheduler.aborted == {(1,)}
+        assert scheduler.returned == scheduler.committed | scheduler.aborted
+        assert not (scheduler.committed & scheduler.aborted)
+
+
+class TestProposalHygiene:
+    def test_proposed_outputs_are_enabled(self, scheduler, rng):
+        """Every action yielded by enabled_outputs passes output_enabled."""
+        import random
+        from repro.core.systems import RWLockingSystem
+
+        for action in scheduler.enabled_outputs():
+            assert scheduler.output_enabled(action)
+        scheduler.apply(Create(ROOT))
+        for action in scheduler.enabled_outputs():
+            assert scheduler.output_enabled(action)

@@ -1,0 +1,102 @@
+"""Whole-system tests with non-default transaction logics.
+
+Theorem 34 must hold regardless of the transaction automata plugged in:
+the correctness definition quantifies over the same automata in both
+systems.  These tests drive R/W Locking systems built with sequential,
+subset and free logics through the checker.
+"""
+
+import pytest
+
+from repro.core.correctness import check_serial_correctness
+from repro.core.names import ROOT
+from repro.core.systems import RWLockingSystem
+from repro.core.transaction import (
+    FreeLogic,
+    ParallelLogic,
+    SequentialLogic,
+    SubsetLogic,
+)
+from repro.ioa.explorer import random_schedules
+
+
+def check_factory(system_type, factory, seed, count=6):
+    system = RWLockingSystem(system_type, logic_factory=factory)
+    for alpha in random_schedules(system, count, 300, seed=seed):
+        report = check_serial_correctness(system, alpha)
+        assert report.ok, [
+            (item.transaction, item.failures)
+            for item in report.failed()
+        ]
+
+
+class TestLogicFactories:
+    def test_sequential_everywhere(self, nested_system_type):
+        check_factory(
+            nested_system_type, lambda name: SequentialLogic(), seed=201
+        )
+
+    def test_free_everywhere(self, nested_system_type):
+        check_factory(
+            nested_system_type, lambda name: FreeLogic(), seed=203
+        )
+
+    def test_mixed_logics(self, nested_system_type):
+        def factory(name):
+            if len(name) == 0:
+                return ParallelLogic()
+            if len(name) == 1:
+                return SequentialLogic()
+            return FreeLogic()
+
+        check_factory(nested_system_type, factory, seed=205)
+
+    def test_subset_logic_skips_children(self, nested_system_type):
+        """A transaction that only ever requests one child still yields
+        correct systems (unrequested subtrees simply never run)."""
+
+        def factory(name):
+            children = nested_system_type.children(name)
+            return SubsetLogic(children[:1])
+
+        system = RWLockingSystem(nested_system_type, logic_factory=factory)
+        for alpha in random_schedules(system, 5, 300, seed=207):
+            report = check_serial_correctness(system, alpha)
+            assert report.ok
+            # Second children are never created.
+            from repro.core.events import Create
+
+            created = {
+                event.transaction
+                for event in alpha
+                if isinstance(event, Create)
+            }
+            for top in nested_system_type.children(ROOT):
+                for child in nested_system_type.children(top)[1:]:
+                    assert child not in created
+
+    def test_free_logic_commits_early(self, nested_system_type):
+        """FreeLogic may request commit before requesting any children;
+        the schedulers still sequence returns correctly."""
+        from repro.core.events import Commit, RequestCommit
+
+        system = RWLockingSystem(
+            nested_system_type,
+            logic_factory=lambda name: FreeLogic(),
+            propose_aborts=False,
+        )
+        saw_childless_commit = False
+        for alpha in random_schedules(system, 10, 200, seed=209):
+            for top in nested_system_type.children(ROOT):
+                if Commit(top) in alpha:
+                    requested = any(
+                        isinstance(event, RequestCommit)
+                        and event.transaction == top
+                        and event.value == ()
+                        for event in alpha
+                    )
+                    if requested:
+                        saw_childless_commit = True
+            report = check_serial_correctness(system, alpha)
+            assert report.ok
+        assert saw_childless_commit

@@ -1,0 +1,168 @@
+"""Unit tests for transaction name trees and system types."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.adt import IntRegister
+from repro.core.names import (
+    ROOT,
+    SystemTypeBuilder,
+    ancestors,
+    are_siblings,
+    chain_between,
+    is_ancestor,
+    is_descendant,
+    is_proper_ancestor,
+    is_proper_descendant,
+    lca,
+    parent,
+    pretty_name,
+    proper_ancestors,
+)
+from repro.errors import SystemTypeError
+
+names = st.tuples(*([st.integers(0, 3)] * 0)) | st.lists(
+    st.integers(0, 3), max_size=5
+).map(tuple)
+
+
+class TestTreeFunctions:
+    def test_parent_of_root_is_none(self):
+        assert parent(ROOT) is None
+
+    def test_parent_strips_last_component(self):
+        assert parent((1, 2, 3)) == (1, 2)
+
+    def test_every_name_is_own_ancestor(self):
+        assert is_ancestor((1, 2), (1, 2))
+        assert is_descendant((1, 2), (1, 2))
+
+    def test_proper_relations_exclude_self(self):
+        assert not is_proper_ancestor((1,), (1,))
+        assert not is_proper_descendant((1,), (1,))
+        assert is_proper_ancestor((1,), (1, 0))
+        assert is_proper_descendant((1, 0), (1,))
+
+    def test_root_is_universal_ancestor(self):
+        assert is_ancestor(ROOT, (4, 5, 6))
+
+    def test_unrelated_names(self):
+        assert not is_ancestor((1,), (2, 1))
+        assert not is_descendant((1,), (2, 1))
+
+    def test_ancestors_walks_to_root(self):
+        assert list(ancestors((1, 2))) == [(1, 2), (1,), ()]
+
+    def test_proper_ancestors(self):
+        assert list(proper_ancestors((1, 2))) == [(1,), ()]
+
+    def test_lca(self):
+        assert lca((1, 2, 3), (1, 2, 5)) == (1, 2)
+        assert lca((1,), (2,)) == ROOT
+        assert lca((1, 2), (1, 2, 9)) == (1, 2)
+
+    def test_siblings(self):
+        assert are_siblings((1, 2), (1, 3))
+        assert not are_siblings((1, 2), (1, 2))
+        assert not are_siblings((1, 2), (2, 2))
+        assert not are_siblings(ROOT, ROOT)
+
+    def test_chain_between(self):
+        assert list(chain_between((1, 2, 3), (1,))) == [(1, 2, 3), (1, 2)]
+        assert list(chain_between((1,), (1,))) == []
+
+    def test_chain_between_requires_ancestor(self):
+        with pytest.raises(SystemTypeError):
+            list(chain_between((1,), (2,)))
+
+    def test_pretty_name(self):
+        assert pretty_name(ROOT) == "T0"
+        assert pretty_name((0, 2)) == "T0.0.2"
+
+
+@given(names, names)
+def test_lca_is_common_ancestor(a, b):
+    common = lca(a, b)
+    assert is_ancestor(common, a)
+    assert is_ancestor(common, b)
+
+
+@given(names, names)
+def test_lca_is_least(a, b):
+    common = lca(a, b)
+    deeper = common + (a + (0,))[len(common):][:1]
+    if is_ancestor(deeper, a) and is_ancestor(deeper, b):
+        assert deeper == common
+
+
+@given(names)
+def test_ancestor_chain_ends_at_root(name):
+    chain = list(ancestors(name))
+    assert chain[0] == name
+    assert chain[-1] == ROOT
+    assert len(chain) == len(name) + 1
+
+
+class TestSystemTypeBuilder:
+    def test_build_small_tree(self, tiny_system_type):
+        assert tiny_system_type.size() == 5
+        assert tiny_system_type.children(ROOT) == ((0,), (1,))
+
+    def test_access_classification(self, tiny_system_type):
+        writer = (0, 0)
+        reader = (1, 0)
+        assert tiny_system_type.is_access(writer)
+        assert not tiny_system_type.is_read_access(writer)
+        assert tiny_system_type.is_read_access(reader)
+        assert tiny_system_type.object_of(writer) == "x"
+
+    def test_internal_transactions(self, tiny_system_type):
+        internals = set(tiny_system_type.internal_transactions())
+        assert internals == {ROOT, (0,), (1,)}
+
+    def test_accesses_partitioned_by_object(self, nested_system_type):
+        for object_name in nested_system_type.object_names():
+            for access in nested_system_type.accesses_of(object_name):
+                assert nested_system_type.object_of(access) == object_name
+
+    def test_all_accesses_covers_partition(self, nested_system_type):
+        by_object = set()
+        for object_name in nested_system_type.object_names():
+            by_object.update(nested_system_type.accesses_of(object_name))
+        assert by_object == set(nested_system_type.all_accesses())
+
+    def test_contains(self, tiny_system_type):
+        assert tiny_system_type.contains(ROOT)
+        assert tiny_system_type.contains((0, 0))
+        assert not tiny_system_type.contains((7,))
+
+    def test_duplicate_object_rejected(self):
+        builder = SystemTypeBuilder()
+        builder.add_object(IntRegister("x"))
+        with pytest.raises(SystemTypeError):
+            builder.add_object(IntRegister("x"))
+
+    def test_access_to_unknown_object_rejected(self):
+        builder = SystemTypeBuilder()
+        with pytest.raises(SystemTypeError):
+            builder.add_access(ROOT, "ghost", IntRegister.read())
+
+    def test_children_under_access_rejected(self):
+        builder = SystemTypeBuilder()
+        builder.add_object(IntRegister("x"))
+        access = builder.add_access(ROOT, "x", IntRegister.read())
+        with pytest.raises(SystemTypeError):
+            builder.add_child(access)
+
+    def test_operation_of_non_access_rejected(self, tiny_system_type):
+        with pytest.raises(SystemTypeError):
+            tiny_system_type.operation_of((0,))
+
+    def test_transactions_preorder_root_first(self, nested_system_type):
+        order = list(nested_system_type.transactions())
+        assert order[0] == ROOT
+        seen = set()
+        for name in order:
+            if name != ROOT:
+                assert parent(name) in seen
+            seen.add(name)

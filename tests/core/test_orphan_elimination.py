@@ -1,0 +1,123 @@
+"""Tests for eager orphan elimination (the §3.5 "intricate scheduler")."""
+
+import pytest
+
+from repro.checking.anomalies import (
+    find_register_anomalies,
+    orphan_anomaly_witness,
+    orphan_demo_system_type,
+)
+from repro.core.correctness import check_serial_correctness
+from repro.core.events import Abort, Create, InformAbortAt, RequestCommit
+from repro.core.names import ROOT
+from repro.core.orphan_elimination import (
+    EagerGenericScheduler,
+    OrphanFreeRWLockingSystem,
+    QuiescentRWObject,
+)
+from repro.core.systems import RWLockingSystem
+from repro.core.visibility import is_orphan
+from repro.errors import NotEnabledError
+from repro.ioa.explorer import random_schedules
+
+
+class TestEagerScheduler:
+    def test_orphan_create_suppressed(self, tiny_system_type):
+        scheduler = EagerGenericScheduler(tiny_system_type)
+        scheduler.apply(Create(ROOT))
+        from repro.core.events import RequestCreate
+
+        scheduler.apply(RequestCreate((0,)))
+        scheduler.apply(Create((0,)))
+        scheduler.apply(RequestCreate((0, 0)))
+        scheduler.apply(Abort((0,)))
+        # The plain scheduler would still create the orphaned access.
+        assert not scheduler.output_enabled(Create((0, 0)))
+        assert Create((0, 0)) not in set(scheduler.enabled_outputs())
+
+    def test_non_orphans_unaffected(self, tiny_system_type):
+        from repro.core.events import RequestCreate
+
+        scheduler = EagerGenericScheduler(tiny_system_type)
+        scheduler.apply(Create(ROOT))
+        scheduler.apply(RequestCreate((1,)))
+        assert scheduler.output_enabled(Create((1,)))
+
+
+class TestQuiescentObject:
+    def test_pending_access_dropped_on_abort(self):
+        system_type = orphan_demo_system_type()
+        mx = QuiescentRWObject(system_type, "x")
+        mx.apply(Create((0, 0, 0)))
+        mx.apply(InformAbortAt("x", (0,)))
+        # The pending read can no longer respond.
+        assert all(
+            action.transaction != (0, 0, 0)
+            for action in mx.enabled_outputs()
+        )
+
+    def test_responded_access_bookkeeping_kept(self):
+        system_type = orphan_demo_system_type()
+        mx = QuiescentRWObject(system_type, "x")
+        mx.apply(Create((0, 0, 0)))
+        action = next(iter(mx.enabled_outputs()))
+        mx.apply(action)
+        mx.apply(InformAbortAt("x", (0,)))
+        # Already-run accesses stay recorded (no double response later).
+        assert (0, 0, 0) in mx.run
+
+
+class TestOrphanFreedom:
+    def test_witness_script_unschedulable(self):
+        """The E15 anomaly script is rejected by the eliminated system:
+        the orphan's second read can never be created."""
+        witness = orphan_anomaly_witness()
+        system = OrphanFreeRWLockingSystem(witness.system_type)
+        with pytest.raises(NotEnabledError):
+            for event in witness.schedule:
+                system.apply(event)
+
+    def test_random_runs_are_orphan_anomaly_free(self, nested_system_type):
+        plain_anomalies = 0
+        eliminated_anomalies = 0
+        for system, bucket in (
+            (RWLockingSystem(nested_system_type), "plain"),
+            (OrphanFreeRWLockingSystem(nested_system_type), "eager"),
+        ):
+            count = 0
+            for alpha in random_schedules(system, 15, 300, seed=131):
+                for name in nested_system_type.internal_transactions():
+                    count += len(
+                        find_register_anomalies(
+                            nested_system_type, alpha, name
+                        )
+                    )
+            if bucket == "plain":
+                plain_anomalies = count
+            else:
+                eliminated_anomalies = count
+        assert eliminated_anomalies == 0
+
+    def test_theorem34_still_holds(self, nested_system_type):
+        """Sub-automata stay serially correct for non-orphans."""
+        system = OrphanFreeRWLockingSystem(nested_system_type)
+        for alpha in random_schedules(system, 6, 300, seed=133):
+            report = check_serial_correctness(system, alpha)
+            assert report.ok
+
+    def test_schedules_are_plain_system_schedules(self, tiny_system_type):
+        """Sub-automaton property: everything the eliminated system does,
+        the plain system accepts."""
+        eliminated = OrphanFreeRWLockingSystem(tiny_system_type)
+        plain = RWLockingSystem(tiny_system_type)
+        for alpha in random_schedules(eliminated, 8, 200, seed=137):
+            replay = plain.fresh()
+            for event in alpha:
+                replay.apply(event)
+
+    def test_fresh_preserves_variant(self, tiny_system_type):
+        system = OrphanFreeRWLockingSystem(tiny_system_type)
+        clone = system.fresh()
+        assert isinstance(clone, OrphanFreeRWLockingSystem)
+        assert isinstance(clone.scheduler, EagerGenericScheduler)
+        assert isinstance(clone.locking_object("x"), QuiescentRWObject)

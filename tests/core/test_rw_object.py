@@ -1,0 +1,194 @@
+"""Unit tests for Moss' R/W Locking objects M(X) (Section 5.1)."""
+
+import pytest
+
+from repro.adt import Counter, IntRegister
+from repro.core.events import (
+    Create,
+    InformAbortAt,
+    InformCommitAt,
+    RequestCommit,
+)
+from repro.core.names import ROOT, SystemTypeBuilder
+from repro.core.rw_object import RWLockingObject, least_lockholder
+from repro.errors import ModelError, NotEnabledError
+
+
+@pytest.fixture
+def system_type():
+    builder = SystemTypeBuilder()
+    builder.add_object(Counter("c"))
+    t1 = builder.add_child(ROOT)           # (0,)
+    builder.add_access(t1, "c", Counter.increment(1))   # (0,0) write
+    builder.add_access(t1, "c", Counter.value())        # (0,1) read
+    t2 = builder.add_child(ROOT)           # (1,)
+    builder.add_access(t2, "c", Counter.value())        # (1,0) read
+    builder.add_access(t2, "c", Counter.increment(10))  # (1,1) write
+    return builder.build()
+
+
+@pytest.fixture
+def mx(system_type):
+    return RWLockingObject(system_type, "c")
+
+
+W1, R1 = (0, 0), (0, 1)
+R2, W2 = (1, 0), (1, 1)
+
+
+def run_access(mx, access):
+    mx.apply(Create(access))
+    action = next(
+        a for a in mx.enabled_outputs() if a.transaction == access
+    )
+    mx.apply(action)
+    return action.value
+
+
+class TestLeastLockholder:
+    def test_chain(self):
+        assert least_lockholder({(), (1,), (1, 2)}) == (1, 2)
+
+    def test_singleton(self):
+        assert least_lockholder({()}) == ()
+
+    def test_non_chain_rejected(self):
+        with pytest.raises(ModelError):
+            least_lockholder({(1,), (2,)})
+
+
+class TestInitialState:
+    def test_root_holds_write_lock(self, mx):
+        assert mx.write_lockholders == {ROOT}
+        assert mx.map[ROOT] == 0
+        assert mx.current_value() == 0
+
+
+class TestGrantRules:
+    def test_write_acquires_lock_and_version(self, mx):
+        value = run_access(mx, W1)
+        assert value == 1
+        assert W1 in mx.write_lockholders
+        assert mx.map[W1] == 1
+        # Root's version is untouched until commit propagation.
+        assert mx.map[ROOT] == 0
+
+    def test_read_acquires_read_lock_no_version(self, mx):
+        run_access(mx, R1)
+        assert R1 in mx.read_lockholders
+        assert R1 not in mx.map
+
+    def test_conflicting_write_blocked(self, mx):
+        run_access(mx, W1)
+        mx.apply(Create(W2))
+        # W1 is not an ancestor of W2: no response enabled for W2.
+        assert all(
+            action.transaction != W2 for action in mx.enabled_outputs()
+        )
+
+    def test_read_blocked_by_foreign_write_lock(self, mx):
+        run_access(mx, W1)
+        mx.apply(Create(R2))
+        assert all(
+            action.transaction != R2 for action in mx.enabled_outputs()
+        )
+
+    def test_concurrent_reads_allowed(self, mx):
+        run_access(mx, R1)
+        value = run_access(mx, R2)
+        assert value == 0
+        assert {R1, R2} <= mx.read_lockholders
+
+    def test_write_blocked_by_foreign_read_lock(self, mx):
+        run_access(mx, R2)
+        mx.apply(Create(W1))
+        assert all(
+            action.transaction != W1 for action in mx.enabled_outputs()
+        )
+
+    def test_response_requires_create(self, mx):
+        with pytest.raises(NotEnabledError):
+            mx.apply(RequestCommit(W1, 1))
+
+    def test_no_double_response(self, mx):
+        run_access(mx, W1)
+        assert not mx.output_enabled(RequestCommit(W1, 1))
+
+    def test_response_value_from_least_holder_version(self, mx):
+        run_access(mx, W1)
+        mx.apply(InformCommitAt("c", W1))   # lock moves to (0,)
+        run_access(mx, R1)                  # read inside same tree
+        # R1 must see (0,)'s version, i.e. 1, not root's 0.
+        assert mx.map[(0,)] == 1
+
+
+class TestInformCommit:
+    def test_write_lock_and_version_inherited(self, mx):
+        run_access(mx, W1)
+        mx.apply(InformCommitAt("c", W1))
+        assert W1 not in mx.write_lockholders
+        assert (0,) in mx.write_lockholders
+        assert mx.map[(0,)] == 1
+        assert W1 not in mx.map
+
+    def test_read_lock_inherited(self, mx):
+        run_access(mx, R1)
+        mx.apply(InformCommitAt("c", R1))
+        assert R1 not in mx.read_lockholders
+        assert (0,) in mx.read_lockholders
+
+    def test_commit_to_root_publishes_value(self, mx):
+        run_access(mx, W1)
+        mx.apply(InformCommitAt("c", W1))
+        mx.apply(InformCommitAt("c", (0,)))
+        assert mx.write_lockholders == {ROOT}
+        assert mx.map[ROOT] == 1
+        # Now the other tree's accesses can run and see the new value.
+        assert run_access(mx, R2) == 1
+
+    def test_inform_for_non_holder_is_noop(self, mx):
+        before = (set(mx.write_lockholders), dict(mx.map))
+        mx.apply(InformCommitAt("c", (1,)))
+        assert (set(mx.write_lockholders), dict(mx.map)) == before
+
+
+class TestInformAbort:
+    def test_abort_discards_subtree_locks_and_versions(self, mx):
+        run_access(mx, W1)
+        mx.apply(InformCommitAt("c", W1))
+        run_access(mx, R1)
+        mx.apply(InformAbortAt("c", (0,)))
+        assert mx.write_lockholders == {ROOT}
+        assert mx.read_lockholders == set()
+        assert mx.map == {ROOT: 0}
+
+    def test_abort_restores_pre_access_state(self, mx):
+        run_access(mx, W1)
+        mx.apply(InformCommitAt("c", W1))
+        assert mx.current_value() == 1
+        mx.apply(InformAbortAt("c", (0,)))
+        assert mx.current_value() == 0
+        # The other tree now reads the restored value.
+        assert run_access(mx, R2) == 0
+
+    def test_abort_unblocks_conflicting_access(self, mx):
+        run_access(mx, W1)
+        mx.apply(Create(W2))
+        assert all(a.transaction != W2 for a in mx.enabled_outputs())
+        mx.apply(InformAbortAt("c", (0,)))
+        values = [a.value for a in mx.enabled_outputs()
+                  if a.transaction == W2]
+        assert values == [10]
+
+
+class TestLemma21Invariant:
+    def test_holders_form_ancestor_chain_with_writer(self, mx):
+        """Lemma 21: with a write-holder present, holders are related."""
+        run_access(mx, W1)
+        mx.apply(InformCommitAt("c", W1))
+        run_access(mx, R1)
+        mx.apply(InformCommitAt("c", R1))
+        holders = mx.write_lockholders | mx.read_lockholders
+        for a in mx.write_lockholders:
+            for b in holders:
+                assert a[: len(b)] == b or b[: len(a)] == a

@@ -1,0 +1,153 @@
+"""Unit tests for the serial scheduler (Section 3.3)."""
+
+import pytest
+
+from repro.core.events import (
+    Abort,
+    Commit,
+    Create,
+    ReportAbort,
+    ReportCommit,
+    RequestCommit,
+    RequestCreate,
+)
+from repro.core.names import ROOT
+from repro.core.serial_scheduler import SerialScheduler
+from repro.errors import NotEnabledError
+
+
+@pytest.fixture
+def scheduler(tiny_system_type):
+    return SerialScheduler(tiny_system_type)
+
+
+class TestInitialState:
+    def test_only_root_create_enabled(self, scheduler):
+        assert list(scheduler.enabled_outputs()) == [Create(ROOT)]
+
+    def test_root_never_aborts(self, scheduler):
+        assert not scheduler.output_enabled(Abort(ROOT))
+
+
+class TestCreation:
+    def test_create_requires_request(self, scheduler):
+        scheduler.apply(Create(ROOT))
+        assert not scheduler.output_enabled(Create((0,)))
+        scheduler.apply(RequestCreate((0,)))
+        assert scheduler.output_enabled(Create((0,)))
+
+    def test_no_double_create(self, scheduler):
+        scheduler.apply(Create(ROOT))
+        scheduler.apply(RequestCreate((0,)))
+        scheduler.apply(Create((0,)))
+        assert not scheduler.output_enabled(Create((0,)))
+
+    def test_siblings_run_sequentially(self, scheduler):
+        """The defining property: no sibling created while one is live."""
+        scheduler.apply(Create(ROOT))
+        scheduler.apply(RequestCreate((0,)))
+        scheduler.apply(RequestCreate((1,)))
+        scheduler.apply(Create((0,)))
+        # (1,) must wait for (0,) to return.
+        assert not scheduler.output_enabled(Create((1,)))
+        scheduler.apply(RequestCommit((0,), "v"))
+        scheduler.apply(Commit((0,)))
+        assert scheduler.output_enabled(Create((1,)))
+
+
+class TestCommit:
+    def prepare(self, scheduler):
+        scheduler.apply(Create(ROOT))
+        scheduler.apply(RequestCreate((0,)))
+        scheduler.apply(Create((0,)))
+
+    def test_commit_requires_request(self, scheduler):
+        self.prepare(scheduler)
+        assert not scheduler.output_enabled(Commit((0,)))
+        scheduler.apply(RequestCommit((0,), "v"))
+        assert scheduler.output_enabled(Commit((0,)))
+
+    def test_commit_waits_for_children(self, scheduler):
+        self.prepare(scheduler)
+        scheduler.apply(RequestCreate((0, 0)))
+        scheduler.apply(RequestCommit((0,), "v"))
+        # Child (0,0) was requested but has not returned.
+        assert not scheduler.output_enabled(Commit((0,)))
+        scheduler.apply(Create((0, 0)))
+        scheduler.apply(RequestCommit((0, 0), 5))
+        scheduler.apply(Commit((0, 0)))
+        assert scheduler.output_enabled(Commit((0,)))
+
+    def test_no_double_commit(self, scheduler):
+        self.prepare(scheduler)
+        scheduler.apply(RequestCommit((0,), "v"))
+        scheduler.apply(Commit((0,)))
+        assert not scheduler.output_enabled(Commit((0,)))
+
+
+class TestAbort:
+    def test_abort_only_before_create(self, scheduler):
+        """The serial scheduler's ABORT means "was never created"."""
+        scheduler.apply(Create(ROOT))
+        scheduler.apply(RequestCreate((0,)))
+        assert scheduler.output_enabled(Abort((0,)))
+        scheduler.apply(Create((0,)))
+        assert not scheduler.output_enabled(Abort((0,)))
+
+    def test_abort_waits_for_live_siblings(self, scheduler):
+        scheduler.apply(Create(ROOT))
+        scheduler.apply(RequestCreate((0,)))
+        scheduler.apply(RequestCreate((1,)))
+        scheduler.apply(Create((0,)))
+        assert not scheduler.output_enabled(Abort((1,)))
+
+    def test_abort_free_flag(self, tiny_system_type):
+        scheduler = SerialScheduler(tiny_system_type, abort_free=True)
+        scheduler.apply(Create(ROOT))
+        scheduler.apply(RequestCreate((0,)))
+        assert not scheduler.output_enabled(Abort((0,)))
+        assert Abort((0,)) not in set(scheduler.enabled_outputs())
+
+
+class TestReports:
+    def finish_one(self, scheduler):
+        scheduler.apply(Create(ROOT))
+        scheduler.apply(RequestCreate((0,)))
+        scheduler.apply(Create((0,)))
+        scheduler.apply(RequestCommit((0,), "v"))
+        scheduler.apply(Commit((0,)))
+
+    def test_report_commit_after_commit(self, scheduler):
+        self.finish_one(scheduler)
+        assert scheduler.output_enabled(ReportCommit((0,), "v"))
+        assert not scheduler.output_enabled(ReportCommit((0,), "wrong"))
+
+    def test_report_abort_after_abort(self, scheduler):
+        scheduler.apply(Create(ROOT))
+        scheduler.apply(RequestCreate((0,)))
+        scheduler.apply(Abort((0,)))
+        assert scheduler.output_enabled(ReportAbort((0,)))
+        assert not scheduler.output_enabled(ReportCommit((0,), "v"))
+
+    def test_once_reports_suppresses_proposals_not_acceptance(
+        self, scheduler
+    ):
+        self.finish_one(scheduler)
+        scheduler.apply(ReportCommit((0,), "v"))
+        # Not proposed again...
+        assert ReportCommit((0,), "v") not in set(
+            scheduler.enabled_outputs()
+        )
+        # ...but replays of repeated reports are still accepted (the paper
+        # allows repeated instances of a report).
+        scheduler.apply(ReportCommit((0,), "v"))
+
+    def test_lemma4_state_correspondence(self, scheduler):
+        """Lemma 4: scheduler state mirrors schedule content."""
+        self.finish_one(scheduler)
+        assert (0,) in scheduler.create_requested
+        assert (0,) in scheduler.created
+        assert ((0,), "v") in scheduler.commit_requested
+        assert (0,) in scheduler.committed
+        assert scheduler.returned == scheduler.committed | scheduler.aborted
+        assert not (scheduler.committed & scheduler.aborted)

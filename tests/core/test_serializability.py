@@ -1,0 +1,193 @@
+"""Unit tests for the classical conflict-serializability oracle."""
+
+import pytest
+
+from repro.adt import Counter, IntRegister
+from repro.core.events import Commit, Create, RequestCommit
+from repro.core.names import ROOT, SystemTypeBuilder
+from repro.core.serializability import (
+    PrecedenceGraph,
+    committed_accesses,
+    equivalent_serial_order,
+    is_conflict_serializable,
+    precedence_graph,
+    replay_committed_values,
+)
+from repro.errors import ReproError
+
+
+@pytest.fixture
+def two_writer_type():
+    builder = SystemTypeBuilder()
+    builder.add_object(IntRegister("x"))
+    builder.add_object(IntRegister("y"))
+    t1 = builder.add_child(ROOT)
+    builder.add_access(t1, "x", IntRegister.write(1))   # (0,0)
+    builder.add_access(t1, "y", IntRegister.write(1))   # (0,1)
+    t2 = builder.add_child(ROOT)
+    builder.add_access(t2, "x", IntRegister.write(2))   # (1,0)
+    builder.add_access(t2, "y", IntRegister.write(2))   # (1,1)
+    return builder.build()
+
+
+def committed_run(accesses):
+    """A schedule committing every access (and its ancestors)."""
+    events = []
+    tops = set()
+    for access, value in accesses:
+        events.append(Create(access))
+        events.append(RequestCommit(access, value))
+        events.append(Commit(access))
+        tops.add(access[:1])
+    for top in sorted(tops):
+        events.append(Commit(top))
+    return tuple(events)
+
+
+class TestPrecedenceGraph:
+    def test_cycle_detection(self):
+        graph = PrecedenceGraph()
+        graph.add_edge((0,), (1,))
+        graph.add_edge((1,), (2,))
+        assert graph.find_cycle() is None
+        graph.add_edge((2,), (0,))
+        cycle = graph.find_cycle()
+        assert cycle is not None
+        assert cycle[0] == cycle[-1]
+
+    def test_self_edges_ignored(self):
+        graph = PrecedenceGraph()
+        graph.add_edge((0,), (0,))
+        assert graph.edges == {}
+
+    def test_topological_order(self):
+        graph = PrecedenceGraph()
+        graph.add_edge((1,), (0,))
+        graph.add_edge((2,), (1,))
+        order = graph.topological_order()
+        assert order.index((2,)) < order.index((1,)) < order.index((0,))
+
+    def test_topological_order_rejects_cycle(self):
+        graph = PrecedenceGraph()
+        graph.add_edge((0,), (1,))
+        graph.add_edge((1,), (0,))
+        with pytest.raises(ReproError):
+            graph.topological_order()
+
+
+class TestCommittedAccesses:
+    def test_only_fully_committed_chains(self, two_writer_type):
+        alpha = (
+            Create((0, 0)),
+            RequestCommit((0, 0), None),
+            Commit((0, 0)),
+            # (0,) never commits: the access must be excluded.
+            Create((1, 0)),
+            RequestCommit((1, 0), None),
+            Commit((1, 0)),
+            Commit((1,)),
+        )
+        result = committed_accesses(two_writer_type, alpha)
+        assert [item.access for item in result] == [(1, 0)]
+
+    def test_positions_preserved(self, two_writer_type):
+        alpha = committed_run([((0, 0), None), ((1, 0), None)])
+        result = committed_accesses(two_writer_type, alpha)
+        assert result[0].position < result[1].position
+
+
+class TestSerializability:
+    def test_serial_order_is_serializable(self, two_writer_type):
+        alpha = committed_run(
+            [((0, 0), None), ((0, 1), None), ((1, 0), 1), ((1, 1), 1)]
+        )
+        assert is_conflict_serializable(two_writer_type, alpha)
+        report = equivalent_serial_order(two_writer_type, alpha)
+        assert report.serializable
+        assert report.serial_order == [(0,), (1,)]
+        assert report.state_equivalent
+
+    def test_classic_non_serializable_interleaving(self, two_writer_type):
+        # T0.0 writes x first, T0.1 writes y first, then they cross.
+        alpha = committed_run(
+            [((0, 0), None), ((1, 1), None), ((0, 1), 2), ((1, 0), 1)]
+        )
+        assert not is_conflict_serializable(two_writer_type, alpha)
+        report = equivalent_serial_order(two_writer_type, alpha)
+        assert not report.serializable
+        assert report.cycle is not None
+
+    def test_read_read_never_conflicts(self):
+        builder = SystemTypeBuilder()
+        builder.add_object(IntRegister("x"))
+        t1 = builder.add_child(ROOT)
+        builder.add_access(t1, "x", IntRegister.read())
+        t2 = builder.add_child(ROOT)
+        builder.add_access(t2, "x", IntRegister.read())
+        system_type = builder.build()
+        alpha = committed_run([((0, 0), 0), ((1, 0), 0)])
+        graph = precedence_graph(system_type, alpha)
+        assert graph.edges == {}
+
+    def test_replay_respects_order(self, two_writer_type):
+        alpha = committed_run(
+            [((0, 0), None), ((0, 1), None), ((1, 0), 1), ((1, 1), 1)]
+        )
+        forward = replay_committed_values(
+            two_writer_type, alpha, order=[(0,), (1,)]
+        )
+        backward = replay_committed_values(
+            two_writer_type, alpha, order=[(1,), (0,)]
+        )
+        assert forward == {"x": 2, "y": 2}
+        assert backward == {"x": 1, "y": 1}
+
+
+class TestAgainstMossRuns:
+    def test_rw_locking_schedules_classically_serializable(
+        self, nested_system_type
+    ):
+        """Every Moss schedule passes the classical oracle too."""
+        from repro.core.systems import RWLockingSystem
+        from repro.ioa.explorer import random_schedules
+
+        system = RWLockingSystem(nested_system_type)
+        for alpha in random_schedules(system, 10, 300, seed=91):
+            report = equivalent_serial_order(nested_system_type, alpha)
+            assert report.serializable, report.cycle
+            assert report.state_equivalent is not False
+
+    def test_engine_traces_classically_serializable(self):
+        """Traced engine runs pass the classical oracle."""
+        import random
+
+        from repro.engine import Engine
+        from repro.errors import LockDenied
+
+        rng = random.Random(5)
+        engine = Engine(
+            [Counter("c"), IntRegister("x")], trace=True
+        )
+        tops = [engine.begin_top() for _ in range(4)]
+        operations = [
+            ("c", Counter.increment(1)),
+            ("c", Counter.value()),
+            ("x", IntRegister.add(2)),
+            ("x", IntRegister.read()),
+        ]
+        for _ in range(40):
+            txn = rng.choice(tops)
+            if not txn.is_active:
+                continue
+            try:
+                txn.perform(*rng.choice(operations))
+            except LockDenied:
+                pass
+        for txn in tops:
+            if txn.is_active:
+                txn.commit()
+        system_type = engine.recorder.system_type(engine.specs)
+        alpha = engine.recorder.schedule()
+        report = equivalent_serial_order(system_type, alpha)
+        assert report.serializable
+        assert report.state_equivalent

@@ -1,0 +1,124 @@
+"""Unit tests for the Lemma 33 serializer."""
+
+import pytest
+
+from repro.core.equieffective import write_equivalent
+from repro.core.events import (
+    Abort,
+    Commit,
+    Create,
+    InformCommitAt,
+    RequestCommit,
+    RequestCreate,
+)
+from repro.core.names import ROOT
+from repro.core.serializer import Serializer, serialize_visible
+from repro.core.systems import RWLockingSystem
+from repro.core.visibility import visible
+from repro.errors import SerializationFailure
+from repro.ioa.explorer import random_schedules
+
+
+class TestBasicConstruction:
+    def test_empty_schedule(self, tiny_system_type):
+        serializer = Serializer(tiny_system_type)
+        assert serializer.serial_schedule_for(ROOT) == ()
+
+    def test_create_starts_from_parent(self, tiny_system_type):
+        serializer = Serializer(tiny_system_type)
+        serializer.extend(Create(ROOT))
+        serializer.extend(RequestCreate((0,)))
+        serializer.extend(Create((0,)))
+        beta = serializer.serial_schedule_for((0,))
+        assert beta == (Create(ROOT), RequestCreate((0,)), Create((0,)))
+
+    def test_informs_ignored(self, tiny_system_type):
+        serializer = Serializer(tiny_system_type)
+        serializer.extend(Create(ROOT))
+        serializer.extend(InformCommitAt("x", (0,)))
+        assert serializer.serial_schedule_for(ROOT) == (Create(ROOT),)
+
+    def test_orphan_query_rejected(self, tiny_system_type):
+        serializer = Serializer(tiny_system_type)
+        serializer.extend(Create(ROOT))
+        serializer.extend(RequestCreate((0,)))
+        serializer.extend(Create((0,)))
+        serializer.extend(Abort((0,)))
+        with pytest.raises(SerializationFailure):
+            serializer.serial_schedule_for((0,))
+
+    def test_never_created_query_rejected(self, tiny_system_type):
+        serializer = Serializer(tiny_system_type)
+        with pytest.raises(SerializationFailure):
+            serializer.serial_schedule_for((1,))
+
+    def test_abort_excludes_subtree_work(self, tiny_system_type):
+        """Case 5: the aborted subtree's events never reach the root's
+        serial schedule -- matching "aborted means never created"."""
+        serializer = Serializer(tiny_system_type)
+        events = [
+            Create(ROOT),
+            RequestCreate((0,)),
+            Create((0,)),
+            RequestCreate((0, 0)),
+            Create((0, 0)),
+            Abort((0,)),
+        ]
+        serializer.extend_all(events)
+        beta = serializer.serial_schedule_for(ROOT)
+        assert Create((0,)) not in beta
+        assert Create((0, 0)) not in beta
+        assert Abort((0,)) in beta
+        assert RequestCreate((0,)) in beta
+
+    def test_commit_merges_child_events(self, tiny_system_type):
+        serializer = Serializer(tiny_system_type)
+        events = [
+            Create(ROOT),
+            RequestCreate((0,)),
+            RequestCreate((1,)),
+            Create((0,)),
+            Create((1,)),   # concurrent siblings
+            RequestCommit((1,), "v1"),
+            Commit((1,)),
+        ]
+        serializer.extend_all(events)
+        beta = serializer.serial_schedule_for(ROOT)
+        # (1,) committed: its events are now visible to the root.
+        assert Create((1,)) in beta
+        assert Commit((1,)) in beta
+        # (0,) is still live and uncommitted: invisible to the root.
+        assert Create((0,)) not in beta
+
+
+class TestAgainstRandomSchedules:
+    def test_output_write_equivalent_to_visible(self, nested_system_type):
+        """Lemma 33's postcondition on random concurrent schedules."""
+        system = RWLockingSystem(nested_system_type)
+        for alpha in random_schedules(system, 8, 250, seed=21):
+            serializer = Serializer(nested_system_type)
+            serializer.extend_all(alpha)
+            for name in serializer.tracked():
+                if nested_system_type.is_access(name):
+                    continue
+                beta = serializer.serial_schedule_for(name)
+                assert write_equivalent(
+                    nested_system_type, visible(alpha, name), beta
+                )
+
+    def test_one_shot_wrapper_matches_incremental(self, tiny_system_type):
+        system = RWLockingSystem(tiny_system_type)
+        for alpha in random_schedules(system, 5, 150, seed=23):
+            serializer = Serializer(tiny_system_type)
+            serializer.extend_all(alpha)
+            from repro.core.visibility import is_orphan
+
+            if not is_orphan(alpha, ROOT) and Create(ROOT) in alpha:
+                assert serialize_visible(
+                    tiny_system_type, alpha, ROOT
+                ) == serializer.serial_schedule_for(ROOT)
+
+    def test_orphan_rejected_by_wrapper(self, tiny_system_type):
+        alpha = (Create(ROOT), RequestCreate((0,)), Abort((0,)))
+        with pytest.raises(SerializationFailure):
+            serialize_visible(tiny_system_type, alpha, (0,))

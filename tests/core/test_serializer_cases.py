@@ -1,0 +1,148 @@
+"""Serializer case-analysis edge tests (Lemma 33's seven cases)."""
+
+import pytest
+
+from repro.core.equieffective import write_equivalent
+from repro.core.events import (
+    Abort,
+    Commit,
+    Create,
+    InformAbortAt,
+    InformCommitAt,
+    ReportAbort,
+    ReportCommit,
+    RequestCommit,
+    RequestCreate,
+)
+from repro.core.names import ROOT
+from repro.core.serializer import Serializer
+from repro.core.visibility import visible
+from repro.errors import SerializationFailure
+
+
+@pytest.fixture
+def serializer(nested_system_type):
+    return Serializer(nested_system_type)
+
+
+def drive(serializer, events):
+    serializer.extend_all(events)
+    return serializer
+
+
+BOOT = [
+    Create(ROOT),
+    RequestCreate((0,)),
+    Create((0,)),
+    RequestCreate((0, 0)),
+    Create((0, 0)),
+]
+
+
+class TestCases:
+    def test_case6_report_commit_appended(self, serializer):
+        """A REPORT_COMMIT(T') joins the parent's serial schedule."""
+        events = BOOT + [
+            RequestCommit((0, 0), "v"),
+            Commit((0, 0)),
+            ReportCommit((0, 0), "v"),
+        ]
+        drive(serializer, events)
+        beta = serializer.serial_schedule_for((0,))
+        assert beta[-1] == ReportCommit((0, 0), "v")
+
+    def test_case7_report_abort_appended(self, serializer):
+        events = BOOT + [
+            Abort((0, 0)),
+            ReportAbort((0, 0)),
+        ]
+        drive(serializer, events)
+        beta = serializer.serial_schedule_for((0,))
+        assert beta[-1] == ReportAbort((0, 0))
+        # The aborted child's CREATE is gone from the parent's view.
+        assert Create((0, 0)) not in beta
+
+    def test_informs_never_enter_serial_schedules(self, serializer):
+        events = BOOT + [
+            InformCommitAt("x", (0, 0)),
+            InformAbortAt("x", (1,)),
+        ]
+        drive(serializer, events)
+        for name in serializer.tracked():
+            beta = serializer.serial_schedule_for(name)
+            assert all(
+                not isinstance(event, (InformCommitAt, InformAbortAt))
+                for event in beta
+            )
+
+    def test_multilevel_commit_chain(self, serializer, nested_system_type):
+        """Commits propagating through two levels make grandchild events
+        visible at the root."""
+        access = (0, 0, 0)   # IntRegister.add access under (0,0)
+        events = BOOT + [
+            RequestCreate(access),
+            Create(access),
+            RequestCommit(access, 1),
+            Commit(access),
+            RequestCommit((0, 0), "mid"),
+            Commit((0, 0)),
+            RequestCommit((0,), "top"),
+            Commit((0,)),
+        ]
+        drive(serializer, events)
+        beta = serializer.serial_schedule_for(ROOT)
+        assert RequestCommit(access, 1) in beta
+        assert Commit((0,)) in beta
+        assert write_equivalent(
+            nested_system_type, visible(tuple(events), ROOT), beta
+        )
+
+    def test_orphan_subtree_dropped_midstream(self, serializer):
+        """After ABORT(T'), events of the doomed subtree no longer touch
+        any tracked schedule, and the subtree is untracked."""
+        events = BOOT + [Abort((0,))]
+        drive(serializer, events)
+        assert (0,) not in serializer.tracked()
+        assert (0, 0) not in serializer.tracked()
+        with pytest.raises(SerializationFailure):
+            serializer.serial_schedule_for((0, 0))
+        # Late events of the orphan leave the root's schedule alone.
+        before = serializer.serial_schedule_for(ROOT)
+        serializer.extend(RequestCommit((0, 0), "zombie"))
+        assert serializer.serial_schedule_for(ROOT) == before
+
+    def test_sibling_commit_does_not_leak_uncommitted_branch(
+        self, serializer
+    ):
+        """Case 4 merge: only the committed child's events transfer."""
+        events = BOOT + [
+            RequestCreate((0, 1)),
+            Create((0, 1)),
+            RequestCommit((0, 1), "fast"),
+            Commit((0, 1)),
+        ]
+        drive(serializer, events)
+        beta = serializer.serial_schedule_for((0,))
+        assert Create((0, 1)) in beta
+        # The still-live sibling (0,0) has not committed: invisible.
+        assert Create((0, 0)) not in beta
+        # But (0,0) keeps its own view of itself.
+        own = serializer.serial_schedule_for((0, 0))
+        assert Create((0, 0)) in own
+
+    def test_commit_merge_shares_prefix_with_parent(self, serializer):
+        events = BOOT + [
+            RequestCommit((0, 0), "v"),
+            Commit((0, 0)),
+        ]
+        drive(serializer, events)
+        parent = serializer.serial_schedule_for((0,))
+        # The parent's schedule embeds the child's committed run and ends
+        # with the COMMIT itself.
+        assert parent[-1] == Commit((0, 0))
+        assert RequestCommit((0, 0), "v") in parent
+
+    def test_alpha_recorded_verbatim(self, serializer):
+        events = BOOT + [InformCommitAt("x", (0, 0))]
+        drive(serializer, events)
+        assert serializer.alpha == events

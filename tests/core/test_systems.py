@@ -1,0 +1,131 @@
+"""Unit tests for serial and R/W Locking system compositions."""
+
+import random
+
+import pytest
+
+from repro.core.events import Abort, Commit, Create
+from repro.core.names import ROOT
+from repro.core.systems import RWLockingSystem, SerialSystem
+from repro.core.visibility import live_transactions
+from repro.core.wellformed import is_well_formed
+from repro.ioa.explorer import random_schedule, random_schedules
+
+
+class TestSerialSystem:
+    def test_composition_has_all_components(self, nested_system_type):
+        system = SerialSystem(nested_system_type)
+        names = {component.name for component in system.components}
+        assert "serial-scheduler" in names
+        assert "obj:x" in names
+        assert "txn:T0" in names
+
+    def test_runs_to_completion(self, tiny_system_type, rng):
+        system = SerialSystem(tiny_system_type, abort_free=True)
+        alpha = random_schedule(system, 200, rng)
+        # Both top-levels commit, then the root commits its request.
+        assert Commit((0,)) in alpha
+        assert Commit((1,)) in alpha
+
+    def test_schedules_are_well_formed(self, nested_system_type, rng):
+        """Lemma 5."""
+        system = SerialSystem(nested_system_type)
+        for alpha in random_schedules(system, 10, 300, seed=3):
+            assert is_well_formed(nested_system_type, alpha)
+
+    def test_lemma6_only_related_transactions_live(
+        self, nested_system_type, rng
+    ):
+        """Lemma 6: live transactions form an ancestor chain, at every
+        prefix of every serial schedule."""
+        system = SerialSystem(nested_system_type)
+        for alpha in random_schedules(system, 5, 300, seed=5):
+            prefix = []
+            for event in alpha:
+                prefix.append(event)
+                live = live_transactions(prefix)
+                for a in live:
+                    for b in live:
+                        assert (
+                            a[: len(b)] == b or b[: len(a)] == a
+                        ), "unrelated live transactions %r %r" % (a, b)
+
+    def test_fresh_is_initial(self, tiny_system_type, rng):
+        system = SerialSystem(tiny_system_type)
+        random_schedule(system, 50, rng)
+        # random_schedule restores; drive it for real now.
+        system.apply(Create(ROOT))
+        clone = system.fresh()
+        assert list(clone.enabled_outputs()) == [Create(ROOT)]
+
+
+class TestRWLockingSystem:
+    def test_composition_has_all_components(self, nested_system_type):
+        system = RWLockingSystem(nested_system_type)
+        names = {component.name for component in system.components}
+        assert "generic-scheduler" in names
+        assert "M(x)" in names
+        assert "txn:T0" in names
+
+    def test_schedules_are_well_formed(self, nested_system_type):
+        """Lemma 26."""
+        system = RWLockingSystem(nested_system_type)
+        for alpha in random_schedules(system, 10, 300, seed=7):
+            assert is_well_formed(nested_system_type, alpha, locking=True)
+
+    def test_siblings_can_be_concurrently_live(self, tiny_system_type):
+        """Unlike serial systems, unrelated transactions may overlap."""
+        system = RWLockingSystem(tiny_system_type, propose_aborts=False)
+        overlap_seen = False
+        for alpha in random_schedules(system, 20, 200, seed=11):
+            prefix = []
+            for event in alpha:
+                prefix.append(event)
+                live = live_transactions(prefix)
+                if (0,) in live and (1,) in live:
+                    overlap_seen = True
+        assert overlap_seen
+
+    def test_abort_free_run_commits_everything_without_cycles(
+        self, tiny_system_type
+    ):
+        """With acyclic contention (one access per top-level), an
+        abort-free run always completes."""
+        system = RWLockingSystem(tiny_system_type, propose_aborts=False)
+        alpha = random_schedule(system, 2000, random.Random(1))
+        aborts = [event for event in alpha if isinstance(event, Abort)]
+        assert aborts == []
+        for top in tiny_system_type.children(ROOT):
+            assert Commit(top) in alpha
+
+    def test_abort_free_contention_can_wedge(self, nested_system_type):
+        """Moss' algorithm has no deadlock resolution of its own: with
+        aborts disabled, cyclically contending subtrees can block each
+        other forever (the generic scheduler's abort power -- or an
+        external detector, as in repro.engine -- is the way out)."""
+        system = RWLockingSystem(nested_system_type, propose_aborts=False)
+        alpha = random_schedule(system, 2000, random.Random(1))
+        replay = system.fresh()
+        for event in alpha:
+            replay.apply(event)
+        committed_tops = sum(
+            1
+            for top in nested_system_type.children(ROOT)
+            if Commit(top) in alpha
+        )
+        # The run ended (nothing enabled) without all tops committing.
+        assert list(replay.enabled_outputs()) == []
+        assert committed_tops < len(nested_system_type.children(ROOT))
+
+    def test_aborts_occur_when_proposed(self, nested_system_type):
+        system = RWLockingSystem(nested_system_type, propose_aborts=True)
+        seen_abort = False
+        for alpha in random_schedules(system, 10, 200, seed=13):
+            if any(isinstance(event, Abort) for event in alpha):
+                seen_abort = True
+                break
+        assert seen_abort
+
+    def test_locking_object_accessor(self, tiny_system_type):
+        system = RWLockingSystem(tiny_system_type)
+        assert system.locking_object("x").object_name == "x"

@@ -1,0 +1,170 @@
+"""Unit tests for transaction automata and logics."""
+
+import pytest
+
+from repro.core.events import (
+    Create,
+    ReportAbort,
+    ReportCommit,
+    RequestCommit,
+    RequestCreate,
+)
+from repro.core.transaction import (
+    FreeLogic,
+    ParallelLogic,
+    SequentialLogic,
+    SubsetLogic,
+    TransactionAutomaton,
+    default_summary,
+)
+from repro.errors import NotEnabledError
+
+
+@pytest.fixture
+def automaton(nested_system_type):
+    """The automaton for T0.0, which has children (0,0), (0,1), (0,2)."""
+    return TransactionAutomaton(
+        nested_system_type, (0,), ParallelLogic()
+    )
+
+
+class TestSignature:
+    def test_inputs(self, automaton):
+        assert automaton.is_input(Create((0,)))
+        assert automaton.is_input(ReportCommit((0, 0), "v"))
+        assert automaton.is_input(ReportAbort((0, 1)))
+        assert not automaton.is_input(Create((1,)))
+        assert not automaton.is_input(ReportCommit((1, 0), "v"))
+
+    def test_outputs(self, automaton):
+        assert automaton.is_output(RequestCreate((0, 0)))
+        assert automaton.is_output(RequestCommit((0,), "v"))
+        assert not automaton.is_output(RequestCreate((1, 0)))
+        assert not automaton.is_output(RequestCommit((1,), "v"))
+
+
+class TestParallelLogic:
+    def test_nothing_enabled_before_create(self, automaton):
+        assert list(automaton.enabled_outputs()) == []
+
+    def test_all_children_offered_after_create(self, automaton):
+        automaton.apply(Create((0,)))
+        enabled = set(automaton.enabled_outputs())
+        assert RequestCreate((0, 0)) in enabled
+        assert RequestCreate((0, 1)) in enabled
+        assert RequestCreate((0, 2)) in enabled
+        # Not ready to commit with unrequested children.
+        assert not any(
+            isinstance(action, RequestCommit) for action in enabled
+        )
+
+    def test_commit_after_all_reports(self, nested_system_type):
+        automaton = TransactionAutomaton(
+            nested_system_type, (0,), ParallelLogic()
+        )
+        automaton.apply(Create((0,)))
+        for child in nested_system_type.children((0,)):
+            automaton.apply(RequestCreate(child))
+        for child in nested_system_type.children((0,)):
+            automaton.apply(ReportCommit(child, "v"))
+        enabled = list(automaton.enabled_outputs())
+        assert len(enabled) == 1
+        assert isinstance(enabled[0], RequestCommit)
+
+    def test_no_outputs_after_request_commit(self, nested_system_type):
+        automaton = TransactionAutomaton(
+            nested_system_type, (0,), FreeLogic()
+        )
+        automaton.apply(Create((0,)))
+        value = next(iter(automaton.enabled_outputs()))
+        automaton.apply(RequestCommit((0,), default_summary(automaton.view)))
+        assert list(automaton.enabled_outputs()) == []
+
+    def test_duplicate_request_create_not_enabled(self, automaton):
+        automaton.apply(Create((0,)))
+        automaton.apply(RequestCreate((0, 0)))
+        assert RequestCreate((0, 0)) not in set(automaton.enabled_outputs())
+
+    def test_disabled_output_raises(self, automaton):
+        with pytest.raises(NotEnabledError):
+            automaton.apply(RequestCreate((0, 0)))
+
+
+class TestSequentialLogic:
+    def test_one_child_at_a_time(self, nested_system_type):
+        automaton = TransactionAutomaton(
+            nested_system_type, (0,), SequentialLogic()
+        )
+        automaton.apply(Create((0,)))
+        enabled = [
+            action
+            for action in automaton.enabled_outputs()
+            if isinstance(action, RequestCreate)
+        ]
+        assert enabled == [RequestCreate((0, 0))]
+        automaton.apply(RequestCreate((0, 0)))
+        # Nothing more until the first child reports.
+        assert list(automaton.enabled_outputs()) == []
+        automaton.apply(ReportAbort((0, 0)))
+        enabled = list(automaton.enabled_outputs())
+        assert enabled == [RequestCreate((0, 1))]
+
+
+class TestSubsetLogic:
+    def test_only_wanted_children(self, nested_system_type):
+        automaton = TransactionAutomaton(
+            nested_system_type, (0,), SubsetLogic([(0, 1)])
+        )
+        automaton.apply(Create((0,)))
+        requests = [
+            action
+            for action in automaton.enabled_outputs()
+            if isinstance(action, RequestCreate)
+        ]
+        assert requests == [RequestCreate((0, 1))]
+
+    def test_commit_ignores_unwanted(self, nested_system_type):
+        automaton = TransactionAutomaton(
+            nested_system_type, (0,), SubsetLogic([(0, 1)])
+        )
+        automaton.apply(Create((0,)))
+        automaton.apply(RequestCreate((0, 1)))
+        automaton.apply(ReportCommit((0, 1), "v"))
+        assert any(
+            isinstance(action, RequestCommit)
+            for action in automaton.enabled_outputs()
+        )
+
+
+class TestLocalView:
+    def test_reports_recorded_in_arrival_order(self, automaton):
+        automaton.apply(Create((0,)))
+        automaton.apply(RequestCreate((0, 1)))
+        automaton.apply(RequestCreate((0, 0)))
+        automaton.apply(ReportCommit((0, 1), "b"))
+        automaton.apply(ReportAbort((0, 0)))
+        reports = automaton.view.reports
+        assert [r.child for r in reports] == [(0, 1), (0, 0)]
+        assert reports[0].committed and not reports[1].committed
+
+    def test_duplicate_report_recorded_once(self, automaton):
+        automaton.apply(Create((0,)))
+        automaton.apply(RequestCreate((0, 0)))
+        automaton.apply(ReportCommit((0, 0), "v"))
+        automaton.apply(ReportCommit((0, 0), "v"))
+        assert len(automaton.view.reports) == 1
+
+    def test_default_summary_is_deterministic(self, automaton):
+        automaton.apply(Create((0,)))
+        automaton.apply(RequestCreate((0, 0)))
+        automaton.apply(ReportCommit((0, 0), "v"))
+        assert default_summary(automaton.view) == default_summary(
+            automaton.view
+        )
+
+    def test_snapshot_restore(self, automaton):
+        automaton.apply(Create((0,)))
+        saved = automaton.snapshot()
+        automaton.apply(RequestCreate((0, 0)))
+        automaton.restore(saved)
+        assert automaton.view.requested == ()

@@ -1,0 +1,207 @@
+"""Unit tests for visibility, orphans and essence (Lemmas 6-12, 27)."""
+
+import pytest
+
+from repro.core.events import (
+    Abort,
+    Commit,
+    Create,
+    InformAbortAt,
+    InformCommitAt,
+    RequestCommit,
+    RequestCreate,
+)
+from repro.core.names import ROOT
+from repro.core.visibility import (
+    committed_at,
+    committed_to,
+    essence,
+    is_live,
+    is_orphan,
+    is_orphan_at,
+    live_transactions,
+    visible,
+    visible_at,
+    visible_to,
+    write_subsequence,
+)
+
+T = (0,)
+U = (0, 0)
+DEEP = (0, 0, 0)
+OTHER = (1,)
+
+
+class TestCommittedTo:
+    def test_trivially_committed_to_self(self):
+        assert committed_to([], T, T)
+
+    def test_needs_whole_chain(self):
+        alpha = [Commit(DEEP)]
+        assert committed_to(alpha, DEEP, U)
+        assert not committed_to(alpha, DEEP, T)
+        alpha.append(Commit(U))
+        assert committed_to(alpha, DEEP, T)
+        assert not committed_to(alpha, DEEP, ROOT)
+
+    def test_chain_any_event_order(self):
+        # committed_to only asks for presence, not order, of COMMITs.
+        alpha = [Commit(U), Commit(DEEP)]
+        assert committed_to(alpha, DEEP, T)
+
+
+class TestVisibleTo:
+    def test_ancestor_always_visible(self):
+        """Lemma 7(1): ancestors are visible to descendants."""
+        assert visible_to([], T, DEEP)
+        assert visible_to([], ROOT, DEEP)
+
+    def test_self_visible(self):
+        assert visible_to([], U, U)
+
+    def test_cousin_needs_commit_chain(self):
+        assert not visible_to([], U, OTHER)
+        assert visible_to([Commit(U), Commit(T)], U, OTHER)
+        assert not visible_to([Commit(U)], U, OTHER)
+
+    def test_transitivity(self):
+        """Lemma 7(3): visibility is transitive."""
+        alpha = [Commit(DEEP), Commit(U), Commit(T)]
+        assert visible_to(alpha, DEEP, U)
+        assert visible_to(alpha, U, OTHER)
+        assert visible_to(alpha, DEEP, OTHER)
+
+
+class TestVisibleSubsequence:
+    def test_own_events_always_visible(self):
+        alpha = (Create(T), RequestCommit(T, "v"))
+        assert visible(alpha, T) == alpha
+
+    def test_invisible_foreign_events_dropped(self):
+        alpha = (Create(T), Create(OTHER))
+        assert visible(alpha, T) == (Create(T),)
+
+    def test_commit_makes_events_visible(self):
+        alpha = (
+            Create(OTHER),
+            RequestCommit(OTHER, "v"),
+            Commit(OTHER),
+        )
+        # transaction(COMMIT(OTHER)) = ROOT, visible to T; OTHER's own
+        # events become visible once OTHER commits to the root.
+        assert visible(alpha, T) == alpha
+
+    def test_informs_never_visible(self):
+        alpha = (Create(T), InformCommitAt("x", T))
+        assert visible(alpha, T) == (Create(T),)
+
+    def test_lemma9_projection(self):
+        """Lemma 9: visible(alpha,T)|T' equals alpha|T' when T' visible."""
+        from repro.core.equieffective import project_transaction
+
+        alpha = (
+            Create(T),
+            RequestCreate(U),
+            Create(U),
+            RequestCommit(U, 1),
+            Commit(U),
+            RequestCommit(T, "v"),
+        )
+        vis = visible(alpha, T)
+        assert project_transaction(vis, T) == project_transaction(alpha, T)
+        assert project_transaction(vis, U) == project_transaction(alpha, U)
+
+    def test_lemma8_monotone(self):
+        """Lemma 8: visibility in a subsequence implies it in the whole."""
+        alpha = (Create(U), Commit(U), Commit(T))
+        beta = (Create(U), Commit(U))
+        for event in visible(beta, OTHER):
+            assert event in visible(alpha, OTHER)
+
+
+class TestOrphans:
+    def test_own_abort_makes_orphan(self):
+        assert is_orphan([Abort(T)], T)
+
+    def test_ancestor_abort_propagates(self):
+        assert is_orphan([Abort(T)], DEEP)
+
+    def test_descendant_abort_does_not(self):
+        assert not is_orphan([Abort(DEEP)], T)
+
+    def test_unrelated_abort_does_not(self):
+        assert not is_orphan([Abort(OTHER)], T)
+
+
+class TestLiveness:
+    def test_live_between_create_and_return(self):
+        assert not is_live([], T)
+        assert is_live([Create(T)], T)
+        assert not is_live([Create(T), Commit(T)], T)
+        assert not is_live([Create(T), Abort(T)], T)
+
+    def test_live_transactions_set(self):
+        alpha = [Create(T), Create(OTHER), Commit(OTHER)]
+        assert live_transactions(alpha) == {T}
+
+
+class TestObjectLocalNotions:
+    def test_committed_at_requires_ascending_order(self):
+        ascending = [InformCommitAt("x", DEEP), InformCommitAt("x", U)]
+        descending = [InformCommitAt("x", U), InformCommitAt("x", DEEP)]
+        assert committed_at(ascending, "x", DEEP, T)
+        assert not committed_at(descending, "x", DEEP, T)
+
+    def test_committed_at_other_object_ignored(self):
+        alpha = [InformCommitAt("y", U)]
+        assert not committed_at(alpha, "x", U, T)
+
+    def test_visible_at_ancestor(self):
+        assert visible_at([], "x", U, DEEP)
+
+    def test_orphan_at(self):
+        alpha = [InformAbortAt("x", T)]
+        assert is_orphan_at(alpha, "x", DEEP)
+        assert not is_orphan_at(alpha, "y", DEEP)
+        assert not is_orphan_at(alpha, "x", OTHER)
+
+
+class TestWriteAndEssence:
+    def test_write_subsequence_keeps_write_request_commits(
+        self, tiny_system_type
+    ):
+        writer, reader = (0, 0), (1, 0)
+        alpha = (
+            Create(writer),
+            RequestCommit(writer, None),
+            Create(reader),
+            RequestCommit(reader, 5),
+        )
+        assert write_subsequence(alpha, tiny_system_type) == (
+            RequestCommit(writer, None),
+        )
+
+    def test_write_subsequence_filters_by_object(self, nested_system_type):
+        access_x = (0, 0, 0)   # IntRegister.add on x
+        access_acct = (0, 0, 2)
+        alpha = (
+            Create(access_x),
+            RequestCommit(access_x, 1),
+            Create(access_acct),
+            RequestCommit(access_acct, True),
+        )
+        only_x = write_subsequence(alpha, nested_system_type, "x")
+        assert only_x == (RequestCommit(access_x, 1),)
+
+    def test_essence_inserts_creates(self, tiny_system_type):
+        writer = (0, 0)
+        alpha = (Create(writer), RequestCommit(writer, None))
+        assert essence(alpha, tiny_system_type) == (
+            Create(writer),
+            RequestCommit(writer, None),
+        )
+
+    def test_essence_drops_reads_entirely(self, tiny_system_type):
+        reader = (1, 0)
+        alpha = (Create(reader), RequestCommit(reader, 0))
+        assert essence(alpha, tiny_system_type) == ()

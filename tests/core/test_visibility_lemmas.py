@@ -1,0 +1,91 @@
+"""Direct tests for the remaining visibility lemmas (10, 11)."""
+
+import pytest
+
+from repro.core.events import (
+    Abort,
+    Commit,
+    Create,
+    RequestCommit,
+    RequestCreate,
+    transaction_of,
+)
+from repro.core.names import ROOT
+from repro.core.visibility import visible, visible_to
+
+T = (0,)
+U = (0, 0)
+W = (1,)
+
+
+class TestLemma10:
+    """If T'' is visible to both T' and T, then T'' is visible to T'
+    within visible(alpha, T)."""
+
+    def test_visibility_preserved_in_visible_subsequence(self):
+        alpha = (
+            Create(U),
+            RequestCommit(U, 1),
+            Commit(U),        # U committed to T
+            Commit(T),        # T committed to root
+        )
+        # U is visible to T and to ROOT in alpha.
+        assert visible_to(alpha, U, T)
+        assert visible_to(alpha, U, ROOT)
+        beta = visible(alpha, ROOT)
+        assert visible_to(beta, U, T)
+
+
+class TestLemma11:
+    """How visible(alpha pi, T) relates to visible(alpha, T)."""
+
+    def test_invisible_transaction_changes_nothing(self):
+        alpha = (Create(T),)
+        pi = Create(W)  # W not visible to T
+        assert visible(alpha + (pi,), T) == visible(alpha, T)
+
+    def test_visible_non_commit_appends(self):
+        alpha = (Create(T),)
+        pi = RequestCreate(U)  # transaction(pi) = T, visible to itself
+        assert visible(alpha + (pi,), T) == visible(alpha, T) + (pi,)
+
+    def test_commit_merges_child_visibility(self):
+        """Lemma 11(3): a COMMIT(U) event brings U's events along."""
+        alpha = (
+            Create(T),
+            RequestCreate(U),
+            Create(U),
+            RequestCommit(U, 1),
+        )
+        pi = Commit(U)
+        before = set(visible(alpha, T))
+        after = set(visible(alpha + (pi,), T))
+        gained = after - before - {pi}
+        # Exactly U's own events became visible.
+        assert gained == {Create(U), RequestCommit(U, 1)}
+
+    def test_abort_does_not_expand_visibility(self):
+        alpha = (
+            Create(T),
+            RequestCreate(U),
+            Create(U),
+            RequestCommit(U, 1),
+        )
+        pi = Abort(U)
+        before = set(visible(alpha, T))
+        after = set(visible(alpha + (pi,), T))
+        assert after == before | {pi}
+
+
+class TestVisibleIdempotence:
+    def test_visible_is_idempotent(self):
+        alpha = (
+            Create(T),
+            RequestCreate(U),
+            Create(U),
+            RequestCommit(U, 1),
+            Commit(U),
+            Create(W),
+        )
+        once = visible(alpha, T)
+        assert visible(once, T) == once

@@ -1,0 +1,242 @@
+"""Unit tests for the three well-formedness definitions (Lemmas 2, 3)."""
+
+import pytest
+
+from repro.core.events import (
+    Abort,
+    Commit,
+    Create,
+    InformAbortAt,
+    InformCommitAt,
+    ReportAbort,
+    ReportCommit,
+    RequestCommit,
+    RequestCreate,
+)
+from repro.core.names import ROOT
+from repro.core.wellformed import (
+    BasicObjectWellFormedness,
+    LockingObjectWellFormedness,
+    SequenceWellFormedness,
+    TransactionWellFormedness,
+    assert_well_formed,
+    is_well_formed,
+)
+from repro.errors import WellFormednessError
+
+T = (0,)
+CHILD = (0, 0)
+CHILD2 = (0, 1)
+
+
+class TestTransactionWellFormedness:
+    def run(self, events):
+        checker = TransactionWellFormedness(T)
+        for event in events:
+            checker.extend(event)
+
+    def test_legal_lifecycle(self):
+        self.run(
+            [
+                Create(T),
+                RequestCreate(CHILD),
+                ReportCommit(CHILD, "v"),
+                RequestCommit(T, "done"),
+            ]
+        )
+
+    def test_double_create_rejected(self):
+        with pytest.raises(WellFormednessError):
+            self.run([Create(T), Create(T)])
+
+    def test_output_before_create_rejected(self):
+        with pytest.raises(WellFormednessError):
+            self.run([RequestCreate(CHILD)])
+        with pytest.raises(WellFormednessError):
+            self.run([RequestCommit(T, 0)])
+
+    def test_double_request_create_rejected(self):
+        with pytest.raises(WellFormednessError):
+            self.run([Create(T), RequestCreate(CHILD), RequestCreate(CHILD)])
+
+    def test_output_after_request_commit_rejected(self):
+        with pytest.raises(WellFormednessError):
+            self.run(
+                [Create(T), RequestCommit(T, 0), RequestCreate(CHILD)]
+            )
+
+    def test_double_request_commit_rejected(self):
+        with pytest.raises(WellFormednessError):
+            self.run([Create(T), RequestCommit(T, 0), RequestCommit(T, 1)])
+
+    def test_report_without_request_rejected(self):
+        with pytest.raises(WellFormednessError):
+            self.run([Create(T), ReportCommit(CHILD, "v")])
+
+    def test_conflicting_reports_rejected(self):
+        with pytest.raises(WellFormednessError):
+            self.run(
+                [
+                    Create(T),
+                    RequestCreate(CHILD),
+                    ReportCommit(CHILD, "v"),
+                    ReportAbort(CHILD),
+                ]
+            )
+
+    def test_conflicting_commit_values_rejected(self):
+        with pytest.raises(WellFormednessError):
+            self.run(
+                [
+                    Create(T),
+                    RequestCreate(CHILD),
+                    ReportCommit(CHILD, "v"),
+                    ReportCommit(CHILD, "w"),
+                ]
+            )
+
+    def test_repeated_identical_report_allowed(self):
+        """Lemma 2(4): repeated instances of one report are permitted."""
+        self.run(
+            [
+                Create(T),
+                RequestCreate(CHILD),
+                ReportCommit(CHILD, "v"),
+                ReportCommit(CHILD, "v"),
+            ]
+        )
+
+    def test_foreign_event_rejected(self):
+        with pytest.raises(WellFormednessError):
+            self.run([Create((9,))])
+
+    def test_reports_may_arrive_in_any_order(self):
+        self.run(
+            [
+                Create(T),
+                RequestCreate(CHILD),
+                RequestCreate(CHILD2),
+                ReportAbort(CHILD2),
+                ReportCommit(CHILD, 1),
+            ]
+        )
+
+
+class TestBasicObjectWellFormedness:
+    def run(self, system_type, events):
+        checker = BasicObjectWellFormedness(system_type, "x")
+        for event in events:
+            checker.extend(event)
+        return checker
+
+    def test_legal_access_lifecycle(self, tiny_system_type):
+        checker = self.run(
+            tiny_system_type,
+            [Create((0, 0)), RequestCommit((0, 0), 5)],
+        )
+        assert checker.pending() == set()
+
+    def test_pending(self, tiny_system_type):
+        checker = self.run(tiny_system_type, [Create((0, 0))])
+        assert checker.pending() == {(0, 0)}
+
+    def test_double_create_rejected(self, tiny_system_type):
+        with pytest.raises(WellFormednessError):
+            self.run(tiny_system_type, [Create((0, 0)), Create((0, 0))])
+
+    def test_response_without_create_rejected(self, tiny_system_type):
+        with pytest.raises(WellFormednessError):
+            self.run(tiny_system_type, [RequestCommit((0, 0), 5)])
+
+    def test_double_response_rejected(self, tiny_system_type):
+        with pytest.raises(WellFormednessError):
+            self.run(
+                tiny_system_type,
+                [
+                    Create((0, 0)),
+                    RequestCommit((0, 0), 5),
+                    RequestCommit((0, 0), 5),
+                ],
+            )
+
+    def test_non_access_rejected(self, tiny_system_type):
+        with pytest.raises(WellFormednessError):
+            self.run(tiny_system_type, [Create((0,))])
+
+
+class TestLockingObjectWellFormedness:
+    def run(self, system_type, events):
+        checker = LockingObjectWellFormedness(system_type, "x")
+        for event in events:
+            checker.extend(event)
+
+    def test_inform_commit_needs_response_for_local_access(
+        self, tiny_system_type
+    ):
+        with pytest.raises(WellFormednessError):
+            self.run(
+                tiny_system_type,
+                [Create((0, 0)), InformCommitAt("x", (0, 0))],
+            )
+
+    def test_inform_commit_for_internal_node_fine(self, tiny_system_type):
+        self.run(tiny_system_type, [InformCommitAt("x", (0,))])
+
+    def test_inform_conflict_rejected(self, tiny_system_type):
+        with pytest.raises(WellFormednessError):
+            self.run(
+                tiny_system_type,
+                [InformAbortAt("x", (0,)), InformCommitAt("x", (0,))],
+            )
+        with pytest.raises(WellFormednessError):
+            self.run(
+                tiny_system_type,
+                [InformCommitAt("x", (0,)), InformAbortAt("x", (0,))],
+            )
+
+    def test_inform_for_root_rejected(self, tiny_system_type):
+        with pytest.raises(WellFormednessError):
+            self.run(tiny_system_type, [InformCommitAt("x", ROOT)])
+
+    def test_legal_locking_sequence(self, tiny_system_type):
+        self.run(
+            tiny_system_type,
+            [
+                Create((0, 0)),
+                RequestCommit((0, 0), 5),
+                InformCommitAt("x", (0, 0)),
+                InformCommitAt("x", (0,)),
+                InformAbortAt("x", (1,)),
+            ],
+        )
+
+
+class TestSequenceWellFormedness:
+    def test_serial_sequence_rejects_informs(self, tiny_system_type):
+        assert not is_well_formed(
+            tiny_system_type, [InformCommitAt("x", (0,))], locking=False
+        )
+
+    def test_concurrent_sequence_accepts_informs(self, tiny_system_type):
+        assert is_well_formed(
+            tiny_system_type, [InformAbortAt("x", (0,))], locking=True
+        )
+
+    def test_returns_unconstrained(self, tiny_system_type):
+        assert is_well_formed(
+            tiny_system_type, [Commit((0,)), Abort((1,))], locking=True
+        )
+
+    def test_projection_violation_detected(self, tiny_system_type):
+        assert not is_well_formed(
+            tiny_system_type, [Create((0,)), Create((0,))]
+        )
+
+    def test_assert_well_formed_raises(self, tiny_system_type):
+        with pytest.raises(WellFormednessError):
+            assert_well_formed(
+                tiny_system_type, [RequestCommit((0, 0), 5)]
+            )
+
+    def test_request_create_of_root_rejected(self, tiny_system_type):
+        assert not is_well_formed(tiny_system_type, [RequestCreate(ROOT)])

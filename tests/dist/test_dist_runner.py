@@ -1,0 +1,170 @@
+"""Integration tests for the distributed simulation runner."""
+
+import pytest
+
+from repro.adt import IntRegister
+from repro.dist import (
+    DistributedConfig,
+    Topology,
+    run_distributed_simulation,
+    uniform_topology,
+)
+from repro.sim import (
+    AccessOp,
+    Block,
+    Program,
+    WorkloadConfig,
+    make_store,
+    make_workload,
+    run_simulation,
+    SimulationConfig,
+)
+
+
+def single_access_program(object_name):
+    return Program(
+        body=Block(
+            steps=[AccessOp(object_name, IntRegister.add(1))],
+            parallel=False,
+        )
+    )
+
+
+class TestBasics:
+    def test_all_programs_commit(self):
+        config = WorkloadConfig(programs=12, objects=8, read_fraction=0.5)
+        programs = make_workload(2, config)
+        store = make_store(config)
+        topology = uniform_topology(
+            [spec.name for spec in store], sites=3
+        )
+        metrics = run_distributed_simulation(
+            programs, store, topology,
+            DistributedConfig(mpl=4, policy="moss-rw", seed=1),
+        )
+        assert metrics.committed == 12
+        assert metrics.messages > 0
+
+    def test_single_site_costs_nothing_extra(self):
+        """One site == the local simulation (no messages, same times)."""
+        config = WorkloadConfig(programs=8, objects=4, read_fraction=0.5)
+        programs = make_workload(4, config)
+        store = make_store(config)
+        topology = uniform_topology(
+            [spec.name for spec in store], sites=1
+        )
+        distributed = run_distributed_simulation(
+            programs, store, topology,
+            DistributedConfig(mpl=4, policy="moss-rw", seed=1),
+        )
+        local = run_simulation(
+            programs, store,
+            SimulationConfig(mpl=4, policy="moss-rw", seed=1),
+        )
+        assert distributed.messages == 0
+        assert distributed.remote_fraction == 0.0
+        assert distributed.makespan == local.makespan
+        assert distributed.committed == local.committed
+
+    def test_remote_access_pays_round_trip(self):
+        store = [IntRegister("remote")]
+        topology = Topology(
+            sites=2, placement={"remote": 1}, one_way_latency=10.0
+        )
+        metrics = run_distributed_simulation(
+            [single_access_program("remote")],
+            store,
+            topology,
+            DistributedConfig(mpl=1, policy="moss-rw", seed=0),
+        )
+        assert metrics.committed == 1
+        # Round trip (20) + service (1) + 2PC (3 legs x 10).
+        assert metrics.makespan == pytest.approx(51.0)
+        # 2 access messages + 3 commit legs.
+        assert metrics.messages == 5
+        assert metrics.remote_accesses == 1
+        assert metrics.commit_rounds == 1
+
+    def test_local_access_is_free(self):
+        store = [IntRegister("local")]
+        topology = Topology(
+            sites=2, placement={"local": 0}, one_way_latency=10.0
+        )
+        metrics = run_distributed_simulation(
+            [single_access_program("local")],
+            store,
+            topology,
+            DistributedConfig(mpl=1, policy="moss-rw", seed=0),
+        )
+        assert metrics.messages == 0
+        assert metrics.makespan == pytest.approx(1.0)
+
+    def test_commit_protocol_legs_configurable(self):
+        store = [IntRegister("remote")]
+        topology = Topology(
+            sites=2, placement={"remote": 1}, one_way_latency=10.0
+        )
+        metrics = run_distributed_simulation(
+            [single_access_program("remote")],
+            store,
+            topology,
+            DistributedConfig(
+                mpl=1, policy="moss-rw", seed=0,
+                commit_protocol_legs=2,
+            ),
+        )
+        assert metrics.makespan == pytest.approx(41.0)
+        assert metrics.messages == 4
+
+
+class TestScalingShapes:
+    def test_latency_hurts_makespan(self):
+        config = WorkloadConfig(programs=10, objects=6, read_fraction=0.7)
+        programs = make_workload(6, config)
+        store = make_store(config)
+        spans = []
+        for latency in (0.5, 4.0):
+            topology = uniform_topology(
+                [spec.name for spec in store], sites=3,
+            )
+            topology.one_way_latency = latency
+            metrics = run_distributed_simulation(
+                programs, store, topology,
+                DistributedConfig(mpl=4, policy="moss-rw", seed=2),
+            )
+            assert metrics.committed == 10
+            spans.append(metrics.makespan)
+        assert spans[1] > spans[0]
+
+    def test_remote_fraction_grows_with_sites(self):
+        config = WorkloadConfig(programs=10, objects=12, read_fraction=0.7)
+        programs = make_workload(7, config)
+        store = make_store(config)
+        fractions = []
+        for sites in (1, 2, 6):
+            topology = uniform_topology(
+                [spec.name for spec in store], sites=sites
+            )
+            metrics = run_distributed_simulation(
+                programs, store, topology,
+                DistributedConfig(mpl=4, policy="moss-rw", seed=2),
+            )
+            fractions.append(metrics.remote_fraction)
+        assert fractions[0] == 0.0
+        assert fractions[2] > fractions[1]
+
+    def test_row_includes_distribution_fields(self):
+        config = WorkloadConfig(programs=4, objects=4)
+        programs = make_workload(8, config)
+        store = make_store(config)
+        topology = uniform_topology(
+            [spec.name for spec in store], sites=2
+        )
+        metrics = run_distributed_simulation(
+            programs, store, topology,
+            DistributedConfig(mpl=2, policy="moss-rw", seed=3),
+        )
+        row = metrics.row()
+        assert "messages" in row
+        assert "remote_fraction" in row
+        assert "commit_rounds" in row

@@ -1,0 +1,67 @@
+"""Unit tests for site topologies."""
+
+import pytest
+
+from repro.dist import Topology, uniform_topology
+from repro.errors import ReproError
+
+
+class TestTopology:
+    def test_placement_lookup(self):
+        topology = Topology(sites=2, placement={"x": 0, "y": 1})
+        assert topology.site_of("x") == 0
+        assert topology.site_of("y") == 1
+
+    def test_unknown_object_rejected(self):
+        topology = Topology(sites=1, placement={})
+        with pytest.raises(ReproError):
+            topology.site_of("ghost")
+
+    def test_bad_placement_rejected(self):
+        with pytest.raises(ReproError):
+            Topology(sites=1, placement={"x": 3})
+
+    def test_zero_sites_rejected(self):
+        with pytest.raises(ReproError):
+            Topology(sites=0, placement={})
+
+    def test_intra_site_latency_free(self):
+        topology = Topology(
+            sites=2, placement={}, one_way_latency=5.0
+        )
+        assert topology.latency(1, 1) == 0.0
+        assert topology.latency(0, 1) == 5.0
+        assert topology.round_trip(0, 1) == 10.0
+
+    def test_per_pair_latency(self):
+        topology = Topology(
+            sites=3,
+            placement={},
+            one_way_latency=1.0,
+            per_pair={(0, 2): 9.0},
+        )
+        assert topology.latency(0, 2) == 9.0
+        assert topology.latency(2, 0) == 9.0
+        assert topology.latency(0, 1) == 1.0
+
+    def test_home_round_robin(self):
+        topology = Topology(sites=3, placement={})
+        assert [topology.home_of(i) for i in range(5)] == [0, 1, 2, 0, 1]
+
+
+class TestUniformTopology:
+    def test_round_robin_spread(self):
+        topology = uniform_topology(["a", "b", "c", "d"], sites=2)
+        sites = [topology.site_of(name) for name in "abcd"]
+        assert sites == [0, 1, 0, 1]
+
+    def test_seeded_shuffle_reproducible(self):
+        one = uniform_topology(["a", "b", "c", "d"], 2, seed=3)
+        two = uniform_topology(["a", "b", "c", "d"], 2, seed=3)
+        assert one.placement == two.placement
+
+    def test_all_objects_placed(self):
+        names = ["o%d" % i for i in range(10)]
+        topology = uniform_topology(names, sites=4)
+        assert set(topology.placement) == set(names)
+        assert set(topology.placement.values()) <= set(range(4))

@@ -1,0 +1,67 @@
+"""Unit tests for waits-for-graph deadlock detection."""
+
+from repro.engine.deadlock import WaitsForGraph, choose_victim, top_level
+
+
+class TestTopLevel:
+    def test_collapses_to_first_component(self):
+        assert top_level((3, 1, 4)) == (3,)
+        assert top_level((2,)) == (2,)
+
+
+class TestCycleDetection:
+    def test_no_cycle_on_chain(self):
+        graph = WaitsForGraph()
+        assert graph.add_wait((0, 0), [(1, 0)]) is None
+        assert graph.add_wait((1, 0), [(2, 0)]) is None
+
+    def test_two_cycle(self):
+        graph = WaitsForGraph()
+        assert graph.add_wait((0, 0), [(1, 0)]) is None
+        cycle = graph.add_wait((1, 0), [(0, 5)])
+        assert cycle is not None
+        assert set(cycle) == {(0,), (1,)}
+
+    def test_three_cycle(self):
+        graph = WaitsForGraph()
+        graph.add_wait((0,), [(1,)])
+        graph.add_wait((1,), [(2,)])
+        cycle = graph.add_wait((2,), [(0,)])
+        assert cycle is not None
+        assert set(cycle) == {(0,), (1,), (2,)}
+
+    def test_intra_tree_waits_ignored(self):
+        graph = WaitsForGraph()
+        # Parent waits on its own child: not a cross-tree deadlock.
+        assert graph.add_wait((0,), [(0, 1)]) is None
+
+    def test_removal_clears_edges(self):
+        graph = WaitsForGraph()
+        graph.add_wait((0, 0), [(1, 0)])
+        graph.remove_waiter((0, 0))
+        assert graph.add_wait((1, 0), [(0, 0)]) is None
+
+    def test_remove_subtree(self):
+        graph = WaitsForGraph()
+        graph.add_wait((0, 1), [(1,)])
+        graph.add_wait((0, 2), [(2,)])
+        graph.remove_subtree((0,))
+        assert graph.find_cycle() is None
+        assert graph.add_wait((1,), [(0,)]) is None
+
+    def test_find_cycle_global(self):
+        graph = WaitsForGraph()
+        graph.add_wait((5,), [(6,)])
+        graph._waits[(6,)] = {(5,)}
+        assert graph.find_cycle() is not None
+
+
+class TestVictimSelection:
+    def test_youngest_loses(self):
+        cycle = [(0,), (1,), (0,)]
+        started = {(0,): 1.0, (1,): 5.0}
+        assert choose_victim(cycle, started) == (1,)
+
+    def test_tie_breaks_deterministically(self):
+        cycle = [(0,), (1,), (0,)]
+        assert choose_victim(cycle, {}) == (1,)

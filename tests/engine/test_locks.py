@@ -1,0 +1,55 @@
+"""Unit tests for lock modes and conflict rules."""
+
+from repro.engine.locks import LockMode, blocking_holders, conflicts
+
+
+class TestConflicts:
+    def test_write_conflicts_with_everything(self):
+        assert conflicts(LockMode.WRITE, LockMode.WRITE)
+        assert conflicts(LockMode.WRITE, LockMode.READ)
+        assert conflicts(LockMode.READ, LockMode.WRITE)
+
+    def test_reads_compatible(self):
+        assert not conflicts(LockMode.READ, LockMode.READ)
+
+
+class TestBlockingHolders:
+    def test_ancestor_write_holder_never_blocks(self):
+        blockers = blocking_holders(
+            (0, 1, 2), LockMode.WRITE, write_holders={(0, 1)}, read_holders=set()
+        )
+        assert blockers == set()
+
+    def test_root_never_blocks(self):
+        blockers = blocking_holders(
+            (3,), LockMode.WRITE, write_holders={()}, read_holders=set()
+        )
+        assert blockers == set()
+
+    def test_foreign_write_blocks_read(self):
+        blockers = blocking_holders(
+            (1, 0), LockMode.READ, write_holders={(0,)}, read_holders=set()
+        )
+        assert blockers == {(0,)}
+
+    def test_foreign_read_blocks_write_only(self):
+        holders = dict(write_holders=set(), read_holders={(0,)})
+        assert blocking_holders((1, 0), LockMode.READ, **holders) == set()
+        assert blocking_holders((1, 0), LockMode.WRITE, **holders) == {(0,)}
+
+    def test_descendant_holder_blocks(self):
+        """A child's lock blocks its own parent (non-ancestor direction)."""
+        blockers = blocking_holders(
+            (0, 9), LockMode.WRITE,
+            write_holders={(0, 1)}, read_holders=set(),
+        )
+        assert blockers == {(0, 1)}
+
+    def test_mixed_holders(self):
+        blockers = blocking_holders(
+            (2, 0),
+            LockMode.WRITE,
+            write_holders={(0,), ()},
+            read_holders={(1,), (2,)},
+        )
+        assert blockers == {(0,), (1,)}

@@ -1,0 +1,103 @@
+"""Unit tests for locking policies (moss-rw, exclusive, flat-2pl)."""
+
+import pytest
+
+from repro.adt import IntRegister
+from repro.core.names import ROOT
+from repro.engine import Engine, make_policy
+from repro.engine.locks import LockMode
+from repro.engine.policies import (
+    ExclusivePolicy,
+    FlatTwoPhasePolicy,
+    MossPolicy,
+)
+from repro.errors import EngineError, LockDenied, TransactionAborted
+
+
+class TestPolicyObjects:
+    def test_make_policy(self):
+        assert isinstance(make_policy("moss-rw"), MossPolicy)
+        assert isinstance(make_policy("exclusive"), ExclusivePolicy)
+        assert isinstance(make_policy("flat-2pl"), FlatTwoPhasePolicy)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(EngineError):
+            make_policy("optimistic")
+
+    def test_moss_modes(self):
+        policy = MossPolicy()
+        assert policy.mode_for(IntRegister.read()) is LockMode.READ
+        assert policy.mode_for(IntRegister.add(1)) is LockMode.WRITE
+        assert policy.owner_for((0, 1)) == (0, 1)
+        assert policy.moves_locks
+        assert not policy.escalates_aborts
+
+    def test_exclusive_modes(self):
+        policy = ExclusivePolicy()
+        assert policy.mode_for(IntRegister.read()) is LockMode.WRITE
+
+    def test_flat_owner_is_top_level(self):
+        policy = FlatTwoPhasePolicy()
+        assert policy.owner_for((3, 1, 4)) == (3,)
+        assert policy.escalates_aborts
+        assert not policy.moves_locks
+        with pytest.raises(EngineError):
+            policy.owner_for(())
+
+
+class TestExclusiveEngine:
+    def test_readers_conflict(self):
+        engine = Engine([IntRegister("x")], policy="exclusive")
+        one = engine.begin_top()
+        one.perform("x", IntRegister.read())
+        two = engine.begin_top()
+        with pytest.raises(LockDenied):
+            two.perform("x", IntRegister.read())
+
+    def test_semantics_otherwise_identical(self):
+        engine = Engine([IntRegister("x")], policy="exclusive")
+        top = engine.begin_top()
+        child = top.begin_child()
+        child.perform("x", IntRegister.add(2))
+        child.abort()
+        assert top.perform("x", IntRegister.read()) == 0
+        top.commit()
+        assert engine.object_value("x") == 0
+
+
+class TestFlatEngine:
+    def test_intra_tree_never_conflicts(self):
+        engine = Engine([IntRegister("x")], policy="flat-2pl")
+        top = engine.begin_top()
+        one = top.begin_child()
+        one.perform("x", IntRegister.add(1))
+        # In Moss this would block until `one` commits; flat locks are
+        # owned by the top level, so the sibling proceeds at once.
+        two = top.begin_child()
+        assert two.perform("x", IntRegister.read()) == 1
+
+    def test_cross_tree_conflicts_remain(self):
+        engine = Engine([IntRegister("x")], policy="flat-2pl")
+        one = engine.begin_top()
+        one.begin_child().perform("x", IntRegister.add(1))
+        other = engine.begin_top()
+        with pytest.raises(LockDenied):
+            other.perform("x", IntRegister.read())
+
+    def test_child_abort_escalates(self):
+        engine = Engine([IntRegister("x")], policy="flat-2pl")
+        top = engine.begin_top()
+        child = top.begin_child()
+        child.perform("x", IntRegister.add(1))
+        child.abort()
+        assert not top.is_active
+        assert engine.object_value("x") == 0
+
+    def test_top_commit_publishes(self):
+        engine = Engine([IntRegister("x")], policy="flat-2pl")
+        top = engine.begin_top()
+        child = top.begin_child()
+        child.perform("x", IntRegister.add(3))
+        child.commit()
+        top.commit()
+        assert engine.object_value("x") == 3

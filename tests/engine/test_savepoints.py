@@ -1,0 +1,133 @@
+"""Unit tests for System R-style savepoints over nested transactions."""
+
+import pytest
+
+from repro.adt import BankAccount, Counter
+from repro.engine import Engine
+from repro.engine.savepoints import SavepointSession
+from repro.errors import InvalidTransactionState
+
+
+@pytest.fixture
+def engine():
+    return Engine([BankAccount("acct", 100), Counter("log")])
+
+
+@pytest.fixture
+def session(engine):
+    return SavepointSession(engine.begin_top())
+
+
+class TestBasics:
+    def test_work_commits_through(self, engine, session):
+        session.perform("acct", BankAccount.deposit(10))
+        session.commit("done")
+        assert engine.object_value("acct") == 110
+        assert session.transaction.value == "done"
+
+    def test_rollback_to_undoes_suffix(self, engine, session):
+        session.perform("acct", BankAccount.deposit(10))
+        mark = session.savepoint()
+        session.perform("acct", BankAccount.withdraw(50))
+        session.perform("log", Counter.increment(1))
+        session.rollback_to(mark)
+        session.commit()
+        assert engine.object_value("acct") == 110
+        assert engine.object_value("log") == 0
+
+    def test_work_before_savepoint_survives(self, engine, session):
+        session.perform("acct", BankAccount.deposit(25))
+        mark = session.savepoint()
+        session.perform("acct", BankAccount.withdraw(99))
+        session.rollback_to(mark)
+        balance = session.perform("acct", BankAccount.balance())
+        assert balance == 125
+
+    def test_savepoint_reusable_after_rollback(self, engine, session):
+        mark = session.savepoint()
+        for _ in range(3):
+            session.perform("acct", BankAccount.withdraw(10))
+            session.rollback_to(mark)
+        session.commit()
+        assert engine.object_value("acct") == 100
+
+    def test_nested_savepoints(self, engine, session):
+        session.perform("acct", BankAccount.deposit(1))
+        outer = session.savepoint()
+        session.perform("acct", BankAccount.deposit(2))
+        inner = session.savepoint()
+        session.perform("acct", BankAccount.deposit(4))
+        session.rollback_to(inner)
+        session.perform("acct", BankAccount.deposit(8))
+        session.commit()
+        assert engine.object_value("acct") == 111
+
+    def test_rollback_invalidates_deeper_marks(self, engine, session):
+        outer = session.savepoint()
+        inner = session.savepoint()
+        session.rollback_to(outer)
+        with pytest.raises(InvalidTransactionState):
+            session.rollback_to(inner)
+
+    def test_rollback_all(self, engine, session):
+        session.perform("acct", BankAccount.deposit(10))
+        session.savepoint()
+        session.perform("acct", BankAccount.deposit(20))
+        session.rollback_all()
+        session.commit()
+        assert engine.object_value("acct") == 100
+
+    def test_abort_drops_everything(self, engine, session):
+        session.perform("acct", BankAccount.deposit(10))
+        session.abort()
+        assert engine.object_value("acct") == 100
+        with pytest.raises(InvalidTransactionState):
+            session.perform("acct", BankAccount.balance())
+
+    def test_closed_session_rejected(self, engine, session):
+        session.commit()
+        with pytest.raises(InvalidTransactionState):
+            session.perform("acct", BankAccount.balance())
+        with pytest.raises(InvalidTransactionState):
+            session.savepoint()
+
+    def test_depth_tracking(self, session):
+        assert session.depth == 1
+        session.savepoint()
+        assert session.depth == 2
+
+
+class TestIntegration:
+    def test_trace_conformance(self):
+        """Savepoint sessions are plain nested transactions: their traces
+        refine the model like everything else."""
+        from repro.checking import check_engine_trace
+
+        engine = Engine([BankAccount("acct", 100)], trace=True)
+        session = SavepointSession(engine.begin_top())
+        session.perform("acct", BankAccount.deposit(5))
+        mark = session.savepoint()
+        session.perform("acct", BankAccount.withdraw(30))
+        session.rollback_to(mark)
+        session.perform("acct", BankAccount.withdraw(10))
+        session.commit()
+        assert engine.object_value("acct") == 95
+        assert check_engine_trace(engine).ok
+
+    def test_retryable_recovery_block(self, engine):
+        """The System R pattern: retry a failing block at the savepoint."""
+        session = SavepointSession(engine.begin_top())
+        mark = session.savepoint()
+        attempts = 0
+        while True:
+            attempts += 1
+            # The "recovery block": withdraw an amount that fails until
+            # the third try.
+            amount = 400 // attempts
+            ok = session.perform("acct", BankAccount.withdraw(amount))
+            if ok:
+                break
+            session.rollback_to(mark)
+        session.commit()
+        assert attempts == 4
+        assert engine.object_value("acct") == 0

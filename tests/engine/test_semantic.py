@@ -1,0 +1,174 @@
+"""Tests for commutativity-based (semantic) locking with undo recovery."""
+
+import pytest
+
+from repro.adt import BankAccount, Counter, IntRegister, SetObject
+from repro.engine import Engine, make_policy
+from repro.engine.semantic import SemanticManagedObject, SemanticPolicy
+from repro.errors import EngineError, LockDenied
+
+
+@pytest.fixture
+def engine():
+    return Engine(
+        [Counter("c"), SetObject("s"), BankAccount("a", 100)],
+        policy="semantic",
+    )
+
+
+class TestPolicyRegistration:
+    def test_make_policy(self):
+        policy = make_policy("semantic")
+        assert isinstance(policy, SemanticPolicy)
+        assert policy.moves_locks
+        assert not policy.model_conformant
+
+    def test_engine_uses_semantic_objects(self, engine):
+        assert isinstance(
+            engine.locks.object("c"), SemanticManagedObject
+        )
+
+
+class TestConflictRelation:
+    def test_bumps_commute_across_trees(self, engine):
+        one = engine.begin_top()
+        two = engine.begin_top()
+        one.perform("c", Counter.bump(5))
+        two.perform("c", Counter.bump(3))  # no LockDenied
+        assert engine.object_value("c", committed=False) == 8
+
+    def test_moss_would_block_the_same_bumps(self):
+        moss = Engine([Counter("c")], policy="moss-rw")
+        one = moss.begin_top()
+        two = moss.begin_top()
+        one.perform("c", Counter.bump(5))
+        with pytest.raises(LockDenied):
+            two.perform("c", Counter.bump(3))
+
+    def test_observing_reads_still_conflict(self, engine):
+        one = engine.begin_top()
+        two = engine.begin_top()
+        one.perform("c", Counter.bump(5))
+        with pytest.raises(LockDenied):
+            two.perform("c", Counter.value())
+
+    def test_set_distinct_elements_commute(self, engine):
+        one = engine.begin_top()
+        two = engine.begin_top()
+        one.perform("s", SetObject.insert("x"))
+        two.perform("s", SetObject.insert("y"))
+        assert two.perform("s", SetObject.contains("z")) is False
+
+    def test_set_same_element_conflicts(self, engine):
+        one = engine.begin_top()
+        two = engine.begin_top()
+        one.perform("s", SetObject.insert("x"))
+        with pytest.raises(LockDenied) as info:
+            two.perform("s", SetObject.contains("x"))
+        assert (0,) in info.value.blockers
+
+    def test_credits_commute(self, engine):
+        one = engine.begin_top()
+        two = engine.begin_top()
+        one.perform("a", BankAccount.credit(10))
+        two.perform("a", BankAccount.credit(20))
+        one.commit()
+        two.commit()
+        assert engine.object_value("a") == 130
+
+
+class TestUndoRecovery:
+    def test_abort_undoes_only_the_subtree(self, engine):
+        one = engine.begin_top()
+        two = engine.begin_top()
+        one.perform("c", Counter.bump(5))
+        two.perform("c", Counter.bump(3))
+        two.abort()
+        assert engine.object_value("c", committed=False) == 5
+        one.commit()
+        assert engine.object_value("c") == 5
+
+    def test_out_of_order_undo_is_sound(self, engine):
+        """Abort the *earlier* writer after a later commuting write."""
+        one = engine.begin_top()
+        two = engine.begin_top()
+        one.perform("c", Counter.bump(5))   # first
+        two.perform("c", Counter.bump(3))   # second
+        one.abort()                          # undo the first
+        two.commit()
+        assert engine.object_value("c") == 3
+
+    def test_set_insert_undo_respects_prior_membership(self, engine):
+        setup = engine.begin_top()
+        setup.perform("s", SetObject.insert("x"))
+        setup.commit()
+        txn = engine.begin_top()
+        # Inserting an existing element: undo must NOT remove it.
+        assert txn.perform("s", SetObject.insert("x")) is False
+        txn.abort()
+        assert "x" in engine.object_value("s")
+
+    def test_failed_withdraw_needs_no_undo(self, engine):
+        txn = engine.begin_top()
+        assert txn.perform("a", BankAccount.withdraw(10 ** 6)) is False
+        txn.abort()
+        assert engine.object_value("a") == 100
+
+    def test_nested_commit_then_top_abort(self, engine):
+        top = engine.begin_top()
+        child = top.begin_child()
+        child.perform("c", Counter.bump(7))
+        child.commit()
+        top.abort()
+        assert engine.object_value("c") == 0
+
+    def test_committed_value_masks_uncommitted(self, engine):
+        one = engine.begin_top()
+        one.perform("c", Counter.bump(9))
+        assert engine.object_value("c", committed=True) == 0
+        assert engine.object_value("c", committed=False) == 9
+
+
+class TestConformanceGate:
+    def test_semantic_traces_not_model_conformant(self):
+        from repro.checking import check_engine_trace
+
+        engine = Engine([Counter("c")], policy="semantic", trace=True)
+        with pytest.raises(EngineError):
+            check_engine_trace(engine)
+
+
+class TestClassicalOracle:
+    def test_semantic_runs_state_equivalent(self):
+        """Random semantic runs: final state equals a serial replay under
+        the *generalized* conflict relation (no edges between commuting
+        operations)."""
+        import random
+
+        rng = random.Random(11)
+        engine = Engine(
+            [Counter("c"), SetObject("s")], policy="semantic"
+        )
+        tops = [engine.begin_top() for _ in range(4)]
+        expected_total = 0
+        expected_set = set()
+        plans = []
+        for index, top in enumerate(tops):
+            bumps = [rng.randrange(1, 5) for _ in range(3)]
+            element = "e%d" % index
+            plans.append((top, bumps, element))
+        for top, bumps, element in plans:
+            for amount in bumps:
+                top.perform("c", Counter.bump(amount))
+            top.perform("s", SetObject.insert(element))
+        # Abort one tree, commit the rest.
+        doomed = plans[1][0]
+        doomed.abort()
+        for top, bumps, element in plans:
+            if top is doomed:
+                continue
+            top.commit()
+            expected_total += sum(bumps)
+            expected_set.add(element)
+        assert engine.object_value("c") == expected_total
+        assert set(engine.object_value("s")) == expected_set

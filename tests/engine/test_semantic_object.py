@@ -1,0 +1,102 @@
+"""Unit tests for SemanticManagedObject internals."""
+
+import pytest
+
+from repro.adt import Counter, SetObject
+from repro.core.names import ROOT
+from repro.engine.locks import LockMode
+from repro.engine.semantic import SemanticManagedObject
+from repro.errors import EngineError, LockDenied
+
+
+@pytest.fixture
+def managed():
+    return SemanticManagedObject(Counter("c"))
+
+
+class TestBlockers:
+    def test_requires_operation(self, managed):
+        with pytest.raises(EngineError):
+            managed.blockers((0,), LockMode.WRITE)
+
+    def test_commuting_holder_never_blocks(self, managed):
+        managed.acquire((0, 0), Counter.bump(1), LockMode.WRITE)
+        assert managed.blockers(
+            (1, 0), LockMode.WRITE, operation=Counter.bump(2)
+        ) == set()
+
+    def test_conflicting_holder_blocks(self, managed):
+        managed.acquire((0, 0), Counter.bump(1), LockMode.WRITE)
+        assert managed.blockers(
+            (1, 0), LockMode.WRITE, operation=Counter.value()
+        ) == {(0, 0)}
+
+    def test_ancestor_holder_never_blocks(self, managed):
+        managed.acquire((0,), Counter.increment(1), LockMode.WRITE)
+        assert managed.blockers(
+            (0, 3), LockMode.WRITE, operation=Counter.value()
+        ) == set()
+
+    def test_acquire_raises_with_blockers(self, managed):
+        managed.acquire((0, 0), Counter.increment(1), LockMode.WRITE)
+        with pytest.raises(LockDenied) as info:
+            managed.acquire((1, 0), Counter.increment(1), LockMode.WRITE)
+        assert info.value.blockers == frozenset({(0, 0)})
+
+
+class TestLogLifecycle:
+    def test_commit_retags_to_parent(self, managed):
+        managed.acquire((0, 0), Counter.bump(1), LockMode.WRITE)
+        managed.on_commit((0, 0))
+        assert managed.holds_lock((0,))
+        assert not managed.holds_lock((0, 0))
+
+    def test_commit_to_root_prunes_log(self, managed):
+        managed.acquire((0,), Counter.bump(4), LockMode.WRITE)
+        managed.on_commit((0,))
+        assert managed.log == []
+        assert managed.committed_value() == 4
+        assert managed.current_value() == 4
+
+    def test_commit_of_root_rejected(self, managed):
+        with pytest.raises(EngineError):
+            managed.on_commit(ROOT)
+
+    def test_abort_undoes_newest_first(self):
+        managed = SemanticManagedObject(SetObject("s"))
+        # Same-element operations by an ancestor chain (same element by
+        # siblings would conflict).
+        managed.acquire((0,), SetObject.insert("a"), LockMode.WRITE)
+        managed.acquire((0, 1), SetObject.remove("a"), LockMode.WRITE)
+        # Undo in reverse: re-insert "a", then remove it again.
+        managed.on_abort((0,))
+        assert managed.current_value() == frozenset()
+
+    def test_abort_spares_other_subtrees(self, managed):
+        managed.acquire((0, 0), Counter.bump(1), LockMode.WRITE)
+        managed.acquire((1, 0), Counter.bump(2), LockMode.WRITE)
+        managed.on_abort((0,))
+        assert managed.current_value() == 2
+        assert managed.holds_lock((1, 0))
+        assert not managed.holds_lock((0, 0))
+
+    def test_read_entries_have_no_undo(self, managed):
+        managed.acquire((0, 0), Counter.value(), LockMode.READ)
+        assert managed.log[0].undo is None
+        managed.on_abort((0,))
+        assert managed.current_value() == 0
+
+
+class TestCommittedValue:
+    def test_masks_all_uncommitted(self, managed):
+        managed.acquire((0, 0), Counter.bump(3), LockMode.WRITE)
+        managed.acquire((1, 0), Counter.bump(5), LockMode.WRITE)
+        assert managed.current_value() == 8
+        assert managed.committed_value() == 0
+
+    def test_partial_commit_chain_still_uncommitted(self, managed):
+        managed.acquire((0, 0), Counter.bump(3), LockMode.WRITE)
+        managed.on_commit((0, 0))  # now held by (0,), still not ROOT
+        assert managed.committed_value() == 0
+        managed.on_commit((0,))
+        assert managed.committed_value() == 3

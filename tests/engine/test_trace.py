@@ -1,0 +1,83 @@
+"""Unit tests for engine trace recording."""
+
+import pytest
+
+from repro.adt import Counter, IntRegister
+from repro.core.events import Create, RequestCommit
+from repro.core.names import ROOT
+from repro.engine import Engine
+from repro.engine.trace import NullRecorder, TraceRecorder
+
+
+class TestTraceRecorder:
+    def test_records_events_in_order(self):
+        recorder = TraceRecorder()
+        recorder.record(Create(ROOT))
+        recorder.record(Create((0,)))
+        assert recorder.schedule() == (Create(ROOT), Create((0,)))
+
+    def test_system_type_rebuild(self):
+        engine = Engine([Counter("c"), IntRegister("x")], trace=True)
+        top = engine.begin_top()
+        child = top.begin_child()
+        child.perform("c", Counter.increment(1))
+        child.commit()
+        top.perform("x", IntRegister.read())
+        top.commit()
+        system_type = engine.recorder.system_type(engine.specs)
+        # The tree has exactly the nodes the run created.
+        assert system_type.contains(top.name)
+        assert system_type.contains(child.name)
+        accesses = list(system_type.all_accesses())
+        assert len(accesses) == 2
+        objects = {system_type.object_of(a) for a in accesses}
+        assert objects == {"c", "x"}
+
+    def test_access_operation_recorded(self):
+        engine = Engine([Counter("c")], trace=True)
+        top = engine.begin_top()
+        top.perform("c", Counter.increment(7))
+        top.commit()
+        system_type = engine.recorder.system_type(engine.specs)
+        access = next(iter(system_type.all_accesses()))
+        operation = system_type.operation_of(access)
+        assert operation.kind == "increment"
+        assert operation.args == (7,)
+
+    def test_commit_values_tracked(self):
+        engine = Engine([Counter("c")], trace=True)
+        top = engine.begin_top()
+        top.commit("the-value")
+        assert engine.recorder.commit_values[top.name] == "the-value"
+
+    def test_read_reclassified_under_exclusive(self):
+        engine = Engine([Counter("c")], policy="exclusive", trace=True)
+        top = engine.begin_top()
+        top.perform("c", Counter.value())
+        top.commit()
+        system_type = engine.recorder.system_type(engine.specs)
+        access = next(iter(system_type.all_accesses()))
+        assert not system_type.is_read_access(access)
+
+    def test_read_kept_under_moss(self):
+        engine = Engine([Counter("c")], policy="moss-rw", trace=True)
+        top = engine.begin_top()
+        top.perform("c", Counter.value())
+        top.commit()
+        system_type = engine.recorder.system_type(engine.specs)
+        access = next(iter(system_type.all_accesses()))
+        assert system_type.is_read_access(access)
+
+
+class TestNullRecorder:
+    def test_everything_is_a_noop(self):
+        recorder = NullRecorder()
+        recorder.record(Create(ROOT))
+        recorder.record_internal((0,))
+        recorder.record_access((0, 0), "x", Counter.value())
+        recorder.record_commit_value((0,), 1)
+        assert not hasattr(recorder, "events")
+
+    def test_untraced_engine_uses_null_recorder(self):
+        engine = Engine([Counter("c")])
+        assert isinstance(engine.recorder, NullRecorder)

@@ -1,0 +1,71 @@
+"""Unit tests for version maps."""
+
+import pytest
+
+from repro.core.names import ROOT
+from repro.engine.versions import VersionMap
+from repro.errors import EngineError
+
+
+@pytest.fixture
+def versions():
+    return VersionMap(initial=0)
+
+
+class TestBasics:
+    def test_initial_root_version(self, versions):
+        assert versions.get(ROOT) == 0
+        assert versions.current() == 0
+        assert versions.deepest() == ROOT
+
+    def test_install_and_current(self, versions):
+        versions.install((0,), 5)
+        versions.install((0, 1), 9)
+        assert versions.current() == 9
+        assert versions.get((0,)) == 5
+
+    def test_install_overwrites(self, versions):
+        versions.install((0,), 5)
+        versions.install((0,), 7)
+        assert versions.get((0,)) == 7
+
+    def test_missing_version_raises(self, versions):
+        with pytest.raises(EngineError):
+            versions.get((9,))
+
+
+class TestPromote:
+    def test_promote_moves_to_parent(self, versions):
+        versions.install((0, 1), 5)
+        versions.promote((0, 1))
+        assert versions.get((0,)) == 5
+        assert not versions.has((0, 1))
+
+    def test_promote_overwrites_parent_version(self, versions):
+        versions.install((0,), 3)
+        versions.install((0, 1), 5)
+        versions.promote((0, 1))
+        assert versions.get((0,)) == 5
+
+    def test_promote_missing_is_noop(self, versions):
+        versions.promote((4,))
+        assert versions.holders() == (ROOT,)
+
+    def test_promote_root_rejected(self, versions):
+        with pytest.raises(EngineError):
+            versions.promote(ROOT)
+
+
+class TestDiscard:
+    def test_discard_subtree(self, versions):
+        versions.install((0,), 1)
+        versions.install((0, 1), 2)
+        versions.install((1,), 3)
+        dropped = versions.discard_subtree((0,))
+        assert dropped == 2
+        assert versions.holders() == (ROOT, (1,))
+
+    def test_discard_restores_commit_point(self, versions):
+        versions.install((0,), 42)
+        versions.discard_subtree((0,))
+        assert versions.current() == 0

@@ -1,0 +1,102 @@
+"""Brute-force cross-validation of serial correctness.
+
+The library's checker proves serial correctness *constructively* (via the
+Lemma 33 serializer).  This test validates the same statement by a wholly
+independent method: enumerate **every** serial schedule of a micro system
+type (bounded depth) and confirm, for each concurrent schedule and each
+checked transaction, that some enumerated serial schedule has the same
+projection at that transaction.
+
+Agreement between the two oracles on every schedule of the exploration
+space is strong evidence neither is vacuous.
+"""
+
+import pytest
+
+from repro.adt import IntRegister
+from repro.core.correctness import project_transaction_automaton
+from repro.core.names import ROOT, SystemTypeBuilder
+from repro.core.systems import RWLockingSystem, SerialSystem
+from repro.core.visibility import is_orphan
+from repro.core.events import Create
+from repro.ioa.explorer import explore_exhaustive
+
+
+@pytest.fixture(scope="module")
+def micro_type():
+    builder = SystemTypeBuilder()
+    builder.add_object(IntRegister("x"))
+    writer = builder.add_child(ROOT)
+    builder.add_access(writer, "x", IntRegister.write(1))
+    reader = builder.add_child(ROOT)
+    builder.add_access(reader, "x", IntRegister.read())
+    return builder.build()
+
+
+@pytest.fixture(scope="module")
+def serial_space(micro_type):
+    """Every serial-system schedule prefix up to the depth bound."""
+    serial = SerialSystem(micro_type)
+    result = explore_exhaustive(serial, max_depth=14, max_schedules=60000)
+    return result.schedules
+
+
+def projections_of(space, name):
+    """All distinct projections-at-*name* over a schedule space."""
+    return {project_transaction_automaton(alpha, name) for alpha in space}
+
+
+def test_serial_space_is_substantial(serial_space):
+    assert len(serial_space) > 1000
+
+
+def test_every_concurrent_projection_is_serially_realisable(
+    micro_type, serial_space
+):
+    """The heart of serial correctness, checked by pure enumeration."""
+    system = RWLockingSystem(micro_type)
+    concurrent = explore_exhaustive(
+        system, max_depth=10, max_schedules=4000, collect_all=True
+    )
+    transactions = [ROOT, (0,), (1,)]
+    realisable = {
+        name: projections_of(serial_space, name)
+        for name in transactions
+    }
+    checked = 0
+    for alpha in concurrent.schedules:
+        created = {
+            event.transaction
+            for event in alpha
+            if isinstance(event, Create)
+        }
+        for name in transactions:
+            if name not in created or is_orphan(alpha, name):
+                continue
+            local = project_transaction_automaton(alpha, name)
+            assert local in realisable[name], (
+                "projection at %r of %r not realisable serially"
+                % (name, alpha)
+            )
+            checked += 1
+    assert checked > 2000
+
+
+def test_oracles_agree_on_maximal_schedules(micro_type, serial_space):
+    """The constructive checker and the brute-force oracle concur."""
+    from repro.core.correctness import check_serial_correctness
+
+    system = RWLockingSystem(micro_type)
+    concurrent = explore_exhaustive(
+        system, max_depth=11, max_schedules=1500, collect_all=False
+    )
+    for alpha in concurrent.maximal_schedules:
+        report = check_serial_correctness(system, alpha)
+        assert report.ok
+        for item in report.reports:
+            local = project_transaction_automaton(
+                alpha, item.transaction
+            )
+            assert local in projections_of(
+                serial_space, item.transaction
+            )

@@ -1,0 +1,263 @@
+"""E8: with every access designated a write, Moss' algorithm degenerates
+into exclusive locking.
+
+Checked at three levels:
+
+1. M(X) automata: an all-writes R/W Locking object and a reference
+   exclusive-locking object (independent implementation written here)
+   accept exactly the same schedules, enumerated exhaustively.
+2. Whole systems: the all-writes R/W Locking system's schedule set equals
+   the schedule set of the same system over the reference objects.
+3. Engines: moss-rw and exclusive engines make identical lock decisions on
+   all-write workloads.
+"""
+
+import pytest
+
+from repro.adt import Counter, IntRegister
+from repro.core.events import Create, InformAbortAt, InformCommitAt, RequestCommit
+from repro.core.names import ROOT, SystemTypeBuilder, is_ancestor, is_descendant, parent
+from repro.core.rw_object import RWLockingObject
+from repro.engine import Engine
+from repro.errors import LockDenied
+from repro.ioa.automaton import Automaton
+from repro.ioa.explorer import explore_exhaustive
+
+
+class ReferenceExclusiveObject(Automaton):
+    """An independently-written exclusive-locking object (as in [LM]).
+
+    One holder set, one version map; every access conflicts with every
+    non-ancestor holder.  Deliberately *not* sharing code with
+    RWLockingObject so the comparison means something.
+    """
+
+    state_attrs = ("holders", "versions", "requested", "done")
+
+    def __init__(self, system_type, object_name):
+        super().__init__("REF(%s)" % object_name)
+        self.system_type = system_type
+        self.object_name = object_name
+        self.spec = system_type.object_spec(object_name)
+        self.holders = {ROOT}
+        self.versions = {ROOT: self.spec.initial_value()}
+        self.requested = set()
+        self.done = set()
+
+    def _local(self, name):
+        return (
+            self.system_type.is_access(name)
+            and self.system_type.object_of(name) == self.object_name
+        )
+
+    def is_input(self, action):
+        if isinstance(action, Create):
+            return self._local(action.transaction)
+        if isinstance(action, (InformCommitAt, InformAbortAt)):
+            return (
+                action.object_name == self.object_name
+                and action.transaction != ROOT
+            )
+        return False
+
+    def is_output(self, action):
+        return isinstance(action, RequestCommit) and self._local(
+            action.transaction
+        )
+
+    def enabled_outputs(self):
+        for name in sorted(self.requested - self.done):
+            if all(is_ancestor(h, name) for h in self.holders):
+                value = self.versions[max(self.holders, key=len)]
+                result, _ = self.spec.apply(
+                    value, self.system_type.operation_of(name)
+                )
+                yield RequestCommit(name, result)
+
+    def _apply(self, action):
+        if isinstance(action, Create):
+            self.requested.add(action.transaction)
+            return
+        if isinstance(action, RequestCommit):
+            name = action.transaction
+            value = self.versions[max(self.holders, key=len)]
+            _, new_value = self.spec.apply(
+                value, self.system_type.operation_of(name)
+            )
+            self.done.add(name)
+            self.holders.add(name)
+            self.versions[name] = new_value
+            return
+        if isinstance(action, InformCommitAt):
+            name = action.transaction
+            if name in self.holders:
+                self.holders.discard(name)
+                self.holders.add(parent(name))
+                self.versions[parent(name)] = self.versions.pop(name)
+            return
+        if isinstance(action, InformAbortAt):
+            doomed = {
+                h for h in self.holders
+                if is_descendant(h, action.transaction)
+            }
+            self.holders -= doomed
+            for h in doomed:
+                self.versions.pop(h, None)
+
+
+def all_writes_system_type():
+    builder = SystemTypeBuilder()
+    builder.add_object(Counter("c"))
+    one = builder.add_child(ROOT)
+    builder.add_access(one, "c", Counter.increment(1))
+    two = builder.add_child(ROOT)
+    builder.add_access(two, "c", Counter.increment(2))
+    return builder.build()
+
+
+def schedule_set(automaton, depth):
+    result = explore_exhaustive(automaton, max_depth=depth)
+    return set(result.schedules)
+
+
+class TestObjectLevelEquivalence:
+    def drive_events(self, system_type):
+        inc1, inc2 = (0, 0), (1, 0)
+        return [
+            Create(inc1),
+            Create(inc2),
+            InformCommitAt("c", inc1),
+            InformCommitAt("c", (0,)),
+            InformAbortAt("c", (1,)),
+            InformCommitAt("c", inc2),
+        ]
+
+    def test_exhaustive_schedule_sets_equal(self):
+        """The two automata accept identical schedule sets when inputs
+        are injected at every point (closed with a driver)."""
+        system_type = all_writes_system_type()
+        moss = _Closed(RWLockingObject(system_type, "c"),
+                       self.drive_events(system_type))
+        reference = _Closed(
+            ReferenceExclusiveObject(system_type, "c"),
+            self.drive_events(system_type),
+        )
+        assert schedule_set(moss, 7) == schedule_set(reference, 7)
+
+    def test_read_designation_breaks_equivalence(self):
+        """Sanity: with a genuine read access the sets differ (Moss
+        allows read sharing the reference exclusive object forbids)."""
+        builder = SystemTypeBuilder()
+        builder.add_object(Counter("c"))
+        one = builder.add_child(ROOT)
+        builder.add_access(one, "c", Counter.value())
+        two = builder.add_child(ROOT)
+        builder.add_access(two, "c", Counter.value())
+        system_type = builder.build()
+        events = [Create((0, 0)), Create((1, 0))]
+        moss = _Closed(RWLockingObject(system_type, "c"), events)
+        reference = _Closed(
+            ReferenceExclusiveObject(system_type, "c"), events
+        )
+        moss_set = schedule_set(moss, 4)
+        reference_set = schedule_set(reference, 4)
+        assert reference_set < moss_set
+
+
+class _Closed(Automaton):
+    """Close an object automaton with a driver injecting input events."""
+
+    def __init__(self, inner, inputs):
+        super().__init__("closed:%s" % inner.name)
+        self.inner = inner
+        self.inputs = list(inputs)
+
+    state_attrs = ("pending_inputs",)
+
+    @property
+    def pending_inputs(self):
+        return self.inputs
+
+    @pending_inputs.setter
+    def pending_inputs(self, value):
+        self.inputs = list(value)
+
+    def is_input(self, action):
+        return False
+
+    def is_output(self, action):
+        return True
+
+    def enabled_outputs(self):
+        seen = set()
+        for action in self.inputs:
+            if action not in seen:
+                seen.add(action)
+                yield action
+        for action in self.inner.enabled_outputs():
+            yield action
+
+    def output_enabled(self, action):
+        if action in self.inputs:
+            return True
+        return self.inner.output_enabled(action)
+
+    def _apply(self, action):
+        if action in self.inputs:
+            self.inputs.remove(action)
+        self.inner.apply(action)
+
+    def snapshot(self):
+        return (list(self.inputs), self.inner.snapshot())
+
+    def restore(self, state):
+        self.inputs = list(state[0])
+        self.inner.restore(state[1])
+
+
+class TestEngineLevelEquivalence:
+    def run_decisions(self, policy):
+        """Record grant/deny decisions of a fixed all-writes scenario."""
+        engine = Engine([IntRegister("x"), IntRegister("y")], policy=policy)
+        decisions = []
+        one = engine.begin_top()
+        two = engine.begin_top()
+        script = [
+            (one, "x", IntRegister.add(1)),
+            (two, "y", IntRegister.add(1)),
+            (two, "x", IntRegister.add(1)),   # conflicts with one
+            (one, "y", IntRegister.add(1)),   # conflicts with two
+        ]
+        for txn, object_name, operation in script:
+            try:
+                txn.perform(object_name, operation)
+                decisions.append("grant")
+            except LockDenied:
+                decisions.append("deny")
+        one.commit()
+        try:
+            two.perform("x", IntRegister.add(1))
+            decisions.append("grant")
+        except LockDenied:
+            decisions.append("deny")
+        return decisions
+
+    def test_policies_agree_on_all_write_workloads(self):
+        assert self.run_decisions("moss-rw") == self.run_decisions(
+            "exclusive"
+        )
+
+    def test_policies_differ_on_reads(self):
+        def read_decisions(policy):
+            engine = Engine([IntRegister("x")], policy=policy)
+            one = engine.begin_top()
+            two = engine.begin_top()
+            one.perform("x", IntRegister.read())
+            try:
+                two.perform("x", IntRegister.read())
+                return "grant"
+            except LockDenied:
+                return "deny"
+
+        assert read_decisions("moss-rw") == "grant"
+        assert read_decisions("exclusive") == "deny"

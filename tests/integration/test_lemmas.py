@@ -1,0 +1,244 @@
+"""Property tests for the paper's supporting lemmas, over random runs.
+
+Each test takes seeded random concurrent schedules of R/W Locking systems
+and checks a lemma's statement literally on every prefix or at the end
+state, as appropriate.
+"""
+
+import pytest
+
+from repro.checking.random_systems import random_system_type
+from repro.core.equieffective import project_transaction
+from repro.core.events import Abort, Commit, Create, RequestCommit
+from repro.core.names import ROOT, is_ancestor, lca
+from repro.core.systems import RWLockingSystem, SerialSystem
+from repro.core.visibility import (
+    essence,
+    is_orphan,
+    is_orphan_at,
+    visible,
+    visible_to,
+    visible_x,
+)
+from repro.core.wellformed import is_well_formed
+from repro.ioa.explorer import random_schedules
+
+
+@pytest.fixture(scope="module")
+def runs():
+    """A shared pool of (system_type, schedule) pairs."""
+    pool = []
+    for system_seed in range(4):
+        system_type = random_system_type(system_seed)
+        system = RWLockingSystem(system_type)
+        for alpha in random_schedules(system, 4, 250, seed=system_seed + 70):
+            pool.append((system_type, alpha))
+    return pool
+
+
+def named_transactions(system_type, alpha):
+    created = [e.transaction for e in alpha if isinstance(e, Create)]
+    return created
+
+
+class TestVisibilityLemmas:
+    def test_lemma7_1_ancestors_visible(self, runs):
+        for system_type, alpha in runs:
+            for name in named_transactions(system_type, alpha):
+                for length in range(len(name) + 1):
+                    assert visible_to(alpha, name[:length], name)
+
+    def test_lemma7_2_visibility_via_lca(self, runs):
+        for system_type, alpha in runs:
+            created = named_transactions(system_type, alpha)
+            for a in created[:6]:
+                for b in created[:6]:
+                    assert visible_to(alpha, a, b) == visible_to(
+                        alpha, a, lca(a, b)
+                    )
+
+    def test_lemma7_3_transitivity(self, runs):
+        for system_type, alpha in runs:
+            created = named_transactions(system_type, alpha)[:5]
+            for a in created:
+                for b in created:
+                    for c in created:
+                        if visible_to(alpha, a, b) and visible_to(
+                            alpha, b, c
+                        ):
+                            assert visible_to(alpha, a, c)
+
+    def test_lemma9_projection(self, runs):
+        """visible(alpha,T)|T' == alpha|T' when T' is visible to T,
+        empty otherwise."""
+        for system_type, alpha in runs:
+            created = named_transactions(system_type, alpha)[:5]
+            for name in created:
+                vis = visible(alpha, name)
+                for other in created[:4]:
+                    projected = project_transaction(vis, other)
+                    if visible_to(alpha, other, name):
+                        assert projected == project_transaction(
+                            alpha, other
+                        )
+                    else:
+                        assert projected == ()
+
+    def test_lemma12_visible_preserves_well_formedness(self, runs):
+        for system_type, alpha in runs:
+            if not is_well_formed(system_type, alpha, locking=True):
+                continue
+            for name in named_transactions(system_type, alpha)[:4]:
+                assert is_well_formed(system_type, visible(alpha, name))
+
+    def test_lemma27_visible_transactions_not_orphans(self, runs):
+        for system_type, alpha in runs:
+            created = named_transactions(system_type, alpha)
+            non_orphans = [
+                name for name in created if not is_orphan(alpha, name)
+            ]
+            for name in non_orphans[:5]:
+                for other in created[:8]:
+                    if visible_to(alpha, other, name):
+                        assert not is_orphan(alpha, other)
+
+
+class TestLockingObjectLemmas:
+    def replay_mx(self, system_type, alpha, object_name):
+        from repro.core.rw_object import RWLockingObject
+
+        mx = RWLockingObject(system_type, object_name)
+        for event in alpha:
+            if mx.has_action(event):
+                mx.apply(event)
+        return mx
+
+    def test_lemma21_holders_chain_with_write_holder(self, runs):
+        """Along every prefix: a write-lockholder is ancestor-related to
+        every other lockholder."""
+        for system_type, alpha in runs:
+            for object_name in system_type.object_names():
+                from repro.core.rw_object import RWLockingObject
+
+                mx = RWLockingObject(system_type, object_name)
+                for event in alpha:
+                    if not mx.has_action(event):
+                        continue
+                    mx.apply(event)
+                    for a in mx.write_lockholders:
+                        for b in (
+                            mx.write_lockholders | mx.read_lockholders
+                        ):
+                            assert is_ancestor(a, b) or is_ancestor(b, a)
+
+    def test_lemma21_corollary_map_keys_are_write_holders(self, runs):
+        for system_type, alpha in runs:
+            for object_name in system_type.object_names():
+                mx = self.replay_mx(system_type, alpha, object_name)
+                assert set(mx.map) == set(mx.write_lockholders)
+
+    def test_lemma22_committed_access_implies_lockholder(self, runs):
+        for system_type, alpha in runs:
+            for object_name in system_type.object_names():
+                mx = self.replay_mx(system_type, alpha, object_name)
+                projected = [
+                    event for event in alpha if mx.has_action(event)
+                ]
+                for event in alpha:
+                    if not isinstance(event, RequestCommit):
+                        continue
+                    access = event.transaction
+                    if not (
+                        system_type.is_access(access)
+                        and system_type.object_of(access) == object_name
+                    ):
+                        continue
+                    if is_orphan_at(projected, object_name, access):
+                        continue
+                    # Find the highest ancestor the access committed to at X.
+                    from repro.core.visibility import committed_at
+
+                    highest = access
+                    for length in range(len(access) - 1, -1, -1):
+                        if committed_at(
+                            projected, object_name, access, access[:length]
+                        ):
+                            highest = access[:length]
+                        else:
+                            break
+                    if system_type.is_read_access(access):
+                        assert highest in mx.read_lockholders
+                    else:
+                        assert highest in mx.write_lockholders
+
+    def test_lemma23_essence_reaches_stored_version(self, runs):
+        """essence(visible_X(alpha,T)) is a schedule of X reaching
+        map(T') for the least write-lockholding ancestor T'."""
+        from repro.core.equieffective import replay_basic_object
+
+        for system_type, alpha in runs:
+            for object_name in system_type.object_names():
+                mx = self.replay_mx(system_type, alpha, object_name)
+                projected = [
+                    event for event in alpha if mx.has_action(event)
+                ]
+                for name in named_transactions(system_type, alpha)[:4]:
+                    if is_orphan_at(projected, object_name, name):
+                        continue
+                    beta = essence(
+                        visible_x(projected, system_type, object_name, name),
+                        system_type,
+                        object_name,
+                    )
+                    final = replay_basic_object(
+                        system_type, object_name, beta
+                    )
+                    assert final is not None, "essence not a schedule"
+                    holder = next(
+                        (
+                            name[:length]
+                            for length in range(len(name), -1, -1)
+                            if name[:length] in mx.write_lockholders
+                        ),
+                        None,
+                    )
+                    if holder is not None:
+                        spec = system_type.object_spec(object_name)
+                        assert spec.values_equal(
+                            final.value, mx.map[holder]
+                        )
+
+    def test_lemma24_28_visible_is_basic_object_schedule(self, runs):
+        """Lemma 28: visible(alpha,T)|X is a schedule of basic object X
+        for every non-orphan T."""
+        from repro.core.equieffective import (
+            is_basic_object_schedule,
+            project_object,
+        )
+
+        for system_type, alpha in runs:
+            for name in named_transactions(system_type, alpha)[:4]:
+                if is_orphan(alpha, name):
+                    continue
+                vis = visible(alpha, name)
+                for object_name in system_type.object_names():
+                    assert is_basic_object_schedule(
+                        system_type,
+                        object_name,
+                        project_object(system_type, object_name, vis),
+                    )
+
+
+class TestSerialSystemLemmas:
+    def test_lemma13_visible_of_serial_is_serial(self):
+        """visible(alpha,T) of a serial schedule is a serial schedule."""
+        from repro.core.correctness import replay_serial
+
+        for system_seed in range(3):
+            system_type = random_system_type(system_seed)
+            serial = SerialSystem(system_type)
+            for alpha in random_schedules(serial, 3, 250,
+                                          seed=system_seed + 80):
+                for name in named_transactions(system_type, alpha)[:4]:
+                    vis = visible(alpha, name)
+                    assert replay_serial(serial, vis) is None

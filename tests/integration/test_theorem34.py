@@ -1,0 +1,138 @@
+"""End-to-end validation of the main theorem.
+
+Theorem 34: every schedule of a R/W Locking system is serially correct for
+every non-orphan non-access transaction.  Corollary 35: in particular for
+the root.  Checked two ways:
+
+* **exhaustively** on a micro system type -- every schedule the system can
+  produce, up to a depth bound, is checked;
+* **statistically** on larger random system types via seeded random walks.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.adt import IntRegister
+from repro.checking import validate_random_schedules
+from repro.checking.random_systems import (
+    RandomSystemConfig,
+    random_system_type,
+)
+from repro.core.correctness import check_serial_correctness
+from repro.core.names import ROOT, SystemTypeBuilder
+from repro.core.systems import RWLockingSystem
+from repro.ioa.explorer import explore_exhaustive, random_schedules
+
+
+def micro_system_type():
+    """One writer access and one reader access on one register."""
+    builder = SystemTypeBuilder()
+    builder.add_object(IntRegister("x"))
+    writer = builder.add_child(ROOT)
+    builder.add_access(writer, "x", IntRegister.write(1))
+    reader = builder.add_child(ROOT)
+    builder.add_access(reader, "x", IntRegister.read())
+    return builder.build()
+
+
+class TestExhaustive:
+    def test_every_schedule_of_micro_system_serially_correct(self):
+        system_type = micro_system_type()
+        system = RWLockingSystem(system_type)
+        result = explore_exhaustive(
+            system, max_depth=12, max_schedules=4000, collect_all=False
+        )
+        assert result.maximal_schedules
+        checked = 0
+        for alpha in result.maximal_schedules:
+            report = check_serial_correctness(system, alpha)
+            assert report.ok, [
+                (item.transaction, item.failures)
+                for item in report.failed()
+            ]
+            checked += 1
+        assert checked >= 100
+
+    def test_every_prefix_also_serially_correct(self):
+        """Serial correctness is prefix-closed in practice: check every
+        enumerated prefix, not only maximal schedules."""
+        system_type = micro_system_type()
+        system = RWLockingSystem(system_type, propose_aborts=False)
+        result = explore_exhaustive(
+            system, max_depth=9, max_schedules=1500
+        )
+        for alpha in result.schedules:
+            report = check_serial_correctness(system, alpha)
+            assert report.ok
+
+
+class TestStatistical:
+    @pytest.mark.parametrize("system_seed", range(6))
+    def test_random_system_types(self, system_seed):
+        stats = validate_random_schedules(
+            system_seed=system_seed,
+            schedules=6,
+            max_steps=300,
+            seed=system_seed * 101 + 1,
+        )
+        assert stats.ok, stats.failures
+
+    def test_read_heavy_and_write_heavy(self):
+        for fraction in (0.0, 1.0):
+            config = RandomSystemConfig(read_fraction=fraction)
+            stats = validate_random_schedules(
+                config=config,
+                system_seed=9,
+                schedules=5,
+                max_steps=250,
+                seed=int(fraction * 10) + 3,
+            )
+            assert stats.ok, stats.failures
+
+    def test_deep_nesting(self):
+        config = RandomSystemConfig(
+            max_depth=4, top_level=2, max_fanout=2
+        )
+        stats = validate_random_schedules(
+            config=config,
+            system_seed=4,
+            schedules=5,
+            max_steps=400,
+            seed=44,
+        )
+        assert stats.ok, stats.failures
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        system_seed=st.integers(0, 10_000),
+        walk_seed=st.integers(0, 10_000),
+    )
+    def test_hypothesis_sweep(self, system_seed, walk_seed):
+        """Property: Theorem 34 holds for arbitrary seeds."""
+        stats = validate_random_schedules(
+            system_seed=system_seed,
+            schedules=2,
+            max_steps=200,
+            seed=walk_seed,
+        )
+        assert stats.ok, stats.failures
+
+
+class TestCorollary35:
+    def test_root_serially_correct_on_every_walk(self):
+        system_type = random_system_type(2)
+        system = RWLockingSystem(system_type)
+        from repro.core.correctness import check_schedule
+        from repro.core.systems import SerialSystem
+
+        serial = SerialSystem(system_type)
+        for alpha in random_schedules(system, 8, 250, seed=55):
+            report = check_schedule(
+                system_type, alpha, serial_system=serial,
+                transactions=[ROOT],
+            )
+            assert report.ok, report.reports[0].failures

@@ -1,0 +1,125 @@
+"""Unit tests for the I/O automaton base class."""
+
+import pytest
+
+from repro.errors import NotEnabledError
+from repro.ioa.automaton import Automaton, sorted_actions
+
+
+class Toggle(Automaton):
+    """A two-state automaton: input 'set', output 'emit' enabled when set."""
+
+    state_attrs = ("armed", "fired")
+
+    def __init__(self, name="toggle"):
+        super().__init__(name)
+        self.armed = False
+        self.fired = 0
+
+    def is_input(self, action):
+        return action == "set"
+
+    def is_output(self, action):
+        return action == "emit"
+
+    def enabled_outputs(self):
+        if self.armed:
+            yield "emit"
+
+    def _apply(self, action):
+        if action == "set":
+            self.armed = True
+        elif action == "emit":
+            self.fired += 1
+            self.armed = False
+
+
+class TestInputCondition:
+    def test_input_always_accepted(self):
+        automaton = Toggle()
+        automaton.apply("set")
+        automaton.apply("set")
+        assert automaton.armed
+
+    def test_input_accepted_in_any_state(self):
+        automaton = Toggle()
+        automaton.apply("set")
+        automaton.apply("emit")
+        automaton.apply("set")
+        assert automaton.armed
+
+
+class TestOutputs:
+    def test_disabled_output_rejected(self):
+        automaton = Toggle()
+        with pytest.raises(NotEnabledError):
+            automaton.apply("emit")
+
+    def test_enabled_output_applies(self):
+        automaton = Toggle()
+        automaton.apply("set")
+        automaton.apply("emit")
+        assert automaton.fired == 1
+        assert not automaton.armed
+
+    def test_unknown_action_rejected(self):
+        automaton = Toggle()
+        with pytest.raises(NotEnabledError):
+            automaton.apply("bogus")
+
+    def test_output_enabled_scans_enabled_outputs(self):
+        automaton = Toggle()
+        assert not automaton.output_enabled("emit")
+        automaton.apply("set")
+        assert automaton.output_enabled("emit")
+
+
+class TestSnapshots:
+    def test_snapshot_restore_roundtrip(self):
+        automaton = Toggle()
+        automaton.apply("set")
+        saved = automaton.snapshot()
+        automaton.apply("emit")
+        assert automaton.fired == 1
+        automaton.restore(saved)
+        assert automaton.armed
+        assert automaton.fired == 0
+
+    def test_snapshot_is_independent_copy(self):
+        automaton = Toggle()
+        saved = automaton.snapshot()
+        automaton.apply("set")
+        assert saved["armed"] is False
+
+
+class TestScheduleHelpers:
+    def test_run_chains(self):
+        automaton = Toggle()
+        automaton.run(["set", "emit", "set"])
+        assert automaton.fired == 1
+        assert automaton.armed
+
+    def test_accepts_true_and_restores(self):
+        automaton = Toggle()
+        assert automaton.accepts(["set", "emit"])
+        assert automaton.fired == 0
+
+    def test_accepts_false(self):
+        automaton = Toggle()
+        assert not automaton.accepts(["emit"])
+
+    def test_enabled_after(self):
+        automaton = Toggle()
+        assert automaton.enabled_after(["set"], "emit")
+        assert not automaton.enabled_after(["set", "emit"], "emit")
+        # Inputs are enabled after any schedule.
+        assert automaton.enabled_after(["set", "emit"], "set")
+
+    def test_enabled_after_preserves_state(self):
+        automaton = Toggle()
+        automaton.enabled_after(["set"], "emit")
+        assert not automaton.armed
+
+
+def test_sorted_actions_deterministic():
+    assert sorted_actions({"b", "a", "c"}) == ["a", "b", "c"]

@@ -1,0 +1,125 @@
+"""Unit tests for automaton composition."""
+
+import pytest
+
+from repro.errors import CompositionError, NotEnabledError
+from repro.ioa.automaton import Automaton
+from repro.ioa.composition import Composition
+
+
+class Producer(Automaton):
+    """Emits 'msg' once."""
+
+    state_attrs = ("sent",)
+
+    def __init__(self, name="producer"):
+        super().__init__(name)
+        self.sent = False
+
+    def is_input(self, action):
+        return False
+
+    def is_output(self, action):
+        return action == "msg"
+
+    def enabled_outputs(self):
+        if not self.sent:
+            yield "msg"
+
+    def _apply(self, action):
+        self.sent = True
+
+
+class Consumer(Automaton):
+    """Receives 'msg' then emits 'ack'."""
+
+    state_attrs = ("received", "acked")
+
+    def __init__(self, name="consumer"):
+        super().__init__(name)
+        self.received = 0
+        self.acked = False
+
+    def is_input(self, action):
+        return action == "msg"
+
+    def is_output(self, action):
+        return action == "ack"
+
+    def enabled_outputs(self):
+        if self.received and not self.acked:
+            yield "ack"
+
+    def _apply(self, action):
+        if action == "msg":
+            self.received += 1
+        else:
+            self.acked = True
+
+
+@pytest.fixture
+def system():
+    return Composition("sys", [Producer(), Consumer()])
+
+
+class TestSignature:
+    def test_shared_action_is_output(self, system):
+        assert system.is_output("msg")
+        assert not system.is_input("msg")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(CompositionError):
+            Composition("sys", [Producer("p"), Producer("p")])
+
+    def test_duplicate_output_owner_detected(self):
+        system = Composition("sys", [Producer("p1"), Producer("p2")])
+        with pytest.raises(CompositionError):
+            system.apply("msg")
+
+
+class TestSynchronisation:
+    def test_step_reaches_all_participants(self, system):
+        system.apply("msg")
+        assert system.component("producer").sent
+        assert system.component("consumer").received == 1
+
+    def test_enabled_outputs_union(self, system):
+        assert set(system.enabled_outputs()) == {"msg"}
+        system.apply("msg")
+        assert set(system.enabled_outputs()) == {"ack"}
+
+    def test_output_requires_owner_enabled(self, system):
+        with pytest.raises(NotEnabledError):
+            system.apply("ack")
+
+    def test_unknown_action_rejected(self, system):
+        with pytest.raises(NotEnabledError):
+            system.apply("nothing")
+
+    def test_run_to_quiescence(self, system):
+        system.apply("msg")
+        system.apply("ack")
+        assert list(system.enabled_outputs()) == []
+
+
+class TestSnapshot:
+    def test_snapshot_restores_all_components(self, system):
+        saved = system.snapshot()
+        system.apply("msg")
+        system.apply("ack")
+        system.restore(saved)
+        assert not system.component("producer").sent
+        assert system.component("consumer").received == 0
+        assert set(system.enabled_outputs()) == {"msg"}
+
+
+class TestProjectionLemma:
+    """Lemma 1: appending an enabled component output keeps a schedule."""
+
+    def test_projection_is_component_schedule(self, system):
+        from repro.ioa.execution import project
+
+        system.apply("msg")
+        system.apply("ack")
+        consumer = Consumer()
+        assert consumer.accepts(project(["msg", "ack"], consumer))

@@ -1,0 +1,83 @@
+"""Unit tests for schedules, projections and sequence algebra."""
+
+from hypothesis import given, strategies as st
+
+from repro.ioa.execution import (
+    is_subsequence,
+    project_name,
+    remove_events,
+    same_events,
+    schedule_of,
+)
+
+
+class TestProjection:
+    def test_project_name_filters(self):
+        alpha = ["a1", "b1", "a2", "b2"]
+        assert project_name(alpha, lambda x: x.startswith("a")) == (
+            "a1",
+            "a2",
+        )
+
+    def test_project_preserves_order(self):
+        alpha = ["c", "a", "b", "a"]
+        assert project_name(alpha, lambda x: x == "a") == ("a", "a")
+
+
+class TestSubsequence:
+    def test_empty_is_subsequence(self):
+        assert is_subsequence([], ["x", "y"])
+
+    def test_noncontiguous(self):
+        assert is_subsequence(["a", "c"], ["a", "b", "c"])
+
+    def test_order_matters(self):
+        assert not is_subsequence(["c", "a"], ["a", "b", "c"])
+
+    def test_multiplicity_matters(self):
+        assert not is_subsequence(["a", "a"], ["a", "b"])
+
+
+class TestRemoveEvents:
+    def test_removes_one_occurrence_each(self):
+        assert remove_events(["a", "b", "a"], ["a"]) == ("b", "a")
+
+    def test_difference_of_disjoint(self):
+        assert remove_events(["a", "b"], ["c"]) == ("a", "b")
+
+    def test_full_removal(self):
+        assert remove_events(["a", "b"], ["b", "a"]) == ()
+
+
+class TestSameEvents:
+    def test_permutation(self):
+        assert same_events(["a", "b", "c"], ["c", "a", "b"])
+
+    def test_multiset_sensitivity(self):
+        assert not same_events(["a", "a"], ["a"])
+        assert not same_events(["a"], ["a", "a"])
+
+    def test_different_events(self):
+        assert not same_events(["a"], ["b"])
+
+
+@given(st.lists(st.integers(0, 5)), st.lists(st.integers(0, 5)))
+def test_remove_then_union_is_permutation(alpha, beta):
+    """(alpha - beta) + (alpha & beta) is a permutation of alpha."""
+    kept = remove_events(alpha, beta)
+    removed_count = len(alpha) - len(kept)
+    assert 0 <= removed_count <= len(beta)
+    # Everything kept came from alpha.
+    pool = list(alpha)
+    for item in kept:
+        assert item in pool
+        pool.remove(item)
+
+
+@given(st.lists(st.integers(0, 3), max_size=8))
+def test_same_events_reflexive(alpha):
+    assert same_events(alpha, list(reversed(alpha)))
+
+
+def test_schedule_of_normalises():
+    assert schedule_of(["a", "b"]) == ("a", "b")

@@ -1,0 +1,118 @@
+"""Unit tests for exhaustive and random exploration."""
+
+import random
+
+import pytest
+
+from repro.ioa.automaton import Automaton
+from repro.ioa.explorer import (
+    explore_exhaustive,
+    random_schedule,
+    random_schedules,
+)
+
+
+class CountDown(Automaton):
+    """Emits tokens 'a'/'b' until a budget runs out: a branching space."""
+
+    state_attrs = ("budget",)
+
+    def __init__(self, budget=2):
+        super().__init__("countdown")
+        self.budget = budget
+
+    def is_input(self, action):
+        return False
+
+    def is_output(self, action):
+        return action in ("a", "b")
+
+    def enabled_outputs(self):
+        if self.budget > 0:
+            yield "a"
+            yield "b"
+
+    def _apply(self, action):
+        self.budget -= 1
+
+
+class TestExhaustive:
+    def test_counts_full_binary_tree(self):
+        result = explore_exhaustive(CountDown(2), max_depth=5)
+        # Schedules: (), a, b, aa, ab, ba, bb -> 7 prefixes.
+        assert len(result.schedules) == 7
+        assert len(result.maximal_schedules) == 4
+        assert not result.truncated
+
+    def test_depth_bound_truncates(self):
+        result = explore_exhaustive(CountDown(10), max_depth=2)
+        assert result.truncated
+        assert all(len(s) == 2 for s in result.maximal_schedules)
+
+    def test_restores_state(self):
+        automaton = CountDown(2)
+        explore_exhaustive(automaton, max_depth=5)
+        assert automaton.budget == 2
+
+    def test_prune_cuts_branches(self):
+        result = explore_exhaustive(
+            CountDown(2),
+            max_depth=5,
+            prune=lambda prefix: prefix[0] == "a",
+        )
+        maximal = set(result.maximal_schedules)
+        assert ("b", "a") in maximal
+        assert ("a", "a") not in maximal
+
+    def test_max_schedules_cap(self):
+        result = explore_exhaustive(
+            CountDown(3), max_depth=10, max_schedules=5
+        )
+        assert result.truncated
+
+    def test_maximal_only_mode(self):
+        result = explore_exhaustive(
+            CountDown(2), max_depth=5, collect_all=False
+        )
+        assert result.schedules == []
+        assert len(result.maximal_schedules) == 4
+
+
+class TestRandom:
+    def test_walk_terminates_when_nothing_enabled(self):
+        walk = random_schedule(CountDown(3), 100, random.Random(1))
+        assert len(walk) == 3
+
+    def test_walk_respects_step_bound(self):
+        walk = random_schedule(CountDown(10), 4, random.Random(1))
+        assert len(walk) == 4
+
+    def test_walk_restores_state(self):
+        automaton = CountDown(3)
+        random_schedule(automaton, 100, random.Random(1))
+        assert automaton.budget == 3
+
+    def test_seeded_walks_reproducible(self):
+        first = list(random_schedules(CountDown(5), 3, 10, seed=7))
+        second = list(random_schedules(CountDown(5), 3, 10, seed=7))
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        # With 2^5 branches per walk, two seeds agreeing fully is unlikely.
+        first = list(random_schedules(CountDown(5), 5, 10, seed=1))
+        second = list(random_schedules(CountDown(5), 5, 10, seed=2))
+        assert first != second
+
+    def test_weighted_walk_prefers_heavy_action(self):
+        walk = random_schedule(
+            CountDown(50),
+            50,
+            random.Random(3),
+            weight=lambda action: 100.0 if action == "a" else 0.0,
+        )
+        assert set(walk) == {"a"}
+
+    def test_walks_are_schedules(self):
+        automaton = CountDown(4)
+        for walk in random_schedules(automaton, 5, 10, seed=11):
+            assert automaton.accepts(walk)

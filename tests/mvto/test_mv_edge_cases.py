@@ -1,0 +1,104 @@
+"""Edge-case tests for the MVTO engine."""
+
+import pytest
+
+from repro.adt import Counter, IntRegister
+from repro.errors import (
+    EngineError,
+    InvalidTransactionState,
+    LockDenied,
+)
+from repro.mvto import MVTOEngine
+
+
+@pytest.fixture
+def engine():
+    return MVTOEngine([Counter("c"), IntRegister("x")])
+
+
+class TestTimestamps:
+    def test_timestamps_monotone(self, engine):
+        one = engine.begin_top()
+        two = engine.begin_top()
+        assert engine._tree_ts[one.name] < engine._tree_ts[two.name]
+
+    def test_restarted_tree_gets_fresh_timestamp(self, engine):
+        first = engine.begin_top()
+        ts_first = engine._tree_ts[first.name]
+        first.abort()
+        second = engine.begin_top()
+        assert engine._tree_ts[second.name] > ts_first
+
+
+class TestVersionChains:
+    def test_sequential_writers_stack_versions(self, engine):
+        for amount in (1, 2, 3):
+            txn = engine.begin_top()
+            txn.perform("c", Counter.increment(amount))
+            txn.commit()
+        mv_object = engine.objects["c"]
+        assert [v.value for v in mv_object.versions] == [0, 1, 3, 6]
+
+    def test_snapshot_read_between_versions(self, engine):
+        early = engine.begin_top()       # ts 1
+        writer = engine.begin_top()      # ts 2
+        writer.perform("c", Counter.increment(5))
+        writer.commit()
+        late = engine.begin_top()        # ts 3
+        assert early.perform("c", Counter.value()) == 0
+        assert late.perform("c", Counter.value()) == 5
+
+    def test_unknown_object_rejected(self, engine):
+        txn = engine.begin_top()
+        with pytest.raises(EngineError):
+            txn.perform("ghost", Counter.value())
+
+
+class TestWaitChains:
+    def test_waits_are_timestamp_ordered(self, engine):
+        """A blocked access is only ever blocked by older timestamps, so
+        wait chains strictly decrease and cannot cycle."""
+        writers = []
+        for _ in range(3):
+            txn = engine.begin_top()
+            try:
+                txn.perform("c", Counter.increment(1))
+                writers.append(txn)
+            except LockDenied as denial:
+                for blocker in denial.blockers:
+                    assert engine._tree_ts[blocker] < (
+                        engine._tree_ts[txn.name]
+                    )
+        # First writer got through; later ones were blocked by it.
+        assert writers
+
+    def test_wait_clears_after_abort(self, engine):
+        writer = engine.begin_top()
+        writer.perform("c", Counter.increment(1))
+        reader = engine.begin_top()
+        with pytest.raises(LockDenied):
+            reader.perform("c", Counter.value())
+        writer.abort()
+        assert reader.perform("c", Counter.value()) == 0
+
+
+class TestHandleHygiene:
+    def test_unknown_transaction_lookup(self, engine):
+        with pytest.raises(EngineError):
+            engine.transaction((99,))
+
+    def test_double_commit_rejected(self, engine):
+        txn = engine.begin_top()
+        txn.commit()
+        with pytest.raises(InvalidTransactionState):
+            txn.commit()
+
+    def test_stats_counters(self, engine):
+        txn = engine.begin_top()
+        txn.perform("c", Counter.increment(1))
+        txn.commit()
+        other = engine.begin_top()
+        other.abort()
+        assert engine.stats["accesses"] == 1
+        assert engine.stats["commits"] == 1
+        assert engine.stats["aborts"] == 1

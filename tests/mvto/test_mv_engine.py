@@ -1,0 +1,119 @@
+"""Unit tests for the MVTO engine facade."""
+
+import pytest
+
+from repro.adt import Counter, IntRegister
+from repro.errors import (
+    InvalidTransactionState,
+    LockDenied,
+    TransactionAborted,
+)
+from repro.mvto import MVTOEngine
+
+
+@pytest.fixture
+def engine():
+    return MVTOEngine([Counter("c"), IntRegister("x")])
+
+
+class TestBasics:
+    def test_read_own_writes(self, engine):
+        txn = engine.begin_top()
+        txn.perform("c", Counter.increment(2))
+        assert txn.perform("c", Counter.value()) == 2
+
+    def test_commit_publishes(self, engine):
+        txn = engine.begin_top()
+        txn.perform("c", Counter.increment(2))
+        txn.commit()
+        assert engine.object_value("c") == 2
+
+    def test_snapshot_reads_ignore_later_commits(self, engine):
+        early = engine.begin_top()
+        late = engine.begin_top()
+        late.perform("c", Counter.increment(5))
+        late.commit()
+        # The early transaction reads at its own (smaller) timestamp.
+        assert early.perform("c", Counter.value()) == 0
+
+    def test_commit_with_live_children_rejected(self, engine):
+        top = engine.begin_top()
+        top.begin_child()
+        with pytest.raises(InvalidTransactionState):
+            top.commit()
+
+
+class TestWaiting:
+    def test_reader_waits_for_earlier_pending_writer(self, engine):
+        writer = engine.begin_top()
+        writer.perform("c", Counter.increment(1))
+        reader = engine.begin_top()
+        with pytest.raises(LockDenied) as info:
+            reader.perform("c", Counter.value())
+        assert info.value.blockers == {(0,)}
+        writer.commit()
+        assert reader.perform("c", Counter.value()) == 1
+
+    def test_no_wait_after_writer_aborts(self, engine):
+        writer = engine.begin_top()
+        writer.perform("c", Counter.increment(1))
+        reader = engine.begin_top()
+        writer.abort()
+        assert reader.perform("c", Counter.value()) == 0
+
+    def test_fresh_blockers_mirrors_wait(self, engine):
+        writer = engine.begin_top()
+        writer.perform("c", Counter.increment(1))
+        reader = engine.begin_top()
+        assert engine.fresh_blockers(
+            reader, "c", Counter.value()
+        ) == {(0,)}
+
+
+class TestTimestampAborts:
+    def test_late_writer_aborted(self, engine):
+        early = engine.begin_top()
+        late = engine.begin_top()
+        late.perform("c", Counter.increment(5))
+        late.commit()
+        # `early` now tries to write under a later committed version.
+        with pytest.raises(TransactionAborted):
+            early.perform("c", Counter.increment(1))
+        assert not early.is_active
+        assert engine.stats["ts_aborts"] == 1
+
+    def test_write_under_later_read_aborted(self, engine):
+        early = engine.begin_top()
+        late = engine.begin_top()
+        assert late.perform("c", Counter.value()) == 0
+        with pytest.raises(TransactionAborted):
+            early.perform("c", Counter.increment(1))
+
+
+class TestNestedRecovery:
+    def test_child_abort_discards_only_child_writes(self, engine):
+        top = engine.begin_top()
+        keeper = top.begin_child()
+        keeper.perform("c", Counter.increment(2))
+        keeper.commit()
+        loser = top.begin_child()
+        loser.perform("c", Counter.increment(100))
+        loser.abort()
+        assert top.perform("c", Counter.value()) == 2
+        top.commit()
+        assert engine.object_value("c") == 2
+
+    def test_orphan_rejected(self, engine):
+        top = engine.begin_top()
+        child = top.begin_child()
+        top.abort()
+        with pytest.raises(InvalidTransactionState):
+            child.perform("c", Counter.value())
+
+    def test_top_abort_discards_everything(self, engine):
+        top = engine.begin_top()
+        child = top.begin_child()
+        child.perform("c", Counter.increment(9))
+        child.commit()
+        top.abort()
+        assert engine.object_value("c") == 0

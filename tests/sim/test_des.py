@@ -1,0 +1,69 @@
+"""Unit tests for the discrete-event simulator."""
+
+from repro.sim.des import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.at(5.0, lambda: log.append("b"))
+        sim.at(1.0, lambda: log.append("a"))
+        sim.run()
+        assert log == ["a", "b"]
+        assert sim.now == 5.0
+
+    def test_ties_fire_in_scheduling_order(self):
+        sim = Simulator()
+        log = []
+        sim.at(1.0, lambda: log.append(1))
+        sim.at(1.0, lambda: log.append(2))
+        sim.run()
+        assert log == [1, 2]
+
+    def test_after_is_relative(self):
+        sim = Simulator()
+        times = []
+        sim.at(3.0, lambda: sim.after(2.0, lambda: times.append(sim.now)))
+        sim.run()
+        assert times == [5.0]
+
+    def test_past_events_clamped_to_now(self):
+        sim = Simulator()
+        sim.at(4.0, lambda: None)
+        sim.run()
+        fired = []
+        sim.at(1.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [4.0]
+
+    def test_callbacks_can_chain(self):
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 5:
+                sim.after(1.0, tick)
+
+        sim.after(1.0, tick)
+        sim.run()
+        assert count[0] == 5
+        assert sim.now == 5.0
+
+    def test_until_bound(self):
+        sim = Simulator()
+        log = []
+        sim.at(1.0, lambda: log.append("early"))
+        sim.at(10.0, lambda: log.append("late"))
+        sim.run(until=5.0)
+        assert log == ["early"]
+        assert sim.pending() == 1
+
+    def test_max_events_bound(self):
+        sim = Simulator()
+        for index in range(10):
+            sim.at(float(index), lambda: None)
+        sim.run(max_events=3)
+        assert sim.events_run == 3
+        assert sim.pending() == 7

@@ -1,0 +1,46 @@
+"""Unit tests for run metrics."""
+
+from repro.sim.metrics import RunMetrics, percentile
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_median(self):
+        assert percentile([1.0, 2.0, 3.0], 0.5) == 2.0
+
+    def test_extremes(self):
+        values = [5.0, 1.0, 3.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 5.0
+
+
+class TestRunMetrics:
+    def test_throughput(self):
+        metrics = RunMetrics(committed=10, makespan=5.0)
+        assert metrics.throughput == 2.0
+
+    def test_throughput_zero_makespan(self):
+        assert RunMetrics(committed=10).throughput == 0.0
+
+    def test_latency_stats(self):
+        metrics = RunMetrics(latencies=[1.0, 3.0, 2.0])
+        assert metrics.mean_latency == 2.0
+        assert metrics.p50_latency == 2.0
+
+    def test_wasted_fraction(self):
+        metrics = RunMetrics(accesses_done=10, accesses_redone=4)
+        assert metrics.wasted_access_fraction == 0.4
+        assert RunMetrics().wasted_access_fraction == 0.0
+
+    def test_row_is_flat(self):
+        row = RunMetrics(policy="moss-rw", committed=1, makespan=2.0).row()
+        assert row["policy"] == "moss-rw"
+        assert set(row) >= {
+            "throughput",
+            "mean_latency",
+            "p95_latency",
+            "deadlock_aborts",
+            "wasted_access_fraction",
+        }

@@ -1,0 +1,79 @@
+"""Tests for open-system (Poisson arrival) simulation mode."""
+
+import pytest
+
+from repro.adt import IntRegister
+from repro.sim import (
+    AccessOp,
+    Block,
+    Program,
+    SimulationConfig,
+    WorkloadConfig,
+    make_store,
+    make_workload,
+    run_simulation,
+)
+
+
+def light_workload(count=20):
+    config = WorkloadConfig(
+        programs=count, objects=8, read_fraction=0.8, depth=1,
+        accesses_per_block=2,
+    )
+    return make_workload(3, config), make_store(config)
+
+
+class TestOpenSystem:
+    def test_all_programs_still_commit(self):
+        programs, store = light_workload()
+        metrics = run_simulation(
+            programs, store,
+            SimulationConfig(mpl=4, policy="moss-rw", seed=1,
+                             arrival_rate=0.5),
+        )
+        assert metrics.committed == 20
+
+    def test_makespan_stretches_with_slow_arrivals(self):
+        programs, store = light_workload()
+        slow = run_simulation(
+            programs, store,
+            SimulationConfig(mpl=4, policy="moss-rw", seed=1,
+                             arrival_rate=0.05),
+        )
+        fast = run_simulation(
+            programs, store,
+            SimulationConfig(mpl=4, policy="moss-rw", seed=1,
+                             arrival_rate=5.0),
+        )
+        assert slow.makespan > fast.makespan
+
+    def test_congestion_raises_response_time(self):
+        """Past saturation, queueing dominates response time."""
+        programs, store = light_workload(count=40)
+        relaxed = run_simulation(
+            programs, store,
+            SimulationConfig(mpl=2, policy="moss-rw", seed=2,
+                             arrival_rate=0.1),
+        )
+        swamped = run_simulation(
+            programs, store,
+            SimulationConfig(mpl=2, policy="moss-rw", seed=2,
+                             arrival_rate=10.0),
+        )
+        assert swamped.mean_latency > relaxed.mean_latency
+
+    def test_closed_mode_unchanged_by_default(self):
+        programs, store = light_workload()
+        config = SimulationConfig(mpl=4, policy="moss-rw", seed=1)
+        assert config.arrival_rate is None
+        metrics = run_simulation(programs, store, config)
+        assert metrics.committed == 20
+
+    def test_deterministic(self):
+        programs, store = light_workload()
+        config = SimulationConfig(
+            mpl=4, policy="moss-rw", seed=7, arrival_rate=0.5
+        )
+        first = run_simulation(programs, store, config)
+        second = run_simulation(programs, store, config)
+        assert first.row() == second.row()

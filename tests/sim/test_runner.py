@@ -1,0 +1,180 @@
+"""Integration tests for the simulation runner."""
+
+import pytest
+
+from repro.adt import IntRegister
+from repro.sim import (
+    AccessOp,
+    Block,
+    Program,
+    SimulationConfig,
+    WorkloadConfig,
+    make_store,
+    make_workload,
+    run_simulation,
+)
+
+POLICIES = (
+    "moss-rw", "exclusive", "flat-2pl", "serial", "mvto", "semantic",
+)
+
+
+def simple_program(objects, read=True, duration=1.0):
+    steps = [
+        AccessOp(
+            name,
+            IntRegister.read() if read else IntRegister.add(1),
+            duration=duration,
+        )
+        for name in objects
+    ]
+    return Program(body=Block(steps=steps, parallel=False))
+
+
+class TestCompletion:
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_all_programs_commit(self, policy):
+        config = WorkloadConfig(programs=12, objects=6, read_fraction=0.6)
+        programs = make_workload(0, config)
+        metrics = run_simulation(
+            programs,
+            make_store(config),
+            SimulationConfig(mpl=4, policy=policy, seed=1),
+        )
+        assert metrics.committed == 12
+        assert metrics.makespan > 0
+        assert len(metrics.latencies) == 12
+
+    def test_store_state_reflects_commits(self):
+        store = [IntRegister("r0")]
+        programs = [simple_program(["r0"], read=False) for _ in range(5)]
+        config = SimulationConfig(mpl=2, policy="moss-rw", seed=0)
+        from repro.sim.runner import _Runner
+
+        runner = _Runner(programs, store, config)
+        runner.start()
+        assert runner.metrics.committed == 5
+        assert runner.engine.object_value("r0") == 5
+
+
+class TestConcurrencyEffects:
+    def test_serial_runs_one_at_a_time(self):
+        programs = [
+            simple_program(["r%d" % i], duration=10.0) for i in range(4)
+        ]
+        store = [IntRegister("r%d" % i) for i in range(4)]
+        serial = run_simulation(
+            programs, store, SimulationConfig(policy="serial", seed=0)
+        )
+        concurrent = run_simulation(
+            programs, store,
+            SimulationConfig(mpl=4, policy="moss-rw", seed=0),
+        )
+        # Disjoint objects: concurrency shortens the makespan ~4x.
+        assert serial.makespan > concurrent.makespan * 2
+
+    def test_readers_share_under_moss_but_not_exclusive(self):
+        programs = [
+            simple_program(["shared"], read=True, duration=10.0)
+            for _ in range(4)
+        ]
+        store = [IntRegister("shared")]
+        moss = run_simulation(
+            programs, store,
+            SimulationConfig(mpl=4, policy="moss-rw", seed=0),
+        )
+        exclusive = run_simulation(
+            programs, store,
+            SimulationConfig(mpl=4, policy="exclusive", seed=0),
+        )
+        assert moss.committed == exclusive.committed == 4
+        assert moss.makespan < exclusive.makespan
+
+
+class TestFailureInjection:
+    def make_failing_programs(self, retries):
+        block = Block(
+            steps=[AccessOp("r0", IntRegister.add(1))],
+            fail_prob=0.5,
+            retries=retries,
+        )
+        return [
+            Program(body=Block(steps=[block], parallel=False))
+            for _ in range(10)
+        ]
+
+    def test_injected_aborts_counted(self):
+        programs = self.make_failing_programs(retries=0)
+        metrics = run_simulation(
+            programs,
+            [IntRegister("r0")],
+            SimulationConfig(mpl=2, policy="moss-rw", seed=3),
+        )
+        assert metrics.committed == 10
+        assert metrics.injected_aborts > 0
+        # Injected subtransaction failures never escalate under Moss
+        # (restarts can still come from wound-wait conflict resolution).
+        assert metrics.program_restarts <= metrics.deadlock_aborts
+
+    def test_retries_counted(self):
+        programs = self.make_failing_programs(retries=3)
+        metrics = run_simulation(
+            programs,
+            [IntRegister("r0")],
+            SimulationConfig(mpl=2, policy="moss-rw", seed=3),
+        )
+        assert metrics.subtree_retries > 0
+
+    def test_flat_policy_escalates_to_restarts(self):
+        programs = self.make_failing_programs(retries=0)
+        metrics = run_simulation(
+            programs,
+            [IntRegister("r0")],
+            SimulationConfig(mpl=2, policy="flat-2pl", seed=3),
+        )
+        assert metrics.committed == 10
+        assert metrics.program_restarts > 0
+
+
+class TestDeadlocks:
+    def test_cross_deadlock_resolved(self):
+        """Two programs locking (a,b) and (b,a) must both finish."""
+        ab = Program(
+            body=Block(
+                steps=[
+                    AccessOp("a", IntRegister.add(1), duration=5.0),
+                    AccessOp("b", IntRegister.add(1), duration=5.0),
+                ],
+                parallel=False,
+            )
+        )
+        ba = Program(
+            body=Block(
+                steps=[
+                    AccessOp("b", IntRegister.add(1), duration=5.0),
+                    AccessOp("a", IntRegister.add(1), duration=5.0),
+                ],
+                parallel=False,
+            )
+        )
+        metrics = run_simulation(
+            [ab, ba],
+            [IntRegister("a"), IntRegister("b")],
+            SimulationConfig(mpl=2, policy="moss-rw", seed=0),
+        )
+        assert metrics.committed == 2
+
+
+class TestDeterminism:
+    def test_same_seed_same_metrics(self):
+        config = WorkloadConfig(programs=10, objects=4, zipf_skew=0.5)
+        programs = make_workload(5, config)
+        first = run_simulation(
+            programs, make_store(config),
+            SimulationConfig(mpl=4, policy="moss-rw", seed=9),
+        )
+        second = run_simulation(
+            programs, make_store(config),
+            SimulationConfig(mpl=4, policy="moss-rw", seed=9),
+        )
+        assert first.row() == second.row()

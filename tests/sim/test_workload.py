@@ -1,0 +1,143 @@
+"""Unit tests for workload generation."""
+
+from repro.sim.workload import (
+    AccessOp,
+    Block,
+    Program,
+    WorkloadConfig,
+    _zipf_weights,
+    make_store,
+    make_workload,
+)
+
+
+class TestZipf:
+    def test_uniform_when_skew_zero(self):
+        assert _zipf_weights(4, 0.0) == [1.0] * 4
+
+    def test_skew_decreasing(self):
+        weights = _zipf_weights(4, 1.0)
+        assert weights == sorted(weights, reverse=True)
+        assert weights[0] == 1.0
+
+
+class TestStructures:
+    def test_access_count_recursive(self):
+        block = Block(
+            steps=[
+                AccessOp("r0", None),
+                Block(steps=[AccessOp("r1", None), AccessOp("r2", None)]),
+            ]
+        )
+        assert block.access_count() == 3
+        assert Program(body=block).access_count() == 3
+
+
+class TestGeneration:
+    def test_reproducible(self):
+        config = WorkloadConfig(programs=5)
+        assert repr(make_workload(3, config)) == repr(make_workload(3, config))
+
+    def test_different_seeds_differ(self):
+        config = WorkloadConfig(programs=5)
+        assert repr(make_workload(1, config)) != repr(make_workload(2, config))
+
+    def test_program_count(self):
+        config = WorkloadConfig(programs=7)
+        assert len(make_workload(0, config)) == 7
+
+    def test_depth_one_is_flat_accesses(self):
+        config = WorkloadConfig(programs=3, depth=1, accesses_per_block=4)
+        for program in make_workload(0, config):
+            assert all(
+                isinstance(step, AccessOp) for step in program.body.steps
+            )
+            assert program.access_count() == 4
+
+    def test_depth_two_has_subblocks(self):
+        config = WorkloadConfig(programs=3, depth=2, fanout=3)
+        for program in make_workload(0, config):
+            assert len(program.body.steps) == 3
+            assert all(
+                isinstance(step, Block) for step in program.body.steps
+            )
+
+    def test_read_fraction_extremes(self):
+        all_reads = WorkloadConfig(programs=5, read_fraction=1.0)
+        for program in make_workload(0, all_reads):
+            for step in _leaves(program.body):
+                assert step.operation.is_read
+        all_writes = WorkloadConfig(programs=5, read_fraction=0.0)
+        for program in make_workload(0, all_writes):
+            for step in _leaves(program.body):
+                assert not step.operation.is_read
+
+    def test_top_level_never_fails(self):
+        config = WorkloadConfig(programs=3, fail_prob=0.5, depth=2)
+        for program in make_workload(0, config):
+            assert program.body.fail_prob == 0.0
+            for step in program.body.steps:
+                if isinstance(step, Block):
+                    assert step.fail_prob == 0.5
+
+    def test_objects_within_store(self):
+        config = WorkloadConfig(programs=10, objects=4)
+        store_names = {spec.name for spec in make_store(config)}
+        for program in make_workload(0, config):
+            for leaf in _leaves(program.body):
+                assert leaf.object_name in store_names
+
+
+def _leaves(block):
+    for step in block.steps:
+        if isinstance(step, AccessOp):
+            yield step
+        else:
+            yield from _leaves(step)
+
+
+class TestMixedStores:
+    def test_mixed_store_rotates_kinds(self):
+        from repro.adt import BankAccount, Counter, IntRegister, SetObject
+
+        config = WorkloadConfig(objects=8, object_kind="mixed")
+        store = make_store(config)
+        kinds = [type(spec) for spec in store]
+        assert kinds[:4] == [IntRegister, Counter, BankAccount, SetObject]
+        assert kinds[4:] == kinds[:4]
+
+    def test_unknown_kind_rejected(self):
+        config = WorkloadConfig(object_kind="blockchain")
+        import pytest
+
+        with pytest.raises(ValueError):
+            make_store(config)
+
+    def test_mixed_operations_match_object_kind(self):
+        config = WorkloadConfig(
+            programs=10, objects=8, object_kind="mixed", depth=1,
+            accesses_per_block=4,
+        )
+        kind_ops = {
+            0: {"read", "write", "add"},
+            1: {"value", "increment"},
+            2: {"balance", "deposit", "withdraw"},
+            3: {"contains", "insert"},
+        }
+        for program in make_workload(0, config):
+            for leaf in _leaves(program.body):
+                index = int(leaf.object_name[1:])
+                assert leaf.operation.kind in kind_ops[index % 4]
+
+    def test_mixed_runs_commit(self):
+        from repro.sim import SimulationConfig, run_simulation
+
+        config = WorkloadConfig(
+            programs=10, objects=8, object_kind="mixed"
+        )
+        programs = make_workload(2, config)
+        metrics = run_simulation(
+            programs, make_store(config),
+            SimulationConfig(mpl=4, policy="moss-rw", seed=1),
+        )
+        assert metrics.committed == 10

@@ -1,0 +1,84 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["validate"])
+        assert args.seed == 0
+        assert args.systems == 3
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_validate(self, capsys):
+        code = main(
+            ["validate", "--systems", "1", "--schedules", "2",
+             "--steps", "120"]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "HOLDS" in output
+
+    def test_explore(self, capsys):
+        code = main(["explore", "--depth", "9", "--cap", "400"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "0 violations" in output
+
+    def test_sweep_single_policy(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--programs", "6",
+                "--objects", "6",
+                "--policies", "moss-rw",
+                "--mpl", "2",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "moss-rw" in output
+        # Five read-fraction rows plus the header.
+        assert len(output.strip().splitlines()) == 6
+
+    def test_conformance(self, capsys):
+        code = main(
+            ["conformance", "--transactions", "2", "--operations", "15"]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "conformance  : OK" in output
+
+    def test_orphan(self, capsys):
+        code = main(["orphan"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "anomaly" in output
+        assert "T0.0.0" in output
+
+    def test_orphan_verbose_prints_schedule(self, capsys):
+        code = main(["orphan", "--verbose"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "ABORT(T0.0)" in output
+
+    def test_dist(self, capsys):
+        code = main(
+            ["dist", "--programs", "6", "--objects", "6"]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        lines = output.strip().splitlines()
+        assert len(lines) == 5  # header + 4 site counts
+        assert lines[1].startswith("1")

@@ -1,0 +1,74 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    CompositionError,
+    DeadlockDetected,
+    EngineError,
+    InvalidTransactionState,
+    LockDenied,
+    ModelError,
+    NotEnabledError,
+    ReproError,
+    SerializationFailure,
+    SystemTypeError,
+    TransactionAborted,
+    WellFormednessError,
+)
+
+
+class TestHierarchy:
+    def test_everything_is_repro_error(self):
+        for exc_type in (
+            ModelError,
+            NotEnabledError,
+            CompositionError,
+            WellFormednessError,
+            SystemTypeError,
+            SerializationFailure,
+            EngineError,
+            TransactionAborted,
+            DeadlockDetected,
+            InvalidTransactionState,
+            LockDenied,
+        ):
+            assert issubclass(exc_type, ReproError)
+
+    def test_model_errors(self):
+        assert issubclass(NotEnabledError, ModelError)
+        assert issubclass(CompositionError, ModelError)
+
+    def test_engine_errors(self):
+        for exc_type in (
+            TransactionAborted,
+            DeadlockDetected,
+            InvalidTransactionState,
+            LockDenied,
+        ):
+            assert issubclass(exc_type, EngineError)
+
+
+class TestPayloads:
+    def test_transaction_aborted_carries_context(self):
+        exc = TransactionAborted((0, 1), reason="victim")
+        assert exc.transaction_id == (0, 1)
+        assert exc.reason == "victim"
+        assert "victim" in str(exc)
+
+    def test_transaction_aborted_without_reason(self):
+        exc = TransactionAborted((0,))
+        assert "aborted" in str(exc)
+
+    def test_deadlock_carries_cycle(self):
+        exc = DeadlockDetected((1,), [(0,), (1,), (0,)])
+        assert exc.victim == (1,)
+        assert exc.cycle == [(0,), (1,), (0,)]
+
+    def test_lock_denied_blockers_frozen(self):
+        exc = LockDenied("nope", blockers=[(0,), (1,)])
+        assert exc.blockers == frozenset({(0,), (1,)})
+        assert isinstance(exc.blockers, frozenset)
+
+    def test_lock_denied_default_blockers_empty(self):
+        assert LockDenied("nope").blockers == frozenset()
