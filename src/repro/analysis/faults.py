@@ -1,0 +1,51 @@
+"""Deliberately broken locking policies for exercising the analyzers.
+
+The analysis passes are only trustworthy if they catch real bugs, so
+this module provides engine policies with seeded violations of Moss'
+rules.  They are used by the test suite and by
+``python -m repro analyze --policy broken-no-inherit`` to demonstrate
+rule-level localisation; they must never be used for real work.
+
+:class:`NoInheritPolicy` breaks exactly one rule: on commit the
+object's locks are *dropped* instead of being passed to the parent
+(the INFORM_COMMIT effect of Section 5.2 is skipped).  Later
+conflicting accesses are then granted without any happens-before
+order, which the schedule linter localises as RW007/RW001 and the
+race detector as RACE001.
+"""
+
+from __future__ import annotations
+
+from repro.core.names import TransactionName, parent
+from repro.engine.lockmanager import ManagedObject
+from repro.engine.policies import MossPolicy
+from repro.errors import EngineError
+
+
+class NoInheritManagedObject(ManagedObject):
+    """A ManagedObject whose commit *drops* locks instead of inheriting."""
+
+    def on_commit(self, name: TransactionName) -> None:
+        mother = parent(name)
+        if mother is None:
+            raise EngineError("cannot commit the root")
+        if name in self.write_holders:
+            self.write_holders.discard(name)
+            self.versions.promote(name)
+        if name in self.read_holders:
+            self.read_holders.discard(name)
+
+
+class NoInheritPolicy(MossPolicy):
+    """Moss' policy with lock inheritance skipped (fault injection).
+
+    ``model_conformant`` stays True on purpose: the policy *claims* to
+    refine M(X) so its traces flow through the conformance pipeline,
+    which then fails and hands the schedule to the analyzers for a
+    rule-level diagnosis.
+    """
+
+    name = "broken-no-inherit"
+
+    def make_managed(self, spec) -> NoInheritManagedObject:
+        return NoInheritManagedObject(spec)

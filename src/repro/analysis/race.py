@@ -1,0 +1,250 @@
+"""Lock-discipline race detection over recorded schedules.
+
+A TSan-style dynamic sanitizer for the engine.  It builds a
+happens-before order from the schedule's CREATE / COMMIT / ABORT /
+INFORM events and flags pairs of conflicting same-object accesses that
+the order does not relate -- exactly the accesses Moss' discipline
+(every conflicting holder is an ancestor; locks flow upward on commit,
+are discarded on abort) would have serialised.  A clean Moss run yields
+no races; a policy that skips lock inheritance leaves the second access
+unordered and is localised to the event pair where the discipline
+diverged.
+
+Happens-before edges:
+
+* **program order** -- events of the same component (the paper's
+  ``transaction(pi)`` assignment) in schedule order;
+* **creation** -- ``REQUEST_CREATE(T) -> CREATE(T)``;
+* **return** -- ``REQUEST_COMMIT(T, v) -> COMMIT(T)`` and
+  ``COMMIT/ABORT(T) -> INFORM_*_AT(X)OF(T)`` (report edges are already
+  program order at the parent);
+* **lock transfer** -- when an access is granted, an edge from the
+  INFORM event that last moved each conflicting lock into the
+  requester's ancestor chain (inheritance) or discarded it (abort).
+
+Two conflicting accesses are racy when neither reaches the other in
+the resulting DAG.  Every edge points forward in the schedule, so
+reachability is a single reverse sweep with integer bitsets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.findings import (
+    AnalysisReport,
+    Finding,
+    register_rule,
+)
+from repro.core.events import (
+    Abort,
+    Commit,
+    Create,
+    Event,
+    InformAbortAt,
+    InformCommitAt,
+    RequestCommit,
+    RequestCreate,
+    transaction_of,
+)
+from repro.core.names import (
+    SystemType,
+    TransactionName,
+    is_ancestor,
+    is_descendant,
+    parent,
+    pretty_name,
+)
+
+RACE001 = register_rule(
+    "RACE001",
+    "unordered conflicting accesses",
+    "Section 5.2 (Moss' discipline), cf. Lemma 21",
+    "Two conflicting accesses to the same object are not ordered by "
+    "the happens-before relation induced by lock inheritance and "
+    "discard; the locking discipline failed to serialise them.",
+)
+
+
+class _LockTrace:
+    """Where one access's lock currently sits, and which event put it there."""
+
+    __slots__ = ("access", "holder", "move_index", "discarded")
+
+    def __init__(self, access: TransactionName, grant_index: int):
+        self.access = access
+        self.holder: Optional[TransactionName] = access
+        self.move_index = grant_index
+        self.discarded = False
+
+
+class RaceDetector:
+    """Happens-before race detection for one system type."""
+
+    def __init__(self, system_type: SystemType):
+        self.system_type = system_type
+
+    def analyze(self, events: Sequence[Event]) -> AnalysisReport:
+        """Detect races in *events*; return the findings report."""
+        report = AnalysisReport(subject="races")
+        n = len(events)
+        successors: List[List[int]] = [[] for _ in range(n)]
+
+        def add_edge(source: int, target: int) -> None:
+            if source != target:
+                successors[source].append(target)
+
+        # -- program order per component, plus creation/return edges.
+        last_of: Dict[TransactionName, int] = {}
+        pending_request_create: Dict[TransactionName, int] = {}
+        pending_request_commit: Dict[TransactionName, int] = {}
+        return_index: Dict[TransactionName, int] = {}
+        # -- shadow lock positions per object, per past access.
+        locks: Dict[str, List[_LockTrace]] = {
+            name: [] for name in self.system_type.object_names()
+        }
+        # -- grant metadata for the pair scan: (index, access, is_read)
+        grants: Dict[str, List[Tuple[int, TransactionName, bool]]] = {
+            name: [] for name in self.system_type.object_names()
+        }
+
+        for index, event in enumerate(events):
+            component = transaction_of(event)
+            if component is not None:
+                prior = last_of.get(component)
+                if prior is not None:
+                    add_edge(prior, index)
+                last_of[component] = index
+
+            if isinstance(event, RequestCreate):
+                pending_request_create[event.transaction] = index
+            elif isinstance(event, RequestCommit):
+                pending_request_commit[event.transaction] = index
+                name = event.transaction
+                if self.system_type.is_access(name):
+                    self._grant(
+                        locks, grants, add_edge, index, name
+                    )
+            elif isinstance(event, (Commit, Abort)):
+                name = event.transaction
+                request = pending_request_commit.get(name)
+                if request is not None:
+                    add_edge(request, index)
+                return_index[name] = index
+            elif isinstance(event, InformCommitAt):
+                name = event.transaction
+                decided = return_index.get(name)
+                if decided is not None:
+                    add_edge(decided, index)
+                for trace in locks.get(event.object_name, ()):
+                    if trace.holder == name:
+                        # Moving the lock presupposes its prior
+                        # position: the chain of moves is itself
+                        # causally ordered.
+                        add_edge(trace.move_index, index)
+                        trace.holder = parent(name)
+                        trace.move_index = index
+            elif isinstance(event, InformAbortAt):
+                name = event.transaction
+                decided = return_index.get(name)
+                if decided is not None:
+                    add_edge(decided, index)
+                for trace in locks.get(event.object_name, ()):
+                    if (
+                        trace.holder is not None
+                        and not trace.discarded
+                        and is_descendant(trace.holder, name)
+                    ):
+                        add_edge(trace.move_index, index)
+                        trace.discarded = True
+                        trace.move_index = index
+            elif isinstance(event, Create):
+                # CREATE(T): tie to the parent's REQUEST_CREATE.
+                request = pending_request_create.get(event.transaction)
+                if request is not None:
+                    add_edge(request, index)
+
+        reach = self._reachability(n, successors)
+        self._scan_pairs(grants, reach, report)
+        return report
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _grant(self, locks, grants, add_edge, index, name) -> None:
+        """Record an access grant; add lock-transfer sync edges."""
+        object_name = self.system_type.object_of(name)
+        operation = self.system_type.operation_of(name)
+        is_read = operation.is_read
+        for trace in locks[object_name]:
+            other_read = self.system_type.operation_of(
+                trace.access
+            ).is_read
+            if is_read and other_read:
+                continue
+            if trace.discarded:
+                # Conflicting lock was discarded by an abort: the
+                # INFORM_ABORT ordered it before this grant.
+                add_edge(trace.move_index, index)
+            elif trace.holder is not None and is_ancestor(
+                trace.holder, name
+            ):
+                # Conflicting lock was inherited into an ancestor:
+                # the last INFORM_COMMIT ordered it before this grant.
+                add_edge(trace.move_index, index)
+            # Otherwise the discipline did not order the pair; leave
+            # it to the reachability scan.
+        locks[object_name].append(_LockTrace(name, index))
+        grants[object_name].append((index, name, is_read))
+
+    @staticmethod
+    def _reachability(n: int, successors: List[List[int]]) -> List[int]:
+        """Per-event reachable-set bitsets (every edge points forward)."""
+        reach = [0] * n
+        for index in range(n - 1, -1, -1):
+            mask = 1 << index
+            for target in successors[index]:
+                mask |= reach[target]
+            reach[index] = mask
+        return reach
+
+    def _scan_pairs(self, grants, reach, report) -> None:
+        for object_name in sorted(grants):
+            entries = grants[object_name]
+            for position, (index_b, name_b, read_b) in enumerate(
+                entries
+            ):
+                for index_a, name_a, read_a in entries[:position]:
+                    if read_a and read_b:
+                        continue
+                    if reach[index_a] & (1 << index_b):
+                        continue
+                    if reach[index_b] & (1 << index_a):
+                        continue
+                    report.findings.append(
+                        Finding(
+                            rule=RACE001,
+                            message=(
+                                "%s and %s access %s (%s/%s) with no "
+                                "happens-before order between them"
+                                % (
+                                    pretty_name(name_a),
+                                    pretty_name(name_b),
+                                    object_name,
+                                    "read" if read_a else "write",
+                                    "read" if read_b else "write",
+                                )
+                            ),
+                            event_index=index_a,
+                            related_index=index_b,
+                            transaction=name_b,
+                            object_name=object_name,
+                        )
+                    )
+
+
+def detect_races(
+    events: Sequence[Event], system_type: SystemType
+) -> AnalysisReport:
+    """Convenience wrapper: run the race detector and return the report."""
+    return RaceDetector(system_type).analyze(events)

@@ -1,0 +1,52 @@
+"""Text and JSON rendering of analysis reports."""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Sequence
+
+from repro.analysis.findings import AnalysisReport, Rule
+
+
+def render_text(
+    reports: Sequence[AnalysisReport], verbose: bool = False
+) -> str:
+    """One line per finding, plus a per-subject summary."""
+    lines = []
+    total = 0
+    for report in reports:
+        for finding in report.findings:
+            total += 1
+            lines.append(str(finding))
+            if verbose:
+                lines.append(
+                    "    rule: %s -- %s"
+                    % (finding.rule, finding.rule.description)
+                )
+    subjects = ", ".join(
+        "%s: %d" % (report.subject, len(report.findings))
+        for report in reports
+    )
+    lines.append(
+        "%d finding%s (%s)"
+        % (total, "" if total == 1 else "s", subjects)
+    )
+    return "\n".join(lines)
+
+
+def render_json(reports: Sequence[AnalysisReport]) -> str:
+    """A stable JSON document over one or more reports."""
+    payload = {
+        "ok": all(report.ok for report in reports),
+        "reports": [report.to_json() for report in reports],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_rule_catalogue(rules: Iterable[Rule]) -> str:
+    """The rule registry as a text table (``--list-rules``)."""
+    lines = []
+    for rule in rules:
+        lines.append("%-8s %s" % (rule.code, rule.title))
+        lines.append("         cites: %s" % rule.section)
+    return "\n".join(lines)

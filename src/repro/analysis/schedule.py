@@ -1,0 +1,450 @@
+"""The schedule linter: coded rules over recorded schedules.
+
+The Theorem 34 harness answers *whether* a schedule is serially correct;
+this linter answers *which rule* a bad schedule violates.  It replays a
+shadow copy of Moss' per-object state -- lockholder sets and version
+maps exactly as M(X) prescribes (Section 5.2) -- alongside the schedule
+and reports coded findings with event indices and transaction names.
+
+Rules (see ``docs/ANALYSIS.md`` for the catalogue):
+
+=======  =========================================================
+RW001    lock held at end of schedule by a returned transaction
+         (never inherited on commit nor discarded on abort)
+RW002    access performed by a descendant of an aborted ancestor
+         (an orphan access -- the engine's orphan guard failed)
+RW003    COMMIT without CREATE / without REQUEST_COMMIT
+RW004    INFORM_COMMIT / INFORM_ABORT inconsistent with the lock
+         table or the transaction's fate (inheritance mismatch)
+RW005    access result diverges from the version-map replay
+         (restore mismatch)
+RW006    non-well-formed prefix (first offending event)
+RW007    lock granted while a conflicting non-ancestor holds it
+RW008    duplicate or conflicting return decision
+=======  =========================================================
+
+The linter accepts any :class:`~repro.core.events.Event` sequence.  A
+:class:`~repro.core.names.SystemType` (for instance rebuilt from a
+:class:`~repro.engine.trace.TraceRecorder`) unlocks the lock-table and
+version-map rules; without one only the structural rules (RW002, RW003,
+RW008) run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Set
+
+from repro.analysis.findings import (
+    AnalysisReport,
+    Finding,
+    Rule,
+    register_rule,
+)
+from repro.core.events import (
+    Abort,
+    Commit,
+    Create,
+    Event,
+    InformAbortAt,
+    InformCommitAt,
+    RequestCommit,
+)
+from repro.core.names import (
+    ROOT,
+    SystemType,
+    TransactionName,
+    is_descendant,
+    parent,
+    pretty_name,
+    proper_ancestors,
+)
+from repro.core.wellformed import SequenceWellFormedness
+from repro.engine.locks import LockMode, blocking_holders
+from repro.engine.versions import VersionMap
+from repro.errors import WellFormednessError
+
+RW001 = register_rule(
+    "RW001",
+    "lock leak",
+    "Section 5.2, Lemma 21",
+    "A returned transaction still holds a lock at the end of the "
+    "schedule: the lock was neither inherited by the parent on commit "
+    "nor discarded on abort.",
+)
+RW002 = register_rule(
+    "RW002",
+    "orphan access",
+    "Section 3.5",
+    "An access was created after an ABORT of one of its proper "
+    "ancestors; its results can be arbitrarily inconsistent (the "
+    "orphan anomaly).",
+)
+RW003 = register_rule(
+    "RW003",
+    "commit without create",
+    "Section 3.3 (generic scheduler preconditions)",
+    "COMMIT(T) was decided for a transaction that was never created "
+    "or never requested to commit.",
+)
+RW004 = register_rule(
+    "RW004",
+    "lock inheritance mismatch",
+    "Section 5.2 (INFORM_COMMIT / INFORM_ABORT effects)",
+    "An INFORM operation is inconsistent with the shadow lock table "
+    "or with the transaction's decided fate.",
+)
+RW005 = register_rule(
+    "RW005",
+    "version-map restore mismatch",
+    "Section 5.2 (version map)",
+    "An access returned a value different from the one a faithful "
+    "Moss version-map replay produces.",
+)
+RW006 = register_rule(
+    "RW006",
+    "non-well-formed prefix",
+    "Sections 3.1, 3.2, 5.1",
+    "The schedule stops being well-formed at this event; no component "
+    "automaton can have produced it.",
+)
+RW007 = register_rule(
+    "RW007",
+    "grant-rule violation",
+    "Section 5.2 (Moss' grant rule)",
+    "A lock was granted while a conflicting lock was held by a "
+    "non-ancestor of the requester.",
+)
+RW008 = register_rule(
+    "RW008",
+    "duplicate return",
+    "Section 3.3 (at most one return decision)",
+    "A second COMMIT/ABORT was decided for an already-returned "
+    "transaction.",
+)
+
+#: Rules the linter can run without a system type.
+STRUCTURAL_RULES = (RW002, RW003, RW008)
+
+#: Every schedule-linter rule.
+SCHEDULE_RULES = (
+    RW001, RW002, RW003, RW004, RW005, RW006, RW007, RW008,
+)
+
+
+class _ShadowObject:
+    """Shadow M(X) state: lockholder sets plus the version map."""
+
+    def __init__(self, system_type: SystemType, object_name: str):
+        self.object_name = object_name
+        self.spec = system_type.object_spec(object_name)
+        self.write_holders: Set[TransactionName] = {ROOT}
+        self.read_holders: Set[TransactionName] = set()
+        self.versions = VersionMap(self.spec.initial_value())
+
+    def holds(self, name: TransactionName) -> bool:
+        return name in self.write_holders or name in self.read_holders
+
+    def grant(
+        self,
+        owner: TransactionName,
+        mode: LockMode,
+        new_value: object = None,
+    ) -> None:
+        if mode is LockMode.WRITE:
+            self.write_holders.add(owner)
+            self.versions.install(owner, new_value)
+        else:
+            self.read_holders.add(owner)
+
+    def inherit(self, name: TransactionName) -> None:
+        mother = parent(name)
+        if name in self.write_holders:
+            self.write_holders.discard(name)
+            self.write_holders.add(mother)
+            self.versions.promote(name)
+        if name in self.read_holders:
+            self.read_holders.discard(name)
+            self.read_holders.add(mother)
+
+    def discard_subtree(self, doomed: TransactionName) -> None:
+        self.write_holders = {
+            holder
+            for holder in self.write_holders
+            if not is_descendant(holder, doomed)
+        }
+        self.read_holders = {
+            holder
+            for holder in self.read_holders
+            if not is_descendant(holder, doomed)
+        }
+        self.versions.discard_subtree(doomed)
+
+
+class ScheduleLinter:
+    """Rule-based single-pass linter over an event sequence."""
+
+    def __init__(self, system_type: Optional[SystemType] = None):
+        self.system_type = system_type
+
+    def rules(self) -> Sequence[Rule]:
+        """The rules this linter instance will run."""
+        if self.system_type is None:
+            return STRUCTURAL_RULES
+        return SCHEDULE_RULES
+
+    def lint(self, events: Sequence[Event]) -> AnalysisReport:
+        """Replay *events* against the shadow model; report findings."""
+        report = AnalysisReport(subject="schedule")
+        system_type = self.system_type
+
+        created: Set[TransactionName] = set()
+        requested_commit: Set[TransactionName] = set()
+        committed: Set[TransactionName] = set()
+        aborted: Set[TransactionName] = set()
+
+        objects: Dict[str, _ShadowObject] = {}
+        wf: Optional[SequenceWellFormedness] = None
+        if system_type is not None:
+            objects = {
+                name: _ShadowObject(system_type, name)
+                for name in system_type.object_names()
+            }
+            wf = SequenceWellFormedness(system_type, locking=True)
+
+        def emit(rule: Rule, index: int, message: str, **kw) -> None:
+            report.findings.append(
+                Finding(rule=rule, message=message, event_index=index, **kw)
+            )
+
+        for index, event in enumerate(events):
+            if wf is not None:
+                try:
+                    wf.extend(event)
+                except WellFormednessError as exc:
+                    emit(RW006, index, str(exc))
+                    # The checker's state is unreliable past the first
+                    # violation; stop feeding it but keep linting.
+                    wf = None
+
+            if isinstance(event, Create):
+                name = event.transaction
+                created.add(name)
+                doomed_ancestor = next(
+                    (
+                        ancestor
+                        for ancestor in proper_ancestors(name)
+                        if ancestor in aborted
+                    ),
+                    None,
+                )
+                if doomed_ancestor is not None:
+                    is_access = (
+                        system_type is not None
+                        and system_type.is_access(name)
+                    )
+                    emit(
+                        RW002,
+                        index,
+                        "%s %s created after ABORT of ancestor %s"
+                        % (
+                            "access" if is_access else "transaction",
+                            pretty_name(name),
+                            pretty_name(doomed_ancestor),
+                        ),
+                        transaction=name,
+                    )
+            elif isinstance(event, RequestCommit):
+                name = event.transaction
+                requested_commit.add(name)
+                if system_type is not None and system_type.is_access(name):
+                    self._replay_access(
+                        objects, index, event, emit
+                    )
+            elif isinstance(event, Commit):
+                name = event.transaction
+                if name in committed or name in aborted:
+                    emit(
+                        RW008,
+                        index,
+                        "second return decision for %s"
+                        % pretty_name(name),
+                        transaction=name,
+                    )
+                if name not in created:
+                    emit(
+                        RW003,
+                        index,
+                        "COMMIT(%s) without CREATE" % pretty_name(name),
+                        transaction=name,
+                    )
+                elif name not in requested_commit:
+                    emit(
+                        RW003,
+                        index,
+                        "COMMIT(%s) without REQUEST_COMMIT"
+                        % pretty_name(name),
+                        transaction=name,
+                    )
+                committed.add(name)
+            elif isinstance(event, Abort):
+                name = event.transaction
+                if name in committed or name in aborted:
+                    emit(
+                        RW008,
+                        index,
+                        "second return decision for %s"
+                        % pretty_name(name),
+                        transaction=name,
+                    )
+                aborted.add(name)
+            elif isinstance(event, InformCommitAt):
+                self._replay_inform_commit(
+                    objects, committed, index, event, emit
+                )
+            elif isinstance(event, InformAbortAt):
+                self._replay_inform_abort(
+                    objects, aborted, index, event, emit
+                )
+
+        self._check_leaks(
+            objects, committed, aborted, len(events), emit
+        )
+        return report
+
+    # ------------------------------------------------------------------
+    # Shadow-model steps
+    # ------------------------------------------------------------------
+    def _replay_access(self, objects, index, event, emit) -> None:
+        """Grant + apply one access leaf at its REQUEST_COMMIT."""
+        system_type = self.system_type
+        name = event.transaction
+        object_name = system_type.object_of(name)
+        shadow = objects.get(object_name)
+        if shadow is None:
+            return
+        operation = system_type.operation_of(name)
+        mode = LockMode.READ if operation.is_read else LockMode.WRITE
+        blockers = blocking_holders(
+            name, mode, shadow.write_holders, shadow.read_holders
+        )
+        if blockers:
+            emit(
+                RW007,
+                index,
+                "%s granted %s on %s while %s hold conflicting locks"
+                % (
+                    pretty_name(name),
+                    mode.value,
+                    object_name,
+                    sorted(pretty_name(b) for b in blockers),
+                ),
+                transaction=name,
+                object_name=object_name,
+            )
+        try:
+            result, new_value = shadow.spec.apply(
+                shadow.versions.current(), operation
+            )
+        except Exception:
+            # A malformed schedule may apply operations to states the
+            # spec never anticipated; the linter must not crash on it.
+            result, new_value = None, shadow.versions.current()
+        if result != event.value:
+            emit(
+                RW005,
+                index,
+                "%s on %s returned %r; the version-map replay yields %r"
+                % (
+                    pretty_name(name),
+                    object_name,
+                    event.value,
+                    result,
+                ),
+                transaction=name,
+                object_name=object_name,
+            )
+        shadow.grant(name, mode, new_value)
+
+    def _replay_inform_commit(
+        self, objects, committed, index, event, emit
+    ) -> None:
+        shadow = objects.get(event.object_name)
+        if shadow is None:
+            return
+        name = event.transaction
+        if name == ROOT:
+            emit(
+                RW004,
+                index,
+                "INFORM_COMMIT for the root at %s" % event.object_name,
+                object_name=event.object_name,
+            )
+            return
+        if name not in committed:
+            emit(
+                RW004,
+                index,
+                "INFORM_COMMIT_AT(%s) for %s before COMMIT was decided"
+                % (event.object_name, pretty_name(name)),
+                transaction=name,
+                object_name=event.object_name,
+            )
+        if not shadow.holds(name):
+            emit(
+                RW004,
+                index,
+                "INFORM_COMMIT_AT(%s) for %s, which holds no lock there"
+                % (event.object_name, pretty_name(name)),
+                transaction=name,
+                object_name=event.object_name,
+            )
+            return
+        shadow.inherit(name)
+
+    def _replay_inform_abort(
+        self, objects, aborted, index, event, emit
+    ) -> None:
+        shadow = objects.get(event.object_name)
+        if shadow is None:
+            return
+        name = event.transaction
+        if name not in aborted:
+            emit(
+                RW004,
+                index,
+                "INFORM_ABORT_AT(%s) for %s before ABORT was decided"
+                % (event.object_name, pretty_name(name)),
+                transaction=name,
+                object_name=event.object_name,
+            )
+        shadow.discard_subtree(name)
+
+    def _check_leaks(
+        self, objects, committed, aborted, length, emit
+    ) -> None:
+        """RW001: locks left with returned transactions at the end."""
+        returned = committed | aborted
+        for object_name in sorted(objects):
+            shadow = objects[object_name]
+            holders = shadow.write_holders | shadow.read_holders
+            for holder in sorted(holders):
+                if holder == ROOT or holder not in returned:
+                    continue
+                fate = "committed" if holder in committed else "aborted"
+                emit(
+                    RW001,
+                    length - 1 if length else 0,
+                    "%s %s but still holds a lock on %s at the end of "
+                    "the schedule (never inherited/discarded)"
+                    % (pretty_name(holder), fate, object_name),
+                    transaction=holder,
+                    object_name=object_name,
+                )
+
+
+def lint_schedule(
+    events: Sequence[Event],
+    system_type: Optional[SystemType] = None,
+) -> AnalysisReport:
+    """Convenience wrapper: lint *events* and return the report."""
+    return ScheduleLinter(system_type).lint(events)

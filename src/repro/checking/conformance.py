@@ -91,6 +91,10 @@ class ConformanceReport:
     rejection: Optional[str]
     correctness: Optional[ScheduleReport]
     trace_length: int
+    #: Rule-level findings from :mod:`repro.analysis` explaining a
+    #: failure (populated only when the replay rejects or Theorem 34 is
+    #: violated; empty tuple when the analyzers found nothing to blame).
+    diagnosis: Optional[Tuple] = None
 
     @property
     def ok(self) -> bool:
@@ -136,9 +140,20 @@ def check_engine_trace(engine: Engine) -> ConformanceReport:
         correctness = check_schedule(
             system_type, alpha, serial_system=serial_system
         )
-    return ConformanceReport(
+
+    report = ConformanceReport(
         refinement_ok=refinement_ok,
         rejection=rejection,
         correctness=correctness,
         trace_length=len(alpha),
     )
+    if not report.ok:
+        # Hand the failing trace to the analyzers so every replay
+        # failure comes with a rule-level diagnosis.
+        from repro.analysis import analyze_trace
+
+        schedule_report, race_report = analyze_trace(alpha, system_type)
+        report.diagnosis = tuple(
+            schedule_report.findings + race_report.findings
+        )
+    return report

@@ -53,7 +53,9 @@ def validate_random_schedules(
     system_seed: int = 0,
     config: Optional[RandomSystemConfig] = None,
     propose_aborts: bool = True,
-    extra_check: Optional[Callable[[SystemType, Sequence[Event]], Optional[str]]] = None,
+    extra_check: Optional[
+        Callable[[SystemType, Sequence[Event]], Optional[str]]
+    ] = None,
 ) -> ValidationStats:
     """Generate random concurrent schedules and check Theorem 34 on each.
 

@@ -1,13 +1,19 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five commands, one per way of exercising the reproduction:
+One command per way of exercising the reproduction:
 
 * ``validate``     -- run the Theorem 34 statistical harness.
 * ``explore``      -- exhaustively check a micro system type.
 * ``sweep``        -- the policy x read-fraction simulation sweep (E9).
 * ``conformance``  -- drive a random engine workload and replay its trace
   against the formal model.
+* ``analyze``      -- drive a random engine workload and run the schedule
+  linter + race detector over its trace (``--policy broken-no-inherit``
+  seeds a deliberate violation).
+* ``lint``         -- AST code lint of the repo's own lock-discipline
+  invariants (``CD001``...).
 * ``orphan``       -- print the orphan-inconsistency witness (E15).
+* ``dist``         -- distributed deployment sweep.
 
 Every command takes ``--seed`` and prints a deterministic report, so CLI
 runs are as reproducible as the test suite.
@@ -142,36 +148,43 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_conformance(args: argparse.Namespace) -> int:
+def _drive_random_workload(
+    seed: int,
+    transactions: int,
+    operations: int,
+    policy="moss-rw",
+):
+    """Drive one random nested workload; return the traced engine."""
     from repro.adt import Counter, IntRegister
-    from repro.checking import check_engine_trace
     from repro.engine import Engine
     from repro.errors import LockDenied
 
-    rng = random.Random(args.seed)
-    engine = Engine([Counter("c"), IntRegister("x")], trace=True)
-    tops = [engine.begin_top() for _ in range(args.transactions)]
-    operations = [
+    rng = random.Random(seed)
+    engine = Engine(
+        [Counter("c"), IntRegister("x")], policy=policy, trace=True
+    )
+    tops = [engine.begin_top() for _ in range(transactions)]
+    menu = [
         ("c", Counter.increment(1)),
         ("c", Counter.value()),
         ("x", IntRegister.add(2)),
         ("x", IntRegister.read()),
     ]
     live = {top.name: top for top in tops}
-    for _ in range(args.operations):
+    for _ in range(operations):
         if not live:
             break
         txn = rng.choice(list(live.values()))
         roll = rng.random()
         if roll < 0.6:
             try:
-                txn.perform(*rng.choice(operations))
+                txn.perform(*rng.choice(menu))
             except LockDenied:
                 pass
         elif roll < 0.8:
             child = txn.begin_child()
             try:
-                child.perform(*rng.choice(operations))
+                child.perform(*rng.choice(menu))
             except LockDenied:
                 pass
             if rng.random() < 0.5:
@@ -188,6 +201,15 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
         for child in txn.live_children():
             child.abort()
         txn.commit()
+    return engine
+
+
+def _cmd_conformance(args: argparse.Namespace) -> int:
+    from repro.checking import check_engine_trace
+
+    engine = _drive_random_workload(
+        args.seed, args.transactions, args.operations
+    )
     report = check_engine_trace(engine)
     print("trace length : %d events" % report.trace_length)
     print("refinement   : %s" % report.refinement_ok)
@@ -196,6 +218,74 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
     if report.correctness is not None:
         print("theorem 34   : %s" % bool(report.correctness))
     print("conformance  : %s" % ("OK" if report.ok else "FAILED"))
+    if report.diagnosis:
+        print("diagnosis    : %d finding(s)" % len(report.diagnosis))
+        for finding in report.diagnosis:
+            print("  %s" % finding)
+    return 0 if report.ok else 1
+
+
+def _resolve_analysis_policy(name: str):
+    if name == "broken-no-inherit":
+        from repro.analysis.faults import NoInheritPolicy
+
+        return NoInheritPolicy()
+    return name
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import analyze_engine, render_json, render_text
+
+    engine = _drive_random_workload(
+        args.seed,
+        args.transactions,
+        args.operations,
+        policy=_resolve_analysis_policy(args.policy),
+    )
+    schedule_report, race_report = analyze_engine(engine)
+    reports = [schedule_report, race_report]
+    if args.json:
+        print(render_json(reports))
+    else:
+        print(
+            "policy %s, seed %d: %d events"
+            % (
+                engine.policy.name,
+                args.seed,
+                len(engine.recorder.schedule()),
+            )
+        )
+        print(render_text(reports, verbose=args.verbose))
+    clean = schedule_report.ok and race_report.ok
+    return 0 if clean else 1
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.analysis import (
+        all_rules,
+        lint_paths,
+        render_json,
+        render_rule_catalogue,
+        render_text,
+    )
+
+    if args.list_rules:
+        print(render_rule_catalogue(all_rules()))
+        return 0
+    paths = args.paths
+    if not paths:
+        paths = [os.path.dirname(os.path.abspath(__file__))]
+    try:
+        report = lint_paths(paths)
+    except FileNotFoundError as exc:
+        print("repro lint: %s" % exc, file=sys.stderr)
+        return 2
+    if args.json:
+        print(render_json([report]))
+    else:
+        print(render_text([report], verbose=args.verbose))
     return 0 if report.ok else 1
 
 
@@ -308,6 +398,40 @@ def build_parser() -> argparse.ArgumentParser:
     conformance.add_argument("--transactions", type=int, default=4)
     conformance.add_argument("--operations", type=int, default=60)
     conformance.set_defaults(handler=_cmd_conformance)
+
+    analyze = commands.add_parser(
+        "analyze",
+        help="schedule lint + race detection over a random engine trace",
+    )
+    analyze.add_argument("--seed", type=int, default=0)
+    analyze.add_argument("--transactions", type=int, default=4)
+    analyze.add_argument("--operations", type=int, default=60)
+    analyze.add_argument(
+        "--policy",
+        default="moss-rw",
+        choices=["moss-rw", "exclusive", "broken-no-inherit"],
+        help="locking policy (broken-no-inherit seeds a violation)",
+    )
+    analyze.add_argument("--json", action="store_true")
+    analyze.add_argument("--verbose", action="store_true")
+    analyze.set_defaults(handler=_cmd_analyze)
+
+    lint = commands.add_parser(
+        "lint", help="AST lint of the repo's lock-discipline invariants"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories (default: the repro package)",
+    )
+    lint.add_argument("--json", action="store_true")
+    lint.add_argument("--verbose", action="store_true")
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    lint.set_defaults(handler=_cmd_lint)
 
     orphan = commands.add_parser(
         "orphan", help="print the orphan-inconsistency witness"

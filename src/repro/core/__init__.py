@@ -12,7 +12,8 @@ This package models nested-transaction systems exactly as the paper does:
 * :mod:`~repro.core.generic_scheduler` -- the generic scheduler (Section 5.2).
 * :mod:`~repro.core.rw_object` -- Moss' R/W Locking objects M(X) (Section 5.1).
 * :mod:`~repro.core.systems` -- serial and R/W Locking system compositions.
-* :mod:`~repro.core.visibility` -- visibility, orphans, essence (Sections 3.4, 5.1).
+* :mod:`~repro.core.visibility` -- visibility, orphans, essence
+  (Sections 3.4, 5.1).
 * :mod:`~repro.core.equieffective` -- equieffectiveness, transparency,
   write-equality and write-equivalence (Sections 4, 6.1).
 * :mod:`~repro.core.serializer` -- the constructive rearrangement of

@@ -42,7 +42,7 @@ from repro.core.wellformed import (
     BasicObjectWellFormedness,
     basic_object_signature_events,
 )
-from repro.errors import NotEnabledError, WellFormednessError
+from repro.errors import NotEnabledError
 from repro.ioa.execution import same_events
 
 

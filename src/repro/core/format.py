@@ -12,12 +12,8 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.events import (
-    Abort,
-    Commit,
     Create,
     Event,
-    InformAbortAt,
-    InformCommitAt,
     RequestCommit,
     transaction_of,
 )

@@ -174,7 +174,10 @@ class SystemType:
             if name == ROOT:
                 continue
             mother = parent(name)
-            if mother not in self._children or name not in self._children[mother]:
+            if (
+                mother not in self._children
+                or name not in self._children[mother]
+            ):
                 raise SystemTypeError(
                     "%s is not reachable from the root" % pretty_name(name)
                 )
@@ -284,7 +287,7 @@ class SystemTypeBuilder:
         return self
 
     def add_child(self, parent_name: TransactionName) -> TransactionName:
-        """Add a fresh internal child under *parent_name* and return its name."""
+        """Add a fresh internal child under *parent_name*; return its name."""
         name = self._new_child(parent_name)
         self._children[name] = []
         return name
@@ -305,7 +308,8 @@ class SystemTypeBuilder:
     def _new_child(self, parent_name: TransactionName) -> TransactionName:
         if parent_name in self._accesses:
             raise SystemTypeError(
-                "cannot add children under access %s" % pretty_name(parent_name)
+                "cannot add children under access %s"
+                % pretty_name(parent_name)
             )
         if parent_name not in self._children:
             raise SystemTypeError(

@@ -34,10 +34,7 @@ from __future__ import annotations
 from typing import Iterator, Optional
 
 from repro.core.events import (
-    Abort,
     Create,
-    Event,
-    InformAbortAt,
     ReportAbort,
     ReportCommit,
 )

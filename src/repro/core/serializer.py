@@ -55,7 +55,7 @@ from repro.core.names import (
     parent,
     pretty_name,
 )
-from repro.core.visibility import is_orphan, visible, visible_to
+from repro.core.visibility import is_orphan, visible_to
 from repro.errors import SerializationFailure
 from repro.ioa.execution import remove_events
 

@@ -21,7 +21,6 @@ from typing import Any, Iterable, Iterator, Sequence, Tuple
 
 from repro.core.events import (
     Create,
-    Event,
     ReportAbort,
     ReportCommit,
     RequestCommit,

@@ -39,7 +39,6 @@ from repro.core.names import (
     TransactionName,
     ancestors,
     chain_between,
-    is_ancestor,
     lca,
 )
 

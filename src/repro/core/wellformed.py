@@ -25,7 +25,6 @@ from repro.core.events import (
     ReportCommit,
     RequestCommit,
     RequestCreate,
-    is_serial_operation,
 )
 from repro.core.names import ROOT, TransactionName, parent, pretty_name
 from repro.core.names import SystemType
@@ -194,7 +193,7 @@ class BasicObjectWellFormedness:
         self._fail("event %s not in signature" % event)
 
     def pending(self) -> Set[TransactionName]:
-        """Accesses created but not yet responded to (the paper's *pending*)."""
+        """Accesses created but not yet responded (the paper's *pending*)."""
         return self.created - self.responded
 
 

@@ -163,6 +163,14 @@ class Engine:
         """Clear *txn*'s waits-for edges (it was granted or gave up)."""
         self.waits.remove_waiter(txn.name)
 
+    def count_deadlock(self) -> None:
+        """Record one externally resolved deadlock in the stats.
+
+        Drivers that detect deadlocks themselves (wound-wait, drain
+        watchdogs) report them here instead of mutating ``stats``.
+        """
+        self.stats["deadlocks"] += 1
+
     # ------------------------------------------------------------------
     # Internal transitions (called through Transaction handles)
     # ------------------------------------------------------------------
@@ -243,21 +251,8 @@ class Engine:
             self.recorder.record(InformCommitAt(object_name, access))
         elif owner != access:
             # Flat policy: the leaf never held the lock; re-home it.
-            self._rehome_lock(managed, access, owner, mode)
+            managed.rehome(access, owner, mode)
         return result
-
-    @staticmethod
-    def _rehome_lock(managed, access, owner, mode) -> None:
-        if mode is LockMode.WRITE:
-            managed.write_holders.discard(access)
-            managed.write_holders.add(owner)
-            if managed.versions.has(access):
-                value = managed.versions.get(access)
-                managed.versions.discard_subtree(access)
-                managed.versions.install(owner, value)
-        else:
-            managed.read_holders.discard(access)
-            managed.read_holders.add(owner)
 
     def _commit(self, txn: Transaction, value: Any) -> None:
         self._check_not_orphan(txn)

@@ -120,6 +120,29 @@ class ManagedObject:
         }
         self.versions.discard_subtree(name)
 
+    def rehome(
+        self,
+        access: TransactionName,
+        owner: TransactionName,
+        mode: LockMode,
+    ) -> None:
+        """Move *access*'s fresh lock (and version) directly to *owner*.
+
+        Flat policies grant to an ancestor rather than the access
+        itself; the transition keeps all lock-table mutation inside
+        the managed object.
+        """
+        if mode is LockMode.WRITE:
+            self.write_holders.discard(access)
+            self.write_holders.add(owner)
+            if self.versions.has(access):
+                value = self.versions.get(access)
+                self.versions.discard_subtree(access)
+                self.versions.install(owner, value)
+        else:
+            self.read_holders.discard(access)
+            self.read_holders.add(owner)
+
     def is_locked_by_subtree(self, name: TransactionName) -> bool:
         """True if some lock is held by *name* or a descendant."""
         return any(

@@ -23,11 +23,7 @@ from repro.core.object_spec import ObjectSpec, Operation
 from repro.engine.engine import Engine
 from repro.engine.policies import LockingPolicy
 from repro.engine.transaction import Transaction
-from repro.errors import (
-    EngineError,
-    LockDenied,
-    TransactionAborted,
-)
+from repro.errors import LockDenied
 
 
 class ThreadSafeTransaction:
@@ -39,7 +35,8 @@ class ThreadSafeTransaction:
 
     @property
     def name(self):
-        return self._inner.name
+        # Immutable after construction, safe to read without the lock.
+        return self._inner.name  # repro-lint: ignore[CD002]
 
     @property
     def is_active(self) -> bool:
@@ -121,7 +118,10 @@ class ThreadSafeEngine:
     # Blocking access with wound-wait
     # ------------------------------------------------------------------
     def _age(self, top):
-        return self._engine.started_at.get(top, float("inf"))
+        # Callers hold the mutex (only _perform_blocking calls this).
+        return self._engine.started_at.get(  # repro-lint: ignore[CD002]
+            top, float("inf")
+        )
 
     def _perform_blocking(
         self,

@@ -69,6 +69,17 @@ class TraceRecorder:
         """Rebuild the concrete system type this run inhabited."""
         return SystemType(self._children, self._accesses, specs)
 
+    def analyze(self, specs: Dict[str, ObjectSpec]):
+        """Run the schedule linter and race detector on this trace.
+
+        Returns ``(schedule_report, race_report)``; see
+        :mod:`repro.analysis`.  Imported lazily so plain engine runs do
+        not pay for the analysis machinery.
+        """
+        from repro.analysis import analyze_trace
+
+        return analyze_trace(self.schedule(), self.system_type(specs))
+
 
 class NullRecorder:
     """A recorder that drops everything (tracing disabled)."""

@@ -93,7 +93,7 @@ def remove_events(
 
 
 def same_events(alpha: Sequence[Action], beta: Sequence[Action]) -> bool:
-    """Return True if *alpha* and *beta* contain the same events (as multisets)."""
+    """True if *alpha* and *beta* hold the same events (as multisets)."""
     if len(alpha) != len(beta):
         return False
     pool: List[Action] = list(beta)

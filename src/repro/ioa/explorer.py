@@ -132,7 +132,10 @@ def random_schedule(
             if weight is None:
                 action = rng.choice(enabled)
             else:
-                weights = [max(weight(candidate), 0.0) for candidate in enabled]
+                weights = [
+                    max(weight(candidate), 0.0)
+                    for candidate in enabled
+                ]
                 total = sum(weights)
                 if total <= 0.0:
                     action = rng.choice(enabled)

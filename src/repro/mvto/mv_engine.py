@@ -94,6 +94,10 @@ class MVTOEngine:
         parent.children.append(txn)
         return txn
 
+    def count_deadlock(self) -> None:
+        """Record one externally resolved deadlock in the stats."""
+        self.stats["deadlocks"] += 1
+
     def transaction(self, name: TransactionName) -> Transaction:
         try:
             return self.transactions[name]

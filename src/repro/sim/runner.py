@@ -166,7 +166,7 @@ class _Runner:
                 top_level(entry.txn.name) for entry in survivors
             }
             victim = max(pool, key=self._age_key)
-            self.engine.stats["deadlocks"] += 1
+            self.engine.count_deadlock()
             if victim in self_stuck:
                 victim_run = self.by_top.get(victim)
                 if victim_run is not None:
@@ -400,7 +400,7 @@ class _Runner:
                 return
             victim = self._detect_deadlock(entry)
             if victim is not None:
-                self.engine.stats["deadlocks"] += 1
+                self.engine.count_deadlock()
                 self._abort_victim(victim)
                 self._wake_blocked()
             return
@@ -474,7 +474,7 @@ class _Runner:
         self.blocked.remove(entry)
         run = entry.run
         if run.txn is not None and run.txn.is_active:
-            self.engine.stats["deadlocks"] += 1
+            self.engine.count_deadlock()
             if self._intra_tree_blockers(entry):
                 run.self_deadlocks += 1
             run.txn.abort()
@@ -541,7 +541,7 @@ class _Runner:
 
         run = entry.run
         if dfs(id(entry)) and run.txn is not None and run.txn.is_active:
-            self.engine.stats["deadlocks"] += 1
+            self.engine.count_deadlock()
             run.self_deadlocks += 1
             run.txn.abort()
             self._restart_program(run)
@@ -583,7 +583,7 @@ class _Runner:
                     and victim_run.txn is not None
                     and victim_run.txn.is_active
                 ):
-                    self.engine.stats["deadlocks"] += 1
+                    self.engine.count_deadlock()
                     self._abort_victim(target)
                     wounded = True
         if wounded:

@@ -1,0 +1,21 @@
+"""Deliberately bad module: violates the repo's lock-discipline
+invariants.  Used as a fixture by the code-lint tests and the CLI
+tests; it is never imported.
+"""
+
+
+class Meddler:
+    """Reaches into managed-object and engine state it does not own."""
+
+    def steal_lock(self, managed, txn):
+        managed.write_holders.add(txn.name)
+        managed.versions.install(txn.name, 0)
+
+    def drop_reader(self, managed, txn):
+        managed.read_holders.discard(txn.name)
+
+    def force_outcome(self, txn):
+        txn.status = "COMMITTED"
+
+    def cook_stats(self, engine):
+        engine.stats["deadlocks"] += 1

@@ -1,0 +1,64 @@
+"""Tests for the AST code lint (rules CD000...CD004)."""
+
+from pathlib import Path
+
+from repro.analysis import lint_paths, lint_source
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+PACKAGE = REPO_ROOT / "src" / "repro"
+FIXTURE = Path(__file__).parent / "fixtures" / "bad_lock_discipline.py"
+
+
+class TestRepoInvariants:
+    def test_the_repo_itself_is_clean(self):
+        report = lint_paths([str(PACKAGE)])
+        assert report.ok, [str(f) for f in report.findings]
+
+    def test_fixture_module_is_flagged(self):
+        report = lint_paths([str(FIXTURE)])
+        codes = set(report.codes())
+        assert "CD001" in codes
+        assert "CD003" in codes
+        assert "CD004" in codes
+        # Findings point at real lines of the fixture.
+        assert all(
+            finding.path and finding.line for finding in report.findings
+        )
+
+
+class TestLintSource:
+    def test_lock_mutation_flagged(self):
+        source = (
+            "def sneak(managed, name):\n"
+            "    managed.write_holders.add(name)\n"
+        )
+        findings = lint_source("sneak.py", source)
+        assert [f.rule.code for f in findings] == ["CD001"]
+        assert findings[0].line == 2
+
+    def test_suppression_comment_honoured(self):
+        source = (
+            "def sneak(managed, name):\n"
+            "    managed.write_holders.add(name)"
+            "  # repro-lint: ignore[CD001]\n"
+        )
+        assert lint_source("sneak.py", source) == []
+
+    def test_bare_suppression_covers_all_codes(self):
+        source = (
+            "def sneak(txn):\n"
+            "    txn.status = 'COMMITTED'  # repro-lint: ignore\n"
+        )
+        assert lint_source("sneak.py", source) == []
+
+    def test_unparseable_module_is_cd000(self):
+        findings = lint_source("broken.py", "def oops(:\n")
+        assert [f.rule.code for f in findings] == ["CD000"]
+
+    def test_self_mutation_is_allowed(self):
+        source = (
+            "class ManagedObject:\n"
+            "    def grant(self, name):\n"
+            "        self.write_holders.add(name)\n"
+        )
+        assert lint_source("managed.py", source) == []

@@ -56,6 +56,48 @@ class TestCycleDetection:
         assert graph.find_cycle() is not None
 
 
+class TestCollapsedGraphEdgeCases:
+    def test_deep_same_tree_wait_collapses_away(self):
+        graph = WaitsForGraph()
+        # A deep descendant waiting on a cousin in its own tree maps
+        # both endpoints to (0,) when collapsed; the would-be self-loop
+        # is dropped so no spurious deadlock is reported.
+        assert graph.add_wait((0, 1, 2), [(0, 3)]) is None
+        assert graph.add_wait((0, 3), [(0, 1)]) is None
+        assert graph.find_cycle() is None
+
+    def test_nested_waiters_collapse_into_cross_tree_cycle(self):
+        graph = WaitsForGraph()
+        # Edges recorded between deep descendants still form a cycle on
+        # the collapsed graph: (0,) -> (1,) -> (0,).
+        assert graph.add_wait((0, 1, 2), [(1, 0)]) is None
+        cycle = graph.add_wait((1, 4), [(0, 2, 2)])
+        assert cycle is not None
+        assert set(cycle) == {(0,), (1,)}
+
+    def test_mixed_waits_only_cross_tree_edges_count(self):
+        graph = WaitsForGraph()
+        # A parent waiting on its own child AND a foreign tree: only
+        # the cross-tree edge survives collapsing.
+        assert graph.add_wait((0,), [(0, 1), (1, 0)]) is None
+        cycle = graph.add_wait((1, 0, 0), [(0, 7)])
+        assert cycle is not None
+        assert set(cycle) == {(0,), (1,)}
+
+    def test_cycle_broken_by_victim_abort(self):
+        graph = WaitsForGraph()
+        graph.add_wait((0, 1), [(1,)])
+        cycle = graph.add_wait((1, 0), [(0, 1)])
+        assert cycle is not None
+        victim = choose_victim(cycle, {(0,): 1.0, (1,): 2.0})
+        assert victim == (1,)
+        # Aborting the victim's subtree clears its outgoing edges;
+        # the survivor can keep waiting without re-deadlocking.
+        graph.remove_subtree(victim)
+        assert graph.find_cycle() is None
+        assert graph.add_wait((0, 1), [(2,)]) is None
+
+
 class TestVictimSelection:
     def test_youngest_loses(self):
         cycle = [(0,), (1,), (0,)]

@@ -1,8 +1,18 @@
 """Tests for the command-line interface."""
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.cli import build_parser, main
+
+FIXTURE = str(
+    Path(__file__).parent
+    / "analysis"
+    / "fixtures"
+    / "bad_lock_discipline.py"
+)
 
 
 class TestParser:
@@ -59,6 +69,70 @@ class TestCommands:
         output = capsys.readouterr().out
         assert code == 0
         assert "conformance  : OK" in output
+
+    def test_lint_repo_is_clean(self, capsys):
+        code = main(["lint"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "0 findings" in output
+
+    def test_lint_flags_fixture(self, capsys):
+        code = main(["lint", FIXTURE])
+        output = capsys.readouterr().out
+        assert code == 1
+        assert "CD001" in output
+
+    def test_lint_missing_path_is_an_error(self, capsys):
+        code = main(["lint", "/no/such/path.py"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "no such file" in captured.err
+
+    def test_lint_list_rules(self, capsys):
+        code = main(["lint", "--list-rules"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "RW007" in output
+        assert "RACE001" in output
+        assert "Section 5.2" in output
+
+    def test_analyze_clean(self, capsys):
+        code = main(
+            ["analyze", "--transactions", "2", "--operations", "15"]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "0 findings" in output
+
+    def test_analyze_broken_policy(self, capsys):
+        code = main(
+            ["analyze", "--policy", "broken-no-inherit", "--seed", "1"]
+        )
+        output = capsys.readouterr().out
+        assert code == 1
+        assert "RW007" in output
+
+    def test_analyze_json(self, capsys):
+        code = main(
+            [
+                "analyze",
+                "--json",
+                "--policy",
+                "broken-no-inherit",
+                "--seed",
+                "1",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert code == 1
+        payload = json.loads(output)
+        assert payload["ok"] is False
+        codes = {
+            finding["code"]
+            for report in payload["reports"]
+            for finding in report["findings"]
+        }
+        assert "RW007" in codes
 
     def test_orphan(self, capsys):
         code = main(["orphan"])
