@@ -12,6 +12,9 @@ One command per way of exercising the reproduction:
   seeds a deliberate violation).
 * ``lint``         -- AST code lint of the repo's own lock-discipline
   invariants (``CD001``...).
+* ``fuzz``         -- deterministic concurrency fuzzing: explore thread
+  interleavings of the blocking engine under seeded fault injection,
+  shrink failures to minimal replayable reproducers.
 * ``orphan``       -- print the orphan-inconsistency witness (E15).
 * ``dist``         -- distributed deployment sweep.
 
@@ -289,6 +292,106 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _parse_choices(text: Optional[str]):
+    if text is None:
+        return None
+    text = text.strip()
+    if not text:
+        return []
+    return [int(part) for part in text.split(",")]
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzz import (
+        FuzzConfig,
+        emit_regression_test,
+        explore_bounded,
+        fuzz_search,
+        run_case,
+        shrink_choices,
+    )
+
+    config = FuzzConfig(
+        seed=args.seed,
+        workers=args.workers,
+        transactions_per_worker=args.transactions,
+        steps_per_transaction=args.steps,
+        faults=args.faults,
+    )
+    choices = _parse_choices(args.choices)
+    if choices is not None:
+        # Exact replay of one case.
+        result = run_case(config, choices=choices)
+        print(
+            "replay seed %d, %d choices: %s"
+            % (config.seed, len(choices), result.kind)
+        )
+        print("digest  : %s" % result.digest)
+        print("trace   : %d events, %d decisions"
+              % (result.trace_length, result.decision_count))
+        for line in result.finding_lines:
+            print("  %s" % line)
+        return 1 if result.failed else 0
+
+    if args.mode == "bounded":
+        search = explore_bounded(
+            config,
+            max_preemptions=args.preemptions,
+            budget=args.runs,
+        )
+    else:
+        search = fuzz_search(config, runs=args.runs)
+    print(
+        "fuzz: %d run(s), faults=%s, mode=%s"
+        % (search.attempts, args.faults, args.mode)
+    )
+    failure = search.failure
+    if failure is None:
+        print("no violation found (all runs conformant)")
+        return 0
+
+    print(
+        "VIOLATION (%s) at seed %d after %d run(s): rules %s"
+        % (
+            failure.kind,
+            failure.config.seed,
+            search.attempts,
+            ", ".join(failure.rule_codes) or "-",
+        )
+    )
+    for line in failure.finding_lines:
+        print("  %s" % line)
+    reproducer = failure
+    if args.shrink:
+        shrunk = shrink_choices(failure.config, failure)
+        reproducer = shrunk.minimized
+        print(
+            "shrink: %d -> %d choices in %d evaluation(s)"
+            % (
+                len(failure.choices),
+                len(reproducer.choices),
+                shrunk.evaluations,
+            )
+        )
+    choice_text = ",".join(str(c) for c in reproducer.choices)
+    print("digest : %s" % reproducer.digest)
+    print(
+        "replay : python -m repro fuzz --seed %d --faults %s "
+        "--workers %d --transactions %d --steps %d --choices '%s'"
+        % (
+            reproducer.config.seed,
+            args.faults,
+            config.workers,
+            config.transactions_per_worker,
+            config.steps_per_transaction,
+            choice_text,
+        )
+    )
+    print("--- regression test ---")
+    print(emit_regression_test(reproducer))
+    return 1
+
+
 def _cmd_dist(args: argparse.Namespace) -> int:
     from repro.dist import DistributedConfig, run_distributed_simulation
     from repro.dist import uniform_topology
@@ -432,6 +535,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the rule catalogue and exit",
     )
     lint.set_defaults(handler=_cmd_lint)
+
+    fuzz = commands.add_parser(
+        "fuzz",
+        help=(
+            "deterministic concurrency fuzzing with fault injection "
+            "and failing-schedule shrinking"
+        ),
+    )
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument(
+        "--runs", type=int, default=20,
+        help="schedule budget (search attempts)",
+    )
+    fuzz.add_argument("--workers", type=int, default=3)
+    fuzz.add_argument(
+        "--transactions", type=int, default=2,
+        help="top-level transactions per worker",
+    )
+    fuzz.add_argument(
+        "--steps", type=int, default=4,
+        help="accesses per transaction",
+    )
+    fuzz.add_argument(
+        "--faults",
+        default="none",
+        choices=[
+            "none", "crash", "deny-spike", "orphan",
+            "broken-no-inherit", "chaos",
+        ],
+        help="fault-injection preset",
+    )
+    fuzz.add_argument(
+        "--mode",
+        default="random",
+        choices=["random", "bounded"],
+        help="random search or bounded-preemption exploration",
+    )
+    fuzz.add_argument(
+        "--preemptions", type=int, default=1,
+        help="preemption bound for --mode bounded",
+    )
+    fuzz.add_argument(
+        "--shrink", action="store_true",
+        help="delta-debug a failure to a minimal choice list",
+    )
+    fuzz.add_argument(
+        "--choices",
+        help=(
+            "comma-separated choice list: replay this exact "
+            "interleaving instead of searching"
+        ),
+    )
+    fuzz.set_defaults(handler=_cmd_fuzz)
 
     orphan = commands.add_parser(
         "orphan", help="print the orphan-inconsistency witness"

@@ -25,12 +25,14 @@ from repro.dist.topology import Topology, uniform_topology
 from repro.dist.runner import (
     DistributedConfig,
     DistributedMetrics,
+    MessageFaults,
     run_distributed_simulation,
 )
 
 __all__ = [
     "DistributedConfig",
     "DistributedMetrics",
+    "MessageFaults",
     "Topology",
     "run_distributed_simulation",
     "uniform_topology",

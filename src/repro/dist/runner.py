@@ -18,14 +18,47 @@ distributed machinery is orthogonal to data-management correctness).
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Set
+from typing import Dict, Optional, Sequence, Set, Tuple
 
 from repro.core.object_spec import ObjectSpec
 from repro.dist.topology import Topology
 from repro.sim.metrics import RunMetrics
 from repro.sim.runner import SimulationConfig, _ProgramRun, _Runner
 from repro.sim.workload import AccessOp, Program
+
+
+@dataclass(frozen=True)
+class MessageFaults:
+    """Seeded network fault injection for the distributed runner.
+
+    Every inter-site message is independently dropped with
+    *drop_rate*; a dropped message is retransmitted after
+    *retry_timeout* simulated time units (costing one extra message and
+    the timeout in latency -- re-drops retransmit again).  *delay_jitter*
+    adds a uniform ``[0, delay_jitter]`` per-message delay.  All draws
+    come from one RNG seeded with *seed*, so a faulty run is exactly as
+    reproducible as a clean one.  Used standalone and by the
+    concurrency fuzzer's fault plans (:mod:`repro.fuzz.faults`).
+    """
+
+    drop_rate: float = 0.0
+    delay_jitter: float = 0.0
+    retry_timeout: float = 4.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        # drop_rate == 1.0 would retransmit forever.
+        if not 0.0 <= self.drop_rate < 1.0:
+            raise ValueError(
+                "drop_rate must be in [0, 1), got %r" % self.drop_rate
+            )
+        if self.delay_jitter < 0.0 or self.retry_timeout < 0.0:
+            raise ValueError("delays must be non-negative")
+
+    def make_rng(self) -> random.Random:
+        return random.Random(self.seed * 2_654_435_761 + 1)
 
 
 @dataclass
@@ -35,6 +68,8 @@ class DistributedConfig(SimulationConfig):
     #: one-way message legs in the commit protocol (prepare, vote,
     #: decision = 3; set 2 for presumed-commit style accounting)
     commit_protocol_legs: int = 3
+    #: optional seeded message delay/drop injection
+    faults: Optional[MessageFaults] = None
 
 
 @dataclass
@@ -45,6 +80,7 @@ class DistributedMetrics(RunMetrics):
     remote_accesses: int = 0
     local_accesses: int = 0
     commit_rounds: int = 0
+    dropped_messages: int = 0
 
     @property
     def remote_fraction(self) -> float:
@@ -60,6 +96,7 @@ class DistributedMetrics(RunMetrics):
                 "messages": self.messages,
                 "remote_fraction": round(self.remote_fraction, 3),
                 "commit_rounds": self.commit_rounds,
+                "dropped_messages": self.dropped_messages,
             }
         )
         return data
@@ -78,8 +115,44 @@ class _DistributedRunner(_Runner):
         super().__init__(programs, store, config)
         self.topology = topology
         self.metrics = DistributedMetrics(policy=config.policy)
+        self._fault_rng = (
+            config.faults.make_rng()
+            if config.faults is not None
+            else None
+        )
         #: sites touched by each program's current attempt
         self._participants: Dict[int, Set[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Seeded message delay/drop injection
+    # ------------------------------------------------------------------
+    def _send(
+        self, base_delay: float, messages: int
+    ) -> Tuple[float, int]:
+        """Account for *messages* one-way sends taking *base_delay*.
+
+        With no fault injection this is the identity.  Otherwise each
+        message may be dropped (retransmitted after the retry timeout,
+        possibly repeatedly) and jittered; returns the effective
+        ``(delay, messages)`` including retransmissions.
+        """
+        if self._fault_rng is None or messages == 0:
+            return base_delay, messages
+        faults = self.config.faults
+        total_messages = 0
+        extra_delay = 0.0
+        for _ in range(messages):
+            while True:
+                total_messages += 1
+                if faults.delay_jitter > 0.0:
+                    extra_delay += self._fault_rng.uniform(
+                        0.0, faults.delay_jitter
+                    )
+                if self._fault_rng.random() >= faults.drop_rate:
+                    break
+                self.metrics.dropped_messages += 1
+                extra_delay += faults.retry_timeout
+        return base_delay + extra_delay, total_messages
 
     # ------------------------------------------------------------------
     # Accesses pay network round trips
@@ -93,7 +166,8 @@ class _DistributedRunner(_Runner):
             target = self.topology.site_of(step.object_name)
             delay = self.topology.round_trip(home, target)
             if target != home:
-                self.metrics.messages += 2
+                delay, sent = self._send(delay, 2)
+                self.metrics.messages += sent
                 self.metrics.remote_accesses += 1
             else:
                 self.metrics.local_accesses += 1
@@ -129,11 +203,14 @@ class _DistributedRunner(_Runner):
             self.topology.latency(home, site) for site in remote
         )
         legs = self.config.commit_protocol_legs
-        self.metrics.messages += legs * len(remote)
+        delay, sent = self._send(
+            legs * farthest, legs * len(remote)
+        )
+        self.metrics.messages += sent
         self.metrics.commit_rounds += 1
         self._participants.pop(run.index, None)
         self.sim.after(
-            legs * farthest,
+            delay,
             lambda: super(_DistributedRunner, self)._finish_top(
                 run, epoch
             ),
@@ -144,7 +221,8 @@ class _DistributedRunner(_Runner):
         participants = self._participants.pop(run.index, set())
         remote = {site for site in participants if site != home}
         # One abort-decision message per remote participant.
-        self.metrics.messages += len(remote)
+        _, sent = self._send(0.0, len(remote))
+        self.metrics.messages += sent
         super()._restart_program(run)
 
 

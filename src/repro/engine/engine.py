@@ -243,6 +243,7 @@ class Engine:
         self.recorder.record(RequestCreate(access))
         self.recorder.record(Create(access))
         result = managed.acquire(access, operation, mode)
+        self.locks.notify("acquire", access, (object_name,))
         self.recorder.record(RequestCommit(access, result))
         self.recorder.record(Commit(access))
         self.recorder.record(ReportCommit(access, result))

@@ -167,10 +167,23 @@ class LockManager:
         if make_managed is None:
             make_managed = ManagedObject
         self.objects: Dict[str, ManagedObject] = {}
+        #: Optional callable ``(kind, name, objects)`` invoked after every
+        #: lock-table transition (``"acquire"``/``"commit"``/``"abort"``).
+        #: The deterministic fuzzer uses it to digest lock movement for
+        #: byte-for-byte replay checking; ``None`` costs one attribute
+        #: test per transition.
+        self.observer = None
         for spec in specs:
             if spec.name in self.objects:
                 raise EngineError("duplicate object %r" % spec.name)
             self.objects[spec.name] = make_managed(spec)
+
+    def notify(
+        self, kind: str, name: TransactionName, objects: Iterable[str]
+    ) -> None:
+        """Report one lock-table transition to the observer, if any."""
+        if self.observer is not None:
+            self.observer(kind, name, tuple(objects))
 
     def object(self, name: str) -> ManagedObject:
         try:
@@ -185,6 +198,7 @@ class LockManager:
             if managed.holds_lock(name):
                 managed.on_commit(name)
                 touched.append(object_name)
+        self.notify("commit", name, touched)
         return touched
 
     def on_abort(self, name: TransactionName) -> List[str]:
@@ -194,4 +208,5 @@ class LockManager:
             if managed.is_locked_by_subtree(name):
                 managed.on_abort(name)
                 touched.append(object_name)
+        self.notify("abort", name, touched)
         return touched

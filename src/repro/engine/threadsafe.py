@@ -12,11 +12,30 @@ via :class:`~repro.errors.TransactionAborted`).
 The GIL makes true parallelism moot, but the facade gives downstream
 code the familiar blocking API -- and the test suite uses it to check the
 engine under genuinely interleaved thread schedules.
+
+Scheduler hooks
+---------------
+
+The deterministic concurrency fuzzer (:mod:`repro.fuzz`) needs to own
+the interleaving of worker threads, so the facade exposes *yield-point
+hooks*: when :meth:`ThreadSafeEngine.install_hooks` has installed a
+controller, every lock acquire, blocking wait, commit and abort routes
+through it instead of the free-running condition-variable path.  The
+hooks object is duck-typed; it must provide::
+
+    yield_point(kind, txn_name, detail)   # "acquire"/"denied"/"commit"/"abort"
+    park_blocked(txn_name, blockers, object_name)  # wait for a release
+    on_release(txn_name)                  # locks shed (commit/abort/wound)
+    inject_deny(txn_name, object_name) -> bool     # fault injection point
+
+With no hooks installed (the default) behaviour is unchanged and the
+hot path pays a single attribute check.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, Iterable, Optional, Union
 
 from repro.core.object_spec import ObjectSpec, Operation
@@ -58,21 +77,39 @@ class ThreadSafeTransaction:
 
         Raises :class:`~repro.errors.TransactionAborted` when this
         transaction is wounded by an older one while waiting, and
-        :class:`~repro.errors.LockDenied` on timeout.
+        :class:`~repro.errors.LockDenied` on timeout.  *timeout* bounds
+        the **total** blocking time of the call (a monotonic deadline),
+        not each individual wait.
         """
         return self._facade._perform_blocking(
             self._inner, object_name, operation, timeout
         )
 
     def commit(self, value: Any = None) -> None:
+        hooks = self._facade._hooks
+        if hooks is not None:
+            # Names are immutable after construction.
+            hooks.yield_point(
+                "commit", self._inner.name, None  # repro-lint: ignore[CD002]
+            )
         with self._facade._mutex:
             self._inner.commit(value)
             self._facade._released.notify_all()
+        if hooks is not None:
+            hooks.on_release(self._inner.name)  # repro-lint: ignore[CD002]
 
     def abort(self) -> None:
+        hooks = self._facade._hooks
+        if hooks is not None:
+            # Names are immutable after construction.
+            hooks.yield_point(
+                "abort", self._inner.name, None  # repro-lint: ignore[CD002]
+            )
         with self._facade._mutex:
             self._inner.abort()
             self._facade._released.notify_all()
+        if hooks is not None:
+            hooks.on_release(self._inner.name)  # repro-lint: ignore[CD002]
 
     def __enter__(self) -> "ThreadSafeTransaction":
         return self
@@ -99,11 +136,16 @@ class ThreadSafeEngine:
         self._engine = Engine(specs, policy=policy, trace=trace)
         self._mutex = threading.Lock()
         self._released = threading.Condition(self._mutex)
+        self._hooks = None
 
     @property
     def engine(self) -> Engine:
         """The wrapped engine (synchronise access yourself)."""
         return self._engine
+
+    def install_hooks(self, hooks) -> None:
+        """Install (or clear, with ``None``) the scheduler hooks."""
+        self._hooks = hooks
 
     def begin_top(self) -> ThreadSafeTransaction:
         with self._mutex:
@@ -118,10 +160,34 @@ class ThreadSafeEngine:
     # Blocking access with wound-wait
     # ------------------------------------------------------------------
     def _age(self, top):
-        # Callers hold the mutex (only _perform_blocking calls this).
+        # Callers hold the mutex (only the wound path calls this).
         return self._engine.started_at.get(  # repro-lint: ignore[CD002]
             top, float("inf")
         )
+
+    def _wound(self, txn: Transaction, denial: LockDenied) -> bool:
+        """Abort every younger top-level blocking *txn*; mutex held.
+
+        Returns True when at least one victim was wounded (the caller
+        should retry immediately rather than wait).  Blockers sharing
+        *txn*'s own top-level ancestor are never wounded -- a transaction
+        must wait for its own relatives, not kill them.
+        """
+        my_top = txn.name[:1]
+        wounded = False
+        for blocker in sorted(denial.blockers):
+            target = blocker[:1]
+            if target == my_top:
+                continue
+            if self._age(target) > self._age(my_top):
+                table = (
+                    self._engine.transactions  # repro-lint: ignore[CD002]
+                )
+                victim = table.get(target)
+                if victim is not None and victim.is_active:
+                    victim.abort()
+                    wounded = True
+        return wounded
 
     def _perform_blocking(
         self,
@@ -130,31 +196,64 @@ class ThreadSafeEngine:
         operation: Operation,
         timeout: Optional[float],
     ) -> Any:
+        if self._hooks is not None:
+            return self._perform_controlled(txn, object_name, operation)
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
         with self._released:
             while True:
                 try:
                     result = txn.perform(object_name, operation)
                 except LockDenied as denial:
-                    my_top = txn.name[:1]
-                    wounded = False
-                    for blocker in denial.blockers:
-                        target = blocker[:1]
-                        if target == my_top:
-                            continue
-                        if self._age(target) > self._age(my_top):
-                            victim = self._engine.transactions.get(target)
-                            if victim is not None and victim.is_active:
-                                victim.abort()
-                                wounded = True
-                    if wounded:
+                    if self._wound(txn, denial):
                         self._released.notify_all()
                         continue
-                    signalled = self._released.wait(timeout=timeout)
-                    if not signalled:
-                        raise LockDenied(
-                            "timed out waiting for %r" % object_name,
-                            blockers=denial.blockers,
-                        ) from None
+                    remaining: Optional[float] = None
+                    if deadline is not None:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            raise LockDenied(
+                                "timed out waiting for %r" % object_name,
+                                blockers=denial.blockers,
+                            ) from None
+                    self._released.wait(timeout=remaining)
+                    # Loop: a timed-out wait is re-checked against the
+                    # deadline above, so total blocking never exceeds
+                    # the caller's timeout no matter how often other
+                    # transactions signal the condition.
                     continue
                 self._released.notify_all()
                 return result
+
+    def _perform_controlled(
+        self,
+        txn: Transaction,
+        object_name: str,
+        operation: Operation,
+    ) -> Any:
+        """The hook-driven twin of :meth:`_perform_blocking`.
+
+        The installed controller decides when this thread runs and is
+        told, instead of a condition wait, when the access blocks --
+        timeouts do not apply because the controller owns time.
+        """
+        hooks = self._hooks
+        while True:
+            hooks.yield_point("acquire", txn.name, object_name)
+            if hooks.inject_deny(txn.name, object_name):
+                hooks.yield_point("denied", txn.name, object_name)
+                continue
+            with self._released:
+                try:
+                    result = txn.perform(object_name, operation)
+                except LockDenied as denial:
+                    wounded = self._wound(txn, denial)
+                    blockers = tuple(sorted(denial.blockers))
+                else:
+                    self._released.notify_all()
+                    return result
+            if wounded:
+                hooks.on_release(txn.name)
+                continue
+            hooks.park_blocked(txn.name, blockers, object_name)

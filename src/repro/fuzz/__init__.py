@@ -1,0 +1,86 @@
+"""Deterministic concurrency fuzzing with fault injection and shrinking.
+
+Theorem 34 quantifies over *every* R/W Locking schedule; the rest of
+the test suite samples schedules.  This package searches them
+adversarially, and -- crucially -- reproducibly:
+
+* :mod:`~repro.fuzz.controller` -- a seeded cooperative scheduler that
+  serialises :class:`~repro.engine.threadsafe.ThreadSafeEngine` worker
+  threads through explicit yield points (lock acquire, blocking,
+  commit, abort), making any interleaving an exact function of a
+  *choice list*; includes a CHESS-style bounded-preemption strategy;
+* :mod:`~repro.fuzz.workload` -- seeded worker programs over a small,
+  high-conflict store;
+* :mod:`~repro.fuzz.faults` -- seeded run-time fault injection
+  (crash-aborts, lock-denial spikes, orphan-creation attempts) plus the
+  deliberately broken policies of :mod:`repro.analysis.faults`;
+* :mod:`~repro.fuzz.runner` -- executes cases, judges them with the
+  conformance pipeline (:func:`repro.checking.check_engine_trace`) and
+  the RW001--RW008 linter, and emits paste-able regression tests;
+* :mod:`~repro.fuzz.shrink` -- delta-debugs a failing choice list to a
+  1-minimal reproducer.
+
+``python -m repro fuzz`` is the CLI; ``docs/FUZZING.md`` documents the
+replay format and the shrinker's guarantees.
+"""
+
+from repro.fuzz.controller import (
+    BoundedPreemptionStrategy,
+    FuzzStall,
+    InterleavingController,
+    RandomStrategy,
+    ReplayStrategy,
+    SchedulingStrategy,
+)
+from repro.fuzz.faults import (
+    FAULT_PRESETS,
+    FaultInjector,
+    FaultPlan,
+    fault_plan,
+)
+from repro.fuzz.runner import (
+    FuzzCaseResult,
+    FuzzConfig,
+    SearchResult,
+    emit_regression_test,
+    explore_bounded,
+    fuzz_search,
+    run_case,
+    same_failure,
+)
+from repro.fuzz.shrink import ShrinkResult, shrink_choices
+from repro.fuzz.workload import (
+    AccessStep,
+    ChildBlock,
+    TopProgram,
+    WorkloadConfig,
+    make_worker_programs,
+)
+
+__all__ = [
+    "AccessStep",
+    "BoundedPreemptionStrategy",
+    "ChildBlock",
+    "FAULT_PRESETS",
+    "FaultInjector",
+    "FaultPlan",
+    "FuzzCaseResult",
+    "FuzzConfig",
+    "FuzzStall",
+    "InterleavingController",
+    "RandomStrategy",
+    "ReplayStrategy",
+    "SchedulingStrategy",
+    "SearchResult",
+    "ShrinkResult",
+    "TopProgram",
+    "WorkloadConfig",
+    "emit_regression_test",
+    "explore_bounded",
+    "fault_plan",
+    "fuzz_search",
+    "make_worker_programs",
+    "run_case",
+    "same_failure",
+    "shrink_choices",
+]

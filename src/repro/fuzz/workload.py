@@ -1,0 +1,132 @@
+"""Seeded worker programs for the concurrency fuzzer.
+
+Each fuzz worker executes a deterministic program -- a short list of
+top-level transactions, each a sequence of accesses and (optionally)
+sequential child blocks -- generated from ``(seed, worker_id)`` alone,
+so the only degree of freedom left in a run is the interleaving chosen
+by the controller.  Children are strictly sequential within a program
+(begin, access, return, then the next child) so a worker can never
+self-deadlock on a sibling's lock.
+
+Programs deliberately hammer a *small* shared store (two-three objects)
+to maximise lock conflicts per decision, the regime where interleaving
+bugs live.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.adt import Counter, IntRegister
+from repro.core.object_spec import ObjectSpec, Operation
+
+
+@dataclass(frozen=True)
+class AccessStep:
+    """One ``perform`` against the shared store."""
+
+    object_name: str
+    operation: Operation
+
+
+@dataclass(frozen=True)
+class ChildBlock:
+    """A subtransaction: its accesses, then commit (or abort)."""
+
+    steps: Tuple[AccessStep, ...]
+    commit: bool
+
+
+@dataclass(frozen=True)
+class TopProgram:
+    """One top-level transaction's script."""
+
+    steps: Tuple[object, ...]  # AccessStep | ChildBlock
+    commit: bool
+
+
+@dataclass
+class WorkloadConfig:
+    """Shape of the generated fuzz workload."""
+
+    workers: int = 3
+    #: top-level transactions each worker runs, one after another
+    transactions_per_worker: int = 2
+    #: accesses (or child blocks) per transaction
+    steps_per_transaction: int = 4
+    #: probability a step is a child block rather than a direct access
+    child_fraction: float = 0.3
+    #: probability a child block aborts instead of committing
+    child_abort_fraction: float = 0.25
+    #: probability a whole top-level aborts instead of committing
+    abort_fraction: float = 0.1
+    objects: Tuple[str, ...] = ("c", "x")
+
+    def store(self) -> List[ObjectSpec]:
+        """The shared object specs the workload runs against."""
+        specs: List[ObjectSpec] = []
+        for index, name in enumerate(self.objects):
+            if index % 2 == 0:
+                specs.append(Counter(name))
+            else:
+                specs.append(IntRegister(name))
+        return specs
+
+
+def _menu(config: WorkloadConfig) -> List[AccessStep]:
+    steps: List[AccessStep] = []
+    for index, name in enumerate(config.objects):
+        if index % 2 == 0:
+            steps.append(AccessStep(name, Counter.increment(1)))
+            steps.append(AccessStep(name, Counter.value()))
+        else:
+            steps.append(AccessStep(name, IntRegister.add(1)))
+            steps.append(AccessStep(name, IntRegister.read()))
+    return steps
+
+
+def make_worker_programs(
+    seed: int, worker_id: int, config: WorkloadConfig
+) -> List[TopProgram]:
+    """The deterministic program list for one worker."""
+    rng = random.Random((seed * 1_000_003) + worker_id)
+    menu = _menu(config)
+    programs: List[TopProgram] = []
+    for _ in range(config.transactions_per_worker):
+        steps: List[object] = []
+        for _ in range(config.steps_per_transaction):
+            if rng.random() < config.child_fraction:
+                child_steps = tuple(
+                    rng.choice(menu)
+                    for _ in range(rng.randint(1, 2))
+                )
+                steps.append(
+                    ChildBlock(
+                        child_steps,
+                        commit=(
+                            rng.random()
+                            >= config.child_abort_fraction
+                        ),
+                    )
+                )
+            else:
+                steps.append(rng.choice(menu))
+        programs.append(
+            TopProgram(
+                tuple(steps),
+                commit=rng.random() >= config.abort_fraction,
+            )
+        )
+    return programs
+
+
+@dataclass
+class WorkerLog:
+    """What one worker observed while running its programs."""
+
+    performed: List[Tuple[str, object]] = field(default_factory=list)
+    wounded: int = 0
+    crashed: int = 0
+    orphan_guard_hits: int = 0

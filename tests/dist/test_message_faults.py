@@ -1,0 +1,127 @@
+"""Seeded message delay/drop injection in the distributed runner."""
+
+import pytest
+
+from repro.adt import IntRegister
+from repro.dist import (
+    DistributedConfig,
+    MessageFaults,
+    Topology,
+    run_distributed_simulation,
+)
+from repro.sim import (
+    WorkloadConfig,
+    make_store,
+    make_workload,
+)
+from tests.dist.test_dist_runner import single_access_program
+
+
+def _run(faults, seed=1):
+    config = WorkloadConfig(programs=10, objects=6, read_fraction=0.5)
+    programs = make_workload(seed, config)
+    store = make_store(config)
+    from repro.dist import uniform_topology
+
+    topology = uniform_topology(
+        [spec.name for spec in store], sites=3
+    )
+    return run_distributed_simulation(
+        programs, store, topology,
+        DistributedConfig(
+            mpl=4, policy="moss-rw", seed=seed, faults=faults
+        ),
+    )
+
+
+class TestNoFaults:
+    def test_none_is_identity(self):
+        clean = _run(None)
+        zeroed = _run(MessageFaults())
+        assert clean.messages == zeroed.messages
+        assert clean.makespan == zeroed.makespan
+        assert zeroed.dropped_messages == 0
+
+
+class TestDrops:
+    def test_drops_cost_messages_and_time(self):
+        clean = _run(None)
+        faulty = _run(
+            MessageFaults(drop_rate=0.3, retry_timeout=5.0, seed=4)
+        )
+        assert faulty.committed == clean.committed  # still all commit
+        assert faulty.dropped_messages > 0
+        # Every drop costs at least one retransmission (the delays also
+        # reshuffle conflicts, so restarts move the total further)...
+        assert faulty.messages > clean.messages
+        # ...and the retry timeout in latency.
+        assert faulty.makespan > clean.makespan
+
+    def test_single_message_drop_accounting(self):
+        # One remote access, deterministic drop of every first try.
+        store = [IntRegister("remote")]
+        topology = Topology(
+            sites=2, placement={"remote": 1}, one_way_latency=10.0
+        )
+
+        metrics = run_distributed_simulation(
+            [single_access_program("remote")],
+            store,
+            topology,
+            DistributedConfig(
+                mpl=1, policy="moss-rw", seed=0,
+                faults=MessageFaults(
+                    drop_rate=1e-9, retry_timeout=7.0, seed=0
+                ),
+            ),
+        )
+        # drop_rate ~ 0: identical to the clean accounting.
+        assert metrics.messages == 5
+        assert metrics.dropped_messages == 0
+        assert metrics.makespan == pytest.approx(51.0)
+
+
+class TestJitter:
+    def test_jitter_slows_without_dropping(self):
+        clean = _run(None)
+        jittery = _run(MessageFaults(delay_jitter=3.0, seed=9))
+        # Jitter never drops, but it does reshuffle conflicts (hence
+        # restarts), so only a lower bound on messages holds.
+        assert jittery.dropped_messages == 0
+        assert jittery.messages >= clean.messages
+        assert jittery.makespan > clean.makespan
+        assert jittery.committed == clean.committed
+
+
+class TestDeterminism:
+    def test_same_seed_same_run(self):
+        faults = MessageFaults(
+            drop_rate=0.25, delay_jitter=2.0, seed=13
+        )
+        first = _run(faults)
+        second = _run(faults)
+        assert first.row() == second.row()
+
+    def test_different_fault_seed_different_run(self):
+        first = _run(MessageFaults(drop_rate=0.25, seed=13))
+        second = _run(MessageFaults(drop_rate=0.25, seed=14))
+        assert first.dropped_messages != second.dropped_messages
+
+    def test_metrics_row_reports_drops(self):
+        row = _run(MessageFaults(drop_rate=0.3, seed=4)).row()
+        assert row["dropped_messages"] > 0
+
+
+class TestValidation:
+    def test_certain_drop_is_rejected(self):
+        # drop_rate 1.0 would retransmit forever.
+        with pytest.raises(ValueError):
+            MessageFaults(drop_rate=1.0)
+        with pytest.raises(ValueError):
+            MessageFaults(drop_rate=-0.1)
+
+    def test_negative_delays_rejected(self):
+        with pytest.raises(ValueError):
+            MessageFaults(delay_jitter=-1.0)
+        with pytest.raises(ValueError):
+            MessageFaults(retry_timeout=-1.0)

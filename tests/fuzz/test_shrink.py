@@ -1,0 +1,189 @@
+"""The delta-debugging shrinker, against a synthetic failure model.
+
+``shrink_choices`` judges candidates by re-running the case, so these
+tests substitute a fake ``run_case`` whose failure condition is a known
+function of the choice list -- the shrinker must then recover the known
+minimum.  An end-to-end shrink of a real engine failure lives in
+``test_fuzzer_finds_violation.py``.
+"""
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import pytest
+
+import repro.fuzz.shrink as shrink_module
+from repro.fuzz import FuzzConfig
+from repro.fuzz.shrink import _chunks, shrink_choices
+
+
+@dataclass
+class _FakeResult:
+    """Just enough of FuzzCaseResult for the shrinker."""
+
+    choices: List[int]
+    kind: str
+    rule_codes: Tuple[str, ...] = ()
+    digest: str = "fake"
+    failed_flag: bool = True
+    logs: List = field(default_factory=list)
+
+    @property
+    def failed(self):
+        return self.kind != "ok"
+
+    @property
+    def signature(self):
+        return (self.kind, self.rule_codes)
+
+
+def _install_fake(monkeypatch, failing_predicate):
+    calls = []
+
+    def fake_run_case(config, choices=None):
+        choices = list(choices or [])
+        calls.append(choices)
+        if failing_predicate(choices):
+            return _FakeResult(
+                choices=choices,
+                kind="conformance",
+                rule_codes=("RW007",),
+            )
+        return _FakeResult(choices=choices, kind="ok")
+
+    monkeypatch.setattr(shrink_module, "run_case", fake_run_case)
+    return calls
+
+
+class TestChunks:
+    def test_partitions_preserve_order(self):
+        assert _chunks([1, 2, 3, 4, 5], 2) == [[1, 2, 3], [4, 5]]
+        assert _chunks([1, 2, 3], 3) == [[1], [2], [3]]
+
+    def test_more_chunks_than_items(self):
+        assert _chunks([1, 2], 5) == [[1], [2]]
+
+
+class TestShrink:
+    def test_finds_single_critical_choice(self, monkeypatch):
+        # The failure needs a 2 somewhere; everything else is noise.
+        _install_fake(monkeypatch, lambda cs: 2 in cs)
+        failing = _FakeResult(
+            choices=[0, 1, 0, 2, 1, 0, 1, 2, 0, 1],
+            kind="conformance",
+            rule_codes=("RW007",),
+        )
+        result = shrink_choices(FuzzConfig(seed=0), failing)
+        assert result.minimized.choices == [2]
+        assert result.removed == 9
+
+    def test_preserves_ordered_pair(self, monkeypatch):
+        # Needs a 1 followed (not necessarily adjacently) by a 2.
+        def needs_pair(cs):
+            try:
+                return 2 in cs[cs.index(1) + 1:]
+            except ValueError:
+                return False
+
+        _install_fake(monkeypatch, needs_pair)
+        failing = _FakeResult(
+            choices=[0, 2, 1, 0, 0, 2, 1, 2, 0],
+            kind="conformance",
+            rule_codes=("RW007",),
+        )
+        result = shrink_choices(FuzzConfig(seed=0), failing)
+        assert result.minimized.choices == [1, 2]
+
+    def test_one_minimality(self, monkeypatch):
+        # Whatever survives, removing any single element must pass.
+        def predicate(cs):
+            return cs.count(1) >= 2 and 0 in cs
+
+        _install_fake(monkeypatch, predicate)
+        failing = _FakeResult(
+            choices=[1, 0, 1, 1, 0, 0, 1],
+            kind="conformance",
+            rule_codes=("RW007",),
+        )
+        minimized = shrink_choices(
+            FuzzConfig(seed=0), failing
+        ).minimized.choices
+        assert predicate(minimized)
+        for index in range(len(minimized)):
+            dropped = minimized[:index] + minimized[index + 1:]
+            assert not predicate(dropped)
+
+    def test_schedule_independent_failure_shrinks_to_empty(
+        self, monkeypatch
+    ):
+        _install_fake(monkeypatch, lambda cs: True)
+        failing = _FakeResult(
+            choices=[0, 1, 2] * 8,
+            kind="conformance",
+            rule_codes=("RW007",),
+        )
+        result = shrink_choices(FuzzConfig(seed=0), failing)
+        assert result.minimized.choices == []
+
+    def test_signature_mismatch_not_accepted(self, monkeypatch):
+        # Shorter lists fail *differently* (other rule code): the
+        # shrinker must not wander onto the unrelated failure.
+        def fake_run_case(config, choices=None):
+            choices = list(choices or [])
+            if len(choices) >= 4:
+                return _FakeResult(
+                    choices=choices,
+                    kind="conformance",
+                    rule_codes=("RW007",),
+                )
+            return _FakeResult(
+                choices=choices, kind="stall", rule_codes=()
+            )
+
+        monkeypatch.setattr(
+            shrink_module, "run_case", fake_run_case
+        )
+        failing = _FakeResult(
+            choices=[0, 1, 2, 0, 1, 2],
+            kind="conformance",
+            rule_codes=("RW007",),
+        )
+        result = shrink_choices(FuzzConfig(seed=0), failing)
+        assert len(result.minimized.choices) == 4
+        assert result.minimized.kind == "conformance"
+
+    def test_budget_bounds_evaluations(self, monkeypatch):
+        calls = _install_fake(monkeypatch, lambda cs: 2 in cs)
+        failing = _FakeResult(
+            choices=[2] + [0] * 40,
+            kind="conformance",
+            rule_codes=("RW007",),
+        )
+        result = shrink_choices(
+            FuzzConfig(seed=0), failing, max_evaluations=7
+        )
+        assert result.evaluations <= 7
+        assert len(calls) <= 7
+
+
+class TestEvaluationsAccounting:
+    def test_counts_match_runs(self, monkeypatch):
+        calls = _install_fake(monkeypatch, lambda cs: 2 in cs)
+        failing = _FakeResult(
+            choices=[0, 2, 0, 0],
+            kind="conformance",
+            rule_codes=("RW007",),
+        )
+        result = shrink_choices(FuzzConfig(seed=0), failing)
+        assert result.evaluations == len(calls)
+        assert result.minimized.choices == [2]
+
+
+@pytest.mark.parametrize("length", [1, 2, 9])
+def test_chunks_roundtrip(length):
+    items = list(range(length))
+    for n in range(1, length + 1):
+        flattened = [
+            item for chunk in _chunks(items, n) for item in chunk
+        ]
+        assert flattened == items

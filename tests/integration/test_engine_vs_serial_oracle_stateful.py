@@ -1,0 +1,159 @@
+"""Hypothesis stateful test: the engine against a serial replay oracle.
+
+Moss R/W locking holds every lock to top-level commit, so the commit
+order of top-level transactions is a serialisation order: replaying the
+committed transactions' operations serially, in commit order, on fresh
+ADT instances must reproduce (a) every result the engine returned to a
+committed operation and (b) the final committed value of every object.
+
+A :class:`RuleBasedStateMachine` drives the (single-threaded) engine
+through random begin/access/commit/abort sequences -- nested children,
+aborted subtrees, denied locks and all -- and checks the serial oracle
+after every step.  Hypothesis shrinks any counterexample to a minimal
+rule sequence automatically.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.adt import BankAccount, Counter
+from repro.engine import Engine
+from repro.errors import LockDenied
+
+SPECS = {
+    "a": BankAccount("a", 100),
+    "c": Counter("c"),
+}
+
+MENU = {
+    "a": [
+        BankAccount.deposit(5),
+        BankAccount.deposit(17),
+        BankAccount.withdraw(30),
+        BankAccount.withdraw(200),  # can bounce: result matters
+        BankAccount.balance(),
+    ],
+    "c": [
+        Counter.increment(1),
+        Counter.increment(3),
+        Counter.value(),
+    ],
+}
+
+
+class EngineVsSerialOracle(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.engine = Engine(list(SPECS.values()))
+        self.live = []
+        #: per live transaction: [(object, operation, result), ...] of
+        #: its own plus its committed descendants' accesses
+        self.oplogs = {}
+        #: committed top-level oplogs, in commit order
+        self.serial_history = []
+
+    # ------------------------------------------------------------------
+    # Rules
+    # ------------------------------------------------------------------
+    @rule()
+    def begin_top(self):
+        if len(self.live) < 6:
+            txn = self.engine.begin_top()
+            self.live.append(txn)
+            self.oplogs[txn.name] = []
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def begin_child(self, data):
+        parent = data.draw(st.sampled_from(self.live))
+        if parent.is_active and parent.depth < 3:
+            child = parent.begin_child()
+            self.live.append(child)
+            self.oplogs[child.name] = []
+
+    @precondition(lambda self: self.live)
+    @rule(
+        data=st.data(),
+        object_name=st.sampled_from(sorted(MENU)),
+        op_index=st.integers(0, 4),
+    )
+    def access(self, data, object_name, op_index):
+        txn = data.draw(st.sampled_from(self.live))
+        if not txn.is_active:
+            return
+        menu = MENU[object_name]
+        operation = menu[op_index % len(menu)]
+        try:
+            result = txn.perform(object_name, operation)
+        except LockDenied:
+            return
+        self.oplogs[txn.name].append(
+            (object_name, operation, result)
+        )
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def commit(self, data):
+        txn = data.draw(st.sampled_from(self.live))
+        if not txn.is_active or txn.live_children():
+            return
+        log = self.oplogs.pop(txn.name, [])
+        txn.commit()
+        if txn.is_top_level:
+            if log:
+                self.serial_history.append(log)
+        elif txn.parent is not None:
+            # Committed child work now belongs to the parent.
+            self.oplogs[txn.parent.name].extend(log)
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def abort(self, data):
+        txn = data.draw(st.sampled_from(self.live))
+        if not txn.is_active:
+            return
+        txn.abort()
+        # The whole subtree's work is discarded.
+        for name in list(self.oplogs):
+            if name[: len(txn.name)] == txn.name:
+                del self.oplogs[name]
+
+    # ------------------------------------------------------------------
+    # The oracle
+    # ------------------------------------------------------------------
+    @invariant()
+    def serial_replay_matches(self):
+        values = {
+            name: spec.initial_value()
+            for name, spec in SPECS.items()
+        }
+        for log in self.serial_history:
+            for object_name, operation, recorded in log:
+                spec = SPECS[object_name]
+                result, values[object_name] = spec.apply(
+                    values[object_name], operation
+                )
+                assert result == recorded, (
+                    "engine returned %r for %s on %r; serial replay "
+                    "says %r" % (
+                        recorded, operation, object_name, result
+                    )
+                )
+        for name, spec in SPECS.items():
+            committed = self.engine.object_value(name)
+            assert spec.values_equal(values[name], committed), (
+                "committed value of %r is %r; serial replay says %r"
+                % (name, committed, values[name])
+            )
+
+
+EngineVsSerialOracle.TestCase.settings = settings(
+    max_examples=30, stateful_step_count=35, deadline=None
+)
+TestEngineVsSerialOracle = EngineVsSerialOracle.TestCase
