@@ -11,9 +11,15 @@ with insufficient-funds failures handled by falling back to a second
 source account, then proves conservation of money and engine/model
 conformance.
 
-Run:  python examples/banking.py
+Run:  python examples/banking.py [--trace banking_trace.json]
+
+With ``--trace`` the run is observed by the :mod:`repro.obs` layer and
+exported as a Chrome trace-event file: load it in ``chrome://tracing``
+or Perfetto to see one span per transaction, children nested inside
+their parents.
 """
 
+import argparse
 import random
 
 from repro.adt import BankAccount
@@ -58,10 +64,17 @@ def total_money(engine):
     return sum(engine.object_value(name) for name in ACCOUNTS)
 
 
-def main():
+def main(trace_path=None):
+    observer = None
+    if trace_path is not None:
+        from repro.obs import Observer
+
+        observer = Observer()
     rng = random.Random(2024)
     engine = Engine(
-        [BankAccount(name, INITIAL) for name in ACCOUNTS], trace=True
+        [BankAccount(name, INITIAL) for name in ACCOUNTS],
+        trace=True,
+        observer=observer,
     )
     succeeded = 0
     fell_back = 0
@@ -95,8 +108,21 @@ def main():
         )
     )
     assert conformance.ok
+    if observer is not None:
+        from repro.obs import write_chrome_trace
+
+        observer.finish()
+        write_chrome_trace(trace_path, observer)
+        print("span trace written to %s (chrome://tracing / Perfetto)"
+              % trace_path)
     print("banking example OK")
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="export a Chrome trace-event file of the run",
+    )
+    main(trace_path=parser.parse_args().trace)

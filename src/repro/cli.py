@@ -15,6 +15,10 @@ One command per way of exercising the reproduction:
 * ``fuzz``         -- deterministic concurrency fuzzing: explore thread
   interleavings of the blocking engine under seeded fault injection,
   shrink failures to minimal replayable reproducers.
+* ``trace``        -- run an observed workload and export a Chrome
+  trace-event file (``chrome://tracing`` / Perfetto) plus a text report.
+* ``top``          -- run a contended simulation and print the
+  hot-object lock-contention table.
 * ``orphan``       -- print the orphan-inconsistency witness (E15).
 * ``dist``         -- distributed deployment sweep.
 
@@ -301,6 +305,27 @@ def _parse_choices(text: Optional[str]):
     return [int(part) for part in text.split(",")]
 
 
+def _export_fuzz_trace(result, path: str) -> None:
+    """Replay *result* with the observability layer and export a trace.
+
+    Replays are byte-for-byte deterministic from ``(config, choices)``,
+    so the exported spans show exactly the failing interleaving -- one
+    track per worker thread.
+    """
+    from repro.fuzz import run_case
+    from repro.obs import Observer, render_report, write_chrome_trace
+
+    observer = Observer()
+    run_case(result.config, choices=result.choices, observer=observer)
+    observer.finish()
+    write_chrome_trace(path, observer)
+    report_path = path + ".report.txt"
+    with open(report_path, "w") as handle:
+        handle.write(render_report(observer))
+        handle.write("\n")
+    print("trace  : %s (+ %s)" % (path, report_path))
+
+
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     from repro.fuzz import (
         FuzzConfig,
@@ -331,6 +356,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
               % (result.trace_length, result.decision_count))
         for line in result.finding_lines:
             print("  %s" % line)
+        if args.trace_out:
+            _export_fuzz_trace(result, args.trace_out)
         return 1 if result.failed else 0
 
     if args.mode == "bounded":
@@ -375,6 +402,10 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         )
     choice_text = ",".join(str(c) for c in reproducer.choices)
     print("digest : %s" % reproducer.digest)
+    if args.trace_out:
+        # The reproducer ships with its span trace: replay it once
+        # more with the observer attached and export the trace file.
+        _export_fuzz_trace(reproducer, args.trace_out)
     print(
         "replay : python -m repro fuzz --seed %d --faults %s "
         "--workers %d --transactions %d --steps %d --choices '%s'"
@@ -390,6 +421,74 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     print("--- regression test ---")
     print(emit_regression_test(reproducer))
     return 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        Observer,
+        render_report,
+        write_chrome_trace,
+        write_jsonl,
+    )
+    from repro.obs.workloads import run_workload
+
+    observer = Observer()
+    try:
+        summary = run_workload(args.workload, observer, seed=args.seed)
+    except ValueError as exc:
+        print("repro trace: %s" % exc, file=sys.stderr)
+        return 2
+    print(
+        "workload %s (seed %d): %s"
+        % (
+            args.workload,
+            args.seed,
+            ", ".join(
+                "%s=%s" % (key, value)
+                for key, value in sorted(summary.items())
+            ),
+        )
+    )
+    if args.out:
+        write_chrome_trace(args.out, observer)
+        print("chrome trace : %s (load in chrome://tracing or Perfetto)"
+              % args.out)
+    if args.jsonl:
+        write_jsonl(args.jsonl, observer)
+        print("jsonl stream : %s" % args.jsonl)
+    print(render_report(observer, top=args.top))
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.obs import Observer
+    from repro.obs.workloads import run_contended_sim
+
+    observer = Observer(trace=not args.no_trace)
+    metrics = run_contended_sim(
+        observer,
+        seed=args.seed,
+        programs=args.programs,
+        objects=args.objects,
+        mpl=args.mpl,
+        policy=args.policy,
+        zipf_skew=args.skew,
+        read_fraction=args.read_fraction,
+    )
+    print(
+        "policy %s, seed %d: %d committed, %d denials, "
+        "%d deadlock aborts, makespan %.1f"
+        % (
+            args.policy,
+            args.seed,
+            metrics.committed,
+            metrics.lock_denials,
+            metrics.deadlock_aborts,
+            metrics.makespan,
+        )
+    )
+    print(observer.contention.render(args.limit))
+    return 0
 
 
 def _cmd_dist(args: argparse.Namespace) -> int:
@@ -587,7 +686,64 @@ def build_parser() -> argparse.ArgumentParser:
             "interleaving instead of searching"
         ),
     )
+    fuzz.add_argument(
+        "--trace-out",
+        help=(
+            "replay the reproducer with the observability layer "
+            "attached and write a Chrome trace-event file here "
+            "(plus a <file>.report.txt summary)"
+        ),
+    )
     fuzz.set_defaults(handler=_cmd_fuzz)
+
+    trace = commands.add_parser(
+        "trace",
+        help=(
+            "run an observed workload; export a Chrome/Perfetto "
+            "trace and a metrics report"
+        ),
+    )
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument(
+        "--workload",
+        default="quickstart",
+        choices=["quickstart", "banking", "threads"],
+        help="which demo workload to observe",
+    )
+    trace.add_argument(
+        "--out",
+        help="write the Chrome trace-event JSON here",
+    )
+    trace.add_argument(
+        "--jsonl",
+        help="also write the raw JSONL event stream here",
+    )
+    trace.add_argument(
+        "--top", type=int, default=10,
+        help="rows in the contention table",
+    )
+    trace.set_defaults(handler=_cmd_trace)
+
+    top = commands.add_parser(
+        "top",
+        help="hot-object lock-contention table from a contended run",
+    )
+    top.add_argument("--seed", type=int, default=0)
+    top.add_argument("--programs", type=int, default=24)
+    top.add_argument("--objects", type=int, default=6)
+    top.add_argument("--mpl", type=int, default=8)
+    top.add_argument("--policy", default="moss-rw")
+    top.add_argument("--skew", type=float, default=0.9)
+    top.add_argument("--read-fraction", type=float, default=0.2)
+    top.add_argument(
+        "--limit", type=int, default=10,
+        help="rows in the table",
+    )
+    top.add_argument(
+        "--no-trace", action="store_true",
+        help="skip span collection (metrics and contention only)",
+    )
+    top.set_defaults(handler=_cmd_top)
 
     orphan = commands.add_parser(
         "orphan", help="print the orphan-inconsistency witness"

@@ -111,8 +111,9 @@ class _DistributedRunner(_Runner):
         store: Sequence[ObjectSpec],
         topology: Topology,
         config: DistributedConfig,
+        observer=None,
     ):
-        super().__init__(programs, store, config)
+        super().__init__(programs, store, config, observer=observer)
         self.topology = topology
         self.metrics = DistributedMetrics(policy=config.policy)
         self._fault_rng = (
@@ -151,6 +152,8 @@ class _DistributedRunner(_Runner):
                 if self._fault_rng.random() >= faults.drop_rate:
                     break
                 self.metrics.dropped_messages += 1
+                if self.obs is not None:
+                    self.obs.count("dist.messages_dropped")
                 extra_delay += faults.retry_timeout
         return base_delay + extra_delay, total_messages
 
@@ -169,8 +172,15 @@ class _DistributedRunner(_Runner):
                 delay, sent = self._send(delay, 2)
                 self.metrics.messages += sent
                 self.metrics.remote_accesses += 1
+                if self.obs is not None:
+                    self.obs.count(
+                        "dist.messages", sent, kind="access"
+                    )
+                    self.obs.count("dist.access", kind="remote")
             else:
                 self.metrics.local_accesses += 1
+                if self.obs is not None:
+                    self.obs.count("dist.access", kind="local")
             self._participants.setdefault(run.index, set()).add(target)
             if delay > 0:
                 self.sim.after(
@@ -208,6 +218,11 @@ class _DistributedRunner(_Runner):
         )
         self.metrics.messages += sent
         self.metrics.commit_rounds += 1
+        if self.obs is not None:
+            # Two-phase commit costs: message legs and decision delay.
+            self.obs.count("dist.messages", sent, kind="2pc")
+            self.obs.count("dist.commit_rounds")
+            self.obs.observe("dist.commit_delay", delay)
         self._participants.pop(run.index, None)
         self.sim.after(
             delay,
@@ -223,6 +238,8 @@ class _DistributedRunner(_Runner):
         # One abort-decision message per remote participant.
         _, sent = self._send(0.0, len(remote))
         self.metrics.messages += sent
+        if self.obs is not None and sent:
+            self.obs.count("dist.messages", sent, kind="abort")
         super()._restart_program(run)
 
 
@@ -231,10 +248,20 @@ def run_distributed_simulation(
     store: Sequence[ObjectSpec],
     topology: Topology,
     config: Optional[DistributedConfig] = None,
+    observer=None,
 ) -> DistributedMetrics:
-    """Execute *programs* on a distributed deployment; return metrics."""
+    """Execute *programs* on a distributed deployment; return metrics.
+
+    *observer* additionally receives the distribution costs:
+    ``dist.messages`` (by kind: access/2pc/abort), ``dist.commit_rounds``
+    and the 2PC decision-delay histogram.
+    """
     runner = _DistributedRunner(
-        programs, store, topology, config or DistributedConfig()
+        programs,
+        store,
+        topology,
+        config or DistributedConfig(),
+        observer=observer,
     )
     runner.start()
     return runner.metrics

@@ -62,6 +62,14 @@ class Engine:
     trace:
         When True, record a model-alphabet trace of the run
         (:attr:`recorder`); only meaningful for lock-moving policies.
+    trace_limit:
+        Optional bound on the recorded trace: keep only the newest
+        *trace_limit* events (ring-buffer mode; see
+        :class:`~repro.engine.trace.TraceRecorder`).
+    observer:
+        Optional :class:`repro.obs.Observer` receiving lifecycle,
+        access, and lock events.  ``None`` (the default) costs one
+        attribute lookup per instrumented transition.
     """
 
     #: Blocking on locks can form waits-for cycles; callers must
@@ -73,6 +81,8 @@ class Engine:
         specs: Iterable[ObjectSpec],
         policy: Union[str, LockingPolicy] = "moss-rw",
         trace: bool = False,
+        trace_limit: Optional[int] = None,
+        observer=None,
     ):
         specs = list(specs)
         if isinstance(policy, str):
@@ -82,7 +92,13 @@ class Engine:
             spec.name: spec for spec in specs
         }
         self.policy = policy
-        self.recorder = TraceRecorder() if trace else NullRecorder()
+        self.obs = observer
+        self.locks.obs = observer
+        self.recorder = (
+            TraceRecorder(max_events=trace_limit)
+            if trace
+            else NullRecorder()
+        )
         # The model's environment transaction T0 is created by the
         # scheduler before anything else; mirror that in the trace.
         self.recorder.record(Create(ROOT))
@@ -157,7 +173,11 @@ class Engine:
         if cycle is None:
             return None
         self.stats["deadlocks"] += 1
-        return choose_victim(cycle, self.started_at)
+        victim = choose_victim(cycle, self.started_at)
+        obs = self.obs
+        if obs is not None:
+            obs.deadlock(victim)
+        return victim
 
     def note_unblocked(self, txn: Transaction) -> None:
         """Clear *txn*'s waits-for edges (it was granted or gave up)."""
@@ -170,6 +190,9 @@ class Engine:
         watchdogs) report them here instead of mutating ``stats``.
         """
         self.stats["deadlocks"] += 1
+        obs = self.obs
+        if obs is not None:
+            obs.deadlock()
 
     # ------------------------------------------------------------------
     # Internal transitions (called through Transaction handles)
@@ -190,6 +213,9 @@ class Engine:
         self.recorder.record_internal(name)
         self.recorder.record(RequestCreate(name))
         self.recorder.record(Create(name))
+        obs = self.obs
+        if obs is not None:
+            obs.txn_begin(name)
         return txn
 
     def _begin_child(self, parent: Transaction) -> Transaction:
@@ -220,6 +246,9 @@ class Engine:
         blockers = managed.blockers(access, mode, operation=operation)
         if blockers:
             self.stats["denials"] += 1
+            obs = self.obs
+            if obs is not None:
+                obs.lock_denied(txn.name, object_name, blockers)
             raise LockDenied(
                 "%s on %s blocked by %s"
                 % (
@@ -239,6 +268,11 @@ class Engine:
         recorded = operation
         if operation.is_read and mode is not LockMode.READ:
             recorded = replace(operation, is_read=False)
+        obs = self.obs
+        if obs is not None:
+            obs.access(
+                txn.name, object_name, recorded.kind, recorded.is_read
+            )
         self.recorder.record_access(access, object_name, recorded)
         self.recorder.record(RequestCreate(access))
         self.recorder.record(Create(access))
@@ -269,6 +303,9 @@ class Engine:
         txn.status = TransactionStatus.COMMITTED
         txn.value = value
         self.stats["commits"] += 1
+        obs = self.obs
+        if obs is not None:
+            obs.txn_commit(txn.name)
         self.waits.remove_waiter(txn.name)
         self.recorder.record_commit_value(txn.name, value)
         self.recorder.record(RequestCommit(txn.name, value))
@@ -294,8 +331,16 @@ class Engine:
         for object_name in touched:
             self.recorder.record(InformAbortAt(object_name, txn.name))
 
-    def _mark_aborted_subtree(self, txn: Transaction) -> None:
+    def _mark_aborted_subtree(
+        self, txn: Transaction, root: bool = True
+    ) -> None:
         txn.status = TransactionStatus.ABORTED
+        obs = self.obs
+        if obs is not None:
+            obs.txn_abort(
+                txn.name,
+                cause="explicit" if root else "ancestor-abort",
+            )
         for child in txn.children:
             if child.is_active:
-                self._mark_aborted_subtree(child)
+                self._mark_aborted_subtree(child, root=False)

@@ -173,6 +173,9 @@ class LockManager:
         #: byte-for-byte replay checking; ``None`` costs one attribute
         #: test per transition.
         self.observer = None
+        #: Optional :class:`repro.obs.Observer` fed the same transitions
+        #: (lock inheritance/release metrics).  Installed by the engine.
+        self.obs = None
         for spec in specs:
             if spec.name in self.objects:
                 raise EngineError("duplicate object %r" % spec.name)
@@ -181,9 +184,13 @@ class LockManager:
     def notify(
         self, kind: str, name: TransactionName, objects: Iterable[str]
     ) -> None:
-        """Report one lock-table transition to the observer, if any."""
-        if self.observer is not None:
-            self.observer(kind, name, tuple(objects))
+        """Report one lock-table transition to the observers, if any."""
+        if self.observer is not None or self.obs is not None:
+            objects = tuple(objects)
+            if self.observer is not None:
+                self.observer(kind, name, objects)
+            if self.obs is not None:
+                self.obs.lock_transition(kind, name, objects)
 
     def object(self, name: str) -> ManagedObject:
         try:

@@ -132,8 +132,17 @@ class ThreadSafeEngine:
         specs: Iterable[ObjectSpec],
         policy: Union[str, LockingPolicy] = "moss-rw",
         trace: bool = False,
+        trace_limit: Optional[int] = None,
+        observer=None,
     ):
-        self._engine = Engine(specs, policy=policy, trace=trace)
+        self._engine = Engine(
+            specs,
+            policy=policy,
+            trace=trace,
+            trace_limit=trace_limit,
+            observer=observer,
+        )
+        self._obs = observer
         self._mutex = threading.Lock()
         self._released = threading.Condition(self._mutex)
         self._hooks = None
@@ -185,6 +194,10 @@ class ThreadSafeEngine:
                 )
                 victim = table.get(target)
                 if victim is not None and victim.is_active:
+                    obs = self._obs
+                    if obs is not None:
+                        # Tag the cause before the abort transition.
+                        obs.wound(target, my_top)
                     victim.abort()
                     wounded = True
         return wounded
@@ -201,11 +214,15 @@ class ThreadSafeEngine:
         deadline = (
             None if timeout is None else time.monotonic() + timeout
         )
+        obs = self._obs
+        wait_started: Optional[float] = None
         with self._released:
             while True:
                 try:
                     result = txn.perform(object_name, operation)
                 except LockDenied as denial:
+                    if obs is not None and wait_started is None:
+                        wait_started = obs.now()
                     if self._wound(txn, denial):
                         self._released.notify_all()
                         continue
@@ -213,6 +230,11 @@ class ThreadSafeEngine:
                     if deadline is not None:
                         remaining = deadline - time.monotonic()
                         if remaining <= 0:
+                            if wait_started is not None:
+                                obs.lock_wait(
+                                    txn.name, object_name,
+                                    wait_started, obs.now(),
+                                )
                             raise LockDenied(
                                 "timed out waiting for %r" % object_name,
                                 blockers=denial.blockers,
@@ -223,6 +245,19 @@ class ThreadSafeEngine:
                     # the caller's timeout no matter how often other
                     # transactions signal the condition.
                     continue
+                except Exception:
+                    if wait_started is not None:
+                        # A wound arrived while we were parked; close
+                        # the wait span before the abort propagates.
+                        obs.lock_wait(
+                            txn.name, object_name,
+                            wait_started, obs.now(),
+                        )
+                    raise
+                if wait_started is not None:
+                    obs.lock_wait(
+                        txn.name, object_name, wait_started, obs.now()
+                    )
                 self._released.notify_all()
                 return result
 
@@ -256,4 +291,12 @@ class ThreadSafeEngine:
             if wounded:
                 hooks.on_release(txn.name)
                 continue
-            hooks.park_blocked(txn.name, blockers, object_name)
+            obs = self._obs
+            if obs is None:
+                hooks.park_blocked(txn.name, blockers, object_name)
+            else:
+                parked_at = obs.now()
+                hooks.park_blocked(txn.name, blockers, object_name)
+                obs.lock_wait(
+                    txn.name, object_name, parked_at, obs.now()
+                )

@@ -12,7 +12,8 @@ correctness -- the engine-conformance pipeline of
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Tuple
+from collections import deque
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.events import Event
 from repro.core.names import (
@@ -25,18 +26,42 @@ from repro.core.object_spec import ObjectSpec, Operation
 
 
 class TraceRecorder:
-    """Collects an engine run's events and its emergent system type."""
+    """Collects an engine run's events and its emergent system type.
 
-    def __init__(self):
-        self.events: List[Event] = []
+    With ``max_events`` set, the recorder runs in bounded ring-buffer
+    mode: only the newest *max_events* events are retained
+    (:attr:`dropped_events` counts the evicted head), so long fuzz or
+    soak runs can keep tracing without unbounded memory growth.  A
+    truncated trace still supports tail inspection and debugging, but
+    not conformance replay -- the replay needs the events from the
+    very first CREATE, so leave ``max_events`` unset for checking runs.
+    """
+
+    def __init__(self, max_events: Optional[int] = None):
+        if max_events is not None and max_events < 1:
+            raise ValueError(
+                "max_events must be positive, got %r" % (max_events,)
+            )
+        self.max_events = max_events
+        self.events: "deque[Event]" = deque(maxlen=max_events)
+        self.dropped_events = 0
         self._children: Dict[TransactionName, List[TransactionName]] = {
             ROOT: []
         }
         self._accesses: Dict[TransactionName, AccessSpec] = {}
         self.commit_values: Dict[TransactionName, Any] = {}
 
+    @property
+    def bounded(self) -> bool:
+        return self.max_events is not None
+
     def record(self, event: Event) -> None:
-        """Append one event to the trace."""
+        """Append one event to the trace (evicting the head if bounded)."""
+        if (
+            self.max_events is not None
+            and len(self.events) == self.max_events
+        ):
+            self.dropped_events += 1
         self.events.append(event)
 
     def record_internal(self, name: TransactionName) -> None:

@@ -206,11 +206,19 @@ def run_case(
     config: FuzzConfig,
     choices: Optional[Sequence[int]] = None,
     strategy: Optional[SchedulingStrategy] = None,
+    observer=None,
+    trace_limit: Optional[int] = None,
 ) -> FuzzCaseResult:
     """Execute one fuzz case deterministically and judge it.
 
     Precedence for the interleaving: an explicit *strategy* wins, then
     a *choices* list (exact replay), then seeded random search.
+
+    *observer* (a :class:`repro.obs.Observer`) attaches the tracing/
+    metrics layer to the run, so a reproducer can ship with a span
+    trace; *trace_limit* bounds the model-alphabet trace recorder
+    (ring-buffer mode) for long runs.  Neither affects the schedule,
+    the oracles, or the digest inputs.
     """
     if strategy is None:
         if choices is not None:
@@ -220,7 +228,11 @@ def run_case(
     workload = config.workload()
     plan = config.plan()
     facade = ThreadSafeEngine(
-        workload.store(), policy=plan.make_policy(), trace=True
+        workload.store(),
+        policy=plan.make_policy(),
+        trace=True,
+        trace_limit=trace_limit,
+        observer=observer,
     )
     injector = FaultInjector(config.seed, plan, config.workers)
     controller = InterleavingController(strategy, injector=injector)

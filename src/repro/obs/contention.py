@@ -1,0 +1,157 @@
+"""Lock-contention profiling: where does blocked time go?
+
+Aggregates, per shared object, how often accesses were denied, how long
+transactions waited, and *who* waited on *whom* (top-level waiter/holder
+pairs) -- the questions a production operator asks when throughput
+drops.  Fed by the :class:`~repro.obs.observer.Observer` from the
+engine's denial path and the blocking layers' wait measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from repro.core.names import TransactionName, pretty_name
+
+
+def _top(name: TransactionName) -> TransactionName:
+    return name[:1]
+
+
+@dataclass
+class ObjectContention:
+    """Aggregate contention facts for one object."""
+
+    object_name: str
+    denials: int = 0
+    waits: int = 0
+    total_wait: float = 0.0
+    max_wait: float = 0.0
+    #: (waiter top-level, holder top-level) -> denial count
+    pairs: Dict[Tuple[TransactionName, TransactionName], int] = field(
+        default_factory=dict
+    )
+
+    @property
+    def mean_wait(self) -> float:
+        if self.waits == 0:
+            return 0.0
+        return self.total_wait / self.waits
+
+    def hottest_pairs(
+        self, limit: int = 3
+    ) -> List[Tuple[Tuple[TransactionName, TransactionName], int]]:
+        return sorted(
+            self.pairs.items(), key=lambda item: (-item[1], item[0])
+        )[:limit]
+
+
+class ContentionProfiler:
+    """Per-object wait-time aggregation with a top-N hot-object view."""
+
+    def __init__(self) -> None:
+        self.objects: Dict[str, ObjectContention] = {}
+
+    def _entry(self, object_name: str) -> ObjectContention:
+        found = self.objects.get(object_name)
+        if found is None:
+            found = self.objects[object_name] = ObjectContention(
+                object_name
+            )
+        return found
+
+    def record_denial(
+        self,
+        object_name: str,
+        waiter: TransactionName,
+        blockers: Iterable[TransactionName],
+    ) -> None:
+        """One denied access: count it and its waiter/holder pairs."""
+        entry = self._entry(object_name)
+        entry.denials += 1
+        waiter_top = _top(waiter)
+        for blocker in blockers:
+            pair = (waiter_top, _top(blocker))
+            entry.pairs[pair] = entry.pairs.get(pair, 0) + 1
+
+    def record_wait(
+        self,
+        object_name: str,
+        waiter: TransactionName,
+        waited: float,
+    ) -> None:
+        """One completed wait of *waited* time units on *object_name*."""
+        entry = self._entry(object_name)
+        entry.waits += 1
+        entry.total_wait += waited
+        if waited > entry.max_wait:
+            entry.max_wait = waited
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def top(self, limit: int = 10) -> List[ObjectContention]:
+        """The *limit* hottest objects by total wait time, then denials."""
+        return sorted(
+            self.objects.values(),
+            key=lambda entry: (
+                -entry.total_wait,
+                -entry.denials,
+                entry.object_name,
+            ),
+        )[:limit]
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        """JSON-ready dump, hottest first."""
+        return [
+            {
+                "object": entry.object_name,
+                "denials": entry.denials,
+                "waits": entry.waits,
+                "total_wait": round(entry.total_wait, 6),
+                "mean_wait": round(entry.mean_wait, 6),
+                "max_wait": round(entry.max_wait, 6),
+                "pairs": [
+                    {
+                        "waiter": pretty_name(waiter),
+                        "holder": pretty_name(holder),
+                        "count": count,
+                    }
+                    for (waiter, holder), count in entry.hottest_pairs()
+                ],
+            }
+            for entry in self.top(limit=len(self.objects))
+        ]
+
+    def render(self, limit: int = 10) -> str:
+        """The hot-object table as aligned plain text."""
+        rows = self.top(limit)
+        if not rows:
+            return "no lock contention recorded"
+        lines = [
+            "%-16s %8s %8s %12s %12s %12s  %s"
+            % (
+                "object", "denials", "waits", "total_wait",
+                "mean_wait", "max_wait", "hottest pairs",
+            )
+        ]
+        for entry in rows:
+            pairs = ", ".join(
+                "%s<-%s x%d"
+                % (pretty_name(waiter), pretty_name(holder), count)
+                for (waiter, holder), count in entry.hottest_pairs()
+            )
+            lines.append(
+                "%-16s %8d %8d %12.4f %12.4f %12.4f  %s"
+                % (
+                    entry.object_name,
+                    entry.denials,
+                    entry.waits,
+                    entry.total_wait,
+                    entry.mean_wait,
+                    entry.max_wait,
+                    pairs or "-",
+                )
+            )
+        return "\n".join(lines)

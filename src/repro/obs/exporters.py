@@ -1,0 +1,170 @@
+"""Exporters: Chrome trace-event JSON, JSONL event stream, text report.
+
+Three ways out of an :class:`~repro.obs.observer.Observer`:
+
+* :func:`to_chrome_trace` / :func:`write_chrome_trace` -- the Trace
+  Event Format understood by ``chrome://tracing`` and Perfetto: one
+  process, one track per recorded worker thread, a complete ("X") event
+  per transaction span (nested children sit inside their parents on the
+  same track) and per lock-wait sub-span, an instant ("i") event per
+  access.
+* :func:`iter_jsonl` / :func:`write_jsonl` -- a line-per-event stream
+  (spans, instants, then one metrics record and one contention record),
+  convenient for ad-hoc ``jq``-style processing.
+* :func:`render_report` -- the plain-text summary: metric catalogue,
+  latency/wait histograms, hot-object contention table.
+
+Timestamps are exported in microseconds (the trace-event convention);
+the observer's clock unit -- wall seconds or simulated time units -- is
+scaled by 1e6 and shifted so the trace starts at zero.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterator, List
+
+from repro.core.names import pretty_name
+from repro.obs.observer import Observer
+
+_SCALE = 1_000_000.0
+
+
+def _origin(observer: Observer) -> float:
+    spans = observer.tracer.completed()
+    starts = [span.start for span in spans]
+    starts.extend(
+        event.timestamp for event in observer.tracer.instants
+    )
+    return min(starts) if starts else 0.0
+
+
+def to_chrome_trace(observer: Observer) -> Dict[str, Any]:
+    """The run as a Chrome trace-event dictionary (JSON-ready)."""
+    spans = observer.tracer.completed()
+    tracks = observer.tracer.tracks()
+    tids = {track: index + 1 for index, track in enumerate(tracks)}
+    origin = _origin(observer)
+    events: List[Dict[str, Any]] = []
+    for track, tid in sorted(tids.items(), key=lambda item: item[1]):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": track},
+            }
+        )
+    for span in spans:
+        args = dict(span.args)
+        if span.txn is not None:
+            args["txn"] = pretty_name(span.txn)
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.category,
+                "ph": "X",
+                "pid": 1,
+                "tid": tids.get(span.track, 0),
+                "ts": round((span.start - origin) * _SCALE, 3),
+                "dur": round(span.duration * _SCALE, 3),
+                "args": args,
+            }
+        )
+    for event in observer.tracer.instants:
+        args = dict(event.args)
+        if event.txn is not None:
+            args["txn"] = pretty_name(event.txn)
+        events.append(
+            {
+                "name": event.name,
+                "cat": event.category,
+                "ph": "i",
+                "s": "t",
+                "pid": 1,
+                "tid": tids.get(event.track, 0),
+                "ts": round((event.timestamp - origin) * _SCALE, 3),
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str, observer: Observer) -> None:
+    """Write the Perfetto-loadable trace file to *path*."""
+    with open(path, "w") as handle:
+        json.dump(to_chrome_trace(observer), handle, indent=None)
+        handle.write("\n")
+
+
+def iter_jsonl(observer: Observer) -> Iterator[str]:
+    """Yield the run as JSON lines: spans, instants, metrics, contention."""
+    for span in observer.tracer.completed():
+        record = {
+            "type": "span",
+            "name": span.name,
+            "cat": span.category,
+            "track": span.track,
+            "start": span.start,
+            "end": span.end,
+            "txn": pretty_name(span.txn) if span.txn is not None else None,
+            "args": span.args,
+        }
+        yield json.dumps(record, sort_keys=True, default=str)
+    for event in observer.tracer.instants:
+        record = {
+            "type": "instant",
+            "name": event.name,
+            "cat": event.category,
+            "track": event.track,
+            "ts": event.timestamp,
+            "txn": (
+                pretty_name(event.txn) if event.txn is not None else None
+            ),
+            "args": dict(event.args),
+        }
+        yield json.dumps(record, sort_keys=True, default=str)
+    yield json.dumps(
+        {"type": "metrics", "metrics": observer.metrics.snapshot()},
+        sort_keys=True,
+    )
+    yield json.dumps(
+        {"type": "contention", "objects": observer.contention.snapshot()},
+        sort_keys=True,
+    )
+
+
+def write_jsonl(path: str, observer: Observer) -> None:
+    with open(path, "w") as handle:
+        for line in iter_jsonl(observer):
+            handle.write(line)
+            handle.write("\n")
+
+
+def render_report(observer: Observer, top: int = 10) -> str:
+    """The plain-text run summary."""
+    spans = observer.tracer.completed()
+    by_category: Dict[str, int] = {}
+    for span in spans:
+        by_category[span.category] = by_category.get(span.category, 0) + 1
+    lines = ["== spans =="]
+    if spans or observer.tracer.instants:
+        for category, count in sorted(by_category.items()):
+            lines.append("%-40s %d" % ("span." + category, count))
+        lines.append(
+            "%-40s %d" % ("instants", len(observer.tracer.instants))
+        )
+        lines.append(
+            "%-40s %d" % ("tracks", len(observer.tracer.tracks()))
+        )
+    else:
+        lines.append("tracing disabled (metrics only)")
+    lines.append("")
+    lines.append("== metrics ==")
+    rendered = observer.metrics.render()
+    lines.append(rendered if rendered else "no metrics recorded")
+    lines.append("")
+    lines.append("== lock contention (top %d) ==" % top)
+    lines.append(observer.contention.render(top))
+    return "\n".join(lines)

@@ -1,0 +1,313 @@
+"""Dependency-free metric primitives: counters, gauges, histograms.
+
+The registry is the numeric half of the observability layer
+(:mod:`repro.obs`): every instrumented component increments counters
+(lock denials, wound-wait victims, aborts by cause), sets gauges (active
+transactions), and feeds histograms (commit latency, lock-wait time)
+through one :class:`MetricsRegistry`.
+
+Two sample-aggregation primitives are provided:
+
+* :class:`Histogram` -- fixed bucket boundaries, O(buckets) memory, for
+  unbounded streams (the registry default);
+* :class:`Summary` -- exact retained samples with nearest-rank
+  percentiles, for bounded sample sets (the simulation runner's
+  latency lists are built on it, so sim tables and obs reports share
+  one :func:`percentile` implementation).
+
+Percentile math is nearest-rank everywhere: :func:`percentile` is the
+single canonical implementation; :meth:`Histogram.quantile` applies the
+same rank formula to cumulative bucket counts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of *values*.
+
+    Pinned edge cases:
+
+    * ``fraction`` outside ``[0, 1]`` raises :class:`ValueError`;
+    * an empty *values* returns ``0.0`` (there is nothing to report);
+    * a single sample is returned for every fraction;
+    * ``fraction == 0.0`` returns the minimum, ``1.0`` the maximum.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(
+            "percentile fraction must be in [0, 1], got %r" % (fraction,)
+        )
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    last = len(ordered) - 1
+    rank = min(last, max(0, int(round(fraction * last))))
+    return ordered[rank]
+
+
+def exponential_buckets(
+    start: float, factor: float, count: int
+) -> Tuple[float, ...]:
+    """``count`` geometrically spaced bucket upper bounds from *start*."""
+    if start <= 0 or factor <= 1 or count < 1:
+        raise ValueError("need start > 0, factor > 1, count >= 1")
+    bounds = []
+    edge = start
+    for _ in range(count):
+        bounds.append(edge)
+        edge *= factor
+    return tuple(bounds)
+
+
+#: Default histogram boundaries: wide enough for both wall-clock seconds
+#: (sub-millisecond lock waits) and simulated time units (latencies in
+#: the tens).
+DEFAULT_BUCKETS = exponential_buckets(0.0001, 4.0, 16)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (set/add; remembers its maximum)."""
+
+    __slots__ = ("value", "high_water")
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self.high_water = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.high_water:
+            self.high_water = value
+
+    def add(self, delta: float) -> None:
+        self.set(self.value + delta)
+
+
+class Histogram:
+    """Fixed-boundary histogram: O(len(bounds)) memory, any stream length.
+
+    ``bounds`` are inclusive upper bucket edges; one overflow bucket
+    catches everything above the last edge.  :meth:`quantile` applies
+    the nearest-rank formula to the cumulative counts and reports the
+    bucket's upper edge (or the observed maximum for the overflow
+    bucket), so estimates are conservative and monotone in ``q``.
+    """
+
+    __slots__ = ("bounds", "bucket_counts", "count", "total", "min", "max")
+
+    def __init__(self, bounds: Optional[Iterable[float]] = None):
+        self.bounds: Tuple[float, ...] = tuple(
+            sorted(bounds if bounds is not None else DEFAULT_BUCKETS)
+        )
+        self.bucket_counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        index = self._bucket_index(value)
+        self.bucket_counts[index] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def _bucket_index(self, value: float) -> int:
+        lo, hi = 0, len(self.bounds)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if value <= self.bounds[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            return 0.0
+        return self.total / self.count
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile estimate from the bucket counts."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1], got %r" % (q,))
+        if self.count == 0:
+            return 0.0
+        last = self.count - 1
+        rank = min(last, max(0, int(round(q * last))))
+        seen = 0
+        for index, bucket in enumerate(self.bucket_counts):
+            seen += bucket
+            if rank < seen:
+                if index < len(self.bounds):
+                    return min(self.bounds[index], self.max)
+                return self.max
+        return self.max  # pragma: no cover - defensive
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": round(self.total, 6),
+            "mean": round(self.mean, 6),
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+
+class Summary:
+    """Exact retained samples with canonical nearest-rank percentiles.
+
+    For bounded sample sets (one latency per committed program, one wait
+    per park) where exactness matters more than memory.  ``values`` is
+    the live list -- callers may append to it directly, which is what
+    keeps :class:`repro.sim.metrics.RunMetrics` backward compatible.
+    """
+
+    __slots__ = ("values",)
+
+    def __init__(self, values: Optional[Iterable[float]] = None):
+        self.values: List[float] = list(values) if values else []
+
+    def add(self, value: float) -> None:
+        self.values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        if not self.values:
+            return 0.0
+        return sum(self.values) / len(self.values)
+
+    def percentile(self, fraction: float) -> float:
+        return percentile(self.values, fraction)
+
+    def to_histogram(
+        self, bounds: Optional[Iterable[float]] = None
+    ) -> Histogram:
+        """Bucket the retained samples (for obs-style reporting)."""
+        histogram = Histogram(bounds)
+        for value in self.values:
+            histogram.observe(value)
+        return histogram
+
+
+def _key(name: str, labels: Dict[str, Any]) -> Tuple:
+    return (name, tuple(sorted(labels.items())))
+
+
+def _render_key(key: Tuple) -> str:
+    name, labels = key
+    if not labels:
+        return name
+    inner = ",".join("%s=%s" % (k, v) for k, v in labels)
+    return "%s{%s}" % (name, inner)
+
+
+class MetricsRegistry:
+    """All counters, gauges, and histograms of one observed run.
+
+    Instruments get-or-create by ``(name, labels)``; labels are plain
+    keyword arguments (``registry.counter("txn.abort", cause="wound")``).
+    Snapshots and the text rendering sort keys, so reports are
+    deterministic given deterministic instrumentation.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[Tuple, Counter] = {}
+        self._gauges: Dict[Tuple, Gauge] = {}
+        self._histograms: Dict[Tuple, Histogram] = {}
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = _key(name, labels)
+        found = self._counters.get(key)
+        if found is None:
+            found = self._counters[key] = Counter()
+        return found
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = _key(name, labels)
+        found = self._gauges.get(key)
+        if found is None:
+            found = self._gauges[key] = Gauge()
+        return found
+
+    def histogram(
+        self,
+        name: str,
+        bounds: Optional[Iterable[float]] = None,
+        **labels: Any,
+    ) -> Histogram:
+        key = _key(name, labels)
+        found = self._histograms.get(key)
+        if found is None:
+            found = self._histograms[key] = Histogram(bounds)
+        return found
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-ready dump of every metric."""
+        return {
+            "counters": {
+                _render_key(key): counter.value
+                for key, counter in sorted(self._counters.items())
+            },
+            "gauges": {
+                _render_key(key): {
+                    "value": gauge.value,
+                    "high_water": gauge.high_water,
+                }
+                for key, gauge in sorted(self._gauges.items())
+            },
+            "histograms": {
+                _render_key(key): histogram.snapshot()
+                for key, histogram in sorted(self._histograms.items())
+            },
+        }
+
+    def render(self) -> str:
+        """Plain-text metric listing, one metric per line."""
+        lines: List[str] = []
+        for key, counter in sorted(self._counters.items()):
+            lines.append("%-40s %d" % (_render_key(key), counter.value))
+        for key, gauge in sorted(self._gauges.items()):
+            lines.append(
+                "%-40s %g (high %g)"
+                % (_render_key(key), gauge.value, gauge.high_water)
+            )
+        for key, histogram in sorted(self._histograms.items()):
+            snap = histogram.snapshot()
+            lines.append(
+                "%-40s count=%d mean=%.4g p50=%.4g p95=%.4g max=%.4g"
+                % (
+                    _render_key(key),
+                    snap["count"],
+                    snap["mean"],
+                    snap["p50"],
+                    snap["p95"],
+                    snap["max"],
+                )
+            )
+        return "\n".join(lines)

@@ -1,0 +1,218 @@
+"""The injectable observation hook every execution layer reports to.
+
+An :class:`Observer` bundles the three collectors of :mod:`repro.obs`
+-- span tracer, metrics registry, lock-contention profiler -- behind the
+narrow vocabulary of engine events: transaction begin/commit/abort,
+access granted, lock denied, lock wait finished, lock-table transition,
+wound-wait victim, deadlock.  The engine, the thread-safe facade, the
+simulation runners, and the fuzzer all take an optional observer
+(default ``None``) and guard each call site with a single attribute
+lookup, so uninstrumented runs pay essentially nothing.
+
+The observer owns the clock.  Wall-clock layers leave the default
+(:func:`time.perf_counter`); the discrete-event runners re-point it at
+the simulated clock via :meth:`use_clock`, and every span and wait is
+then measured in simulated time units instead of seconds.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, Iterable, Optional, Union
+
+from repro.core.names import TransactionName
+from repro.obs.contention import ContentionProfiler
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NullTracer, SpanTracer
+
+
+class Observer:
+    """Receives structured events; fans out to tracer/metrics/profiler.
+
+    Parameters
+    ----------
+    trace:
+        When True (default), collect spans in a :class:`SpanTracer`;
+        when False, a :class:`NullTracer` drops them and only metrics
+        and contention aggregation remain.
+    clock:
+        Zero-argument callable returning the current time.  Replaceable
+        later with :meth:`use_clock` (the simulator does).
+    """
+
+    def __init__(
+        self,
+        trace: bool = True,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        self.tracer: Union[SpanTracer, NullTracer] = (
+            SpanTracer() if trace else NullTracer()
+        )
+        self.metrics = MetricsRegistry()
+        self.contention = ContentionProfiler()
+        self._clock = clock
+        self._started: Dict[TransactionName, float] = {}
+        self._abort_causes: Dict[TransactionName, str] = {}
+
+    # ------------------------------------------------------------------
+    # Time
+    # ------------------------------------------------------------------
+    def now(self) -> float:
+        return self._clock()
+
+    def use_clock(self, clock: Callable[[], float]) -> None:
+        """Re-point the observer at a different clock (e.g. sim time)."""
+        self._clock = clock
+
+    # ------------------------------------------------------------------
+    # Transaction lifecycle
+    # ------------------------------------------------------------------
+    def txn_begin(self, name: TransactionName) -> None:
+        now = self.now()
+        self._started[name] = now
+        scope = "top" if len(name) == 1 else "child"
+        self.metrics.counter("txn.begin", scope=scope).inc()
+        self.metrics.gauge("txn.active").add(1)
+        self.tracer.begin_txn(name, now)
+
+    def txn_commit(self, name: TransactionName) -> None:
+        now = self.now()
+        scope = "top" if len(name) == 1 else "child"
+        self.metrics.counter("txn.commit", scope=scope).inc()
+        self.metrics.gauge("txn.active").add(-1)
+        started = self._started.pop(name, None)
+        if started is not None:
+            self.metrics.histogram(
+                "txn.commit_latency", scope=scope
+            ).observe(now - started)
+        self._abort_causes.pop(name, None)
+        self.tracer.end_txn(name, now, "commit")
+
+    def txn_abort(self, name: TransactionName, cause: str = "explicit") -> None:
+        now = self.now()
+        scope = "top" if len(name) == 1 else "child"
+        cause = self._abort_causes.pop(name, cause)
+        self.metrics.counter("txn.abort", scope=scope, cause=cause).inc()
+        self.metrics.gauge("txn.active").add(-1)
+        self._started.pop(name, None)
+        self.tracer.end_txn(name, now, "abort", cause=cause)
+
+    def mark_abort_cause(self, name: TransactionName, cause: str) -> None:
+        """Pre-tag the cause of an abort about to be driven by a runner.
+
+        The engine's abort transition does not know *why* it was asked
+        to abort; layers that do (wound-wait, deadlock detection, fault
+        injection) tag the victim first, and :meth:`txn_abort` picks the
+        tag up.  The first tag wins: a wound-wait tag placed by the
+        conflict path is not overwritten by the generic victim-abort
+        path that follows it.
+        """
+        self._abort_causes.setdefault(name, cause)
+
+    # ------------------------------------------------------------------
+    # Accesses and locks
+    # ------------------------------------------------------------------
+    def access(
+        self,
+        txn: TransactionName,
+        object_name: str,
+        kind: str,
+        is_read: bool,
+    ) -> None:
+        """One granted (and immediately committed) access leaf."""
+        mode = "read" if is_read else "write"
+        self.metrics.counter("access", mode=mode).inc()
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "%s %s" % ("r" if is_read else "w", object_name),
+                "access",
+                self.now(),
+                txn=txn,
+                object=object_name,
+                op=kind,
+            )
+
+    def lock_denied(
+        self,
+        txn: TransactionName,
+        object_name: str,
+        blockers: Iterable[TransactionName],
+    ) -> None:
+        blockers = tuple(blockers)
+        self.metrics.counter("lock.denials").inc()
+        self.contention.record_denial(object_name, txn, blockers)
+
+    def lock_wait(
+        self,
+        txn: TransactionName,
+        object_name: str,
+        started: float,
+        ended: float,
+    ) -> None:
+        """One finished wait for *object_name* (granted or given up)."""
+        waited = max(0.0, ended - started)
+        self.metrics.counter("lock.waits").inc()
+        self.metrics.histogram("lock.wait_time").observe(waited)
+        self.contention.record_wait(object_name, txn, waited)
+        if self.tracer.enabled:
+            self.tracer.add_span(
+                "wait %s" % object_name,
+                "wait",
+                started,
+                ended,
+                txn=txn,
+                object=object_name,
+            )
+
+    def lock_transition(
+        self,
+        kind: str,
+        name: TransactionName,
+        objects: Iterable[str],
+    ) -> None:
+        """A lock-table transition from the lock manager.
+
+        ``commit`` transitions move locks upward to the parent -- Moss
+        lock *inheritance*, counted per touched object; ``abort``
+        transitions release them.
+        """
+        touched = len(tuple(objects))
+        if kind == "commit" and len(name) > 1:
+            self.metrics.counter("lock.inherited").inc(touched)
+        elif kind == "abort":
+            self.metrics.counter("lock.released_abort").inc(touched)
+
+    # ------------------------------------------------------------------
+    # Conflict resolution
+    # ------------------------------------------------------------------
+    def wound(
+        self, victim: TransactionName, by: TransactionName
+    ) -> None:
+        """Wound-wait chose *victim* (younger) to die for *by* (older)."""
+        self.metrics.counter("woundwait.victims").inc()
+        self.mark_abort_cause(victim[:1], "wound-wait")
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "wound", "conflict", self.now(), txn=victim[:1]
+            )
+
+    def deadlock(self, victim: Optional[TransactionName] = None) -> None:
+        self.metrics.counter("deadlocks").inc()
+        if victim is not None:
+            self.mark_abort_cause(victim[:1], "deadlock")
+
+    # ------------------------------------------------------------------
+    # Generic instruments (distribution costs, driver-specific counts)
+    # ------------------------------------------------------------------
+    def count(self, name: str, amount: int = 1, **labels: Any) -> None:
+        self.metrics.counter(name, **labels).inc(amount)
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        self.metrics.histogram(name, **labels).observe(value)
+
+    # ------------------------------------------------------------------
+    # Finishing
+    # ------------------------------------------------------------------
+    def finish(self) -> None:
+        """Close any still-open spans (call once, after the run)."""
+        self.tracer.finish(self.now())

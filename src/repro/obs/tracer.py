@@ -1,0 +1,216 @@
+"""Structured span tracing whose span tree mirrors the transaction tree.
+
+A *span* covers one transaction's lifetime (opened at CREATE, closed at
+COMMIT or ABORT) or one sub-activity inside it (a lock wait, an access).
+Spans carry the transaction name, so the parent/child structure of the
+recorded spans is exactly the transaction tree -- the paper's first-class
+artifact, made visible.
+
+The tracer is deliberately dumb about time: every record call takes
+explicit timestamps supplied by the :class:`~repro.obs.observer.Observer`,
+which owns the clock (wall time for threaded runs, simulated time for
+the DES).  Collection is buffered in memory behind one mutex, so worker
+threads can record concurrently; :class:`NullTracer` is the disabled
+twin whose methods do nothing, keeping instrumented hot paths at a
+single attribute lookup plus a no-op call when tracing is off.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.names import TransactionName, pretty_name
+
+
+@dataclass
+class Span:
+    """One completed (or still open) traced activity."""
+
+    name: str
+    category: str  # "txn" | "wait" | "access" | ...
+    start: float
+    end: Optional[float] = None
+    track: str = "main"
+    txn: Optional[TransactionName] = None
+    parent: Optional[TransactionName] = None
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            return 0.0
+        return max(0.0, self.end - self.start)
+
+
+@dataclass(frozen=True)
+class Instant:
+    """A zero-duration traced event (e.g. one instantaneous access)."""
+
+    name: str
+    category: str
+    timestamp: float
+    track: str = "main"
+    txn: Optional[TransactionName] = None
+    args: Tuple[Tuple[str, Any], ...] = ()
+
+
+def _track_name() -> str:
+    return threading.current_thread().name
+
+
+class SpanTracer:
+    """Thread-safe buffered span collection."""
+
+    #: instrumented call sites may skip argument building when False
+    enabled = True
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self.spans: List[Span] = []
+        self.instants: List[Instant] = []
+        self._open: Dict[TransactionName, Span] = {}
+
+    # ------------------------------------------------------------------
+    # Transaction spans (open/close keyed by transaction name)
+    # ------------------------------------------------------------------
+    def begin_txn(self, name: TransactionName, start: float) -> None:
+        """Open the span of transaction *name* at *start*."""
+        span = Span(
+            name=pretty_name(name),
+            category="txn",
+            start=start,
+            track=_track_name(),
+            txn=name,
+            parent=name[:-1] if name else None,
+        )
+        with self._mutex:
+            self._open[name] = span
+
+    def end_txn(
+        self,
+        name: TransactionName,
+        end: float,
+        outcome: str,
+        **args: Any,
+    ) -> None:
+        """Close transaction *name*'s span with its outcome."""
+        with self._mutex:
+            span = self._open.pop(name, None)
+            if span is None:
+                # End without a recorded begin (observer attached
+                # mid-run): synthesise a zero-length span.
+                span = Span(
+                    name=pretty_name(name),
+                    category="txn",
+                    start=end,
+                    track=_track_name(),
+                    txn=name,
+                    parent=name[:-1] if name else None,
+                )
+            span.end = end
+            span.args["outcome"] = outcome
+            span.args.update(args)
+            self.spans.append(span)
+
+    # ------------------------------------------------------------------
+    # Completed sub-spans and instants
+    # ------------------------------------------------------------------
+    def add_span(
+        self,
+        name: str,
+        category: str,
+        start: float,
+        end: float,
+        txn: Optional[TransactionName] = None,
+        **args: Any,
+    ) -> None:
+        """Record an already-finished sub-activity span."""
+        span = Span(
+            name=name,
+            category=category,
+            start=start,
+            end=max(start, end),
+            track=_track_name(),
+            txn=txn,
+            parent=txn,
+            args=dict(args),
+        )
+        with self._mutex:
+            self.spans.append(span)
+
+    def instant(
+        self,
+        name: str,
+        category: str,
+        timestamp: float,
+        txn: Optional[TransactionName] = None,
+        **args: Any,
+    ) -> None:
+        """Record a zero-duration event."""
+        event = Instant(
+            name=name,
+            category=category,
+            timestamp=timestamp,
+            track=_track_name(),
+            txn=txn,
+            args=tuple(sorted(args.items())),
+        )
+        with self._mutex:
+            self.instants.append(event)
+
+    # ------------------------------------------------------------------
+    # Finishing
+    # ------------------------------------------------------------------
+    def finish(self, now: float) -> None:
+        """Close any spans still open (transactions never finished)."""
+        with self._mutex:
+            for name, span in sorted(self._open.items()):
+                span.end = max(span.start, now)
+                span.args["outcome"] = "unfinished"
+                self.spans.append(span)
+            self._open.clear()
+
+    def completed(self) -> List[Span]:
+        """A snapshot copy of the finished spans (sorted by start)."""
+        with self._mutex:
+            return sorted(
+                list(self.spans), key=lambda s: (s.start, s.name)
+            )
+
+    def tracks(self) -> List[str]:
+        with self._mutex:
+            names = {span.track for span in self.spans}
+            names.update(event.track for event in self.instants)
+        return sorted(names)
+
+
+class NullTracer:
+    """The tracer that records nothing (tracing disabled)."""
+
+    enabled = False
+    #: empty, so exporters can treat both tracers uniformly
+    spans: Tuple[Span, ...] = ()
+    instants: Tuple[Instant, ...] = ()
+
+    def begin_txn(self, name, start) -> None:
+        pass
+
+    def end_txn(self, name, end, outcome, **args) -> None:
+        pass
+
+    def add_span(self, name, category, start, end, txn=None, **args) -> None:
+        pass
+
+    def instant(self, name, category, timestamp, txn=None, **args) -> None:
+        pass
+
+    def finish(self, now) -> None:
+        pass
+
+    def completed(self):
+        return []
+
+    def tracks(self):
+        return []

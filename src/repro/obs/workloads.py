@@ -1,0 +1,213 @@
+"""Ready-made observed workloads for the ``trace`` and ``top`` commands.
+
+Each function drives one execution layer with an
+:class:`~repro.obs.observer.Observer` attached and returns a small
+result summary; the CLI then exports the observer's trace and report.
+Workloads are seeded and deterministic (the threaded one is
+deterministic in its *work*, though wall-clock span timings naturally
+vary run to run).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Dict, Optional
+
+from repro.obs.observer import Observer
+
+
+def run_quickstart(observer: Observer, seed: int = 0) -> Dict[str, int]:
+    """The quickstart scenario: nested transfers with abortable legs."""
+    from repro.adt import BankAccount, IntRegister
+    from repro.engine import Engine
+
+    engine = Engine(
+        [
+            BankAccount("acct", 100),
+            BankAccount("savings", 50),
+            IntRegister("audit_log"),
+        ],
+        observer=observer,
+    )
+    rng = random.Random(seed)
+    transfers = 0
+    failures = 0
+    for round_index in range(6):
+        with engine.begin_top() as transfer:
+            amount = rng.randrange(10, 80)
+            leg = transfer.begin_child()
+            if leg.perform("acct", BankAccount.withdraw(amount)):
+                leg.commit()
+                credit = transfer.begin_child()
+                credit.perform("savings", BankAccount.deposit(amount))
+                credit.commit()
+                transfer.perform("audit_log", IntRegister.add(1))
+                transfers += 1
+            else:
+                leg.abort()
+                failures += 1
+        with engine.begin_top() as audit:
+            audit.perform("acct", BankAccount.balance())
+            audit.perform("savings", BankAccount.balance())
+            audit.perform("audit_log", IntRegister.read())
+    observer.finish()
+    return {"transfers": transfers, "insufficient": failures}
+
+
+def run_banking(
+    observer: Observer, seed: int = 0, transfers: int = 40
+) -> Dict[str, int]:
+    """The banking example's transfer batch (fallback-debit pattern)."""
+    from repro.adt import BankAccount
+    from repro.engine import Engine
+    from repro.errors import LockDenied
+
+    accounts = ["acct%d" % index for index in range(10)]
+    engine = Engine(
+        [BankAccount(name, 100) for name in accounts],
+        observer=observer,
+    )
+    rng = random.Random(seed)
+    ok = 0
+    aborted = 0
+    for _ in range(transfers):
+        source, fallback, target = rng.sample(accounts, 3)
+        amount = rng.randrange(10, 120)
+        with engine.begin_top() as transfer:
+            debited = None
+            for candidate in (source, fallback):
+                leg = transfer.begin_child()
+                try:
+                    if leg.perform(
+                        candidate, BankAccount.withdraw(amount)
+                    ):
+                        leg.commit()
+                        debited = candidate
+                        break
+                    leg.abort()
+                except LockDenied:
+                    leg.abort()
+            if debited is None:
+                transfer.abort()
+                aborted += 1
+                continue
+            credit = transfer.begin_child()
+            credit.perform(target, BankAccount.deposit(amount))
+            credit.commit()
+            ok += 1
+    observer.finish()
+    return {"transfers": ok, "aborted": aborted}
+
+
+def run_threads(
+    observer: Observer,
+    seed: int = 0,
+    workers: int = 4,
+    increments: int = 25,
+) -> Dict[str, int]:
+    """Worker threads contending on shared counters (one track each)."""
+    from repro.adt import Counter
+    from repro.engine.threadsafe import ThreadSafeEngine
+    from repro.errors import LockDenied, TransactionAborted
+
+    facade = ThreadSafeEngine(
+        [Counter("hot"), Counter("warm"), Counter("cold")],
+        observer=observer,
+    )
+    wounded = [0] * workers
+
+    def body(worker_id: int) -> None:
+        rng = random.Random(seed * 1000 + worker_id)
+        for _ in range(increments):
+            # Zipf-ish skew: most increments hit the hot counter.
+            roll = rng.random()
+            name = (
+                "hot" if roll < 0.7
+                else "warm" if roll < 0.9
+                else "cold"
+            )
+            top = facade.begin_top()
+            try:
+                top.perform(name, Counter.increment(1))
+                top.commit()
+            except (TransactionAborted, LockDenied):
+                wounded[worker_id] += 1
+                if top.is_active:
+                    top.abort()
+
+    threads = [
+        threading.Thread(
+            target=body, args=(worker_id,), name="worker-%d" % worker_id
+        )
+        for worker_id in range(workers)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    total = facade.object_value("hot") + facade.object_value(
+        "warm"
+    ) + facade.object_value("cold")
+    observer.finish()
+    return {"committed_increments": total, "wounded": sum(wounded)}
+
+
+def run_contended_sim(
+    observer: Observer,
+    seed: int = 0,
+    programs: int = 24,
+    objects: int = 6,
+    mpl: int = 8,
+    policy: str = "moss-rw",
+    zipf_skew: float = 0.9,
+    read_fraction: float = 0.2,
+):
+    """A deliberately contended simulation run (for ``repro top``)."""
+    from repro.sim import (
+        SimulationConfig,
+        WorkloadConfig,
+        make_store,
+        make_workload,
+        run_simulation,
+    )
+
+    config = WorkloadConfig(
+        programs=programs,
+        objects=objects,
+        read_fraction=read_fraction,
+        zipf_skew=zipf_skew,
+        depth=2,
+        fanout=2,
+        accesses_per_block=2,
+    )
+    workload = make_workload(seed, config)
+    store = make_store(config)
+    metrics = run_simulation(
+        workload,
+        store,
+        SimulationConfig(mpl=mpl, policy=policy, seed=seed),
+        observer=observer,
+    )
+    observer.finish()
+    return metrics
+
+
+WORKLOADS = {
+    "quickstart": run_quickstart,
+    "banking": run_banking,
+    "threads": run_threads,
+}
+
+
+def run_workload(
+    name: str, observer: Observer, seed: int = 0
+) -> Optional[Dict[str, int]]:
+    try:
+        runner = WORKLOADS[name]
+    except KeyError:
+        raise ValueError(
+            "unknown workload %r (choose from %s)"
+            % (name, ", ".join(sorted(WORKLOADS)))
+        ) from None
+    return runner(observer, seed=seed)

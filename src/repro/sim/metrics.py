@@ -1,20 +1,20 @@
-"""Run metrics collected by the simulation runner."""
+"""Run metrics collected by the simulation runner.
+
+Latency aggregation is built on the observability layer's primitives
+(:mod:`repro.obs.metrics`): the canonical nearest-rank
+:func:`~repro.obs.metrics.percentile` and the exact-sample
+:class:`~repro.obs.metrics.Summary`, so the benchmark tables and the
+``repro trace``/``top`` reports share one percentile implementation.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
+from repro.obs.metrics import Histogram, Summary, percentile
 
-def percentile(values: List[float], fraction: float) -> float:
-    """Nearest-rank percentile of *values* (0 for an empty list)."""
-    if not values:
-        return 0.0
-    ordered = sorted(values)
-    rank = min(
-        len(ordered) - 1, max(0, int(round(fraction * (len(ordered) - 1))))
-    )
-    return ordered[rank]
+__all__ = ["RunMetrics", "percentile"]
 
 
 @dataclass
@@ -42,18 +42,27 @@ class RunMetrics:
         return self.committed / self.makespan
 
     @property
+    def latency_summary(self) -> Summary:
+        """The latency samples as an exact-percentile summary."""
+        return Summary(self.latencies)
+
+    def latency_histogram(
+        self, bounds: Optional[List[float]] = None
+    ) -> Histogram:
+        """The latencies bucketed for obs-style bounded-memory reports."""
+        return self.latency_summary.to_histogram(bounds)
+
+    @property
     def mean_latency(self) -> float:
-        if not self.latencies:
-            return 0.0
-        return sum(self.latencies) / len(self.latencies)
+        return self.latency_summary.mean
 
     @property
     def p50_latency(self) -> float:
-        return percentile(self.latencies, 0.50)
+        return self.latency_summary.percentile(0.50)
 
     @property
     def p95_latency(self) -> float:
-        return percentile(self.latencies, 0.95)
+        return self.latency_summary.percentile(0.95)
 
     @property
     def wasted_access_fraction(self) -> float:

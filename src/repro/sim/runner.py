@@ -120,11 +120,16 @@ class _Runner:
         programs: Sequence[Program],
         store: Sequence[ObjectSpec],
         config: SimulationConfig,
+        observer=None,
     ):
         self.config = config
         self.mpl = 1 if config.policy == "serial" else config.mpl
-        self.engine = _make_engine(config.policy, store)
         self.sim = Simulator()
+        self.obs = observer
+        if observer is not None:
+            # Spans and waits are measured in simulated time units.
+            observer.use_clock(lambda: self.sim.now)
+        self.engine = _make_engine(config.policy, store, observer)
         self.rng = random.Random(config.seed)
         self.metrics = RunMetrics(policy=config.policy)
         self.queue: List[_ProgramRun] = [
@@ -315,6 +320,8 @@ class _Runner:
                 self.metrics.accesses_redone += (
                     run.attempt_accesses - started
                 )
+                if self.obs is not None:
+                    self.obs.mark_abort_cause(child.name, "injected")
                 child.abort()
                 self._wake_blocked()
                 if run.txn is not None and not run.txn.is_active:
@@ -404,7 +411,12 @@ class _Runner:
                 self._abort_victim(victim)
                 self._wake_blocked()
             return
-        self.metrics.wait_time += self.sim.now - requested_at
+        waited = self.sim.now - requested_at
+        self.metrics.wait_time += waited
+        if self.obs is not None and waited > 0:
+            self.obs.lock_wait(
+                txn.name, op.object_name, requested_at, self.sim.now
+            )
         self.metrics.accesses_done += 1
         run.attempt_accesses += 1
         self.sim.after(op.duration, done)
@@ -477,6 +489,16 @@ class _Runner:
             self.engine.count_deadlock()
             if self._intra_tree_blockers(entry):
                 run.self_deadlocks += 1
+            if self.obs is not None:
+                self.obs.lock_wait(
+                    entry.txn.name,
+                    entry.op.object_name,
+                    entry.requested_at,
+                    self.sim.now,
+                )
+                self.obs.mark_abort_cause(
+                    top_level(run.txn.name), "lock-timeout"
+                )
             run.txn.abort()
             self._restart_program(run)
 
@@ -543,6 +565,10 @@ class _Runner:
         if dfs(id(entry)) and run.txn is not None and run.txn.is_active:
             self.engine.count_deadlock()
             run.self_deadlocks += 1
+            if self.obs is not None:
+                self.obs.mark_abort_cause(
+                    top_level(run.txn.name), "deadlock"
+                )
             run.txn.abort()
             self._restart_program(run)
             return True
@@ -584,6 +610,8 @@ class _Runner:
                     and victim_run.txn.is_active
                 ):
                     self.engine.count_deadlock()
+                    if self.obs is not None:
+                        self.obs.wound(target, my_top)
                     self._abort_victim(target)
                     wounded = True
         if wounded:
@@ -625,6 +653,10 @@ class _Runner:
             return
         if run.txn is None or not run.txn.is_active:
             return
+        if self.obs is not None:
+            # First tag wins: the wound path has already tagged its
+            # victims, everything else here died to a detected deadlock.
+            self.obs.mark_abort_cause(victim, "deadlock")
         run.txn.abort()
         self._restart_program(run)
 
@@ -652,22 +684,33 @@ class _Runner:
         self.sim.after(delay, lambda: self._start_attempt(run))
 
 
-def _make_engine(policy: str, store: Sequence[ObjectSpec]):
+def _make_engine(
+    policy: str, store: Sequence[ObjectSpec], observer=None
+):
     """Instantiate the engine for a runner policy name."""
     if policy == "mvto":
         from repro.mvto import MVTOEngine
 
+        # The MVTO engine is timestamp-based and not lock-instrumented.
         return MVTOEngine(store)
     engine_policy = "moss-rw" if policy == "serial" else policy
-    return Engine(store, policy=engine_policy)
+    return Engine(store, policy=engine_policy, observer=observer)
 
 
 def run_simulation(
     programs: Sequence[Program],
     store: Sequence[ObjectSpec],
     config: Optional[SimulationConfig] = None,
+    observer=None,
 ) -> RunMetrics:
-    """Execute *programs* against a fresh engine; return the metrics."""
-    runner = _Runner(programs, store, config or SimulationConfig())
+    """Execute *programs* against a fresh engine; return the metrics.
+
+    *observer* (a :class:`repro.obs.Observer`) is re-clocked to
+    simulated time and fed the run's lifecycle, lock-wait, and
+    conflict-resolution events.
+    """
+    runner = _Runner(
+        programs, store, config or SimulationConfig(), observer=observer
+    )
     runner.start()
     return runner.metrics

@@ -69,6 +69,67 @@ class TestTraceRecorder:
         assert system_type.is_read_access(access)
 
 
+class TestRingBufferMode:
+    def test_unbounded_by_default(self):
+        recorder = TraceRecorder()
+        assert recorder.bounded is False
+        for index in range(100):
+            recorder.record(Create((index,)))
+        assert len(recorder.schedule()) == 100
+        assert recorder.dropped_events == 0
+
+    def test_tail_is_preserved_and_drops_counted(self):
+        recorder = TraceRecorder(max_events=3)
+        assert recorder.bounded is True
+        for index in range(10):
+            recorder.record(Create((index,)))
+        # The newest three events survive, oldest first.
+        assert recorder.schedule() == (
+            Create((7,)),
+            Create((8,)),
+            Create((9,)),
+        )
+        assert recorder.dropped_events == 7
+
+    def test_no_drops_until_full(self):
+        recorder = TraceRecorder(max_events=5)
+        for index in range(5):
+            recorder.record(Create((index,)))
+        assert recorder.dropped_events == 0
+        assert len(recorder.schedule()) == 5
+
+    def test_nonpositive_limit_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(max_events=0)
+        with pytest.raises(ValueError):
+            TraceRecorder(max_events=-3)
+
+    def test_engine_passes_trace_limit_through(self):
+        engine = Engine([Counter("c")], trace=True, trace_limit=4)
+        for _ in range(3):
+            top = engine.begin_top()
+            top.perform("c", Counter.increment(1))
+            top.commit()
+        assert engine.recorder.bounded
+        assert len(engine.recorder.schedule()) == 4
+        assert engine.recorder.dropped_events > 0
+        # The tail is the newest events: the last commit's lock hand-off
+        # (the InformCommitAt for "c") is the final retained event.
+        kinds = [type(e).__name__ for e in engine.recorder.schedule()]
+        assert kinds[-1] == "InformCommitAt"
+
+    def test_system_type_survives_truncation(self):
+        # The tree metadata is kept outside the ring buffer, so the
+        # emergent system type is complete even when events dropped.
+        engine = Engine([Counter("c")], trace=True, trace_limit=2)
+        top = engine.begin_top()
+        top.perform("c", Counter.increment(1))
+        top.commit()
+        system_type = engine.recorder.system_type(engine.specs)
+        assert system_type.contains(top.name)
+        assert len(list(system_type.all_accesses())) == 1
+
+
 class TestNullRecorder:
     def test_everything_is_a_noop(self):
         recorder = NullRecorder()

@@ -1,0 +1,72 @@
+"""Unit tests for the lock-contention profiler (repro.obs.contention)."""
+
+from repro.obs.contention import ContentionProfiler, ObjectContention
+
+
+class TestObjectContention:
+    def test_mean_wait_of_empty_is_zero(self):
+        entry = ObjectContention("x")
+        assert entry.mean_wait == 0.0
+
+    def test_hottest_pairs_orders_by_count_then_pair(self):
+        entry = ObjectContention("x")
+        entry.pairs = {
+            ((0,), (1,)): 2,
+            ((2,), (1,)): 5,
+            ((1,), (0,)): 2,
+        }
+        ordered = entry.hottest_pairs(limit=2)
+        assert ordered[0] == (((2,), (1,)), 5)
+        assert ordered[1] == (((0,), (1,)), 2)
+
+
+class TestContentionProfiler:
+    def test_record_denial_counts_top_level_pairs(self):
+        profiler = ContentionProfiler()
+        profiler.record_denial("x", (1, 0), [(0, 2), (0, 3)])
+        entry = profiler.objects["x"]
+        assert entry.denials == 1
+        # Both blockers collapse to top-level T0.
+        assert entry.pairs == {((1,), (0,)): 2}
+
+    def test_record_wait_aggregates(self):
+        profiler = ContentionProfiler()
+        profiler.record_wait("x", (1,), 2.0)
+        profiler.record_wait("x", (2,), 6.0)
+        entry = profiler.objects["x"]
+        assert entry.waits == 2
+        assert entry.total_wait == 8.0
+        assert entry.mean_wait == 4.0
+        assert entry.max_wait == 6.0
+
+    def test_top_orders_by_total_wait_then_denials(self):
+        profiler = ContentionProfiler()
+        profiler.record_wait("cold", (0,), 1.0)
+        profiler.record_wait("hot", (0,), 10.0)
+        profiler.record_denial("noisy", (0,), [(1,)])
+        profiler.record_denial("noisy", (0,), [(1,)])
+        top = profiler.top(limit=2)
+        assert [entry.object_name for entry in top] == ["hot", "cold"]
+        everything = profiler.top(limit=10)
+        # Zero-wait objects sort after waited-on ones, by denials.
+        assert everything[-1].object_name == "noisy"
+
+    def test_snapshot_is_json_ready(self):
+        profiler = ContentionProfiler()
+        profiler.record_denial("x", (1, 0), [(0,)])
+        profiler.record_wait("x", (1, 0), 0.5)
+        (record,) = profiler.snapshot()
+        assert record["object"] == "x"
+        assert record["denials"] == 1
+        assert record["waits"] == 1
+        assert record["pairs"] == [
+            {"waiter": "T0.1", "holder": "T0.0", "count": 1}
+        ]
+
+    def test_render_empty_and_nonempty(self):
+        profiler = ContentionProfiler()
+        assert "no lock contention" in profiler.render()
+        profiler.record_denial("x", (1,), [(0,)])
+        text = profiler.render()
+        assert "object" in text
+        assert "T0.1<-T0.0 x1" in text

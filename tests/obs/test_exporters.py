@@ -1,0 +1,148 @@
+"""Exporter tests: Chrome trace-event JSON, JSONL stream, text report."""
+
+import json
+from collections import defaultdict
+
+from repro.obs import (
+    Observer,
+    iter_jsonl,
+    render_report,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.workloads import run_quickstart
+
+
+def observed_quickstart():
+    observer = Observer()
+    run_quickstart(observer, seed=0)
+    return observer
+
+
+def assert_tracks_are_consistent(events):
+    """Spans on each track must stack: contained or disjoint, never
+    partially overlapping, with non-negative ts/dur."""
+    by_track = defaultdict(list)
+    for event in events:
+        if event["ph"] != "X":
+            continue
+        assert event["ts"] >= 0
+        assert event["dur"] >= 0
+        by_track[event["tid"]].append(event)
+    assert by_track, "no complete events exported"
+    for track_events in by_track.values():
+        track_events.sort(key=lambda e: (e["ts"], -e["dur"]))
+        stack = []
+        for event in track_events:
+            start, end = event["ts"], event["ts"] + event["dur"]
+            while stack and start >= stack[-1][1]:
+                stack.pop()
+            if stack:
+                # Opened inside the enclosing span: must end inside it.
+                assert end <= stack[-1][1], (
+                    "span %r partially overlaps its predecessor"
+                    % event["name"]
+                )
+            stack.append((start, end))
+
+
+class TestChromeTrace:
+    def test_round_trips_through_json(self, tmp_path):
+        observer = observed_quickstart()
+        path = tmp_path / "trace.json"
+        write_chrome_trace(str(path), observer)
+        payload = json.loads(path.read_text())
+        assert payload["traceEvents"]
+        assert payload["displayTimeUnit"] == "ms"
+
+    def test_structure(self):
+        observer = observed_quickstart()
+        payload = to_chrome_trace(observer)
+        events = payload["traceEvents"]
+        phases = {event["ph"] for event in events}
+        assert phases == {"M", "X", "i"}
+        metadata = [e for e in events if e["ph"] == "M"]
+        assert all(e["name"] == "thread_name" for e in metadata)
+        # One metadata record per track, tids 1..N.
+        assert sorted(e["tid"] for e in metadata) == list(
+            range(1, len(metadata) + 1)
+        )
+        assert all(e["pid"] == 1 for e in events)
+
+    def test_one_span_per_transaction(self):
+        observer = observed_quickstart()
+        payload = to_chrome_trace(observer)
+        txn_events = [
+            event
+            for event in payload["traceEvents"]
+            if event.get("cat") == "txn"
+        ]
+        begun = observer.metrics.counter("txn.begin", scope="top").value
+        begun += observer.metrics.counter(
+            "txn.begin", scope="child"
+        ).value
+        assert len(txn_events) == begun
+        names = [event["args"]["txn"] for event in txn_events]
+        assert len(names) == len(set(names))
+
+    def test_ts_dur_monotonically_consistent_per_track(self):
+        observer = observed_quickstart()
+        payload = to_chrome_trace(observer)
+        assert_tracks_are_consistent(payload["traceEvents"])
+
+    def test_trace_starts_at_zero(self):
+        observer = observed_quickstart()
+        payload = to_chrome_trace(observer)
+        timestamps = [
+            event["ts"]
+            for event in payload["traceEvents"]
+            if "ts" in event
+        ]
+        assert min(timestamps) == 0.0
+
+    def test_outcomes_exported_in_args(self):
+        observer = observed_quickstart()
+        payload = to_chrome_trace(observer)
+        outcomes = {
+            event["args"].get("outcome")
+            for event in payload["traceEvents"]
+            if event.get("cat") == "txn"
+        }
+        assert "commit" in outcomes
+
+
+class TestJsonl:
+    def test_every_line_parses_and_ends_with_aggregates(self, tmp_path):
+        observer = observed_quickstart()
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(str(path), observer)
+        lines = path.read_text().splitlines()
+        records = [json.loads(line) for line in lines]
+        kinds = [record["type"] for record in records]
+        assert kinds[-2:] == ["metrics", "contention"]
+        assert "span" in kinds
+        assert "instant" in kinds
+
+    def test_span_records_carry_txn_names(self):
+        observer = observed_quickstart()
+        records = [json.loads(line) for line in iter_jsonl(observer)]
+        spans = [r for r in records if r["type"] == "span"]
+        assert all(r["txn"] for r in spans if r["cat"] == "txn")
+
+
+class TestReport:
+    def test_sections_present(self):
+        observer = observed_quickstart()
+        text = render_report(observer, top=5)
+        assert "== spans ==" in text
+        assert "== metrics ==" in text
+        assert "== lock contention (top 5) ==" in text
+        assert "txn.commit" in text
+
+    def test_metrics_only_report(self):
+        observer = Observer(trace=False)
+        run_quickstart(observer, seed=0)
+        text = render_report(observer)
+        assert "tracing disabled" in text
+        assert "txn.commit" in text

@@ -1,0 +1,200 @@
+"""Unit tests for the metric primitives (repro.obs.metrics)."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Summary,
+    exponential_buckets,
+    percentile,
+)
+
+
+class TestPercentile:
+    """The pinned edge-case contract of the canonical percentile."""
+
+    def test_empty_returns_zero(self):
+        assert percentile([], 0.5) == 0.0
+        assert percentile([], 0.0) == 0.0
+        assert percentile([], 1.0) == 0.0
+
+    def test_single_sample_for_every_fraction(self):
+        for fraction in (0.0, 0.25, 0.5, 0.95, 1.0):
+            assert percentile([42.0], fraction) == 42.0
+
+    def test_fraction_zero_is_minimum(self):
+        assert percentile([5.0, 1.0, 3.0], 0.0) == 1.0
+
+    def test_fraction_one_is_maximum(self):
+        assert percentile([5.0, 1.0, 3.0], 1.0) == 5.0
+
+    def test_median_of_odd_count(self):
+        assert percentile([3.0, 1.0, 2.0], 0.5) == 2.0
+
+    def test_nearest_rank_interior(self):
+        values = list(range(1, 11))  # 1..10
+        # round() half-rounds to even: round(0.5 * 9) == 4 -> 5th value.
+        assert percentile(values, 0.5) == 5
+        assert percentile(values, 0.95) == 10
+        assert percentile(values, 0.1) == 2
+
+    def test_input_order_is_irrelevant(self):
+        assert percentile([9.0, 1.0, 5.0], 0.5) == percentile(
+            [1.0, 5.0, 9.0], 0.5
+        )
+
+    @pytest.mark.parametrize("fraction", [-0.01, 1.01, 2.0, -1.0])
+    def test_fraction_outside_unit_interval_raises(self, fraction):
+        with pytest.raises(ValueError):
+            percentile([1.0], fraction)
+
+
+class TestExponentialBuckets:
+    def test_geometric_spacing(self):
+        assert exponential_buckets(1.0, 2.0, 4) == (1.0, 2.0, 4.0, 8.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            exponential_buckets(0.0, 2.0, 4)
+        with pytest.raises(ValueError):
+            exponential_buckets(1.0, 1.0, 4)
+        with pytest.raises(ValueError):
+            exponential_buckets(1.0, 2.0, 0)
+
+    def test_default_buckets_are_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+        assert len(DEFAULT_BUCKETS) == 16
+
+
+class TestCounterGauge:
+    def test_counter_increments(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_gauge_tracks_high_water(self):
+        gauge = Gauge()
+        gauge.add(3)
+        gauge.add(2)
+        gauge.add(-4)
+        assert gauge.value == 1
+        assert gauge.high_water == 5
+
+
+class TestHistogram:
+    def test_bucketing_with_inclusive_upper_edges(self):
+        histogram = Histogram(bounds=(1.0, 10.0))
+        for value in (0.5, 1.0, 5.0, 10.0, 11.0):
+            histogram.observe(value)
+        assert histogram.bucket_counts == [2, 2, 1]
+        assert histogram.count == 5
+        assert histogram.min == 0.5
+        assert histogram.max == 11.0
+
+    def test_mean(self):
+        histogram = Histogram(bounds=(10.0,))
+        histogram.observe(2.0)
+        histogram.observe(4.0)
+        assert histogram.mean == 3.0
+
+    def test_empty_snapshot_is_all_zero(self):
+        snap = Histogram(bounds=(1.0,)).snapshot()
+        assert snap["count"] == 0
+        assert snap["mean"] == 0.0
+        assert snap["min"] == 0.0
+        assert snap["max"] == 0.0
+        assert snap["p50"] == 0.0
+
+    def test_quantile_reports_bucket_upper_edge(self):
+        histogram = Histogram(bounds=(1.0, 2.0, 4.0))
+        for value in (0.5, 0.6, 0.7, 3.0):
+            histogram.observe(value)
+        # Ranks 0..2 fall in the first bucket (edge 1.0, capped at max
+        # observed if lower); rank 3 in the 4.0 bucket.
+        assert histogram.quantile(0.0) == 1.0
+        assert histogram.quantile(1.0) == 3.0  # edge capped at max seen
+
+    def test_quantile_monotone_in_q(self):
+        histogram = Histogram()
+        import random
+
+        rng = random.Random(7)
+        for _ in range(200):
+            histogram.observe(rng.expovariate(1.0))
+        previous = float("-inf")
+        for step in range(0, 101, 5):
+            estimate = histogram.quantile(step / 100.0)
+            assert estimate >= previous
+            previous = estimate
+
+    def test_quantile_validation(self):
+        with pytest.raises(ValueError):
+            Histogram().quantile(1.5)
+
+    def test_overflow_bucket_uses_observed_max(self):
+        histogram = Histogram(bounds=(1.0,))
+        histogram.observe(500.0)
+        assert histogram.quantile(0.5) == 500.0
+
+
+class TestSummary:
+    def test_values_list_is_live(self):
+        backing = [1.0, 2.0]
+        summary = Summary(backing)
+        summary.add(3.0)
+        assert summary.count == 3
+        assert summary.mean == 2.0
+
+    def test_percentile_matches_canonical(self):
+        summary = Summary([4.0, 1.0, 3.0, 2.0])
+        for fraction in (0.0, 0.5, 0.95, 1.0):
+            assert summary.percentile(fraction) == percentile(
+                summary.values, fraction
+            )
+
+    def test_to_histogram(self):
+        summary = Summary([0.5, 1.5])
+        histogram = summary.to_histogram(bounds=(1.0,))
+        assert histogram.bucket_counts == [1, 1]
+        assert histogram.count == 2
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_by_name_and_labels(self):
+        registry = MetricsRegistry()
+        a = registry.counter("txn.abort", cause="wound")
+        b = registry.counter("txn.abort", cause="wound")
+        c = registry.counter("txn.abort", cause="deadlock")
+        assert a is b
+        assert a is not c
+
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x", p="1", q="2")
+        b = registry.counter("x", q="2", p="1")
+        assert a is b
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc(3)
+        registry.gauge("active").add(2)
+        registry.histogram("latency", bounds=(1.0,)).observe(0.5)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"hits": 3}
+        assert snap["gauges"]["active"]["high_water"] == 2
+        assert snap["histograms"]["latency"]["count"] == 1
+
+    def test_render_is_deterministic_and_labelled(self):
+        registry = MetricsRegistry()
+        registry.counter("txn.abort", cause="wound").inc()
+        registry.counter("txn.abort", cause="deadlock").inc(2)
+        text = registry.render()
+        assert "txn.abort{cause=deadlock}" in text
+        assert "txn.abort{cause=wound}" in text
+        # Sorted: deadlock line precedes wound line.
+        assert text.index("deadlock") < text.index("wound")

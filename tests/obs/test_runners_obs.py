@@ -1,0 +1,195 @@
+"""Observer integration with the execution layers above the engine.
+
+Covers the simulation runner (simulated clock, cause tagging,
+contention aggregation), the thread-safe facade (wait spans, wound
+causes), the distributed runner (message/2PC metrics), and the fuzzer
+(attaching an observer does not perturb the schedule digest).
+"""
+
+import pytest
+
+from repro.adt import Counter
+from repro.engine.threadsafe import ThreadSafeEngine
+from repro.errors import LockDenied
+from repro.obs import Observer
+from repro.obs.workloads import run_contended_sim
+
+
+class TestSimulationObserver:
+    def test_contended_run_records_everything(self):
+        observer = Observer()
+        metrics = run_contended_sim(
+            observer, seed=3, programs=12, objects=4, mpl=6
+        )
+        counters = observer.metrics.snapshot()["counters"]
+        # The observer agrees with the runner's own accounting.
+        assert counters["txn.commit{scope=top}"] == metrics.committed
+        assert counters["lock.denials"] == metrics.lock_denials
+        total_denials = sum(
+            entry.denials
+            for entry in observer.contention.objects.values()
+        )
+        assert total_denials == metrics.lock_denials
+
+    def test_wound_wait_victims_tagged(self):
+        observer = Observer()
+        metrics = run_contended_sim(
+            observer, seed=3, programs=24, objects=4, mpl=8
+        )
+        counters = observer.metrics.snapshot()["counters"]
+        assert metrics.program_restarts > 0
+        assert counters["woundwait.victims"] >= 1
+        wound_aborts = sum(
+            value
+            for key, value in counters.items()
+            if key.startswith("txn.abort{cause=wound-wait")
+        )
+        assert wound_aborts >= 1
+
+    def test_spans_use_simulated_time(self):
+        observer = Observer()
+        metrics = run_contended_sim(
+            observer, seed=3, programs=12, objects=4, mpl=6
+        )
+        spans = [
+            span
+            for span in observer.tracer.completed()
+            if span.category == "txn"
+        ]
+        assert spans
+        # Simulated clocks end at the makespan, not at wall time.
+        assert max(span.end for span in spans) <= metrics.makespan
+        assert min(span.start for span in spans) >= 0.0
+
+    def test_all_spans_closed_after_finish(self):
+        observer = Observer()
+        run_contended_sim(observer, seed=5, programs=8, objects=3)
+        assert observer.tracer._open == {}
+
+    def test_observed_run_matches_unobserved(self):
+        observed = run_contended_sim(Observer(), seed=11, programs=10)
+        plain = run_contended_sim(
+            Observer(trace=False), seed=11, programs=10
+        )
+        assert observed.committed == plain.committed
+        assert observed.makespan == plain.makespan
+        assert observed.lock_denials == plain.lock_denials
+
+
+class TestThreadSafeObserver:
+    def test_timeout_records_wait_and_denial(self):
+        observer = Observer()
+        facade = ThreadSafeEngine([Counter("c")], observer=observer)
+        holder = facade.begin_top()
+        holder.perform("c", Counter.increment(1))
+        # The holder is older, so the waiter cannot wound it and must
+        # wait out its timeout.
+        waiter = facade.begin_top()
+        with pytest.raises(LockDenied):
+            waiter.perform("c", Counter.increment(1), timeout=0.05)
+        holder.commit()
+        observer.finish()
+        counters = observer.metrics.snapshot()["counters"]
+        assert counters["lock.denials"] >= 1
+        assert counters["lock.waits"] == 1
+        entry = observer.contention.objects["c"]
+        assert entry.waits == 1
+        assert entry.total_wait > 0.0
+        wait_spans = [
+            span
+            for span in observer.tracer.completed()
+            if span.category == "wait"
+        ]
+        assert len(wait_spans) == 1
+        assert wait_spans[0].args["object"] == "c"
+
+    def test_wound_tags_victim_cause(self):
+        observer = Observer()
+        facade = ThreadSafeEngine([Counter("c")], observer=observer)
+        # Registration order is engine age: the first top is older.
+        older = facade.begin_top()
+        younger = facade.begin_top()
+        younger.perform("c", Counter.increment(1))
+        # The older transaction hits the younger's lock and wounds it.
+        older.perform("c", Counter.increment(1))
+        older.commit()
+        observer.finish()
+        counters = observer.metrics.snapshot()["counters"]
+        assert counters["woundwait.victims"] == 1
+        assert counters["txn.abort{cause=wound-wait,scope=top}"] == 1
+        assert not younger.is_active
+
+    def test_observer_does_not_change_results(self):
+        observer = Observer()
+        facade = ThreadSafeEngine([Counter("c")], observer=observer)
+        top = facade.begin_top()
+        top.perform("c", Counter.increment(5))
+        top.commit()
+        assert facade.object_value("c") == 5
+
+
+class TestDistributedObserver:
+    def test_message_metrics_recorded(self):
+        from repro.dist import (
+            DistributedConfig,
+            run_distributed_simulation,
+            uniform_topology,
+        )
+        from repro.sim import WorkloadConfig, make_store, make_workload
+
+        config = WorkloadConfig(programs=8, objects=6)
+        workload = make_workload(2, config)
+        store = make_store(config)
+        topology = uniform_topology(
+            [spec.name for spec in store], sites=3, one_way_latency=1.0
+        )
+        observer = Observer(trace=False)
+        metrics = run_distributed_simulation(
+            workload,
+            store,
+            topology,
+            DistributedConfig(mpl=4, seed=2),
+            observer=observer,
+        )
+        counters = observer.metrics.snapshot()["counters"]
+        sent = sum(
+            value
+            for key, value in counters.items()
+            if key.startswith("dist.messages{")
+        )
+        assert sent == metrics.messages
+        assert (
+            counters.get("dist.access{kind=remote}", 0)
+            == metrics.remote_accesses
+        )
+        assert (
+            counters.get("dist.commit_rounds", 0)
+            == metrics.commit_rounds
+        )
+
+
+class TestFuzzObserver:
+    def test_observer_does_not_perturb_digest(self):
+        from repro.fuzz import FuzzConfig, run_case
+
+        config = FuzzConfig(seed=5)
+        baseline = run_case(config)
+        observed = run_case(config, observer=Observer())
+        assert observed.digest == baseline.digest
+        assert observed.kind == baseline.kind
+        assert observed.decisions == baseline.decisions
+
+    def test_observer_sees_the_fuzzed_run(self):
+        from repro.fuzz import FuzzConfig, run_case
+
+        observer = Observer()
+        run_case(FuzzConfig(seed=5), observer=observer)
+        observer.finish()
+        counters = observer.metrics.snapshot()["counters"]
+        begun = sum(
+            value
+            for key, value in counters.items()
+            if key.startswith("txn.begin")
+        )
+        assert begun > 0
+        assert observer.tracer.completed()

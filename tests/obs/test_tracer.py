@@ -1,0 +1,85 @@
+"""Unit tests for the span tracer (repro.obs.tracer)."""
+
+from repro.obs.tracer import NullTracer, SpanTracer
+
+
+class TestSpanTracer:
+    def test_begin_end_records_span_with_outcome(self):
+        tracer = SpanTracer()
+        tracer.begin_txn((0,), 1.0)
+        tracer.end_txn((0,), 3.0, "commit")
+        (span,) = tracer.completed()
+        assert span.name == "T0.0"
+        assert span.category == "txn"
+        assert span.start == 1.0
+        assert span.end == 3.0
+        assert span.duration == 2.0
+        assert span.args["outcome"] == "commit"
+        assert span.txn == (0,)
+        assert span.parent == ()
+
+    def test_child_span_parent_is_transaction_parent(self):
+        tracer = SpanTracer()
+        tracer.begin_txn((0, 1), 1.0)
+        tracer.end_txn((0, 1), 2.0, "abort", cause="explicit")
+        (span,) = tracer.completed()
+        assert span.parent == (0,)
+        assert span.args["cause"] == "explicit"
+
+    def test_end_without_begin_synthesises_zero_length_span(self):
+        tracer = SpanTracer()
+        tracer.end_txn((4,), 9.0, "commit")
+        (span,) = tracer.completed()
+        assert span.start == 9.0
+        assert span.end == 9.0
+        assert span.duration == 0.0
+
+    def test_finish_closes_open_spans_as_unfinished(self):
+        tracer = SpanTracer()
+        tracer.begin_txn((0,), 1.0)
+        tracer.begin_txn((1,), 2.0)
+        tracer.end_txn((1,), 3.0, "commit")
+        tracer.finish(10.0)
+        spans = tracer.completed()
+        assert len(spans) == 2
+        unfinished = [
+            s for s in spans if s.args["outcome"] == "unfinished"
+        ]
+        assert len(unfinished) == 1
+        assert unfinished[0].txn == (0,)
+        assert unfinished[0].end == 10.0
+
+    def test_add_span_clamps_end_to_start(self):
+        tracer = SpanTracer()
+        tracer.add_span("wait x", "wait", 5.0, 4.0, txn=(0,))
+        (span,) = tracer.completed()
+        assert span.end == 5.0
+        assert span.duration == 0.0
+
+    def test_instants_and_tracks(self):
+        tracer = SpanTracer()
+        tracer.instant("r x", "access", 1.5, txn=(0, 0), object="x")
+        assert len(tracer.instants) == 1
+        event = tracer.instants[0]
+        assert dict(event.args)["object"] == "x"
+        assert tracer.tracks() == [event.track]
+
+    def test_completed_is_sorted_by_start(self):
+        tracer = SpanTracer()
+        tracer.add_span("b", "wait", 5.0, 6.0)
+        tracer.add_span("a", "wait", 1.0, 2.0)
+        spans = tracer.completed()
+        assert [s.start for s in spans] == [1.0, 5.0]
+
+
+class TestNullTracer:
+    def test_everything_is_a_noop(self):
+        tracer = NullTracer()
+        assert tracer.enabled is False
+        tracer.begin_txn((0,), 1.0)
+        tracer.end_txn((0,), 2.0, "commit")
+        tracer.add_span("w", "wait", 1.0, 2.0)
+        tracer.instant("i", "access", 1.0)
+        tracer.finish(3.0)
+        assert tracer.completed() == []
+        assert tracer.tracks() == []

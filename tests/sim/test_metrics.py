@@ -1,5 +1,7 @@
 """Unit tests for run metrics."""
 
+import pytest
+
 from repro.sim.metrics import RunMetrics, percentile
 
 
@@ -14,6 +16,21 @@ class TestPercentile:
         values = [5.0, 1.0, 3.0]
         assert percentile(values, 0.0) == 1.0
         assert percentile(values, 1.0) == 5.0
+
+    def test_single_sample_for_every_fraction(self):
+        for fraction in (0.0, 0.5, 0.95, 1.0):
+            assert percentile([7.0], fraction) == 7.0
+
+    def test_fraction_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+        with pytest.raises(ValueError):
+            percentile([1.0], -0.1)
+
+    def test_is_the_canonical_obs_implementation(self):
+        from repro.obs.metrics import percentile as obs_percentile
+
+        assert percentile is obs_percentile
 
 
 class TestRunMetrics:
@@ -44,3 +61,42 @@ class TestRunMetrics:
             "deadlock_aborts",
             "wasted_access_fraction",
         }
+
+    def test_row_keys_are_stable(self):
+        # Downstream sweep tables index these columns by name; the obs
+        # refactor must not change them.
+        assert list(RunMetrics().row()) == [
+            "policy",
+            "committed",
+            "throughput",
+            "mean_latency",
+            "p95_latency",
+            "makespan",
+            "deadlock_aborts",
+            "injected_aborts",
+            "retries",
+            "restarts",
+            "denials",
+            "wasted_access_fraction",
+        ]
+
+    def test_latencies_list_is_live_and_appendable(self):
+        # The runner appends to .latencies directly; stats must follow.
+        metrics = RunMetrics()
+        metrics.latencies.append(4.0)
+        metrics.latencies.append(2.0)
+        assert metrics.mean_latency == 3.0
+        assert metrics.latency_summary.count == 2
+
+    def test_latency_summary_shares_percentile_math(self):
+        metrics = RunMetrics(latencies=[3.0, 1.0, 2.0])
+        assert metrics.p50_latency == percentile(metrics.latencies, 0.5)
+        assert metrics.p95_latency == percentile(
+            metrics.latencies, 0.95
+        )
+
+    def test_latency_histogram(self):
+        metrics = RunMetrics(latencies=[0.5, 1.5, 300.0])
+        histogram = metrics.latency_histogram(bounds=[1.0, 100.0])
+        assert histogram.count == 3
+        assert histogram.bucket_counts == [1, 1, 1]

@@ -147,6 +147,107 @@ class TestCommands:
         assert code == 0
         assert "ABORT(T0.0)" in output
 
+    def test_trace_quickstart_report(self, capsys):
+        code = main(["trace", "--workload", "quickstart"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert output.startswith("workload quickstart (seed 0):")
+        assert "transfers=" in output
+        assert "== spans ==" in output
+        assert "== metrics ==" in output
+        assert "== lock contention (top 10) ==" in output
+        assert "txn.commit{scope=top}" in output
+
+    def test_trace_chrome_export_is_valid(self, capsys, tmp_path):
+        from tests.obs.test_exporters import (
+            assert_tracks_are_consistent,
+        )
+
+        path = tmp_path / "trace.json"
+        code = main(
+            ["trace", "--workload", "banking", "--out", str(path)]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "chrome trace : %s" % path in output
+        payload = json.loads(path.read_text())
+        assert payload["traceEvents"]
+        assert_tracks_are_consistent(payload["traceEvents"])
+
+    def test_trace_jsonl_export(self, capsys, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        code = main(["trace", "--jsonl", str(path)])
+        capsys.readouterr()
+        assert code == 0
+        records = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+        ]
+        assert records[-2]["type"] == "metrics"
+        assert records[-1]["type"] == "contention"
+
+    def test_trace_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["trace", "--workload", "frobnicate"]
+            )
+
+    def test_top_prints_contention_table(self, capsys):
+        code = main(
+            [
+                "top",
+                "--programs", "12",
+                "--objects", "4",
+                "--mpl", "6",
+                "--seed", "3",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        lines = output.splitlines()
+        assert lines[0].startswith("policy moss-rw, seed 3:")
+        assert "committed" in lines[0]
+        assert "makespan" in lines[0]
+        # The table header and at least one hot object.
+        assert "object" in lines[1]
+        assert "denials" in lines[1]
+        assert len(lines) >= 3
+
+    def test_top_limit_bounds_table(self, capsys):
+        code = main(
+            [
+                "top",
+                "--programs", "12",
+                "--objects", "4",
+                "--mpl", "6",
+                "--seed", "3",
+                "--limit", "1",
+                "--no-trace",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        # Summary line + header + exactly one row.
+        assert len(output.strip().splitlines()) == 3
+
+    def test_fuzz_replay_trace_out(self, capsys, tmp_path):
+        path = tmp_path / "fuzz_trace.json"
+        code = main(
+            [
+                "fuzz",
+                "--seed", "5",
+                "--choices", "",
+                "--trace-out", str(path),
+            ]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "trace  : %s" % path in output
+        payload = json.loads(path.read_text())
+        assert payload["traceEvents"]
+        report = (tmp_path / "fuzz_trace.json.report.txt").read_text()
+        assert "== metrics ==" in report
+
     def test_dist(self, capsys):
         code = main(
             ["dist", "--programs", "6", "--objects", "6"]
