@@ -109,16 +109,17 @@ class ConformanceReport:
 def check_engine_trace(engine: Engine) -> ConformanceReport:
     """Run the full conformance pipeline on a traced engine.
 
-    The engine must have been constructed with ``trace=True`` and a
-    lock-moving policy (``moss-rw`` or ``exclusive``); flat 2PL does not
-    refine Moss' automata and is rejected up front.
+    The engine must have been constructed with ``trace=True`` and run a
+    scheme whose capabilities declare ``model_conformant`` (``moss-rw``
+    or ``exclusive``); flat 2PL and MVTO do not refine Moss' automata
+    and are rejected up front.
     """
-    if not getattr(engine.policy, "model_conformant", True):
+    if not engine.capabilities.model_conformant:
         raise EngineError(
-            "policy %r does not refine the Moss model" % engine.policy.name
+            "scheme %r does not refine the Moss model" % engine.scheme_name
         )
     recorder = engine.recorder
-    if not hasattr(recorder, "schedule"):
+    if not hasattr(recorder, "system_type"):
         raise EngineError("engine was not constructed with trace=True")
     alpha = recorder.schedule()
     system_type = recorder.system_type(engine.specs)

@@ -163,12 +163,12 @@ def _drive_random_workload(
 ):
     """Drive one random nested workload; return the traced engine."""
     from repro.adt import Counter, IntRegister
-    from repro.engine import Engine
     from repro.errors import LockDenied
+    from repro.kernel import get_scheme
 
     rng = random.Random(seed)
-    engine = Engine(
-        [Counter("c"), IntRegister("x")], policy=policy, trace=True
+    engine = get_scheme(policy).build(
+        [Counter("c"), IntRegister("x")], trace=True
     )
     tops = [engine.begin_top() for _ in range(transactions)]
     menu = [
@@ -257,7 +257,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         print(
             "policy %s, seed %d: %d events"
             % (
-                engine.policy.name,
+                engine.scheme_name,
                 args.seed,
                 len(engine.recorder.schedule()),
             )
@@ -342,6 +342,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         transactions_per_worker=args.transactions,
         steps_per_transaction=args.steps,
         faults=args.faults,
+        scheme=args.scheme,
     )
     choices = _parse_choices(args.choices)
     if choices is not None:
@@ -408,10 +409,12 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         _export_fuzz_trace(reproducer, args.trace_out)
     print(
         "replay : python -m repro fuzz --seed %d --faults %s "
-        "--workers %d --transactions %d --steps %d --choices '%s'"
+        "--scheme %s --workers %d --transactions %d --steps %d "
+        "--choices '%s'"
         % (
             reproducer.config.seed,
             args.faults,
+            config.scheme,
             config.workers,
             config.transactions_per_worker,
             config.steps_per_transaction,
@@ -664,6 +667,15 @@ def build_parser() -> argparse.ArgumentParser:
             "broken-no-inherit", "chaos",
         ],
         help="fault-injection preset",
+    )
+    fuzz.add_argument(
+        "--scheme",
+        default="moss-rw",
+        help=(
+            "registered concurrency scheme to fuzz (see "
+            "repro.kernel.scheme_names); a fault preset with its own "
+            "policy overrides this"
+        ),
     )
     fuzz.add_argument(
         "--mode",

@@ -44,13 +44,14 @@ from repro.errors import (
     LockDenied,
     TransactionAborted,
 )
+from repro.kernel.scheme import SchemeCapabilities
 
 
 class Engine:
     """A nested-transaction database engine.
 
     Lock-based engines can deadlock; the runner resolves via wound-wait
-    or detection (``needs_deadlock_resolution``).
+    or detection (``capabilities.waits_are_acyclic`` is False).
 
     Parameters
     ----------
@@ -70,11 +71,12 @@ class Engine:
         Optional :class:`repro.obs.Observer` receiving lifecycle,
         access, and lock events.  ``None`` (the default) costs one
         attribute lookup per instrumented transition.
+    shards:
+        Number of object-store shards (see
+        :class:`~repro.kernel.store.ObjectStore`); the thread-safe
+        facade maps shards to stripe locks.  Single-threaded callers
+        keep the default of 1.
     """
-
-    #: Blocking on locks can form waits-for cycles; callers must
-    #: resolve them (wound-wait or detection).
-    needs_deadlock_resolution = True
 
     def __init__(
         self,
@@ -83,11 +85,14 @@ class Engine:
         trace: bool = False,
         trace_limit: Optional[int] = None,
         observer=None,
+        shards: int = 1,
     ):
         specs = list(specs)
         if isinstance(policy, str):
             policy = make_policy(policy)
-        self.locks = LockManager(specs, make_managed=policy.make_managed)
+        self.locks = LockManager(
+            specs, make_managed=policy.make_managed, shards=shards
+        )
         self.specs: Dict[str, ObjectSpec] = {
             spec.name: spec for spec in specs
         }
@@ -119,6 +124,27 @@ class Engine:
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
+    @property
+    def capabilities(self) -> SchemeCapabilities:
+        """Capability flags for this engine, derived from its policy."""
+        return SchemeCapabilities(
+            waits_are_acyclic=False,
+            aborts_whole_tree=self.policy.escalates_aborts,
+            moves_locks=self.policy.moves_locks,
+            model_conformant=self.policy.model_conformant,
+            object_local_performs=True,
+        )
+
+    @property
+    def scheme_name(self) -> str:
+        """The scheme/policy name, for reporting and error messages."""
+        return self.policy.name
+
+    @property
+    def store(self):
+        """The kernel :class:`~repro.kernel.store.ObjectStore`."""
+        return self.locks.store
+
     def begin_top(self, at: Optional[float] = None) -> Transaction:
         """Start a new top-level transaction."""
         name = (self._next_top,)

@@ -21,6 +21,7 @@ from repro.core.object_spec import ObjectSpec, Operation
 from repro.engine.locks import LockMode, blocking_holders
 from repro.engine.versions import VersionMap
 from repro.errors import EngineError, LockDenied
+from repro.kernel.store import ObjectStore
 
 
 class ManagedObject:
@@ -156,17 +157,29 @@ class ManagedObject:
 
 
 class LockManager:
-    """All managed objects of one engine.
+    """All managed objects of one engine, kept in an ObjectStore.
 
     *make_managed* lets a locking policy substitute its own per-object
     structure (e.g. semantic locking's undo-log objects); the default is
-    the Moss :class:`ManagedObject`.
+    the Moss :class:`ManagedObject`.  *shards*/*sharding* configure the
+    kernel :class:`~repro.kernel.store.ObjectStore` so the thread-safe
+    facade can stripe its locking per shard.
     """
 
-    def __init__(self, specs: Iterable[ObjectSpec], make_managed=None):
+    def __init__(
+        self,
+        specs: Iterable[ObjectSpec],
+        make_managed=None,
+        shards: int = 1,
+        sharding=None,
+    ):
         if make_managed is None:
             make_managed = ManagedObject
-        self.objects: Dict[str, ManagedObject] = {}
+        self.store = ObjectStore(
+            specs, make_managed, shards=shards, sharding=sharding
+        )
+        #: The name-to-ManagedObject mapping (the store's own dict).
+        self.objects: Dict[str, ManagedObject] = self.store.objects
         #: Optional callable ``(kind, name, objects)`` invoked after every
         #: lock-table transition (``"acquire"``/``"commit"``/``"abort"``).
         #: The deterministic fuzzer uses it to digest lock movement for
@@ -176,10 +189,6 @@ class LockManager:
         #: Optional :class:`repro.obs.Observer` fed the same transitions
         #: (lock inheritance/release metrics).  Installed by the engine.
         self.obs = None
-        for spec in specs:
-            if spec.name in self.objects:
-                raise EngineError("duplicate object %r" % spec.name)
-            self.objects[spec.name] = make_managed(spec)
 
     def notify(
         self, kind: str, name: TransactionName, objects: Iterable[str]
@@ -193,10 +202,7 @@ class LockManager:
                 self.obs.lock_transition(kind, name, objects)
 
     def object(self, name: str) -> ManagedObject:
-        try:
-            return self.objects[name]
-        except KeyError:
-            raise EngineError("unknown object %r" % name) from None
+        return self.store.object(name)
 
     def on_commit(self, name: TransactionName) -> List[str]:
         """Propagate a commit to every object; return the touched names."""

@@ -107,10 +107,20 @@ class TraceRecorder:
 
 
 class NullRecorder:
-    """A recorder that drops everything (tracing disabled)."""
+    """A recorder that drops everything (tracing disabled).
+
+    It deliberately has no :meth:`~TraceRecorder.system_type`: the
+    conformance checker uses that method's absence to reject engines
+    that were not constructed with ``trace=True``.  It *does* expose an
+    empty :meth:`schedule` so digest/replay code can hash "the trace"
+    uniformly across traced and untraced engines.
+    """
 
     def record(self, event: Event) -> None:
         pass
+
+    def schedule(self) -> Tuple[Event, ...]:
+        return ()
 
     def record_internal(self, name: TransactionName) -> None:
         pass

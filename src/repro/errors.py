@@ -89,3 +89,16 @@ class LockDenied(EngineError):
     def __init__(self, message, blockers=()):
         self.blockers = frozenset(blockers)
         super().__init__(message)
+
+
+class RetryLater(LockDenied):
+    """The access cannot run yet; retry after ``blockers`` finish.
+
+    Raised by schemes whose waits follow a fixed order -- MVTO accesses
+    waiting out earlier-timestamp pending writers -- rather than a lock
+    conflict that could participate in a deadlock.  Subclasses
+    :class:`LockDenied` so it keeps working as a compat alias: every
+    existing ``except LockDenied`` retry loop handles it unchanged, but
+    callers can now tell an ordered wait (never a deadlock) from a
+    genuine lock denial.
+    """

@@ -48,6 +48,22 @@ class FaultPlan:
             return NoInheritPolicy()
         return self.policy
 
+    def scheme_for(
+        self, requested: str = "moss-rw"
+    ) -> Union[str, LockingPolicy]:
+        """The scheme selector this plan runs *requested* under.
+
+        A fault-injected policy (e.g. ``broken-no-inherit``) overrides
+        the requested scheme -- the whole point of the preset is to run
+        a broken engine; otherwise the requested scheme wins.  The
+        return value feeds :func:`repro.kernel.get_scheme`.
+        """
+        if self.policy == NoInheritPolicy.name:
+            return NoInheritPolicy()
+        if self.policy != "moss-rw":
+            return self.policy
+        return requested
+
     @property
     def label(self) -> str:
         parts = []

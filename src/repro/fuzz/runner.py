@@ -10,7 +10,9 @@ finished run with three oracles:
 1. **conformance** -- the engine trace is replayed against the formal
    model by :func:`repro.checking.check_engine_trace`; any refinement
    rejection or Theorem 34 violation arrives with rule-level
-   (``RW001``...) findings from :mod:`repro.analysis`;
+   (``RW001``...) findings from :mod:`repro.analysis` (skipped for
+   schemes whose capabilities declare ``model_conformant=False``,
+   e.g. ``mvto`` -- the stall and exception oracles still apply);
 2. **stall** -- the controller could not make progress (all workers
    blocked), impossible under correct wound-wait;
 3. **worker exceptions** -- anything unexpected escaping a worker body.
@@ -40,6 +42,7 @@ from repro.fuzz.controller import (
     SchedulingStrategy,
 )
 from repro.fuzz.faults import FaultInjector, FaultPlan, fault_plan
+from repro.kernel import get_scheme
 from repro.fuzz.workload import (
     AccessStep,
     ChildBlock,
@@ -59,6 +62,10 @@ class FuzzConfig:
     steps_per_transaction: int = 4
     faults: str = "none"
     objects: Tuple[str, ...] = ("c", "x")
+    #: registered kernel scheme to fuzz (``repro.kernel.scheme_names``);
+    #: a fault preset carrying its own policy (``broken-no-inherit``)
+    #: overrides this field
+    scheme: str = "moss-rw"
 
     def workload(self) -> WorkloadConfig:
         return WorkloadConfig(
@@ -227,9 +234,10 @@ def run_case(
             strategy = RandomStrategy(config.seed)
     workload = config.workload()
     plan = config.plan()
+    scheme = get_scheme(plan.scheme_for(config.scheme))
     facade = ThreadSafeEngine(
         workload.store(),
-        policy=plan.make_policy(),
+        policy=scheme,
         trace=True,
         trace_limit=trace_limit,
         observer=observer,
@@ -238,11 +246,13 @@ def run_case(
     controller = InterleavingController(strategy, injector=injector)
     facade.install_hooks(controller)
     lock_log: List[Tuple] = []
-    facade.engine.locks.observer = (
-        lambda kind, name, objects: lock_log.append(
-            (kind, name, objects)
+    locks = getattr(facade.engine, "locks", None)
+    if locks is not None:
+        locks.observer = (
+            lambda kind, name, objects: lock_log.append(
+                (kind, name, objects)
+            )
         )
-    )
     logs = [WorkerLog() for _ in range(config.workers)]
     for worker_id in range(config.workers):
         programs = make_worker_programs(
@@ -269,7 +279,7 @@ def run_case(
         kind = "stall"
     elif errors:
         kind = "worker-exception"
-    else:
+    elif facade.engine.capabilities.model_conformant:
         from repro.checking import check_engine_trace
 
         report = check_engine_trace(facade.engine)
@@ -420,6 +430,7 @@ def emit_regression_test(result: FuzzCaseResult) -> str:
         % config.steps_per_transaction,
         "        faults=%r," % config.faults,
         "        objects=%r," % (config.objects,),
+        "        scheme=%r," % config.scheme,
         "    )",
         "    result = run_case(config, choices=%r)"
         % (result.choices,),

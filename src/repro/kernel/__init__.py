@@ -1,0 +1,38 @@
+"""The scheme-agnostic kernel: capabilities, registry, object store.
+
+The paper builds one generic scheduler and composes it with pluggable
+object automata; exclusive locking falls out of Moss' rules as a
+degenerate instance (Corollary 35).  This package gives the codebase the
+same seam: every concurrency-control scheme -- Moss read/write locking,
+its policy variants, and multiversion timestamp ordering -- is published
+through one registry as a :class:`Scheme` descriptor with declared
+:class:`SchemeCapabilities`, and every engine keeps its objects in a
+shared :class:`ObjectStore` with pluggable sharding.
+
+Layering: ``repro.kernel`` sits below the engines and imports none of
+them at module load; the registry resolves scheme loaders lazily.  The
+facades (:class:`~repro.engine.threadsafe.ThreadSafeEngine`), runners
+(sim/dist), fuzzer, conformance harness, and CLI all obtain engines via
+:func:`get_scheme` and branch on capability flags -- never on scheme
+names or engine classes.
+"""
+
+from repro.kernel.registry import (
+    Scheme,
+    get_scheme,
+    register_scheme,
+    scheme_names,
+)
+from repro.kernel.scheme import ConcurrencyScheme, SchemeCapabilities
+from repro.kernel.store import ObjectStore, default_sharding
+
+__all__ = [
+    "ConcurrencyScheme",
+    "ObjectStore",
+    "Scheme",
+    "SchemeCapabilities",
+    "default_sharding",
+    "get_scheme",
+    "register_scheme",
+    "scheme_names",
+]

@@ -3,8 +3,9 @@
 The paper cites Reed [R] as the other road to nested-transaction data
 management: multiversion timestamp concurrency control.  This package
 implements a simplified nested MVTO engine behind the same handle API as
-:mod:`repro.engine`, so the simulation runner can sweep it as policy
-``"mvto"`` (benchmark E12).
+:mod:`repro.engine`, registered as scheme ``"mvto"`` in the kernel
+registry (:func:`repro.kernel.get_scheme`), so the simulation runner can
+sweep it like any locking policy (benchmark E12).
 
 Simplifications relative to Reed's full design (documented in DESIGN.md):
 timestamps are per *top-level* transaction (a whole nested tree shares its

@@ -1,4 +1,4 @@
-"""The MVTO engine facade.
+"""The MVTO engine: a first-class kernel scheme.
 
 Exposes the same handle API as :class:`repro.engine.Engine` (begin_top /
 begin_child / perform / commit / abort plus the runner hooks
@@ -7,13 +7,23 @@ multiversion timestamp ordering:
 
 * each top-level tree runs at one timestamp (its admission order);
 * reads see the latest committed version at or before their timestamp --
-  or their own tree's tentative value -- and *wait* (``LockDenied``) while
-  an earlier-timestamp writer is still pending on the object;
+  or their own tree's tentative value -- and *wait*
+  (:class:`~repro.errors.RetryLater`) while an earlier-timestamp writer
+  is still pending on the object;
 * writes abort the tree (``TransactionAborted``) when a later-timestamp
   transaction has already read or written the version they would
   supersede; restarted trees take a fresh, larger timestamp;
 * subtransaction commit/abort moves or discards the tree-internal buffer
   entries exactly like Moss' version map, so partial aborts are isolated.
+
+The engine is registered as scheme ``"mvto"`` in
+:mod:`repro.kernel.registry` and declares its shape through
+:class:`~repro.kernel.scheme.SchemeCapabilities`: waits are acyclic
+(ordered by timestamp), aborts escalate to the whole tree, no lock
+movement, traces do not refine M(X), and ``perform`` is *not*
+object-local (a timestamp conflict discards the tree's buffers on every
+object), which is why the thread-safe facade runs MVTO under its global
+mutex rather than striped locking.
 """
 
 from __future__ import annotations
@@ -22,40 +32,52 @@ from typing import Any, Dict, Iterable, Optional, Set
 
 from repro.core.names import TransactionName, pretty_name
 from repro.core.object_spec import ObjectSpec, Operation
+from repro.engine.trace import NullRecorder
 from repro.engine.transaction import Transaction, TransactionStatus
 from repro.errors import (
     EngineError,
     InvalidTransactionState,
-    LockDenied,
+    RetryLater,
     TransactionAborted,
 )
+from repro.kernel.scheme import SchemeCapabilities
+from repro.kernel.store import ObjectStore
 from repro.mvto.mv_object import MVObject
-
-
-class _MVTOPolicy:
-    """Minimal policy shim so generic reporting can name the scheme."""
-
-    name = "mvto"
-    moves_locks = False
-    escalates_aborts = False
 
 
 class MVTOEngine:
     """A nested-transaction engine using multiversion timestamp ordering."""
 
-    #: Waits always point from larger to smaller timestamps, so waits-for
-    #: cycles cannot form and no external deadlock resolution is needed.
-    needs_deadlock_resolution = False
+    #: Waits always point from larger to smaller timestamps, so
+    #: waits-for cycles cannot form; a timestamp conflict aborts the
+    #: whole tree across every object from inside ``perform``.
+    capabilities = SchemeCapabilities(
+        waits_are_acyclic=True,
+        aborts_whole_tree=True,
+        moves_locks=False,
+        model_conformant=False,
+        object_local_performs=False,
+    )
 
-    def __init__(self, specs: Iterable[ObjectSpec]):
-        specs = list(specs)
-        self.objects: Dict[str, MVObject] = {
-            spec.name: MVObject(spec) for spec in specs
-        }
-        self.specs: Dict[str, ObjectSpec] = {
-            spec.name: spec for spec in specs
-        }
-        self.policy = _MVTOPolicy()
+    scheme_name = "mvto"
+
+    def __init__(
+        self,
+        specs: Iterable[ObjectSpec],
+        observer=None,
+        shards: int = 1,
+        sharding=None,
+    ):
+        self.store = ObjectStore(
+            specs, MVObject, shards=shards, sharding=sharding
+        )
+        #: The name-to-MVObject mapping (the store's own dict).
+        self.objects: Dict[str, MVObject] = self.store.objects
+        self.specs: Dict[str, ObjectSpec] = self.store.specs
+        self.obs = observer
+        #: MVTO keeps no model-alphabet trace (its runs do not refine
+        #: M(X)); the NullRecorder keeps digests/replay code uniform.
+        self.recorder = NullRecorder()
         self.transactions: Dict[TransactionName, Transaction] = {}
         self.started_at: Dict[TransactionName, float] = {}
         self._next_top = 0
@@ -85,6 +107,9 @@ class MVTOEngine:
         self._next_ts += 1
         self._tree_ts[name] = ts
         self._ts_owner[ts] = name
+        obs = self.obs
+        if obs is not None:
+            obs.txn_begin(name)
         return txn
 
     def _begin_child(self, parent: Transaction) -> Transaction:
@@ -92,11 +117,17 @@ class MVTOEngine:
         txn = Transaction(self, name, parent=parent)
         self.transactions[name] = txn
         parent.children.append(txn)
+        obs = self.obs
+        if obs is not None:
+            obs.txn_begin(name)
         return txn
 
     def count_deadlock(self) -> None:
         """Record one externally resolved deadlock in the stats."""
         self.stats["deadlocks"] += 1
+        obs = self.obs
+        if obs is not None:
+            obs.deadlock()
 
     def transaction(self, name: TransactionName) -> Transaction:
         try:
@@ -130,7 +161,7 @@ class MVTOEngine:
         operation: Operation,
     ) -> Set[TransactionName]:
         """Pending earlier writers this access would have to wait for."""
-        mv_object = self.objects[object_name]
+        mv_object = self.store.object(object_name)
         ts = self._ts_of(txn)
         owners = set()
         for wts in mv_object.earlier_pending_writers(ts):
@@ -149,20 +180,21 @@ class MVTOEngine:
         operation: Operation,
     ) -> Any:
         self._check_not_orphan(txn)
-        mv_object = self.objects.get(object_name)
-        if mv_object is None:
-            raise EngineError("unknown object %r" % object_name)
+        mv_object = self.store.object(object_name)
         ts = self._ts_of(txn)
         top = self._top_of(txn)
         buffer = mv_object.buffers.get(ts)
         own_dirty = buffer is not None and buffer.dirty()
+        obs = self.obs
         if not own_dirty:
             # Wait for pending earlier writers before touching committed
             # state (both reads and writes keep timestamp order this way).
             blockers = self.fresh_blockers(txn, object_name, operation)
             if blockers:
                 self.stats["denials"] += 1
-                raise LockDenied(
+                if obs is not None:
+                    obs.lock_denied(txn.name, object_name, blockers)
+                raise RetryLater(
                     "mvto: ts=%d waits on %s at %s"
                     % (ts, sorted(blockers), object_name),
                     blockers=blockers,
@@ -170,6 +202,8 @@ class MVTOEngine:
         version = mv_object.version_before(ts)
         if operation.is_read:
             self.stats["accesses"] += 1
+            if obs is not None:
+                obs.access(txn.name, object_name, operation.kind, True)
             if own_dirty:
                 base = buffer.current()
                 result, _ = mv_object.spec.apply(base, operation)
@@ -182,11 +216,22 @@ class MVTOEngine:
             mv_object.later_committed_write(ts) or version.rts > ts
         ):
             self.stats["ts_aborts"] += 1
+            if obs is not None:
+                obs.mark_abort_cause(top, "ts-conflict")
             self._abort_tree(top)
             raise TransactionAborted(
                 txn.name, "timestamp conflict at %s" % object_name
             )
         self.stats["accesses"] += 1
+        if obs is not None:
+            obs.access(txn.name, object_name, operation.kind, False)
+        # A write is a read-modify-write of the base version (the spec
+        # applies the operation to its value), so it must leave a read
+        # footprint: an earlier-timestamp writer arriving afterwards
+        # has to trip the ``version.rts > ts`` check above and restart,
+        # or it would install a version this write's base never saw --
+        # the classic lost update.
+        version.rts = max(version.rts, ts)
         live_buffer = mv_object.buffer_for(ts, version.value)
         base = live_buffer.current()
         result, new_value = mv_object.spec.apply(base, operation)
@@ -210,13 +255,16 @@ class MVTOEngine:
         txn.status = TransactionStatus.COMMITTED
         txn.value = value
         self.stats["commits"] += 1
+        obs = self.obs
+        if obs is not None:
+            obs.txn_commit(txn.name)
         ts = self._ts_of(txn)
         if txn.is_top_level:
-            for mv_object in self.objects.values():
+            for mv_object in self.store.values():
                 mv_object.commit_tree(ts)
             self._ts_owner.pop(ts, None)
         else:
-            for mv_object in self.objects.values():
+            for mv_object in self.store.values():
                 live_buffer = mv_object.buffers.get(ts)
                 if live_buffer is not None:
                     live_buffer.promote(txn.name)
@@ -228,7 +276,7 @@ class MVTOEngine:
         ts = self._ts_of(txn)
         self._mark_aborted_subtree(txn)
         self.stats["aborts"] += 1
-        for mv_object in self.objects.values():
+        for mv_object in self.store.values():
             live_buffer = mv_object.buffers.get(ts)
             if live_buffer is not None:
                 live_buffer.discard_subtree(txn.name)
@@ -239,19 +287,27 @@ class MVTOEngine:
             self._mark_aborted_subtree(txn)
         self.stats["aborts"] += 1
         ts = self._tree_ts[top]
-        for mv_object in self.objects.values():
+        for mv_object in self.store.values():
             mv_object.abort_tree(ts)
         self._ts_owner.pop(ts, None)
 
-    def _mark_aborted_subtree(self, txn: Transaction) -> None:
+    def _mark_aborted_subtree(
+        self, txn: Transaction, root: bool = True
+    ) -> None:
         txn.status = TransactionStatus.ABORTED
+        obs = self.obs
+        if obs is not None:
+            obs.txn_abort(
+                txn.name,
+                cause="explicit" if root else "ancestor-abort",
+            )
         for child in txn.children:
             if child.is_active:
-                self._mark_aborted_subtree(child)
+                self._mark_aborted_subtree(child, root=False)
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def object_value(self, object_name: str, committed: bool = True) -> Any:
-        mv_object = self.objects[object_name]
+        mv_object = self.store.object(object_name)
         return mv_object.versions[-1].value

@@ -28,28 +28,46 @@ class Version:
 
 
 class _TreeBuffer:
-    """Tentative writes of one top-level tree, keyed by tree node."""
+    """Tentative writes of one top-level tree, keyed by tree node.
+
+    Entries are ordered by install sequence, not node depth: every
+    write chains off :meth:`current`, so the newest entry always
+    subsumes the older ones, and a parallel sibling that *commits*
+    first must not be overwritten by a later promote carrying a stale
+    (pre-sibling) value.
+    """
 
     def __init__(self, base: Any):
         self.base = base
         self.by_node: Dict[TransactionName, Any] = {}
+        self._seq: Dict[TransactionName, int] = {}
+        self._next_seq = 0
 
     def current(self) -> Any:
         if not self.by_node:
             return self.base
-        deepest = max(self.by_node, key=len)
-        return self.by_node[deepest]
+        newest = max(self.by_node, key=self._seq.__getitem__)
+        return self.by_node[newest]
 
     def install(self, node: TransactionName, value: Any) -> None:
         self.by_node[node] = value
+        self._next_seq += 1
+        self._seq[node] = self._next_seq
 
     def promote(self, node: TransactionName) -> None:
-        if node in self.by_node:
-            self.by_node[node[:-1]] = self.by_node.pop(node)
+        if node not in self.by_node:
+            return
+        value = self.by_node.pop(node)
+        seq = self._seq.pop(node)
+        mother = node[:-1]
+        if self._seq.get(mother, -1) < seq:
+            self.by_node[mother] = value
+            self._seq[mother] = seq
 
     def discard_subtree(self, node: TransactionName) -> None:
         for key in [k for k in self.by_node if is_descendant(k, node)]:
             del self.by_node[key]
+            del self._seq[key]
 
     def dirty(self) -> bool:
         return bool(self.by_node)

@@ -33,6 +33,10 @@ class RunMetrics:
     makespan: float = 0.0
     latencies: List[float] = field(default_factory=list)
     wait_time: float = 0.0
+    #: Committed value of every object at the end of the run, filled in
+    #: by the runner.  Used by the cross-scheme equivalence tests; not
+    #: part of :meth:`row` (it is workload-sized, not tabular).
+    final_state: Dict[str, object] = field(default_factory=dict)
 
     @property
     def throughput(self) -> float:

@@ -29,9 +29,9 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Union
 from repro.core.names import TransactionName
 from repro.core.object_spec import ObjectSpec
 from repro.engine.deadlock import choose_victim, top_level
-from repro.engine.engine import Engine
 from repro.engine.transaction import Transaction
 from repro.errors import LockDenied, TransactionAborted
+from repro.kernel import get_scheme
 from repro.sim.des import Simulator
 from repro.sim.metrics import RunMetrics
 from repro.sim.workload import AccessOp, Block, Program
@@ -61,7 +61,18 @@ class SimulationConfig:
     policy: str = "moss-rw"
     seed: int = 0
     restart_delay: float = 2.0
+    #: Base delay before a parked or wounded access retries.  The n-th
+    #: consecutive retry of one access waits
+    #: ``retry_delay * retry_backoff**n`` (capped at ``retry_max_delay``),
+    #: scaled by ``1 + retry_jitter * U`` with ``U`` drawn from a
+    #: dedicated seeded stream.  The defaults (backoff 1, jitter 0)
+    #: reproduce the historical fixed 0.25 delay byte-for-byte: no
+    #: growth, and the jitter stream is never consulted, so the main
+    #: RNG sequence -- and therefore the whole schedule -- is unchanged.
     retry_delay: float = 0.25
+    retry_backoff: float = 1.0
+    retry_jitter: float = 0.0
+    retry_max_delay: float = 8.0
     max_events: int = 2_000_000
     max_program_attempts: int = 200
     deadlock: str = "wound-wait"
@@ -100,13 +111,15 @@ class _ProgramRun:
 class _BlockedAccess:
     """One parked access waiting for its blockers to return."""
 
-    def __init__(self, run, epoch, txn, op, done, requested_at):
+    def __init__(self, run, epoch, txn, op, done, requested_at, retries=0):
         self.run = run
         self.epoch = epoch
         self.txn = txn
         self.op = op
         self.done = done
         self.requested_at = requested_at
+        #: Consecutive failed attempts of this access (drives backoff).
+        self.retries = retries
 
     def valid(self) -> bool:
         return self.run.epoch == self.epoch and not self.run.finished
@@ -123,14 +136,18 @@ class _Runner:
         observer=None,
     ):
         self.config = config
-        self.mpl = 1 if config.policy == "serial" else config.mpl
+        self.scheme = get_scheme(config.policy)
+        self.mpl = 1 if self.scheme.force_serial else config.mpl
         self.sim = Simulator()
         self.obs = observer
         if observer is not None:
             # Spans and waits are measured in simulated time units.
             observer.use_clock(lambda: self.sim.now)
-        self.engine = _make_engine(config.policy, store, observer)
+        self.engine = self.scheme.build(store, observer=observer)
         self.rng = random.Random(config.seed)
+        # Retry jitter draws from its own stream so enabling it never
+        # perturbs the workload's failure-injection/backoff sequence.
+        self._retry_rng = random.Random(config.seed ^ 0x52455452)
         self.metrics = RunMetrics(policy=config.policy)
         self.queue: List[_ProgramRun] = [
             _ProgramRun(program, index)
@@ -181,6 +198,20 @@ class _Runner:
         self.metrics.makespan = self.sim.now
         self.metrics.lock_denials = self.engine.stats["denials"]
         self.metrics.deadlock_aborts = self.engine.stats["deadlocks"]
+        # Committed object values, for cross-scheme equivalence checks.
+        self.metrics.final_state = {
+            name: self.engine.object_value(name)
+            for name in self.engine.specs
+        }
+
+    def _retry_delay(self, attempt: int) -> float:
+        """Backoff for the *attempt*-th consecutive retry of one access."""
+        config = self.config
+        delay = config.retry_delay * config.retry_backoff ** min(attempt, 16)
+        delay = min(delay, config.retry_max_delay)
+        if config.retry_jitter:
+            delay *= 1.0 + config.retry_jitter * self._retry_rng.random()
+        return delay
 
     def _schedule_arrivals(self) -> None:
         """Open system: move the workload to exponential arrival times."""
@@ -331,7 +362,7 @@ class _Runner:
                 if tries_left > 0:
                     self.metrics.subtree_retries += 1
                     self.sim.after(
-                        self.config.retry_delay,
+                        self._retry_delay(block.retries - tries_left),
                         lambda: self._run_block(
                             run, epoch, txn, block, tries_left - 1, done
                         ),
@@ -358,23 +389,27 @@ class _Runner:
         op: AccessOp,
         done: Callable[[], None],
         requested_at: float,
+        retries: int = 0,
     ) -> None:
         if self._stale(run, epoch):
             return
         try:
             txn.perform(op.object_name, op.operation)
         except TransactionAborted:
-            # Under MVTO a timestamp conflict aborts the whole tree from
-            # inside `perform`; restart it.  (Moss aborts arrive via the
-            # victim path, which already bumped the epoch, so this branch
-            # is unreachable for the locking engine.)
+            # A scheme whose aborts escalate from inside `perform` (MVTO
+            # timestamp conflicts) killed the whole tree; restart it.
+            # (Moss aborts arrive via the victim path, which already
+            # bumped the epoch, so this branch is unreachable for the
+            # locking engine.)
             if not self._stale(run, epoch):
                 self._restart_program(run)
             return
         except LockDenied as denial:
-            entry = _BlockedAccess(run, epoch, txn, op, done, requested_at)
-            if not getattr(self.engine, "needs_deadlock_resolution", True):
-                # MVTO waits are timestamp-ordered (acyclic): just park.
+            entry = _BlockedAccess(
+                run, epoch, txn, op, done, requested_at, retries
+            )
+            if self.engine.capabilities.waits_are_acyclic:
+                # Ordered waits (MVTO timestamps) cannot cycle: just park.
                 self.blocked.append(entry)
                 return
             if self.config.deadlock == "wound-wait":
@@ -382,9 +417,10 @@ class _Runner:
                 if wounded:
                     # Our victims released their locks; retry shortly.
                     self.sim.after(
-                        self.config.retry_delay,
+                        self._retry_delay(retries),
                         lambda: self._attempt_access(
-                            run, epoch, txn, op, done, requested_at
+                            run, epoch, txn, op, done, requested_at,
+                            retries + 1,
                         ),
                     )
                     return
@@ -626,9 +662,10 @@ class _Runner:
             if not entry.valid():
                 continue
             self.sim.after(
-                self.config.retry_delay,
+                self._retry_delay(entry.retries),
                 lambda e=entry: self._attempt_access(
-                    e.run, e.epoch, e.txn, e.op, e.done, e.requested_at
+                    e.run, e.epoch, e.txn, e.op, e.done, e.requested_at,
+                    e.retries + 1,
                 ),
             )
 
@@ -682,19 +719,6 @@ class _Runner:
             * (0.5 + self.rng.random())
         )
         self.sim.after(delay, lambda: self._start_attempt(run))
-
-
-def _make_engine(
-    policy: str, store: Sequence[ObjectSpec], observer=None
-):
-    """Instantiate the engine for a runner policy name."""
-    if policy == "mvto":
-        from repro.mvto import MVTOEngine
-
-        # The MVTO engine is timestamp-based and not lock-instrumented.
-        return MVTOEngine(store)
-    engine_policy = "moss-rw" if policy == "serial" else policy
-    return Engine(store, policy=engine_policy, observer=observer)
 
 
 def run_simulation(

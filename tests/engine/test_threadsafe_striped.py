@@ -1,0 +1,150 @@
+"""Tests for the striped-locking regime of the thread-safe facade.
+
+The facade stripes its per-object locking whenever the scheme's
+capabilities allow it (``object_local_performs``); these tests pin the
+regime-selection rules and hammer the striped path from real threads.
+"""
+
+import threading
+
+import pytest
+
+from repro.adt import Counter
+from repro.engine.threadsafe import DEFAULT_STRIPES, ThreadSafeEngine
+from repro.errors import (
+    InvalidTransactionState,
+    LockDenied,
+    TransactionAborted,
+)
+
+OBJECTS = [Counter("c%d" % i) for i in range(8)]
+
+
+class TestRegimeSelection:
+    def test_striped_by_default_for_locking_schemes(self):
+        facade = ThreadSafeEngine(list(OBJECTS))
+        assert facade.striped
+        assert facade.engine.store.shards == min(
+            DEFAULT_STRIPES, len(OBJECTS)
+        )
+
+    def test_stripes_zero_forces_the_global_mutex(self):
+        facade = ThreadSafeEngine(list(OBJECTS), stripes=0)
+        assert not facade.striped
+        assert facade.engine.store.shards == 1
+
+    def test_trace_forces_the_global_mutex(self):
+        facade = ThreadSafeEngine(list(OBJECTS), trace=True)
+        assert not facade.striped
+
+    def test_mvto_is_never_striped(self):
+        # MVTO performs are not object-local (a ts-conflict aborts the
+        # tree across every object), so striping would be unsound.
+        facade = ThreadSafeEngine(list(OBJECTS), policy="mvto")
+        assert not facade.striped
+        top = facade.begin_top()
+        top.perform("c0", Counter.increment(1))
+        top.commit()
+        assert facade.object_value("c0") == 1
+
+    def test_install_hooks_drops_to_the_global_regime(self):
+        facade = ThreadSafeEngine(list(OBJECTS))
+
+        class NullHooks:
+            def yield_point(self, kind, name, detail):
+                pass
+
+            def on_release(self, name):
+                pass
+
+        facade.install_hooks(NullHooks())
+        assert not facade.striped
+
+
+class _Worker:
+    """Increment shared and private counters, retrying on wounds."""
+
+    def __init__(self, facade, worker_id, rounds):
+        self.facade = facade
+        self.own = "c%d" % worker_id
+        self.rounds = rounds
+        self.error = None
+
+    def __call__(self):
+        try:
+            for _ in range(self.rounds):
+                self._one_round()
+        except Exception as exc:  # pragma: no cover - surfaced below
+            self.error = exc
+
+    def _one_round(self):
+        while True:
+            top = self.facade.begin_top()
+            try:
+                top.perform("shared", Counter.increment(1), timeout=30.0)
+                top.perform(self.own, Counter.increment(1), timeout=30.0)
+                top.commit()
+                return
+            except (TransactionAborted, InvalidTransactionState,
+                    LockDenied):
+                try:
+                    if top.is_active:
+                        top.abort()
+                except InvalidTransactionState:
+                    pass
+
+
+@pytest.mark.parametrize("stripes", [None, 0, 2])
+def test_threaded_increments_are_conserved(stripes):
+    workers, rounds = 4, 25
+    specs = [Counter("shared")] + [
+        Counter("c%d" % i) for i in range(workers)
+    ]
+    facade = ThreadSafeEngine(specs, stripes=stripes)
+    bodies = [_Worker(facade, i, rounds) for i in range(workers)]
+    threads = [threading.Thread(target=body) for body in bodies]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60.0)
+        assert not thread.is_alive()
+    for body in bodies:
+        assert body.error is None
+    assert facade.object_value("shared") == workers * rounds
+    for i in range(workers):
+        assert facade.object_value("c%d" % i) == rounds
+
+
+class TestStripedSemantics:
+    def test_timeout_raises_lock_denied(self):
+        facade = ThreadSafeEngine([Counter("c")])
+        holder = facade.begin_top()
+        holder.perform("c", Counter.increment(1))
+        waiter = facade.begin_top()
+        with pytest.raises(LockDenied):
+            waiter.perform("c", Counter.increment(1), timeout=0.05)
+        holder.commit()
+
+    def test_older_wounds_younger_holder(self):
+        facade = ThreadSafeEngine([Counter("c")])
+        assert facade.striped
+        older = facade.begin_top()
+        younger = facade.begin_top()
+        younger.perform("c", Counter.increment(3))
+        assert older.perform("c", Counter.value(), timeout=5.0) == 0
+        assert not younger.is_active
+        older.commit()
+
+    def test_results_match_the_global_regime(self):
+        for stripes in (None, 0):
+            facade = ThreadSafeEngine(
+                [Counter("a"), Counter("b")], stripes=stripes
+            )
+            top = facade.begin_top()
+            child = top.begin_child()
+            child.perform("a", Counter.increment(2))
+            child.commit()
+            top.perform("b", Counter.increment(5))
+            top.commit()
+            assert facade.object_value("a") == 2
+            assert facade.object_value("b") == 5

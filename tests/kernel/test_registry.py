@@ -1,0 +1,85 @@
+"""Tests for the scheme registry and capability descriptors."""
+
+import pytest
+
+from repro.adt import Counter
+from repro.errors import EngineError
+from repro.kernel import Scheme, get_scheme, scheme_names
+
+
+class TestLookup:
+    def test_builtin_names_registered(self):
+        names = scheme_names()
+        for name in (
+            "moss-rw", "exclusive", "flat-2pl", "semantic",
+            "serial", "mvto", "broken-no-inherit",
+        ):
+            assert name in names
+        assert names == tuple(sorted(names))
+
+    def test_unknown_name_lists_the_menu(self):
+        with pytest.raises(EngineError) as excinfo:
+            get_scheme("two-phase-hopes")
+        assert "two-phase-hopes" in str(excinfo.value)
+        assert "moss-rw" in str(excinfo.value)
+
+    def test_lookup_is_cached(self):
+        assert get_scheme("moss-rw") is get_scheme("moss-rw")
+
+    def test_scheme_passes_through(self):
+        scheme = get_scheme("exclusive")
+        assert get_scheme(scheme) is scheme
+
+    def test_policy_instance_becomes_ad_hoc_scheme(self):
+        from repro.analysis.faults import NoInheritPolicy
+
+        scheme = get_scheme(NoInheritPolicy())
+        assert isinstance(scheme, Scheme)
+        assert scheme.name == NoInheritPolicy.name
+        engine = scheme.build([Counter("c")])
+        assert engine.scheme_name == NoInheritPolicy.name
+
+
+class TestCapabilities:
+    def test_locking_schemes_are_object_local(self):
+        for name in ("moss-rw", "exclusive", "flat-2pl"):
+            caps = get_scheme(name).capabilities
+            assert caps.object_local_performs
+            assert not caps.waits_are_acyclic
+
+    def test_model_conformance_flags(self):
+        assert get_scheme("moss-rw").capabilities.model_conformant
+        assert get_scheme("exclusive").capabilities.model_conformant
+        assert not get_scheme("flat-2pl").capabilities.model_conformant
+        assert not get_scheme("mvto").capabilities.model_conformant
+
+    def test_mvto_shape(self):
+        caps = get_scheme("mvto").capabilities
+        assert caps.waits_are_acyclic
+        assert caps.aborts_whole_tree
+        assert not caps.moves_locks
+        assert not caps.object_local_performs
+
+    def test_serial_is_moss_rw_forced_serial(self):
+        serial = get_scheme("serial")
+        moss = get_scheme("moss-rw")
+        assert serial.force_serial
+        assert not moss.force_serial
+        assert serial.capabilities == moss.capabilities
+
+
+class TestBuild:
+    def test_built_engines_expose_the_scheme_protocol(self):
+        for name in ("moss-rw", "mvto"):
+            engine = get_scheme(name).build([Counter("c")])
+            assert engine.scheme_name == name
+            top = engine.begin_top()
+            top.perform("c", Counter.increment(2))
+            top.commit()
+            assert engine.object_value("c") == 2
+            assert engine.stats["commits"] == 1
+
+    def test_build_honours_shards(self):
+        specs = [Counter("c%d" % i) for i in range(8)]
+        engine = get_scheme("moss-rw").build(specs, shards=4)
+        assert engine.store.shards == 4

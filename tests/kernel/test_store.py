@@ -1,0 +1,62 @@
+"""Tests for the shared sharded object store."""
+
+import pytest
+
+from repro.adt import Counter
+from repro.errors import EngineError
+from repro.kernel import ObjectStore, default_sharding
+
+
+def make_store(n, shards=1, sharding=None):
+    return ObjectStore(
+        [Counter("c%d" % i) for i in range(n)],
+        lambda spec: spec,
+        shards=shards,
+        sharding=sharding,
+    )
+
+
+class TestBasics:
+    def test_mapping_protocol(self):
+        store = make_store(3)
+        assert len(store) == 3
+        assert "c1" in store and "nope" not in store
+        assert store.names() == ("c0", "c1", "c2")
+        assert {name for name, _ in store.items()} == {"c0", "c1", "c2"}
+        assert store.object("c2").name == "c2"
+
+    def test_unknown_and_duplicate_objects_rejected(self):
+        store = make_store(2)
+        with pytest.raises(EngineError):
+            store.object("ghost")
+        with pytest.raises(EngineError):
+            ObjectStore(
+                [Counter("c"), Counter("c")], lambda spec: spec
+            )
+
+
+class TestSharding:
+    def test_single_shard_default(self):
+        store = make_store(5)
+        assert store.shards == 1
+        assert {store.shard_of(name) for name in store.names()} == {0}
+
+    def test_shard_count_clamped_to_objects(self):
+        assert make_store(3, shards=16).shards == 3
+        assert make_store(3, shards=0).shards == 1
+
+    def test_default_sharding_is_stable_and_in_range(self):
+        store = make_store(10, shards=4)
+        for name in store.names():
+            index = store.shard_of(name)
+            assert 0 <= index < store.shards
+            assert index == store.shard_of(name)
+            assert index == default_sharding(name, store.shards)
+
+    def test_custom_sharding_function(self):
+        store = make_store(4, shards=2, sharding=lambda name, n: 1)
+        assert {store.shard_of(name) for name in store.names()} == {1}
+
+    def test_out_of_range_sharding_rejected(self):
+        with pytest.raises(EngineError):
+            make_store(4, shards=2, sharding=lambda name, n: 7)

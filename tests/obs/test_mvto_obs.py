@@ -1,0 +1,109 @@
+"""Observer integration for the MVTO scheme.
+
+MVTO used to sit outside the observability layer; as a first-class
+kernel scheme it must emit the same spans, counters and contention
+entries the locking engines do.
+"""
+
+import pytest
+
+from repro.adt import Counter
+from repro.engine.threadsafe import ThreadSafeEngine
+from repro.errors import LockDenied, RetryLater
+from repro.obs import Observer
+from repro.obs.workloads import run_contended_sim
+
+
+class TestSimulatedMVTO:
+    def test_counters_agree_with_runner_accounting(self):
+        observer = Observer()
+        metrics = run_contended_sim(
+            observer, seed=3, programs=16, objects=4, mpl=6,
+            policy="mvto",
+        )
+        counters = observer.metrics.snapshot()["counters"]
+        assert counters["txn.commit{scope=top}"] == metrics.committed
+        assert metrics.lock_denials > 0
+        assert counters["lock.denials"] == metrics.lock_denials
+        total_denials = sum(
+            entry.denials
+            for entry in observer.contention.objects.values()
+        )
+        assert total_denials == metrics.lock_denials
+
+    def test_ts_conflicts_tagged_as_abort_cause(self):
+        observer = Observer()
+        metrics = run_contended_sim(
+            observer, seed=3, programs=16, objects=4, mpl=6,
+            policy="mvto",
+        )
+        assert metrics.program_restarts > 0
+        counters = observer.metrics.snapshot()["counters"]
+        ts_aborts = sum(
+            value
+            for key, value in counters.items()
+            if key.startswith("txn.abort{cause=ts-conflict")
+        )
+        assert ts_aborts >= 1
+
+    def test_all_spans_closed_after_finish(self):
+        observer = Observer()
+        run_contended_sim(
+            observer, seed=5, programs=10, objects=3, policy="mvto"
+        )
+        assert observer.tracer._open == {}
+
+    def test_observed_run_matches_unobserved(self):
+        observed = run_contended_sim(
+            Observer(), seed=11, programs=10, policy="mvto"
+        )
+        plain = run_contended_sim(
+            Observer(trace=False), seed=11, programs=10, policy="mvto"
+        )
+        assert observed.committed == plain.committed
+        assert observed.makespan == plain.makespan
+        assert observed.lock_denials == plain.lock_denials
+
+
+class TestThreadSafeMVTO:
+    def test_wait_timeout_records_span_and_denial(self):
+        observer = Observer()
+        facade = ThreadSafeEngine(
+            [Counter("c")], policy="mvto", observer=observer
+        )
+        writer = facade.begin_top()
+        writer.perform("c", Counter.increment(1))
+        # The reader has a later timestamp, so it waits on the pending
+        # earlier writer (RetryLater) until its timeout expires.
+        reader = facade.begin_top()
+        with pytest.raises(LockDenied):
+            reader.perform("c", Counter.value(), timeout=0.05)
+        writer.commit()
+        observer.finish()
+        counters = observer.metrics.snapshot()["counters"]
+        assert counters["lock.denials"] >= 1
+        assert counters["lock.waits"] == 1
+        wait_spans = [
+            span
+            for span in observer.tracer.completed()
+            if span.category == "wait"
+        ]
+        assert len(wait_spans) == 1
+        assert wait_spans[0].args["object"] == "c"
+
+    def test_direct_engine_wait_counts_denial(self):
+        observer = Observer()
+        from repro.kernel import get_scheme
+
+        engine = get_scheme("mvto").build(
+            [Counter("c")], observer=observer
+        )
+        writer = engine.begin_top()
+        writer.perform("c", Counter.increment(1))
+        reader = engine.begin_top()
+        with pytest.raises(RetryLater):
+            reader.perform("c", Counter.value())
+        observer.finish()
+        counters = observer.metrics.snapshot()["counters"]
+        assert counters["lock.denials"] == 1
+        assert engine.stats["denials"] == 1

@@ -1,0 +1,88 @@
+"""Tests for the seeded exponential-backoff retry delays.
+
+The satellite contract: with the default knobs
+(``retry_backoff=1.0``, ``retry_jitter=0.0``) every run is
+byte-for-byte identical to the old fixed ``retry_delay`` behaviour --
+pinned here by monkeypatching the old constant-delay rule back in and
+comparing full run digests.
+"""
+
+import hashlib
+
+from repro.sim import (
+    SimulationConfig,
+    WorkloadConfig,
+    make_store,
+    make_workload,
+    run_simulation,
+)
+from repro.sim.runner import _Runner
+
+CONTENDED = WorkloadConfig(
+    programs=16, objects=3, read_fraction=0.1
+)
+
+
+def run_digest(config):
+    programs = make_workload(7, CONTENDED)
+    metrics = run_simulation(programs, make_store(CONTENDED), config)
+    hasher = hashlib.sha256()
+    hasher.update(repr(metrics.row()).encode())
+    hasher.update(repr(sorted(metrics.final_state.items())).encode())
+    hasher.update(repr(metrics.latencies).encode())
+    hasher.update(repr(metrics.wait_time).encode())
+    return metrics, hasher.hexdigest()
+
+
+class TestDefaultsAreByteForByte:
+    def test_defaults_match_the_old_fixed_delay(self, monkeypatch):
+        config = SimulationConfig(mpl=8, policy="moss-rw", seed=2)
+        metrics, fresh = run_digest(config)
+        # The workload must actually exercise the retry paths for the
+        # comparison to mean anything.
+        assert metrics.lock_denials > 0
+        monkeypatch.setattr(
+            _Runner,
+            "_retry_delay",
+            lambda self, attempt: self.config.retry_delay,
+        )
+        _, legacy = run_digest(config)
+        assert fresh == legacy
+
+    def test_runs_are_deterministic(self):
+        config = SimulationConfig(
+            mpl=8, policy="moss-rw", seed=2,
+            retry_backoff=1.7, retry_jitter=0.4,
+        )
+        assert run_digest(config)[1] == run_digest(config)[1]
+
+
+class TestKnobsChangeTheSchedule:
+    def test_backoff_changes_the_schedule(self):
+        base = SimulationConfig(mpl=8, policy="moss-rw", seed=2)
+        backed_off = SimulationConfig(
+            mpl=8, policy="moss-rw", seed=2, retry_backoff=3.0
+        )
+        assert run_digest(base)[1] != run_digest(backed_off)[1]
+
+    def test_jitter_changes_the_schedule(self):
+        base = SimulationConfig(mpl=8, policy="moss-rw", seed=2)
+        jittered = SimulationConfig(
+            mpl=8, policy="moss-rw", seed=2, retry_jitter=0.5
+        )
+        assert run_digest(base)[1] != run_digest(jittered)[1]
+
+    def test_delay_growth_is_capped(self):
+        config = SimulationConfig(
+            mpl=2, policy="moss-rw", seed=0,
+            retry_backoff=2.0, retry_max_delay=1.5,
+        )
+        runner = _Runner(
+            make_workload(0, CONTENDED),
+            make_store(CONTENDED),
+            config,
+        )
+        delays = [runner._retry_delay(n) for n in range(12)]
+        assert delays[0] == config.retry_delay
+        assert delays == sorted(delays)
+        assert max(delays) == config.retry_max_delay

@@ -11,6 +11,7 @@ from repro.errors import (
     ModelError,
     NotEnabledError,
     ReproError,
+    RetryLater,
     SerializationFailure,
     SystemTypeError,
     TransactionAborted,
@@ -72,3 +73,26 @@ class TestPayloads:
 
     def test_lock_denied_default_blockers_empty(self):
         assert LockDenied("nope").blockers == frozenset()
+
+    def test_retry_later_is_a_lock_denied(self):
+        # MVTO waits raise RetryLater; runners that predate the split
+        # catch LockDenied, so the subclass relationship is load-bearing
+        # compatibility, not an implementation detail.
+        exc = RetryLater("later", blockers=[(2,)])
+        assert isinstance(exc, LockDenied)
+        assert issubclass(RetryLater, LockDenied)
+        assert exc.blockers == frozenset({(2,)})
+        with pytest.raises(LockDenied):
+            raise RetryLater("caught as the alias")
+
+    def test_mvto_wait_raises_retry_later(self):
+        from repro.adt import Counter
+        from repro.kernel import get_scheme
+
+        engine = get_scheme("mvto").build([Counter("c")])
+        writer = engine.begin_top()
+        writer.perform("c", Counter.increment(1))
+        reader = engine.begin_top()
+        with pytest.raises(RetryLater) as excinfo:
+            reader.perform("c", Counter.value())
+        assert excinfo.value.blockers == frozenset({writer.name})
