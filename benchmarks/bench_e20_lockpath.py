@@ -1,0 +1,197 @@
+"""E20 (lock-path microbenchmark): the grant fast path vs the scan.
+
+Not a paper claim -- a perf-trajectory report for the engine hot path.
+Every lock grant must decide "is every conflicting holder an ancestor
+of the requester?".  The unoptimised rule scans the holder sets with
+tuple-prefix ancestry checks (O(holders x depth)); the fast path
+answers from O(1) aggregates (interned ancestry sets, deepest-holder
+tracking -- see ``docs/PERFORMANCE.md``).  This benchmark drives both
+implementations through identical workloads and reports acquire
+throughput across:
+
+* nesting depth (deep chains accumulate one write + one read holder
+  per level under ``moss-rw``, so depth doubles as holder count);
+* read/write mix;
+* scheme (``moss-rw``, ``exclusive``, ``flat-2pl``); and
+* regime (raw engine, global-mutex facade, striped facade).
+
+The scan baseline is the same code with ``ManagedObject.FAST_GRANTS``
+off, so the comparison isolates the grant decision itself.
+
+Environment knobs (for the CI bench-lockpath job):
+
+* ``E20_QUICK=1`` shrinks the op counts to smoke-test size;
+* ``E20_JSON=<path>`` overrides where the JSON artifact is written
+  (default: ``BENCH_E20.json`` at the repo root).
+"""
+
+import json
+import os
+import time
+
+from conftest import print_table, run_once
+
+from repro.adt import Counter
+from repro.engine import Engine
+from repro.engine.lockmanager import ManagedObject
+from repro.engine.threadsafe import ThreadSafeEngine
+
+#: Depths to sweep.  Under moss-rw a depth-d chain holds ~2d+1 locks on
+#: the hot object (one write + one read holder per level), so the
+#: deepest row exercises the "depth >= 6 with >= 32 holders" regime the
+#: acceptance criterion names.
+DEPTHS = (2, 8, 32)
+
+MIXES = {"read-heavy": 0.9, "write-heavy": 0.1}
+
+
+def _build_chain(handle, depth):
+    """Nest *handle* down to *depth* levels; return the whole chain."""
+    chain = [handle]
+    for _ in range(depth - 1):
+        handle = handle.begin_child()
+        chain.append(handle)
+    return chain
+
+
+def _seed_holders(chain):
+    """One write + one read per level: the holder chain accumulates."""
+    for handle in chain:
+        handle.perform("h", Counter.increment(1))
+        handle.perform("h", Counter.value())
+
+
+def _measure(make_facade, scheme, depth, read_ratio, ops):
+    """Acquire throughput of the deepest transaction; ops/second."""
+    facade = make_facade(scheme)
+    chain = _build_chain(facade.begin_top(), depth)
+    _seed_holders(chain)
+    deepest = chain[-1]
+    read = Counter.value()
+    write = Counter.increment(1)
+    # Deterministic mix without per-op RNG overhead.
+    period = 10
+    reads_per_period = int(read_ratio * period)
+    plan = [
+        read if slot < reads_per_period else write
+        for slot in range(period)
+    ]
+    started = time.perf_counter()
+    for index in range(ops):
+        deepest.perform("h", plan[index % period])
+    elapsed = time.perf_counter() - started
+    engine = facade.engine if hasattr(facade, "engine") else facade
+    managed = engine.locks.object("h")
+    write_holders, read_holders = managed.holders_view()
+    return {
+        "ops_per_sec": int(ops / max(elapsed, 1e-9)),
+        "holders": len(write_holders) + len(read_holders),
+    }
+
+
+def _sweep(make_facade, regime, schemes, depths, ops):
+    """Measure fast and scan paths over the grid; return report rows."""
+    rows = []
+    for scheme in schemes:
+        for depth in depths:
+            for mix, read_ratio in MIXES.items():
+                fast = _measure(
+                    make_facade, scheme, depth, read_ratio, ops
+                )
+                ManagedObject.FAST_GRANTS = False
+                try:
+                    scan = _measure(
+                        make_facade, scheme, depth, read_ratio, ops
+                    )
+                finally:
+                    ManagedObject.FAST_GRANTS = True
+                rows.append(
+                    {
+                        "regime": regime,
+                        "scheme": scheme,
+                        "depth": depth,
+                        "mix": mix,
+                        "holders": fast["holders"],
+                        "fast_ops_per_sec": fast["ops_per_sec"],
+                        "scan_ops_per_sec": scan["ops_per_sec"],
+                        "speedup": round(
+                            fast["ops_per_sec"]
+                            / max(scan["ops_per_sec"], 1),
+                            2,
+                        ),
+                    }
+                )
+    return rows
+
+
+def test_e20_lockpath(benchmark):
+    quick = bool(os.environ.get("E20_QUICK"))
+    ops = 2_000 if quick else 20_000
+    facade_ops = 1_000 if quick else 8_000
+
+    def experiment():
+        rows = []
+        # Full grid on the raw engine: the grant decision dominates.
+        rows += _sweep(
+            lambda scheme: Engine([Counter("h")], policy=scheme),
+            "engine",
+            ("moss-rw", "exclusive", "flat-2pl"),
+            DEPTHS,
+            ops,
+        )
+        # Facade regimes: the deep moss-rw case only (facade overhead
+        # dilutes the grant cost; the row shows by how much).
+        rows += _sweep(
+            lambda scheme: ThreadSafeEngine(
+                [Counter("h")], policy=scheme, stripes=0
+            ),
+            "facade-global",
+            ("moss-rw",),
+            DEPTHS[-1:],
+            facade_ops,
+        )
+        rows += _sweep(
+            lambda scheme: ThreadSafeEngine(
+                [Counter("h")], policy=scheme
+            ),
+            "facade-striped",
+            ("moss-rw",),
+            DEPTHS[-1:],
+            facade_ops,
+        )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print_table("E20: lock-grant fast path vs holder scan", rows)
+
+    json_path = os.environ.get("E20_JSON") or os.path.join(
+        os.path.dirname(os.path.abspath(__file__)),
+        os.pardir,
+        "BENCH_E20.json",
+    )
+    with open(json_path, "w") as handle:
+        json.dump(
+            {"experiment": "e20_lockpath", "rows": rows},
+            handle,
+            indent=2,
+        )
+
+    # The acceptance row: deep nesting (depth 32 => ~65 holders under
+    # moss-rw) on the raw engine.
+    deep = [
+        row
+        for row in rows
+        if row["regime"] == "engine"
+        and row["scheme"] == "moss-rw"
+        and row["depth"] == DEPTHS[-1]
+    ]
+    assert deep
+    for row in deep:
+        assert row["holders"] >= 32
+        # CI guard (always on, quick mode included): the fast path must
+        # never be >10% slower than the scan it replaces.
+        assert row["speedup"] >= 0.9, row
+        if not quick:
+            # Full runs must show the headline win: >= 2x acquire
+            # throughput at depth >= 6 with >= 32 holders.
+            assert row["speedup"] >= 2.0, row

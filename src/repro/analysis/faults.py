@@ -18,22 +18,34 @@ from __future__ import annotations
 
 from repro.core.names import TransactionName, parent
 from repro.engine.lockmanager import ManagedObject
+from repro.engine.locks import LockMode
 from repro.engine.policies import MossPolicy
 from repro.errors import EngineError
 
 
 class NoInheritManagedObject(ManagedObject):
-    """A ManagedObject whose commit *drops* locks instead of inheriting."""
+    """A ManagedObject whose commit *drops* locks instead of inheriting.
+
+    Mutation goes through the aggregate-maintaining ``_discard_holder``
+    helpers so the fast-path bookkeeping (deepest holders, depth index,
+    generation) stays truthful even under the injected fault -- the
+    *rule* violation is skipping inheritance, not corrupting the table.
+    """
 
     def on_commit(self, name: TransactionName) -> None:
         mother = parent(name)
         if mother is None:
             raise EngineError("cannot commit the root")
+        moved = False
         if name in self.write_holders:
-            self.write_holders.discard(name)
+            self._discard_holder(name, LockMode.WRITE)
             self.versions.promote(name)
+            moved = True
         if name in self.read_holders:
-            self.read_holders.discard(name)
+            self._discard_holder(name, LockMode.READ)
+            moved = True
+        if moved:
+            self.generation += 1
 
 
 class NoInheritPolicy(MossPolicy):

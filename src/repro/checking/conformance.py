@@ -95,15 +95,62 @@ class ConformanceReport:
     #: failure (populated only when the replay rejects or Theorem 34 is
     #: violated; empty tuple when the analyzers found nothing to blame).
     diagnosis: Optional[Tuple] = None
+    #: Engine/M(X) lock-table lockstep: after a successful replay the
+    #: engine's live holder sets must equal the replayed automata's,
+    #: object for object.  Guards the lock-grant fast path -- any
+    #: divergence between the optimised tables and the paper's rules
+    #: shows up here bit-for-bit.
+    lockstep_ok: bool = True
+    lockstep_error: Optional[str] = None
 
     @property
     def ok(self) -> bool:
-        return self.refinement_ok and (
-            self.correctness is not None and bool(self.correctness)
+        return (
+            self.refinement_ok
+            and self.lockstep_ok
+            and (self.correctness is not None and bool(self.correctness))
         )
 
     def __bool__(self) -> bool:
         return self.ok
+
+
+def _check_lockstep(
+    engine: Engine, rw_system: RWLockingSystem
+) -> Tuple[bool, Optional[str]]:
+    """Compare live engine lock tables against the replayed M(X) state.
+
+    Uses the engine objects' zero-copy ``holders_view()`` (read-only
+    inspection; nothing is mutated and nothing runs concurrently here).
+    """
+    for object_name, managed in engine.locks.objects.items():
+        view = getattr(managed, "holders_view", None)
+        if view is None:
+            # Non-Moss managed objects (e.g. semantic locking) have no
+            # holder sets to compare; they are also not model
+            # conformant, so check_engine_trace rejects them earlier.
+            continue
+        write_holders, read_holders = view()
+        mx = rw_system.locking_object(object_name)
+        if write_holders != mx.write_lockholders:
+            return False, (
+                "%s: engine write holders %r != M(X) %r"
+                % (
+                    object_name,
+                    sorted(write_holders),
+                    sorted(mx.write_lockholders),
+                )
+            )
+        if read_holders != mx.read_lockholders:
+            return False, (
+                "%s: engine read holders %r != M(X) %r"
+                % (
+                    object_name,
+                    sorted(read_holders),
+                    sorted(mx.read_lockholders),
+                )
+            )
+    return True, None
 
 
 def check_engine_trace(engine: Engine) -> ConformanceReport:
@@ -142,11 +189,25 @@ def check_engine_trace(engine: Engine) -> ConformanceReport:
             system_type, alpha, serial_system=serial_system
         )
 
+    lockstep_ok = True
+    lockstep_error: Optional[str] = None
+    if refinement_ok and not getattr(recorder, "dropped_events", 0):
+        # With the complete trace replayed, the engine's live lock
+        # tables and the replayed M(X) automata describe the same
+        # moment; they must agree holder-for-holder.  This pins the
+        # engine's grant fast path and depth-indexed aborts to the
+        # unoptimised model rules.  (A ring-buffer recorder that
+        # dropped events replayed only a suffix, so the comparison
+        # would be vacuous -- skip it.)
+        lockstep_ok, lockstep_error = _check_lockstep(engine, rw_system)
+
     report = ConformanceReport(
         refinement_ok=refinement_ok,
         rejection=rejection,
         correctness=correctness,
         trace_length=len(alpha),
+        lockstep_ok=lockstep_ok,
+        lockstep_error=lockstep_error,
     )
     if not report.ok:
         # Hand the failing trace to the analyzers so every replay

@@ -33,6 +33,10 @@ class WaitsForGraph:
 
     def __init__(self):
         self._waits: Dict[TransactionName, Set[TransactionName]] = {}
+        # Waiters bucketed by top-level ancestor, so subtree removal
+        # (fired on every abort) scans one tree's waiters instead of
+        # every waiter in the engine.
+        self._tops: Dict[TransactionName, Set[TransactionName]] = {}
 
     def add_wait(
         self,
@@ -46,21 +50,45 @@ class WaitsForGraph:
         """
         edges = self._waits.setdefault(waiter, set())
         edges.update(blockers)
+        self._tops.setdefault(top_level(waiter), set()).add(waiter)
         return self.find_cycle(top_level(waiter))
 
     def remove_waiter(self, waiter: TransactionName) -> None:
         """Drop every edge out of *waiter* (it was granted or aborted)."""
-        self._waits.pop(waiter, None)
+        if self._waits.pop(waiter, None) is not None:
+            top = top_level(waiter)
+            bucket = self._tops.get(top)
+            if bucket is not None:
+                bucket.discard(waiter)
+                if not bucket:
+                    del self._tops[top]
 
     def remove_subtree(self, doomed: TransactionName) -> None:
         """Drop edges out of every waiter in *doomed*'s subtree."""
+        if not doomed:
+            self._waits.clear()
+            self._tops.clear()
+            return
+        top = top_level(doomed)
+        bucket = self._tops.get(top)
+        if not bucket:
+            return
+        if len(doomed) == 1:
+            # Whole tree: the bucket is exactly the victim set.
+            for waiter in bucket:
+                del self._waits[waiter]
+            del self._tops[top]
+            return
         victims = [
             waiter
-            for waiter in self._waits
+            for waiter in bucket
             if waiter[: len(doomed)] == doomed
         ]
         for waiter in victims:
             del self._waits[waiter]
+            bucket.discard(waiter)
+        if not bucket:
+            del self._tops[top]
 
     def _group_edges(self) -> Dict[TransactionName, Set[TransactionName]]:
         grouped: Dict[TransactionName, Set[TransactionName]] = {}

@@ -30,7 +30,7 @@ from repro.core.events import (
     RequestCommit,
     RequestCreate,
 )
-from repro.core.names import ROOT, TransactionName, pretty_name
+from repro.core.names import ROOT, TransactionName, intern_name, pretty_name
 from repro.core.object_spec import ObjectSpec, Operation
 from repro.engine.deadlock import WaitsForGraph, choose_victim, top_level
 from repro.engine.lockmanager import LockManager
@@ -112,6 +112,9 @@ class Engine:
         self.transactions: Dict[TransactionName, Transaction] = {}
         self._next_top = 0
         self._clock = 0.0
+        # Bumped by every abort; lets _check_not_orphan cache clean
+        # ancestor walks per handle between aborts.
+        self._abort_epoch = 0
         # Counters for metrics/reporting.
         self.stats = {
             "accesses": 0,
@@ -229,6 +232,10 @@ class Engine:
         parent: Optional[Transaction],
         at: Optional[float] = None,
     ) -> Transaction:
+        # Intern the name so lock-grant ancestry tests are O(1) pointer
+        # and set operations (access leaves are never interned -- their
+        # parent, registered here, is what the fast path looks up).
+        name = intern_name(name)
         txn = Transaction(self, name, parent)
         self.transactions[name] = txn
         if parent is not None:
@@ -249,6 +256,12 @@ class Engine:
         return self._register(name, parent)
 
     def _check_not_orphan(self, txn: Transaction) -> None:
+        # Orphan-hood can only change when an abort happens, so the
+        # ancestor walk runs once per (handle, abort epoch) instead of
+        # on every perform -- deep chains would otherwise pay O(depth)
+        # per access just to re-learn nothing was aborted.
+        if txn._orphan_checked_epoch == self._abort_epoch:
+            return
         node: Optional[Transaction] = txn
         while node is not None:
             if node.status is TransactionStatus.ABORTED:
@@ -257,6 +270,7 @@ class Engine:
                     "ancestor %s aborted" % pretty_name(node.name),
                 )
             node = node.parent
+        txn._orphan_checked_epoch = self._abort_epoch
 
     def _perform(
         self,
@@ -268,7 +282,6 @@ class Engine:
         managed = self.locks.object(object_name)
         mode = self.policy.mode_for(operation)
         access = txn.name + (txn._next_child,)
-        owner = self.policy.owner_for(access)
         blockers = managed.blockers(access, mode, operation=operation)
         if blockers:
             self.stats["denials"] += 1
@@ -348,6 +361,7 @@ class Engine:
             if top.is_active:
                 self._abort(top)
                 return
+        self._abort_epoch += 1
         self._mark_aborted_subtree(txn)
         self.stats["aborts"] += 1
         self.waits.remove_subtree(txn.name)

@@ -21,6 +21,16 @@ def conflicts(mode_a: LockMode, mode_b: LockMode) -> bool:
     return mode_a is LockMode.WRITE or mode_b is LockMode.WRITE
 
 
+def covers(held: LockMode, wanted: LockMode) -> bool:
+    """True when a held *held*-mode lock is at least as strong as *wanted*.
+
+    Write covers both modes; read covers only read.  The lock-grant
+    fast path uses this ordering to decide whether an ancestor's
+    existing lock already subsumes a request.
+    """
+    return held is LockMode.WRITE or wanted is LockMode.READ
+
+
 def blocking_holders(
     requester: TransactionName,
     mode: LockMode,

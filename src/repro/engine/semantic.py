@@ -63,10 +63,15 @@ class SemanticManagedObject:
     plus a chronological operation log instead of per-holder versions.
     """
 
+    #: Grants are reported through :attr:`granted_hook`, so the
+    #: LockManager's held-objects index works for this class too.
+    HOLDER_INDEXED = True
+
     def __init__(self, spec: ObjectSpec):
         self.spec = spec
         self.value: Any = spec.initial_value()
         self.log: List[LogEntry] = []
+        self.granted_hook = None
 
     # ------------------------------------------------------------------
     # Queries
@@ -141,6 +146,9 @@ class SemanticManagedObject:
         )
         self.value = new_value
         self.log.append(LogEntry(owner, operation, undo))
+        hook = self.granted_hook
+        if hook is not None:
+            hook(owner)
         return result
 
     def on_commit(self, name: TransactionName) -> None:

@@ -309,17 +309,19 @@ class ThreadSafeEngine:
 
     def object_value(self, object_name: str) -> Any:
         if self._striped:
-            # A perform on this object's stripe may be mid-write; take
-            # the full structural lock set for a quiescent read.
-            return self._run_structural(
-                lambda: self._read_value(object_name), bump="never"
-            )
+            # Striped schemes are object-local: performs on this object
+            # run under its stripe lock, and structural ops hold every
+            # stripe (including this one), so the object's single
+            # stripe already gives a quiescent read of its versions --
+            # no need to stall the whole facade for an inspection.
+            lock = self._stripe_locks[self._stripe_index(object_name)]
+            with lock:
+                return self._read_value(object_name)
         with self._mutex:
             return self._engine.object_value(object_name)
 
     def _read_value(self, object_name: str) -> Any:
-        # Called only via _run_structural: the mutex plus every stripe
-        # are already held here.
+        # Callers hold (at least) the object's stripe lock.
         return self._engine.object_value(  # repro-lint: ignore[CD002]
             object_name
         )

@@ -46,6 +46,9 @@ class Transaction:
         self.children: List["Transaction"] = []
         self.value: Any = None
         self._next_child = 0
+        # Abort epoch at which the engine last verified this handle is
+        # not an orphan (see Engine._check_not_orphan); -1 = never.
+        self._orphan_checked_epoch = -1
 
     # ------------------------------------------------------------------
     # Introspection

@@ -64,6 +64,9 @@ class ObjectStore:
             self.specs[spec.name] = spec
             self.objects[spec.name] = make_object(spec)
             self._shard_of[spec.name] = index
+        self._rank_of: Dict[str, int] = {
+            name: rank for rank, name in enumerate(self.objects)
+        }
 
     def object(self, name: str) -> Any:
         try:
@@ -74,6 +77,18 @@ class ObjectStore:
     def shard_of(self, name: str) -> int:
         try:
             return self._shard_of[name]
+        except KeyError:
+            raise EngineError("unknown object %r" % name) from None
+
+    def rank_of(self, name: str) -> int:
+        """Registration rank of *name* (0-based insertion order).
+
+        Lets callers that iterate object subsets (e.g. the lock
+        manager's held-objects index) restore the store's canonical
+        ordering, which traces and replay digests depend on.
+        """
+        try:
+            return self._rank_of[name]
         except KeyError:
             raise EngineError("unknown object %r" % name) from None
 

@@ -111,6 +111,49 @@ class TestConformance:
             assert report.ok, (trial, report.rejection)
 
 
+class TestLockstep:
+    """Engine/M(X) lock-table lockstep (guards the grant fast path)."""
+
+    def test_clean_run_reports_lockstep(self):
+        report = check_engine_trace(drive_simple_run())
+        assert report.lockstep_ok
+        assert report.lockstep_error is None
+        assert report.ok
+
+    def test_exclusive_run_reports_lockstep(self):
+        engine = Engine([IntRegister("x")], policy="exclusive", trace=True)
+        top = engine.begin_top()
+        top.perform("x", IntRegister.add(3))
+        top.commit()
+        report = check_engine_trace(engine)
+        assert report.lockstep_ok
+        assert report.ok
+
+    def test_corrupted_holder_table_fails_lockstep(self):
+        """A holder the trace never granted must break the comparison:
+        this is what a fast-path bug that strands or invents a lock
+        would look like."""
+        engine = drive_simple_run()
+        engine.locks.object("x").write_holders.add((9, 9))
+        report = check_engine_trace(engine)
+        assert report.refinement_ok  # the trace itself is still fine
+        assert not report.lockstep_ok
+        assert "x" in report.lockstep_error
+        assert "(9, 9)" in report.lockstep_error
+        assert not report.ok
+
+    def test_missing_holder_fails_lockstep(self):
+        engine = Engine([Counter("c")], policy="moss-rw", trace=True)
+        top = engine.begin_top()
+        top.perform("c", Counter.increment(1))
+        # Leave `top` live: it still holds the write lock, so silently
+        # dropping it from the engine table must be caught.
+        engine.locks.object("c").write_holders.discard(top.name)
+        report = check_engine_trace(engine)
+        assert not report.lockstep_ok
+        assert "c" in report.lockstep_error
+
+
 class TestTraceLogicFactory:
     def test_reconstructs_requests_and_values(self):
         engine = drive_simple_run()

@@ -1,0 +1,134 @@
+"""Property tests: NameTable agrees with the tuple-prefix reference.
+
+The interned :class:`~repro.core.names.NameTable` backs the engine's
+lock-grant fast path, so its answers must match the module-level
+reference implementations (`is_ancestor`, `is_descendant`, `lca`,
+`chain_between`) on every input -- including names it has never
+interned and tables whose intern pool is capped.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.names import (
+    ROOT,
+    NameTable,
+    chain_between,
+    default_table,
+    intern_name,
+    is_ancestor,
+    is_descendant,
+    lca,
+    parent,
+)
+from repro.errors import SystemTypeError
+
+names = st.lists(st.integers(0, 3), max_size=6).map(tuple)
+
+# A "random tree" is just a pair/list of names drawn from a small
+# branching alphabet: shared prefixes (ancestry) arise naturally.
+name_pairs = st.tuples(names, names)
+
+
+@st.composite
+def tables(draw):
+    """A NameTable, possibly capped, pre-warmed with random names."""
+    max_size = draw(st.one_of(st.none(), st.integers(1, 8)))
+    table = NameTable(max_size=max_size)
+    for name in draw(st.lists(names, max_size=8)):
+        table.node(name)
+    return table
+
+
+class TestAgainstReference:
+    @given(tables(), names, names)
+    def test_is_ancestor_matches(self, table, a, b):
+        assert table.is_ancestor(a, b) == is_ancestor(a, b)
+
+    @given(tables(), names, names)
+    def test_is_descendant_matches(self, table, a, b):
+        assert table.is_descendant(a, b) == is_descendant(a, b)
+
+    @given(tables(), names, names)
+    def test_lca_matches(self, table, a, b):
+        assert table.lca(a, b) == lca(a, b)
+
+    @given(tables(), names)
+    def test_parent_matches(self, table, name):
+        assert table.parent(name) == parent(name)
+
+    @given(tables(), names, names)
+    def test_chain_between_matches(self, table, lower, upper):
+        if is_ancestor(upper, lower):
+            assert list(table.chain_between(lower, upper)) == list(
+                chain_between(lower, upper)
+            )
+        else:
+            # Error parity: both implementations reject non-ancestors
+            # with the same exception type.
+            with pytest.raises(SystemTypeError):
+                list(chain_between(lower, upper))
+            with pytest.raises(SystemTypeError):
+                list(table.chain_between(lower, upper))
+
+    @given(tables(), names, names)
+    @settings(max_examples=50)
+    def test_interning_never_changes_answers(self, table, a, b):
+        """Asking before and after interning gives the same answer."""
+        before = (
+            table.is_ancestor(a, b),
+            table.lca(a, b),
+        )
+        table.node(a)
+        table.node(b)
+        after = (
+            table.is_ancestor(a, b),
+            table.lca(a, b),
+        )
+        assert before == after
+
+
+class TestTableMechanics:
+    def test_capped_table_stays_bounded(self):
+        table = NameTable(max_size=4)
+        for top in range(100):
+            assert table.is_ancestor((top,), (top, 1, 2))
+        assert len(table) <= 4
+
+    def test_uncapped_table_interns_chains(self):
+        table = NameTable()
+        table.node((1, 2, 3))
+        # The whole ancestor chain is interned in one pass.
+        assert len(table) == 4  # root, (1,), (1,2), (1,2,3)
+
+    def test_clear_keeps_root(self):
+        table = NameTable()
+        table.node((5, 6))
+        table.clear()
+        assert len(table) == 1
+        assert table.is_ancestor(ROOT, (5, 6))
+
+    def test_node_reuses_interned_tuples(self):
+        table = NameTable()
+        first = table.node((2, 7))
+        second = table.node((2, 7))
+        assert first is second
+        assert first.chain[1] is table.node((2,)).name
+
+    def test_uninterned_leaf_uses_parent_chain(self):
+        # The engine never interns access leaves; ancestry tests on a
+        # fresh leaf route through its (interned) parent.
+        table = NameTable(max_size=3)
+        table.node((0, 1))
+        leaf = (0, 1, 99)
+        assert leaf not in table._nodes
+        assert table.is_ancestor((0,), leaf)
+        assert table.is_ancestor(leaf, leaf)
+        assert not table.is_ancestor((1,), leaf)
+
+    def test_default_table_interns(self):
+        name = (90001, 2)
+        interned = intern_name(name)
+        assert interned == name
+        assert intern_name((90001, 2)) is interned
+        assert default_table().is_ancestor((90001,), (90001, 2, 5))

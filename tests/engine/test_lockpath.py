@@ -1,0 +1,344 @@
+"""The lock-grant fast path is invisible: differential + pinning tests.
+
+``ManagedObject`` answers grant questions from O(1) aggregates
+(deepest write holder, read-chain tracking) when it can, falling back
+to the unoptimised ``blocking_holders`` scan when it cannot.  These
+tests drive a fast object and a scan-only object (``FAST_GRANTS =
+False``) through identical random histories and require bit-identical
+behaviour: grants, denials, blocker sets, error messages, holder
+sets, and observer/stats emission.
+"""
+
+import random
+
+import pytest
+
+from repro.adt import Counter, IntRegister
+from repro.core.names import ROOT
+from repro.engine import Engine
+from repro.engine.lockmanager import LockManager, ManagedObject
+from repro.engine.locks import LockMode
+from repro.errors import LockDenied
+
+
+class ScanManagedObject(ManagedObject):
+    """The pre-optimisation behaviour: every grant runs the full scan,
+    and the manager treats the class as unindexed (full-scan
+    commit/abort propagation), like any unknown managed-object class.
+    """
+
+    FAST_GRANTS = False
+    HOLDER_INDEXED = False
+
+
+def random_names(rng, count):
+    """Random transaction names over a narrow alphabet (depth <= 4)."""
+    out = []
+    for _ in range(count):
+        depth = rng.randint(1, 4)
+        out.append(tuple(rng.randint(0, 2) for _ in range(depth)))
+    return out
+
+
+def apply_step(managed, step):
+    """Apply one (kind, ...) step; return a comparable outcome."""
+    kind = step[0]
+    if kind == "acquire":
+        _, name, mode = step
+        operation = (
+            Counter.increment(1)
+            if mode is LockMode.WRITE
+            else Counter.value()
+        )
+        try:
+            return ("ok", managed.acquire(name, operation, mode))
+        except LockDenied as denial:
+            return ("denied", str(denial), frozenset(denial.blockers))
+    if kind == "commit":
+        _, name = step
+        if managed.holds_lock(name):
+            managed.on_commit(name)
+            return ("committed", name)
+        return ("skip",)
+    _, name = step
+    managed.on_abort(name)
+    return ("aborted", name)
+
+
+def random_history(seed, steps=120):
+    rng = random.Random(seed)
+    pool = random_names(rng, 12)
+    history = []
+    for _ in range(steps):
+        roll = rng.random()
+        name = rng.choice(pool)
+        if roll < 0.6:
+            mode = (
+                LockMode.WRITE if rng.random() < 0.5 else LockMode.READ
+            )
+            history.append(("acquire", name, mode))
+        elif roll < 0.85:
+            history.append(("commit", name))
+        else:
+            history.append(("abort", name))
+    return history
+
+
+class TestFastScanEquivalence:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_random_histories_agree(self, seed):
+        fast = ManagedObject(Counter("c"))
+        scan = ScanManagedObject(Counter("c"))
+        for step in random_history(seed):
+            assert apply_step(fast, step) == apply_step(scan, step)
+            assert fast.write_holders == scan.write_holders
+            assert fast.read_holders == scan.read_holders
+            assert (
+                fast.versions.holders() == scan.versions.holders()
+            )
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_fast_path_aggregates_stay_truthful(self, seed):
+        """After every step the aggregates match a recomputation."""
+        managed = ManagedObject(Counter("c"))
+        for step in random_history(seed):
+            apply_step(managed, step)
+            writes = managed.write_holders
+            if writes:
+                assert managed._deepest_write in writes
+                assert all(
+                    len(h) <= len(managed._deepest_write)
+                    for h in writes
+                )
+            else:
+                assert managed._deepest_write is None
+            reads = sorted(managed.read_holders, key=len)
+            chain = all(
+                deep[: len(shallow)] == shallow
+                for shallow, deep in zip(reads, reads[1:])
+            )
+            assert managed._reads_chain == chain
+            if chain and reads:
+                assert managed._deepest_read == reads[-1]
+
+
+class TestDenialPinning:
+    def test_cached_then_invalidated_denial_is_byte_identical(self):
+        """Regression pin: the fast path must never alter a denial.
+
+        (0,) takes a write lock -- its descendants are then fast-granted.
+        After (0,) commits (a lock movement that bumps the generation
+        and moves the lock to ROOT), a *different* tree writes, and the
+        original tree's next acquire must be denied with exactly the
+        blockers and message the unoptimised scan produces.
+        """
+        managed = ManagedObject(Counter("c"))
+        managed.acquire((0,), Counter.increment(1), LockMode.WRITE)
+        # Fast-grant a descendant (the "cached" ancestry answer).
+        managed.acquire((0, 3), Counter.value(), LockMode.READ)
+        generation = managed.generation
+        managed.on_commit((0, 3))
+        managed.on_commit((0,))
+        assert managed.generation > generation  # movement invalidates
+        managed.acquire((1, 0), Counter.increment(5), LockMode.WRITE)
+        with pytest.raises(LockDenied) as info:
+            managed.acquire((0, 4), Counter.increment(1), LockMode.WRITE)
+        assert info.value.blockers == frozenset({(1, 0)})
+        assert str(info.value) == "c blocked on (0, 4) by [(1, 0)]"
+        # And the scan path raises the very same error.
+        scan = ScanManagedObject(Counter("c"))
+        scan.acquire((0,), Counter.increment(1), LockMode.WRITE)
+        scan.acquire((0, 3), Counter.value(), LockMode.READ)
+        scan.on_commit((0, 3))
+        scan.on_commit((0,))
+        scan.acquire((1, 0), Counter.increment(5), LockMode.WRITE)
+        with pytest.raises(LockDenied) as scan_info:
+            scan.acquire((0, 4), Counter.increment(1), LockMode.WRITE)
+        assert scan_info.value.blockers == info.value.blockers
+        assert str(scan_info.value) == str(info.value)
+
+    def test_non_chain_readers_fall_back_to_scan_blockers(self):
+        managed = ManagedObject(Counter("c"))
+        managed.acquire((0, 0), Counter.value(), LockMode.READ)
+        managed.acquire((1, 0), Counter.value(), LockMode.READ)
+        assert not managed._reads_chain
+        with pytest.raises(LockDenied) as info:
+            managed.acquire((2, 0), Counter.increment(1), LockMode.WRITE)
+        assert info.value.blockers == frozenset({(0, 0), (1, 0)})
+
+
+class TestEngineLevelParity:
+    """Stats, observer counters, and spans match with the fast path off."""
+
+    def _drive(self, fast_grants):
+        from repro.obs import Observer
+
+        original = ManagedObject.FAST_GRANTS
+        ManagedObject.FAST_GRANTS = fast_grants
+        try:
+            observer = Observer()
+            engine = Engine(
+                [Counter("c"), IntRegister("x")], observer=observer
+            )
+            t0 = engine.begin_top()
+            t1 = engine.begin_top()
+            a = t0.begin_child()
+            a.perform("c", Counter.increment(1))
+            with pytest.raises(LockDenied) as info:
+                t1.perform("c", Counter.increment(1))
+            a.commit()
+            t0.perform("x", IntRegister.add(2))
+            t0.commit()
+            t1.perform("c", Counter.increment(4))
+            t1.commit()
+            return (
+                dict(engine.stats),
+                str(info.value),
+                frozenset(info.value.blockers),
+                engine.object_value("c"),
+                observer.metrics.snapshot()["counters"],
+            )
+        finally:
+            ManagedObject.FAST_GRANTS = original
+
+    def test_fast_and_scan_runs_are_identical(self):
+        assert self._drive(True) == self._drive(False)
+
+
+class TestGenerationCounter:
+    def test_acquire_does_not_bump(self):
+        managed = ManagedObject(Counter("c"))
+        managed.acquire((0,), Counter.increment(1), LockMode.WRITE)
+        managed.acquire((0, 1), Counter.value(), LockMode.READ)
+        assert managed.generation == 0
+
+    def test_movement_bumps(self):
+        managed = ManagedObject(Counter("c"))
+        managed.acquire((0, 0), Counter.increment(1), LockMode.WRITE)
+        managed.on_commit((0, 0))
+        assert managed.generation == 1
+        managed.on_abort((0,))
+        assert managed.generation == 2
+
+    def test_noop_abort_does_not_bump(self):
+        managed = ManagedObject(Counter("c"))
+        managed.acquire((0, 0), Counter.increment(1), LockMode.WRITE)
+        before = managed.generation
+        managed.on_abort((7,))  # nothing held below (7,)
+        assert managed.generation == before
+        assert (0, 0) in managed.write_holders
+
+    def test_rehome_bumps(self):
+        managed = ManagedObject(Counter("c"))
+        managed.acquire((0, 0), Counter.increment(1), LockMode.WRITE)
+        managed.rehome((0, 0), (0,), LockMode.WRITE)
+        assert managed.generation == 1
+        assert (0,) in managed.write_holders
+        assert (0, 0) not in managed.write_holders
+
+
+class TestHoldersView:
+    def test_view_is_zero_copy_and_holders_still_copies(self):
+        managed = ManagedObject(Counter("c"))
+        view_writes, view_reads = managed.holders_view()
+        assert view_writes is managed.write_holders
+        assert view_reads is managed.read_holders
+        copy_writes, copy_reads = managed.holders()
+        assert copy_writes == view_writes
+        assert copy_writes is not managed.write_holders
+        assert copy_reads is not managed.read_holders
+
+
+class TestManagerHolderIndex:
+    def test_touched_order_matches_registration_order(self):
+        specs = [Counter("m%d" % i) for i in range(6)]
+        manager = LockManager(specs)
+        # Acquire in an order unlike registration order.
+        for name in ("m4", "m1", "m3"):
+            manager.object(name).acquire(
+                (0, 0), Counter.increment(1), LockMode.WRITE
+            )
+        assert manager.on_commit((0, 0)) == ["m1", "m3", "m4"]
+        assert manager.on_commit((0,)) == ["m1", "m3", "m4"]
+        # Completed top-level: the index entry is retired.
+        assert (0,) not in manager._held_by_top
+
+    def test_abort_prunes_index(self):
+        manager = LockManager([Counter("c"), Counter("d")])
+        manager.object("c").acquire(
+            (1, 0), Counter.increment(1), LockMode.WRITE
+        )
+        manager.object("d").acquire(
+            (1, 1), Counter.increment(1), LockMode.WRITE
+        )
+        assert manager._held_by_top[(1,)] == {"c", "d"}
+        assert manager.on_abort((1, 0)) == ["c"]
+        assert manager._held_by_top[(1,)] == {"d"}
+        assert manager.on_abort((1,)) == ["d"]
+        assert (1,) not in manager._held_by_top
+
+    def test_index_matches_full_scan_on_random_histories(self):
+        rng = random.Random(99)
+        specs = [Counter("o%d" % i) for i in range(4)]
+        indexed = LockManager(specs)
+        scan = LockManager(specs, make_managed=ScanManagedObject)
+        assert not scan._indexed  # unknown class: full-scan fallback
+        pool = random_names(rng, 10)
+        for _ in range(200):
+            roll = rng.random()
+            name = rng.choice(pool)
+            spot = "o%d" % rng.randrange(4)
+            if roll < 0.55:
+                mode = (
+                    LockMode.WRITE
+                    if rng.random() < 0.5
+                    else LockMode.READ
+                )
+                operation = (
+                    Counter.increment(1)
+                    if mode is LockMode.WRITE
+                    else Counter.value()
+                )
+                for manager in (indexed, scan):
+                    try:
+                        manager.object(spot).acquire(
+                            name, operation, mode
+                        )
+                    except LockDenied:
+                        pass
+            elif roll < 0.8:
+                if indexed.object(spot).holds_lock(name):
+                    assert indexed.on_commit(name) == scan.on_commit(
+                        name
+                    )
+            else:
+                assert indexed.on_abort(name) == scan.on_abort(name)
+        for spot in ("o0", "o1", "o2", "o3"):
+            assert (
+                indexed.object(spot).write_holders
+                == scan.object(spot).write_holders
+            )
+            assert (
+                indexed.object(spot).read_holders
+                == scan.object(spot).read_holders
+            )
+
+
+class TestAbortEarlyOut:
+    def test_early_out_leaves_sets_untouched(self):
+        managed = ManagedObject(Counter("c"))
+        managed.acquire((0,), Counter.increment(1), LockMode.WRITE)
+        writes_before = set(managed.write_holders)
+        managed.on_abort((1,))
+        assert managed.write_holders == writes_before
+
+    def test_early_out_still_discards_stranded_versions(self):
+        """Broken policies can leave a version with no lock; the
+        early-out must still clear it (and count the movement)."""
+        managed = ManagedObject(Counter("c"))
+        managed.versions.install((2, 0), 7)
+        assert not managed.is_locked_by_subtree((2,))
+        before = managed.generation
+        managed.on_abort((2,))
+        assert (2, 0) not in managed.versions.holders()
+        assert managed.generation == before + 1
