@@ -18,6 +18,10 @@ CD003    ``.status`` of another object assigned outside the engine
          transition modules
 CD004    engine ``stats`` counters mutated through a non-``self``
          receiver outside the engine transition modules
+CD005    lock-holder tables / version stacks mutated (even through
+         ``self``) outside the modules that own the transition
+         discipline -- a policy or helper class that grows its own
+         ``write_holders.add`` bypasses the lock manager
 =======  =========================================================
 
 A line may opt out with ``# repro-lint: ignore`` or
@@ -80,7 +84,18 @@ CD004 = register_rule(
     "mutating engine.stats in place.",
 )
 
-CODE_RULES = (CD001, CD002, CD003, CD004)
+CD005 = register_rule(
+    "CD005",
+    "lock state mutated outside the owner modules",
+    "repo invariant; cf. Section 5.2 (M(X) transitions)",
+    "Lockholder sets and version stacks transition only inside the "
+    "lock-manager / version-map / MV-object modules (and the "
+    "checker's reference re-execution of the same rules); any other "
+    "module mutating them -- even on self -- is running its own lock "
+    "protocol outside the audited discipline.",
+)
+
+CODE_RULES = (CD001, CD002, CD003, CD004, CD005)
 
 #: Attributes forming the lock-table / version-map state (CD001).
 LOCK_STATE_ATTRS = frozenset(
@@ -100,6 +115,17 @@ MUTATING_METHODS = frozenset(
 TRANSITION_MODULES = (
     os.path.join("repro", "engine", "engine.py"),
     os.path.join("repro", "mvto", "mv_engine.py"),
+)
+
+#: Modules whose classes own lock-holder / version state (CD005).
+#: ``analysis/schedule.py`` is the offline checker's reference
+#: re-execution of the same transition rules -- a deliberate second
+#: implementation, not a bypass.
+LOCK_OWNER_MODULES = (
+    os.path.join("repro", "engine", "lockmanager.py"),
+    os.path.join("repro", "engine", "versions.py"),
+    os.path.join("repro", "mvto", "mv_object.py"),
+    os.path.join("repro", "analysis", "schedule.py"),
 )
 
 _SUPPRESS_RE = re.compile(
@@ -143,6 +169,9 @@ class _ModuleLinter(ast.NodeVisitor):
         self.findings: List[Finding] = []
         self.is_transition_module = any(
             path.endswith(suffix) for suffix in TRANSITION_MODULES
+        )
+        self.is_lock_owner_module = any(
+            path.endswith(suffix) for suffix in LOCK_OWNER_MODULES
         )
         # Stack of (class node, is_guarded) for CD002.
         self._class_stack: List[Tuple[ast.ClassDef, bool]] = []
@@ -236,16 +265,21 @@ class _ModuleLinter(ast.NodeVisitor):
         # CD001: managed.write_holders = ... / managed.versions = ...
         if isinstance(target, ast.Attribute):
             receiver = target.value
-            if (
-                target.attr in LOCK_STATE_ATTRS
-                and not _is_self(receiver)
-            ):
-                self._emit(
-                    CD001,
-                    node,
-                    "assignment to %r through a non-self receiver"
-                    % target.attr,
-                )
+            if target.attr in LOCK_STATE_ATTRS:
+                if not _is_self(receiver):
+                    self._emit(
+                        CD001,
+                        node,
+                        "assignment to %r through a non-self receiver"
+                        % target.attr,
+                    )
+                elif self._lock_mutation_forbidden():
+                    self._emit(
+                        CD005,
+                        node,
+                        "assignment to %r outside the lock-owner "
+                        "modules" % target.attr,
+                    )
             if target.attr == "status" and not _is_self(receiver):
                 if not self.is_transition_module:
                     self._emit(
@@ -259,16 +293,21 @@ class _ModuleLinter(ast.NodeVisitor):
             container = target.value
             if isinstance(container, ast.Attribute):
                 receiver = container.value
-                if (
-                    container.attr in LOCK_STATE_ATTRS
-                    and not _is_self(receiver)
-                ):
-                    self._emit(
-                        CD001,
-                        node,
-                        "item assignment on %r through a non-self "
-                        "receiver" % container.attr,
-                    )
+                if container.attr in LOCK_STATE_ATTRS:
+                    if not _is_self(receiver):
+                        self._emit(
+                            CD001,
+                            node,
+                            "item assignment on %r through a non-self "
+                            "receiver" % container.attr,
+                        )
+                    elif self._lock_mutation_forbidden():
+                        self._emit(
+                            CD005,
+                            node,
+                            "item assignment on %r outside the "
+                            "lock-owner modules" % container.attr,
+                        )
                 if (
                     container.attr == "stats"
                     and not _is_self(receiver)
@@ -291,16 +330,23 @@ class _ModuleLinter(ast.NodeVisitor):
             # e.g. managed.write_holders.add(...): owner is the
             # attribute `managed.write_holders`.
             if isinstance(owner, ast.Attribute):
-                if (
-                    owner.attr in LOCK_STATE_ATTRS
-                    and not _is_self(owner.value)
-                ):
-                    self._emit(
-                        CD001,
-                        node,
-                        "mutating call %s() on %r through a non-self "
-                        "receiver" % (function.attr, owner.attr),
-                    )
+                if owner.attr in LOCK_STATE_ATTRS:
+                    if not _is_self(owner.value):
+                        self._emit(
+                            CD001,
+                            node,
+                            "mutating call %s() on %r through a "
+                            "non-self receiver"
+                            % (function.attr, owner.attr),
+                        )
+                    elif self._lock_mutation_forbidden():
+                        self._emit(
+                            CD005,
+                            node,
+                            "mutating call %s() on %r outside the "
+                            "lock-owner modules"
+                            % (function.attr, owner.attr),
+                        )
                 if (
                     owner.attr == "stats"
                     and not _is_self(owner.value)
@@ -341,6 +387,14 @@ class _ModuleLinter(ast.NodeVisitor):
         current = self._function_stack[-1]
         name = getattr(current, "name", "")
         return name != "__init__"
+
+    def _lock_mutation_forbidden(self) -> bool:
+        """CD005 applies: self-mutation of lock state, wrong module.
+
+        ``__init__`` is exempt -- constructing your own (empty) table
+        is initialization, not a lock-table transition.
+        """
+        return not self.is_lock_owner_module and self._in_checked_method()
 
 
 def lint_source(path: str, source: str) -> List[Finding]:

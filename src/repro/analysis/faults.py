@@ -39,7 +39,9 @@ class NoInheritManagedObject(ManagedObject):
         moved = False
         if name in self.write_holders:
             self._discard_holder(name, LockMode.WRITE)
-            self.versions.promote(name)
+            # This module IS the fault injector: promoting here, with
+            # the holder already dropped, is the injected bug.
+            self.versions.promote(name)  # repro-lint: ignore[CD005]
             moved = True
         if name in self.read_holders:
             self._discard_holder(name, LockMode.READ)

@@ -1,0 +1,148 @@
+"""The labelled direct serialization graph the online auditor maintains.
+
+Vertices are *committed top-level* transactions; a directed edge
+``A -> B`` says an access of A conflicted with, and preceded, an access
+of B on some object -- a WR (B read what A wrote), WW (B overwrote A),
+or RW (B overwrote what A read: the anti-dependency) dependency.  The
+first conflict observed for an ordered pair becomes the edge's *label*,
+a :class:`WitnessEdge` remembering both accesses, so when a cycle
+closes the graph can print exactly which operations force each arrow.
+
+The graph supports removal: the auditor garbage-collects vertices that
+can no longer take part in a cycle, and evicts the offending vertex of
+a reported violation to restore acyclicity.  Cycle search itself lives
+in :mod:`repro.core.digraph`, shared with the offline checkers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.core.digraph import shortest_cycle_through
+from repro.core.names import TransactionName, pretty_name
+
+
+@dataclass(frozen=True)
+class WitnessEdge:
+    """One dependency edge plus the pair of accesses forcing it."""
+
+    source: TransactionName
+    target: TransactionName
+    #: ``"wr"`` (reads-from), ``"ww"`` (version order) or ``"rw"``
+    #: (anti-dependency), named source-side first.
+    kind: str
+    object_name: str
+    #: The conflicting operations: ``"r"``/``"w"`` plus the global
+    #: access position at which each was performed.
+    source_op: str
+    source_position: int
+    target_op: str
+    target_position: int
+
+    def __str__(self) -> str:
+        return "%s -%s[%s]-> %s (%s %s @%d < %s %s @%d)" % (
+            pretty_name(self.source),
+            self.kind,
+            self.object_name,
+            pretty_name(self.target),
+            self.source_op,
+            self.object_name,
+            self.source_position,
+            self.target_op,
+            self.object_name,
+            self.target_position,
+        )
+
+
+def edge_kind(source_is_read: bool, target_is_read: bool) -> str:
+    """Classify the dependency of an ordered conflicting pair."""
+    if source_is_read:
+        return "rw"
+    return "wr" if target_is_read else "ww"
+
+
+class SerializationGraph:
+    """Mutable labelled digraph over committed top-level transactions."""
+
+    def __init__(self) -> None:
+        #: vertex -> commit sequence number (monotone fold order).
+        self.vertices: Dict[TransactionName, int] = {}
+        self.edges: Dict[
+            TransactionName, Dict[TransactionName, WitnessEdge]
+        ] = {}
+        #: Reverse adjacency, for O(degree) vertex removal.
+        self._incoming: Dict[TransactionName, Set[TransactionName]] = {}
+
+    def __len__(self) -> int:
+        return len(self.vertices)
+
+    @property
+    def edge_count(self) -> int:
+        return sum(len(targets) for targets in self.edges.values())
+
+    def add_vertex(
+        self, name: TransactionName, commit_seq: int
+    ) -> None:
+        self.vertices[name] = commit_seq
+
+    def add_edge(self, edge: WitnessEdge) -> None:
+        """Insert *edge*; the first label per ordered pair is kept.
+
+        Keeping the earliest-observed conflict as the label makes the
+        rendered witness deterministic and keeps edge storage at one
+        record per vertex pair no matter how many conflicting accesses
+        the pair shares.
+        """
+        if edge.source == edge.target:
+            return
+        targets = self.edges.setdefault(edge.source, {})
+        if edge.target not in targets:
+            targets[edge.target] = edge
+        self._incoming.setdefault(edge.target, set()).add(edge.source)
+
+    def successors(self, name: TransactionName):
+        return self.edges.get(name, ())
+
+    def label(
+        self, source: TransactionName, target: TransactionName
+    ) -> WitnessEdge:
+        return self.edges[source][target]
+
+    def witness_cycle_through(
+        self, name: TransactionName
+    ) -> Optional[List[WitnessEdge]]:
+        """The minimal cycle through *name* as labelled edges, or None.
+
+        The auditor calls this right after folding *name* in: the graph
+        was acyclic before, so every new cycle passes through *name*
+        and the BFS-shortest one is a minimal witness.
+        """
+        # A vertex without both incoming and outgoing edges cannot lie
+        # on any cycle; this is the overwhelmingly common case on a
+        # clean history, so bail before the BFS allocates anything.
+        if name not in self.edges or name not in self._incoming:
+            return None
+        cycle = shortest_cycle_through(name, self.successors)
+        if cycle is None:
+            return None
+        return [
+            self.label(cycle[index], cycle[index + 1])
+            for index in range(len(cycle) - 1)
+        ]
+
+    def remove_vertex(self, name: TransactionName) -> None:
+        """Drop *name* and every incident edge."""
+        self.vertices.pop(name, None)
+        for target in self.edges.pop(name, ()):
+            sources = self._incoming.get(target)
+            if sources is not None:
+                sources.discard(name)
+                if not sources:
+                    del self._incoming[target]
+        for source in self._incoming.pop(name, ()):
+            targets = self.edges.get(source)
+            if targets is not None:
+                targets.pop(name, None)
+                if not targets:
+                    del self.edges[source]

@@ -8,6 +8,7 @@
   the E1-E7 benchmarks.
 """
 
+from repro.checking.anomalies import serialization_witnesses
 from repro.checking.conformance import (
     ConformanceReport,
     check_engine_trace,
@@ -25,6 +26,7 @@ __all__ = [
     "ValidationStats",
     "check_engine_trace",
     "random_system_type",
+    "serialization_witnesses",
     "trace_logic_factory",
     "validate_random_schedules",
 ]

@@ -17,6 +17,10 @@ boundary observable:
   R/W Locking system, a schedule in which an **orphan** exhibits exactly
   such an anomaly -- while Theorem 34 (checked everywhere else in this
   library) guarantees non-orphans never do.
+* :func:`serialization_witnesses` runs the streaming serialization-graph
+  auditor (:mod:`repro.audit`) over a finished model-alphabet schedule
+  and returns its witness cycles -- the offline twin of the online
+  auditor, sharing one graph/cycle core.
 """
 
 from __future__ import annotations
@@ -151,6 +155,25 @@ def find_register_anomalies(
                     )
             known[object_name] = event.value
     return anomalies
+
+
+def serialization_witnesses(
+    system_type: SystemType, alpha: Sequence[Event]
+):
+    """Witness cycles in *alpha*'s committed-top serialization graph.
+
+    Feeds the schedule through the online auditor
+    (:func:`repro.audit.audit_schedule`) in full-audit mode and
+    returns the list of :class:`repro.audit.Violation` found -- empty
+    when the committed top-level transactions are conflict-
+    serializable.  Aborted subtrees are pruned exactly as online.
+    """
+    from repro.audit import AuditConfig, audit_schedule
+
+    auditor = audit_schedule(
+        system_type, alpha, config=AuditConfig(sample_every=1)
+    )
+    return list(auditor.violations)
 
 
 def orphan_demo_system_type() -> SystemType:

@@ -17,6 +17,8 @@ One command per way of exercising the reproduction:
   shrink failures to minimal replayable reproducers.
 * ``trace``        -- run an observed workload and export a Chrome
   trace-event file (``chrome://tracing`` / Perfetto) plus a text report.
+* ``audit``        -- replay a recorded JSONL event stream through the
+  online serializability auditor and print the witness-cycle report.
 * ``top``          -- run a contended simulation and print the
   hot-object lock-contention table.
 * ``orphan``       -- print the orphan-inconsistency witness (E15).
@@ -279,6 +281,10 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     )
 
     if args.list_rules:
+        # The SER rules live in repro.audit and register on import;
+        # pull them in so the catalogue is complete.
+        import repro.audit  # noqa: F401
+
         print(render_rule_catalogue(all_rules()))
         return 0
     paths = args.paths
@@ -347,7 +353,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     choices = _parse_choices(args.choices)
     if choices is not None:
         # Exact replay of one case.
-        result = run_case(config, choices=choices)
+        result = run_case(config, choices=choices, audit=args.audit)
         print(
             "replay seed %d, %d choices: %s"
             % (config.seed, len(choices), result.kind)
@@ -357,6 +363,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
               % (result.trace_length, result.decision_count))
         for line in result.finding_lines:
             print("  %s" % line)
+        if args.audit and result.audit is not None:
+            print("audit   : %s" % result.audit.verdict)
         if args.trace_out:
             _export_fuzz_trace(result, args.trace_out)
         return 1 if result.failed else 0
@@ -366,9 +374,10 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             config,
             max_preemptions=args.preemptions,
             budget=args.runs,
+            audit=args.audit,
         )
     else:
-        search = fuzz_search(config, runs=args.runs)
+        search = fuzz_search(config, runs=args.runs, audit=args.audit)
     print(
         "fuzz: %d run(s), faults=%s, mode=%s"
         % (search.attempts, args.faults, args.mode)
@@ -389,6 +398,10 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     )
     for line in failure.finding_lines:
         print("  %s" % line)
+    if failure.audit is not None and failure.audit.violations:
+        for violation in failure.audit.violations:
+            for line in violation.describe().splitlines():
+                print("  %s" % line)
     reproducer = failure
     if args.shrink:
         shrunk = shrink_choices(failure.config, failure)
@@ -436,6 +449,12 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs.workloads import run_workload
 
     observer = Observer()
+    auditor = None
+    if args.audit:
+        from repro.audit import AuditConfig, OnlineAuditor
+
+        auditor = OnlineAuditor(AuditConfig(sample_every=1))
+        observer.attach_auditor(auditor)
     try:
         summary = run_workload(args.workload, observer, seed=args.seed)
     except ValueError as exc:
@@ -460,6 +479,38 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         write_jsonl(args.jsonl, observer)
         print("jsonl stream : %s" % args.jsonl)
     print(render_report(observer, top=args.top))
+    if auditor is not None:
+        report = auditor.report()
+        print(report.render())
+        if not report.ok:
+            return 1
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from repro.analysis import render_json
+    from repro.audit import AuditConfig, audit_jsonl_file
+
+    config = AuditConfig(sample_every=args.sample_every)
+    try:
+        report = audit_jsonl_file(args.jsonl, config)
+    except (OSError, ValueError) as exc:
+        print("repro audit: %s" % exc, file=sys.stderr)
+        return 2
+    rendered = report.render()
+    if args.json:
+        print(render_json([report.to_analysis_report()]))
+    else:
+        print(rendered)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(rendered)
+            handle.write("\n")
+        print("witness report : %s" % args.out)
+    if report.verdict == "violation":
+        return 1
+    if report.verdict == "inconclusive":
+        return 4
     return 0
 
 
@@ -699,6 +750,13 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     fuzz.add_argument(
+        "--audit", action="store_true",
+        help=(
+            "attach the online serializability auditor as a fourth "
+            "oracle (full auditing, sample 1/1)"
+        ),
+    )
+    fuzz.add_argument(
         "--trace-out",
         help=(
             "replay the reproducer with the observability layer "
@@ -734,7 +792,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--top", type=int, default=10,
         help="rows in the contention table",
     )
+    trace.add_argument(
+        "--audit", action="store_true",
+        help=(
+            "attach the online serializability auditor and append its "
+            "verdict to the report (exit 1 unless clean)"
+        ),
+    )
     trace.set_defaults(handler=_cmd_trace)
+
+    audit = commands.add_parser(
+        "audit",
+        help=(
+            "offline serializability audit of a recorded JSONL event "
+            "stream (see trace --jsonl)"
+        ),
+    )
+    audit.add_argument(
+        "jsonl",
+        help="JSONL event stream written by trace --jsonl / write_jsonl",
+    )
+    audit.add_argument(
+        "--sample-every", type=int, default=1,
+        help="audit every Nth top-level transaction tree (default 1)",
+    )
+    audit.add_argument("--json", action="store_true")
+    audit.add_argument(
+        "--out",
+        help="also write the witness report to this file",
+    )
+    audit.set_defaults(handler=_cmd_audit)
 
     top = commands.add_parser(
         "top",

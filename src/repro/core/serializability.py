@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Set
 
+from repro.core import digraph
 from repro.core.events import Commit, Event, RequestCommit
 from repro.core.names import SystemType, TransactionName
 from repro.errors import ReproError
@@ -57,53 +58,19 @@ class PrecedenceGraph:
         self.nodes.add(b)
         self.edges.setdefault(a, set()).add(b)
 
+    def _successors(self, node: TransactionName):
+        return self.edges.get(node, ())
+
     def find_cycle(self) -> Optional[List[TransactionName]]:
         """Return one cycle as a node list (closed), or None."""
-        state: Dict[TransactionName, int] = {}
-        path: List[TransactionName] = []
-
-        def visit(node: TransactionName) -> Optional[List[TransactionName]]:
-            state[node] = 1
-            path.append(node)
-            for target in sorted(self.edges.get(node, ())):
-                mark = state.get(target, 0)
-                if mark == 1:
-                    return path[path.index(target):] + [target]
-                if mark == 0:
-                    found = visit(target)
-                    if found is not None:
-                        return found
-            path.pop()
-            state[node] = 2
-            return None
-
-        for node in sorted(self.nodes):
-            if state.get(node, 0) == 0:
-                found = visit(node)
-                if found is not None:
-                    return found
-        return None
+        return digraph.find_cycle(self.nodes, self._successors)
 
     def topological_order(self) -> List[TransactionName]:
         """A topological order of the nodes; raises on a cycle."""
         cycle = self.find_cycle()
         if cycle is not None:
             raise ReproError("precedence graph has cycle %r" % (cycle,))
-        order: List[TransactionName] = []
-        seen: Set[TransactionName] = set()
-
-        def visit(node: TransactionName) -> None:
-            if node in seen:
-                return
-            seen.add(node)
-            for target in sorted(self.edges.get(node, ())):
-                visit(target)
-            order.append(node)
-
-        for node in sorted(self.nodes):
-            visit(node)
-        order.reverse()
-        return order
+        return digraph.topological_order(self.nodes, self._successors)
 
 
 def committed_accesses(

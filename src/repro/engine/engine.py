@@ -143,6 +143,35 @@ class Engine:
         """The scheme/policy name, for reporting and error messages."""
         return self.policy.name
 
+    def attach_auditor(self, auditor=None, config=None):
+        """Attach an online serializability auditor; returns it.
+
+        With no *auditor* given one is built from *config*, defaulting
+        to the capability-gated trust dial
+        (:meth:`repro.audit.AuditConfig.for_capabilities`): a
+        model-conformant policy gets sampled auditing, anything
+        experimental a full audit.  When the engine was built without
+        an observer, a lightweight audit-only one
+        (:class:`repro.obs.AuditObserver`) is created on demand, so
+        auditing does not drag the metrics pipeline in.  Attach before
+        driving transactions.
+        """
+        from repro.audit import AuditConfig, OnlineAuditor
+
+        if auditor is None:
+            if config is None:
+                config = AuditConfig.for_capabilities(self.capabilities)
+            auditor = OnlineAuditor(config)
+        obs = self.obs
+        if obs is None:
+            from repro.obs import AuditObserver
+
+            obs = AuditObserver()
+            self.obs = obs
+            self.locks.obs = obs
+        obs.attach_auditor(auditor)
+        return auditor
+
     @property
     def store(self):
         """The kernel :class:`~repro.kernel.store.ObjectStore`."""

@@ -290,6 +290,38 @@ class ThreadSafeEngine:
         """True when running the striped regime (not the global mutex)."""
         return self._striped
 
+    def attach_auditor(self, auditor=None, config=None):
+        """Attach an online serializability auditor; returns it.
+
+        Mirrors :meth:`repro.engine.engine.Engine.attach_auditor`; the
+        default config comes from the scheme's capability flags (the
+        trust dial).  When the facade has no observer yet, a
+        lightweight audit-only one (:class:`repro.obs.AuditObserver`)
+        is created -- *without* the :class:`_LockedObserver` wrap even
+        under striping, because :class:`~repro.audit.OnlineAuditor`
+        serialises its own state and the audit-only observer carries
+        none.  Attach before starting worker threads.
+        """
+        from repro.audit import AuditConfig, OnlineAuditor
+
+        if auditor is None:
+            if config is None:
+                config = AuditConfig.for_capabilities(self.capabilities)
+            auditor = OnlineAuditor(config)
+        with self._mutex:
+            obs = self._obs
+            if obs is None:
+                from repro.obs import AuditObserver
+
+                obs = AuditObserver()
+                self._obs = obs
+                self._engine.obs = obs
+                locks = getattr(self._engine, "locks", None)
+                if locks is not None:
+                    locks.obs = obs
+            obs.attach_auditor(auditor)
+        return auditor
+
     def install_hooks(self, hooks) -> None:
         """Install (or clear, with ``None``) the scheduler hooks.
 

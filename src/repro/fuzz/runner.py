@@ -15,7 +15,11 @@ finished run with three oracles:
    e.g. ``mvto`` -- the stall and exception oracles still apply);
 2. **stall** -- the controller could not make progress (all workers
    blocked), impossible under correct wound-wait;
-3. **worker exceptions** -- anything unexpected escaping a worker body.
+3. **worker exceptions** -- anything unexpected escaping a worker body;
+4. **audit** (opt-in, ``run_case(audit=True)``) -- the online
+   serializability auditor (:mod:`repro.audit`) watches the run and
+   fails the case with a minimal witness cycle (``SER001``) when the
+   committed top-level transactions admit no serial order.
 
 The :attr:`FuzzCaseResult.digest` hashes the decision sequence, every
 yield-point event, every lock-table transition and the full engine
@@ -90,7 +94,7 @@ class FuzzCaseResult:
     choices: List[int]
     #: every decision actually taken, as recorded by the controller
     decisions: List[int]
-    kind: str  # "ok" | "conformance" | "stall" | "worker-exception"
+    kind: str  # "ok" | "conformance" | "stall" | "worker-exception" | "audit"
     rule_codes: Tuple[str, ...]
     digest: str
     trace_length: int
@@ -100,6 +104,9 @@ class FuzzCaseResult:
     #: first few human-readable findings, for reports
     finding_lines: Tuple[str, ...] = ()
     logs: List[WorkerLog] = field(default_factory=list)
+    #: online serializability audit of the run (``run_case(audit=True)``);
+    #: a :class:`repro.audit.AuditReport`, or None when auditing was off
+    audit: Optional[object] = None
 
     @property
     def failed(self) -> bool:
@@ -215,6 +222,7 @@ def run_case(
     strategy: Optional[SchedulingStrategy] = None,
     observer=None,
     trace_limit: Optional[int] = None,
+    audit: bool = False,
 ) -> FuzzCaseResult:
     """Execute one fuzz case deterministically and judge it.
 
@@ -224,8 +232,15 @@ def run_case(
     *observer* (a :class:`repro.obs.Observer`) attaches the tracing/
     metrics layer to the run, so a reproducer can ship with a span
     trace; *trace_limit* bounds the model-alphabet trace recorder
-    (ring-buffer mode) for long runs.  Neither affects the schedule,
-    the oracles, or the digest inputs.
+    (ring-buffer mode) for long runs.  *audit* adds the online
+    serializability auditor as a fourth oracle: every top-level tree
+    is audited (``sample_every=1`` -- an oracle must not sample, and
+    the deliberately broken policies claim ``model_conformant``, so
+    the capability dial would under-audit exactly the runs that need
+    it most), a witnessed cycle fails the case with kind ``"audit"``
+    when no stronger oracle fired first, and the report rides on
+    :attr:`FuzzCaseResult.audit`.  None of the three affect the
+    schedule, the other oracles, or the digest inputs.
     """
     if strategy is None:
         if choices is not None:
@@ -235,6 +250,15 @@ def run_case(
     workload = config.workload()
     plan = config.plan()
     scheme = get_scheme(plan.scheme_for(config.scheme))
+    auditor = None
+    if audit:
+        from repro.audit import AuditConfig, OnlineAuditor
+        from repro.obs import AuditObserver
+
+        auditor = OnlineAuditor(AuditConfig(sample_every=1))
+        if observer is None:
+            observer = AuditObserver()
+        observer.attach_auditor(auditor)
     facade = ThreadSafeEngine(
         workload.store(),
         policy=scheme,
@@ -296,6 +320,25 @@ def run_case(
                 finding_lines = (
                     "replay: %s" % report.rejection,
                 ) + finding_lines
+    audit_report = None
+    if auditor is not None:
+        # The recorded model-alphabet trace is the reproducer artifact;
+        # if its ring buffer dropped events, the shipped evidence no
+        # longer covers the whole run -- report inconclusive rather
+        # than a clean audit over unverifiable history.
+        auditor.note_dropped_events(
+            getattr(facade.engine.recorder, "dropped_events", 0)
+        )
+        audit_report = auditor.report()
+        if kind == "ok" and audit_report.verdict == "violation":
+            kind = "audit"
+            findings = audit_report.to_analysis_report().findings
+            rule_codes = tuple(
+                sorted({f.rule.code for f in findings})
+            )
+            finding_lines = tuple(
+                str(f) for f in findings[:6]
+            )
     return FuzzCaseResult(
         config=config,
         choices=(
@@ -316,6 +359,7 @@ def run_case(
         ),
         finding_lines=finding_lines,
         logs=logs,
+        audit=audit_report,
     )
 
 
@@ -329,18 +373,19 @@ class SearchResult:
 
 
 def fuzz_search(
-    config: FuzzConfig, runs: int = 20
+    config: FuzzConfig, runs: int = 20, audit: bool = False
 ) -> SearchResult:
     """Run up to *runs* seeded cases; stop at the first failure.
 
     Attempt ``i`` runs with ``seed + i`` (workload, faults and
     scheduling all derive from it), so a reported failure is fully
-    described by its own config and recorded choices.
+    described by its own config and recorded choices.  *audit* turns
+    on the serializability auditor-oracle for every case.
     """
     digests = []
     for attempt in range(runs):
         case_config = replace(config, seed=config.seed + attempt)
-        result = run_case(case_config)
+        result = run_case(case_config, audit=audit)
         if result.failed:
             return SearchResult(
                 failure=result,
@@ -357,13 +402,15 @@ def explore_bounded(
     config: FuzzConfig,
     max_preemptions: int = 1,
     budget: int = 200,
+    audit: bool = False,
 ) -> SearchResult:
     """CHESS-style bounded-preemption exploration.
 
     Runs the non-preemptive round-robin baseline, then every schedule
     obtained by inserting at most *max_preemptions* context switches
     (breadth-first over decision indices and switch targets), up to
-    *budget* runs.  Returns at the first failure.
+    *budget* runs.  Returns at the first failure.  *audit* turns on
+    the serializability auditor-oracle for every case.
     """
     attempts = 0
     digests = []
@@ -372,6 +419,7 @@ def explore_bounded(
         return run_case(
             config,
             strategy=BoundedPreemptionStrategy(preemptions),
+            audit=audit,
         )
 
     baseline = run_with({})

@@ -38,7 +38,7 @@ from repro.obs.metrics import (
     exponential_buckets,
     percentile,
 )
-from repro.obs.observer import Observer
+from repro.obs.observer import AuditObserver, Observer
 from repro.obs.tracer import Instant, NullTracer, Span, SpanTracer
 
 __all__ = [
@@ -50,6 +50,7 @@ __all__ = [
     "MetricsRegistry",
     "NullTracer",
     "ObjectContention",
+    "AuditObserver",
     "Observer",
     "Span",
     "SpanTracer",

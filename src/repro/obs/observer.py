@@ -26,6 +26,83 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NullTracer, SpanTracer
 
 
+class AuditObserver:
+    """A minimal observer that only feeds an online auditor.
+
+    ``Engine.attach_auditor`` installs this when no full
+    :class:`Observer` is attached yet: the hot path then pays the
+    auditor's own bookkeeping per event and nothing else -- no span
+    tracer, no metrics counters, no clock reads.  It speaks the whole
+    observer vocabulary so every engine call site stays a plain method
+    call; everything except lifecycle and access events is dropped.
+    """
+
+    def __init__(self, auditor=None):
+        self.auditor = auditor
+
+    def attach_auditor(self, auditor) -> None:
+        self.auditor = auditor
+
+    def now(self) -> float:
+        return 0.0
+
+    def use_clock(self, clock: Callable[[], float]) -> None:
+        pass
+
+    def txn_begin(self, name: TransactionName) -> None:
+        auditor = self.auditor
+        if auditor is not None:
+            auditor.txn_begin(name)
+
+    def txn_commit(self, name: TransactionName) -> None:
+        auditor = self.auditor
+        if auditor is not None:
+            auditor.txn_commit(name)
+
+    def txn_abort(self, name: TransactionName, cause: str = "explicit") -> None:
+        auditor = self.auditor
+        if auditor is not None:
+            auditor.txn_abort(name, cause)
+
+    def access(
+        self,
+        txn: TransactionName,
+        object_name: str,
+        kind: str,
+        is_read: bool,
+    ) -> None:
+        auditor = self.auditor
+        if auditor is not None:
+            auditor.access(txn, object_name, kind, is_read)
+
+    def mark_abort_cause(self, name: TransactionName, cause: str) -> None:
+        pass
+
+    def lock_denied(self, txn, object_name, blockers) -> None:
+        pass
+
+    def lock_wait(self, txn, object_name, started, ended) -> None:
+        pass
+
+    def lock_transition(self, kind, name, objects) -> None:
+        pass
+
+    def wound(self, victim, by) -> None:
+        pass
+
+    def deadlock(self, victim=None) -> None:
+        pass
+
+    def count(self, name: str, amount: int = 1, **labels: Any) -> None:
+        pass
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        pass
+
+    def finish(self) -> None:
+        pass
+
+
 class Observer:
     """Receives structured events; fans out to tracer/metrics/profiler.
 
@@ -50,9 +127,22 @@ class Observer:
         )
         self.metrics = MetricsRegistry()
         self.contention = ContentionProfiler()
+        #: Optional online serializability auditor (repro.audit);
+        #: lifecycle and access events are forwarded when attached.
+        self.auditor = None
         self._clock = clock
         self._started: Dict[TransactionName, float] = {}
         self._abort_causes: Dict[TransactionName, str] = {}
+
+    def attach_auditor(self, auditor) -> None:
+        """Forward lifecycle/access events to *auditor* from now on.
+
+        The auditor sees exactly the vocabulary it needs --
+        ``txn_begin`` / ``txn_commit`` / ``txn_abort`` / ``access`` --
+        in the order this observer receives it.  Attach before driving
+        transactions: trees already in flight would fold incompletely.
+        """
+        self.auditor = auditor
 
     # ------------------------------------------------------------------
     # Time
@@ -74,6 +164,9 @@ class Observer:
         self.metrics.counter("txn.begin", scope=scope).inc()
         self.metrics.gauge("txn.active").add(1)
         self.tracer.begin_txn(name, now)
+        auditor = self.auditor
+        if auditor is not None:
+            auditor.txn_begin(name)
 
     def txn_commit(self, name: TransactionName) -> None:
         now = self.now()
@@ -87,6 +180,9 @@ class Observer:
             ).observe(now - started)
         self._abort_causes.pop(name, None)
         self.tracer.end_txn(name, now, "commit")
+        auditor = self.auditor
+        if auditor is not None:
+            auditor.txn_commit(name)
 
     def txn_abort(self, name: TransactionName, cause: str = "explicit") -> None:
         now = self.now()
@@ -96,6 +192,9 @@ class Observer:
         self.metrics.gauge("txn.active").add(-1)
         self._started.pop(name, None)
         self.tracer.end_txn(name, now, "abort", cause=cause)
+        auditor = self.auditor
+        if auditor is not None:
+            auditor.txn_abort(name, cause)
 
     def mark_abort_cause(self, name: TransactionName, cause: str) -> None:
         """Pre-tag the cause of an abort about to be driven by a runner.
@@ -122,6 +221,9 @@ class Observer:
         """One granted (and immediately committed) access leaf."""
         mode = "read" if is_read else "write"
         self.metrics.counter("access", mode=mode).inc()
+        auditor = self.auditor
+        if auditor is not None:
+            auditor.access(txn, object_name, kind, is_read)
         if self.tracer.enabled:
             self.tracer.instant(
                 "%s %s" % ("r" if is_read else "w", object_name),

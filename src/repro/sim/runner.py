@@ -134,15 +134,25 @@ class _Runner:
         store: Sequence[ObjectSpec],
         config: SimulationConfig,
         observer=None,
+        auditor=None,
     ):
         self.config = config
         self.scheme = get_scheme(config.policy)
         self.mpl = 1 if self.scheme.force_serial else config.mpl
         self.sim = Simulator()
+        if auditor is not None and observer is None:
+            # The auditor rides on the observer event stream; build a
+            # lightweight audit-only one when the caller did not
+            # supply any.
+            from repro.obs import AuditObserver
+
+            observer = AuditObserver()
         self.obs = observer
         if observer is not None:
             # Spans and waits are measured in simulated time units.
             observer.use_clock(lambda: self.sim.now)
+            if auditor is not None:
+                observer.attach_auditor(auditor)
         self.engine = self.scheme.build(store, observer=observer)
         self.rng = random.Random(config.seed)
         # Retry jitter draws from its own stream so enabling it never
@@ -726,15 +736,23 @@ def run_simulation(
     store: Sequence[ObjectSpec],
     config: Optional[SimulationConfig] = None,
     observer=None,
+    auditor=None,
 ) -> RunMetrics:
     """Execute *programs* against a fresh engine; return the metrics.
 
     *observer* (a :class:`repro.obs.Observer`) is re-clocked to
     simulated time and fed the run's lifecycle, lock-wait, and
-    conflict-resolution events.
+    conflict-resolution events.  *auditor* (a
+    :class:`repro.audit.OnlineAuditor`) is attached to the observer --
+    one is created on demand -- and audits the run's committed
+    schedule online; inspect ``auditor.report()`` afterwards.
     """
     runner = _Runner(
-        programs, store, config or SimulationConfig(), observer=observer
+        programs,
+        store,
+        config or SimulationConfig(),
+        observer=observer,
+        auditor=auditor,
     )
     runner.start()
     return runner.metrics

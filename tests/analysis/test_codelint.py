@@ -1,4 +1,4 @@
-"""Tests for the AST code lint (rules CD000...CD004)."""
+"""Tests for the AST code lint (rules CD000...CD005)."""
 
 from pathlib import Path
 
@@ -55,10 +55,76 @@ class TestLintSource:
         findings = lint_source("broken.py", "def oops(:\n")
         assert [f.rule.code for f in findings] == ["CD000"]
 
-    def test_self_mutation_is_allowed(self):
+    def test_self_mutation_is_allowed_in_owner_modules(self):
         source = (
             "class ManagedObject:\n"
             "    def grant(self, name):\n"
             "        self.write_holders.add(name)\n"
         )
-        assert lint_source("managed.py", source) == []
+        path = "src/repro/engine/lockmanager.py"
+        assert lint_source(path, source) == []
+
+
+class TestCD005:
+    """Self-receiver lock-state mutation outside the owner modules."""
+
+    SOURCE = (
+        "class ShadowTable:\n"
+        "    def grant(self, name):\n"
+        "        self.write_holders.add(name)\n"
+    )
+
+    def test_self_mutation_elsewhere_is_cd005(self):
+        findings = lint_source("rogue.py", self.SOURCE)
+        assert [f.rule.code for f in findings] == ["CD005"]
+        assert findings[0].line == 3
+
+    def test_every_owner_module_is_exempt(self):
+        from repro.analysis.codelint import LOCK_OWNER_MODULES
+
+        for suffix in LOCK_OWNER_MODULES:
+            assert lint_source("src/" + suffix, self.SOURCE) == []
+
+    def test_init_is_exempt(self):
+        source = (
+            "class ShadowTable:\n"
+            "    def __init__(self):\n"
+            "        self.versions = {}\n"
+            "        self.versions['x'] = 0\n"
+        )
+        assert lint_source("rogue.py", source) == []
+
+    def test_item_assignment_is_cd005(self):
+        source = (
+            "class ShadowTable:\n"
+            "    def install(self, name, value):\n"
+            "        self.versions[name] = value\n"
+        )
+        findings = lint_source("rogue.py", source)
+        assert [f.rule.code for f in findings] == ["CD005"]
+
+    def test_attribute_reassignment_is_cd005(self):
+        source = (
+            "class ShadowTable:\n"
+            "    def reset(self):\n"
+            "        self.read_holders = set()\n"
+        )
+        findings = lint_source("rogue.py", source)
+        assert [f.rule.code for f in findings] == ["CD005"]
+
+    def test_suppression_comment_honoured(self):
+        source = (
+            "class ShadowTable:\n"
+            "    def grant(self, name):\n"
+            "        self.write_holders.add(name)"
+            "  # repro-lint: ignore[CD005]\n"
+        )
+        assert lint_source("rogue.py", source) == []
+
+    def test_reads_are_not_flagged(self):
+        source = (
+            "class ShadowTable:\n"
+            "    def holds(self, name):\n"
+            "        return name in self.write_holders\n"
+        )
+        assert lint_source("rogue.py", source) == []

@@ -1,0 +1,83 @@
+"""Unit tests for the shared directed-graph cycle core."""
+
+import pytest
+
+from repro.core.digraph import (
+    find_cycle,
+    shortest_cycle_through,
+    topological_order,
+)
+
+
+def adjacency(edges):
+    table = {}
+    for source, target in edges:
+        table.setdefault(source, []).append(target)
+    return lambda node: table.get(node, ())
+
+
+class TestFindCycle:
+    def test_acyclic_graph_has_none(self):
+        successors = adjacency([(1, 2), (2, 3), (1, 3)])
+        assert find_cycle([1, 2, 3], successors) is None
+
+    def test_simple_cycle_is_closed(self):
+        successors = adjacency([(1, 2), (2, 3), (3, 1)])
+        cycle = find_cycle([1, 2, 3], successors)
+        assert cycle == [1, 2, 3, 1]
+
+    def test_self_loop(self):
+        successors = adjacency([(1, 1)])
+        assert find_cycle([1], successors) == [1, 1]
+
+    def test_deterministic_across_orderings(self):
+        edges = [(3, 1), (1, 2), (2, 3), (4, 2)]
+        successors = adjacency(edges)
+        first = find_cycle([4, 3, 2, 1], successors)
+        second = find_cycle([1, 2, 3, 4], successors)
+        assert first == second
+
+    def test_deep_chain_does_not_overflow(self):
+        depth = 5000
+        edges = [(i, i + 1) for i in range(depth)]
+        edges.append((depth, 0))
+        successors = adjacency(edges)
+        cycle = find_cycle(range(depth + 1), successors)
+        assert cycle is not None
+        assert cycle[0] == cycle[-1]
+
+
+class TestShortestCycleThrough:
+    def test_prefers_the_short_cycle(self):
+        # Through 1 there is a 2-cycle and a 4-cycle.
+        successors = adjacency(
+            [(1, 2), (2, 1), (1, 3), (3, 4), (4, 5), (5, 1)]
+        )
+        assert shortest_cycle_through(1, successors) == [1, 2, 1]
+
+    def test_no_cycle_through_node(self):
+        successors = adjacency([(1, 2), (2, 3)])
+        assert shortest_cycle_through(1, successors) is None
+
+    def test_cycle_elsewhere_does_not_count(self):
+        successors = adjacency([(2, 3), (3, 2), (1, 2)])
+        assert shortest_cycle_through(1, successors) is None
+
+    def test_lexicographically_first_among_equal_lengths(self):
+        successors = adjacency([(1, 2), (1, 3), (2, 1), (3, 1)])
+        assert shortest_cycle_through(1, successors) == [1, 2, 1]
+
+
+class TestTopologicalOrder:
+    def test_orders_a_dag(self):
+        successors = adjacency([(1, 2), (2, 3), (1, 3)])
+        order = topological_order([3, 2, 1], successors)
+        assert order.index(1) < order.index(2) < order.index(3)
+
+    def test_raises_on_cycle(self):
+        successors = adjacency([(1, 2), (2, 1)])
+        with pytest.raises(ValueError):
+            topological_order([1, 2], successors)
+
+    def test_empty_graph(self):
+        assert topological_order([], adjacency([])) == []

@@ -1,0 +1,100 @@
+"""Unit tests for the labelled serialization graph."""
+
+from repro.audit import SerializationGraph, WitnessEdge, edge_kind
+
+
+def make_edge(source, target, kind="ww", object_name="x",
+              source_position=0, target_position=1):
+    return WitnessEdge(
+        source=source,
+        target=target,
+        kind=kind,
+        object_name=object_name,
+        source_op="r" if kind == "rw" else "w",
+        source_position=source_position,
+        target_op="r" if kind == "wr" else "w",
+        target_position=target_position,
+    )
+
+
+class TestEdgeKind:
+    def test_truth_table(self):
+        assert edge_kind(True, False) == "rw"
+        assert edge_kind(True, True) == "rw"
+        assert edge_kind(False, True) == "wr"
+        assert edge_kind(False, False) == "ww"
+
+
+class TestWitnessEdge:
+    def test_pinned_rendering(self):
+        edge = WitnessEdge(
+            source=(0,),
+            target=(1,),
+            kind="rw",
+            object_name="x",
+            source_op="r",
+            source_position=0,
+            target_op="w",
+            target_position=1,
+        )
+        assert str(edge) == "T0.0 -rw[x]-> T0.1 (r x @0 < w x @1)"
+
+
+class TestSerializationGraph:
+    def test_first_label_per_pair_wins(self):
+        graph = SerializationGraph()
+        graph.add_vertex((0,), 1)
+        graph.add_vertex((1,), 2)
+        first = make_edge((0,), (1,), object_name="x")
+        second = make_edge((0,), (1,), object_name="y")
+        graph.add_edge(first)
+        graph.add_edge(second)
+        assert graph.edge_count == 1
+        assert graph.label((0,), (1,)).object_name == "x"
+
+    def test_self_loops_are_ignored(self):
+        graph = SerializationGraph()
+        graph.add_vertex((0,), 1)
+        graph.add_edge(make_edge((0,), (0,)))
+        assert graph.edge_count == 0
+
+    def test_witness_cycle_through_labels_the_edges(self):
+        graph = SerializationGraph()
+        for index, name in enumerate([(0,), (1,)]):
+            graph.add_vertex(name, index + 1)
+        graph.add_edge(make_edge((0,), (1,), kind="rw"))
+        graph.add_edge(make_edge((1,), (0,), kind="wr",
+                                 object_name="y",
+                                 source_position=2, target_position=3))
+        witness = graph.witness_cycle_through((1,))
+        assert witness is not None
+        assert [(e.source, e.target) for e in witness] == [
+            ((1,), (0,)),
+            ((0,), (1,)),
+        ]
+
+    def test_witness_cycle_absent(self):
+        graph = SerializationGraph()
+        graph.add_vertex((0,), 1)
+        graph.add_vertex((1,), 2)
+        graph.add_edge(make_edge((0,), (1,)))
+        assert graph.witness_cycle_through((0,)) is None
+
+    def test_remove_vertex_drops_incident_edges(self):
+        graph = SerializationGraph()
+        for index, name in enumerate([(0,), (1,), (2,)]):
+            graph.add_vertex(name, index + 1)
+        graph.add_edge(make_edge((0,), (1,)))
+        graph.add_edge(make_edge((1,), (2,)))
+        graph.add_edge(make_edge((2,), (0,)))
+        graph.remove_vertex((1,))
+        assert len(graph) == 2
+        assert graph.edge_count == 1
+        assert graph.label((2,), (0,))
+        # Removal restored acyclicity here.
+        assert graph.witness_cycle_through((0,)) is None
+
+    def test_remove_unknown_vertex_is_a_no_op(self):
+        graph = SerializationGraph()
+        graph.remove_vertex((9,))
+        assert len(graph) == 0

@@ -1,0 +1,186 @@
+"""Offline adapters: schedules, traced engines, JSONL streams."""
+
+import json
+
+import pytest
+
+from repro.adt import IntRegister
+from repro.analysis.faults import NoInheritPolicy
+from repro.audit import (
+    AuditConfig,
+    audit_engine,
+    audit_jsonl,
+    audit_jsonl_file,
+    audit_schedule,
+)
+from repro.engine.engine import Engine
+from repro.errors import ReproError
+
+
+def drive_broken_interleaving(policy):
+    """The no-inherit anomaly: child read lock dropped at child commit."""
+    engine = Engine(
+        [IntRegister("x"), IntRegister("y")], policy=policy, trace=True
+    )
+    t1 = engine.begin_top()
+    t2 = engine.begin_top()
+    child = t1.begin_child()
+    child.perform("x", IntRegister.read())
+    child.commit()
+    t2.perform("x", IntRegister.write(5))
+    t2.perform("y", IntRegister.write(7))
+    t2.commit()
+    t1.perform("y", IntRegister.read())
+    t1.commit()
+    return engine
+
+
+class TestAuditEngine:
+    def test_broken_engine_yields_a_witness(self):
+        engine = drive_broken_interleaving(NoInheritPolicy())
+        report = audit_engine(engine, AuditConfig(sample_every=1))
+        assert report.verdict == "violation"
+        (violation,) = report.violations
+        assert violation.objects == ("x", "y")
+
+    def test_untraced_engine_is_rejected(self):
+        engine = Engine([IntRegister("x")], policy="moss-rw")
+        with pytest.raises(ReproError):
+            audit_engine(engine)
+
+    def test_ring_buffer_drops_downgrade_to_inconclusive(self):
+        engine = Engine(
+            [IntRegister("x")], policy="moss-rw", trace=True,
+            trace_limit=4,
+        )
+        for _ in range(4):
+            top = engine.begin_top()
+            top.perform("x", IntRegister.read())
+            top.commit()
+        assert engine.recorder.dropped_events > 0
+        report = audit_engine(engine)
+        assert report.verdict == "inconclusive"
+
+
+class TestAuditSchedule:
+    def test_matches_the_online_auditor(self):
+        engine = drive_broken_interleaving(NoInheritPolicy())
+        system_type = engine.recorder.system_type(engine.specs)
+        auditor = audit_schedule(
+            system_type,
+            engine.recorder.schedule(),
+            config=AuditConfig(sample_every=1),
+        )
+        assert auditor.verdict == "violation"
+
+    def test_serialization_witnesses_facade(self):
+        from repro.checking import serialization_witnesses
+
+        engine = drive_broken_interleaving(NoInheritPolicy())
+        system_type = engine.recorder.system_type(engine.specs)
+        witnesses = serialization_witnesses(
+            system_type, engine.recorder.schedule()
+        )
+        assert len(witnesses) == 1
+        assert witnesses[0].objects == ("x", "y")
+
+    def test_clean_engine_has_no_witnesses(self):
+        from repro.checking import serialization_witnesses
+
+        engine = drive_clean_run()
+        system_type = engine.recorder.system_type(engine.specs)
+        assert serialization_witnesses(
+            system_type, engine.recorder.schedule()
+        ) == []
+
+
+def drive_clean_run():
+    engine = Engine(
+        [IntRegister("x"), IntRegister("y")], policy="moss-rw",
+        trace=True,
+    )
+    for _ in range(3):
+        top = engine.begin_top()
+        top.perform("x", IntRegister.add(1))
+        top.perform("y", IntRegister.read())
+        top.commit()
+    return engine
+
+
+def span(txn, start, end, outcome):
+    return json.dumps(
+        {
+            "type": "span",
+            "cat": "txn",
+            "txn": txn,
+            "start": start,
+            "end": end,
+            "args": {"outcome": outcome},
+        }
+    )
+
+
+def access(txn, ts, object_name, is_read):
+    return json.dumps(
+        {
+            "type": "instant",
+            "cat": "access",
+            "name": ("r " if is_read else "w ") + object_name,
+            "ts": ts,
+            "txn": txn,
+            "args": {
+                "object": object_name,
+                "op": "read" if is_read else "write",
+            },
+        }
+    )
+
+
+class TestAuditJsonl:
+    def test_handcrafted_violation_stream(self):
+        lines = [
+            span("T0.0", 0.0, 10.0, "commit"),
+            span("T0.1", 0.0, 5.0, "commit"),
+            access("T0.0", 1.0, "x", True),
+            access("T0.1", 2.0, "x", False),
+            access("T0.1", 3.0, "y", False),
+            access("T0.0", 6.0, "y", True),
+        ]
+        report = audit_jsonl(lines)
+        assert report.verdict == "violation"
+        (violation,) = report.violations
+        assert violation.objects == ("x", "y")
+
+    def test_aborted_and_unfinished_spans_stay_out(self):
+        lines = [
+            span("T0.0", 0.0, 10.0, "abort"),
+            span("T0.1", 0.0, 5.0, "unfinished"),
+            access("T0.0", 1.0, "x", True),
+            access("T0.1", 2.0, "x", False),
+        ]
+        report = audit_jsonl(lines)
+        assert report.verdict == "clean"
+        assert report.stats["vertices_live"] == 0
+
+    def test_garbage_lines_are_skipped(self):
+        lines = [
+            "",
+            json.dumps({"type": "instant", "cat": "access",
+                        "name": "r x", "ts": 1.0, "txn": "bogus",
+                        "args": {"object": "x", "op": "read"}}),
+            span("T0.0", 0.0, 2.0, "commit"),
+        ]
+        assert audit_jsonl(lines).verdict == "clean"
+
+    def test_round_trip_through_the_exporter(self, tmp_path):
+        from repro.obs import Observer, write_jsonl
+        from repro.obs.workloads import run_workload
+
+        observer = Observer()
+        run_workload("banking", observer, seed=3)
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(str(path), observer)
+        report = audit_jsonl_file(str(path))
+        assert report.verdict == "clean"
+        assert report.stats["tops_audited"] > 0
+        assert report.stats["vertices_collected"] > 0
