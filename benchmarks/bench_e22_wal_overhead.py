@@ -1,0 +1,172 @@
+"""E22 (WAL-overhead guard): logged vs unlogged commit hot path.
+
+Not a paper claim -- the cost ceiling of the write-ahead log
+(``repro.wal``) on the thread-safe facade's hot path.  Three regimes
+drive an identical top-level commit loop:
+
+* ``no-wal``      -- the facade as shipped, no log attached;
+* ``wal-memory``  -- WAL attached with the in-memory sink (what the
+  crash-fuzzing harness and the matrix tests pay);
+* ``wal-file``    -- WAL attached with the file sink into a scratch
+  directory, fsync on every top-level commit (the durable deployment
+  shape; reported for context, not guarded -- fsync cost is the
+  device's, not the code's).
+
+The guard asserts the production promise: in-memory logging costs
+< 20% commit throughput.  A recovery cross-check replays the
+``wal-memory`` log and asserts the recovered committed values match
+the live engine, so the benchmark cannot pass while logging garbage.
+
+Machine-level drift (CPU frequency, noisy neighbours on shared CI)
+dwarfs the effect under test, so the regimes are measured
+*interleaved*: every round times all regimes back-to-back and the
+guard takes each regime's minimum per-round overhead -- drift inflates
+some rounds' ratios but the cleanest round approaches the true cost.
+
+Environment knobs (for the CI recovery-smoke job):
+
+* ``E22_QUICK=1`` shrinks the op counts to smoke-test size;
+* ``E22_JSON=<path>`` overrides where the JSON artifact is written
+  (default: ``BENCH_E22.json`` at the repo root).
+"""
+
+import json
+import os
+import shutil
+import tempfile
+import time
+
+from conftest import print_table, run_once
+
+from repro.adt import Counter
+from repro.engine.threadsafe import ThreadSafeEngine
+from repro.wal import FileWalSink, recover
+
+#: Interleaved rounds; the guard keeps each regime's *cleanest* round.
+#: Overhead estimates converge to the true cost from above as rounds
+#: are added (drift only ever inflates a round), so more rounds means
+#: a tighter -- never a laxer -- estimate.
+ROUNDS = 7
+
+
+def _one_run(sink_kind, tops):
+    """Time one run of the commit loop; returns (tops/sec, wal)."""
+    facade = ThreadSafeEngine(
+        [Counter("h"), Counter("k")], policy="moss-rw"
+    )
+    wal = None
+    scratch = None
+    if sink_kind == "memory":
+        wal = facade.attach_wal()
+    elif sink_kind == "file":
+        scratch = tempfile.mkdtemp(prefix="bench-e22-")
+        wal = facade.attach_wal(sink=FileWalSink(scratch))
+    increment = Counter.increment(1)
+    value = Counter.value()
+    started = time.perf_counter()
+    for _ in range(tops):
+        top = facade.begin_top()
+        top.perform("h", increment)
+        top.perform("k", value)
+        top.perform("h", value)
+        top.commit()
+    elapsed = time.perf_counter() - started
+    data = None
+    if wal is not None and sink_kind == "memory":
+        data = wal.sink.getvalue()
+    stats = dict(wal.stats) if wal is not None else {}
+    if scratch is not None:
+        shutil.rmtree(scratch, ignore_errors=True)
+    return tops / max(elapsed, 1e-9), data, stats
+
+
+def test_e22_wal_overhead(benchmark):
+    quick = bool(os.environ.get("E22_QUICK"))
+    tops = 600 if quick else 6_000
+
+    def experiment():
+        regimes = ("no-wal", "wal-memory", "wal-file")
+        # Warm-up pass: JIT-free Python still pays first-touch costs
+        # (imports, allocator growth, branch caches) that would land
+        # on whichever regime runs first.
+        for sink_kind in (None, "memory", "file"):
+            _one_run(sink_kind, max(tops // 10, 50))
+
+        best = {name: 0.0 for name in regimes}
+        rounds = {name: [] for name in regimes}
+        stats = {}
+        last_log = None
+        for _ in range(ROUNDS):
+            round_tps = {}
+            for name in regimes:
+                sink_kind = {
+                    "no-wal": None,
+                    "wal-memory": "memory",
+                    "wal-file": "file",
+                }[name]
+                tps, data, run_stats = _one_run(sink_kind, tops)
+                round_tps[name] = tps
+                best[name] = max(best[name], tps)
+                if run_stats:
+                    stats[name] = run_stats
+                if data is not None:
+                    last_log = data
+            baseline = round_tps["no-wal"]
+            for name in regimes:
+                rounds[name].append(
+                    max(0.0, 1.0 - round_tps[name] / baseline)
+                )
+        # The guard takes the cleanest round (drift only inflates a
+        # round, so the min bounds the true cost from above); the
+        # median is reported alongside so the artifact also shows a
+        # typical noisy-round figure.
+        overhead = {name: min(rounds[name]) for name in regimes}
+        median = {
+            name: sorted(rounds[name])[ROUNDS // 2] for name in regimes
+        }
+
+        # Recovery cross-check: the log the benchmark just paid for
+        # must replay to the values the live engine computed.
+        state = recover(last_log)
+        assert state.report.verdict == "complete"
+        assert state.report.committed == {"h": tops, "k": 0}
+
+        def row(regime):
+            run_stats = stats.get(regime, {})
+            return {
+                "regime": regime,
+                "tops_per_sec": int(best[regime]),
+                "overhead_pct": round(100 * overhead[regime], 1),
+                "overhead_median_pct": round(100 * median[regime], 1),
+                "appends": run_stats.get("appends", 0),
+                "bytes": run_stats.get("bytes", 0),
+                "fsyncs": run_stats.get("fsyncs", 0),
+            }
+
+        return [row(name) for name in regimes]
+
+    rows = run_once(benchmark, experiment)
+    print_table("E22: WAL overhead (threadsafe hot path)", rows)
+
+    json_path = os.environ.get("E22_JSON") or os.path.join(
+        os.path.dirname(os.path.abspath(__file__)),
+        os.pardir,
+        "BENCH_E22.json",
+    )
+    with open(json_path, "w") as handle:
+        json.dump(
+            {"experiment": "e22_wal_overhead", "rows": rows},
+            handle,
+            indent=2,
+        )
+
+    by_regime = {row["regime"]: row for row in rows}
+    # Every commit loop iteration logs BEGIN + 3 ACQUIREs + COMMIT; the
+    # append counts prove the logged regimes actually logged.
+    for regime in ("wal-memory", "wal-file"):
+        assert by_regime[regime]["appends"] >= 5 * tops
+        assert by_regime[regime]["bytes"] > 0
+    assert by_regime["wal-file"]["fsyncs"] >= tops
+    # The cost ceiling (in-memory sink only: the file regime's fsync
+    # cost belongs to the device, not the hot path under guard).
+    assert by_regime["wal-memory"]["overhead_pct"] < 20.0, rows

@@ -19,6 +19,8 @@ One command per way of exercising the reproduction:
   trace-event file (``chrome://tracing`` / Perfetto) plus a text report.
 * ``audit``        -- replay a recorded JSONL event stream through the
   online serializability auditor and print the witness-cycle report.
+* ``recover``      -- replay a write-ahead log and print the
+  crash-recovery report (exit 0 complete, 1 partial, 4 inconclusive).
 * ``top``          -- run a contended simulation and print the
   hot-object lock-contention table.
 * ``orphan``       -- print the orphan-inconsistency witness (E15).
@@ -514,6 +516,34 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_recover(args: argparse.Namespace) -> int:
+    from repro.wal import RecoveryError, recover
+
+    try:
+        state = recover(args.log, presume_abort=not args.no_presume_abort)
+    except OSError as exc:
+        print("repro recover: %s" % exc, file=sys.stderr)
+        return 2
+    except RecoveryError as exc:
+        # Nothing recoverable: no usable header, unknown format, or a
+        # non-durable scheme -- the inconclusive outcome.
+        print("repro recover: %s" % exc, file=sys.stderr)
+        return 4
+    report = state.report
+    rendered = report.render()
+    print(rendered)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(rendered)
+            handle.write("\n")
+        print("recovery report : %s" % args.out)
+    # Mirrors `repro audit`: 0 clean/complete, 1 a finding (here: the
+    # log had a torn or corrupt tail and only a prefix was restored).
+    if report.verdict == "partial":
+        return 1
+    return 0
+
+
 def _cmd_top(args: argparse.Namespace) -> int:
     from repro.obs import Observer
     from repro.obs.workloads import run_contended_sim
@@ -822,6 +852,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the witness report to this file",
     )
     audit.set_defaults(handler=_cmd_audit)
+
+    recover = commands.add_parser(
+        "recover",
+        help=(
+            "replay a write-ahead log (segment file or directory) and "
+            "print the crash-recovery report"
+        ),
+    )
+    recover.add_argument(
+        "log",
+        help="WAL segment file, or a directory of wal-*.seg segments",
+    )
+    recover.add_argument(
+        "--no-presume-abort", action="store_true",
+        help=(
+            "keep in-flight transactions live instead of aborting "
+            "top levels with no COMMIT record"
+        ),
+    )
+    recover.add_argument(
+        "--out",
+        help="also write the recovery report to this file",
+    )
+    recover.set_defaults(handler=_cmd_recover)
 
     top = commands.add_parser(
         "top",

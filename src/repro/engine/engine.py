@@ -112,6 +112,9 @@ class Engine:
         self.transactions: Dict[TransactionName, Transaction] = {}
         self._next_top = 0
         self._clock = 0.0
+        # Optional write-ahead log (attach_wal); one attribute lookup
+        # per transition when absent, like `obs`.
+        self._wal = None
         # Bumped by every abort; lets _check_not_orphan cache clean
         # ancestor walks per handle between aborts.
         self._abort_epoch = 0
@@ -136,6 +139,7 @@ class Engine:
             moves_locks=self.policy.moves_locks,
             model_conformant=self.policy.model_conformant,
             object_local_performs=True,
+            durable=True,
         )
 
     @property
@@ -171,6 +175,45 @@ class Engine:
             self.locks.obs = obs
         obs.attach_auditor(auditor)
         return auditor
+
+    def attach_wal(self, wal=None, sink=None, segment_bytes=None):
+        """Attach a write-ahead log (:mod:`repro.wal`); returns it.
+
+        With no *wal* given one is built around *sink* (default: an
+        in-memory :class:`~repro.wal.log.MemoryWalSink`).  The log's
+        first segment header records the scheme and object specs, so
+        :func:`repro.wal.recover` can rebuild the engine from the log
+        alone.  Capability-gated on ``capabilities.durable``, and must
+        happen before any transaction begins -- a log that missed
+        transitions cannot replay to the engine's state.
+        """
+        if not self.capabilities.durable:
+            raise EngineError(
+                "scheme %r is not durable "
+                "(capabilities.durable is False)" % self.scheme_name
+            )
+        if self._next_top or self.transactions:
+            raise EngineError(
+                "attach_wal must run before any transaction begins"
+            )
+        if wal is None:
+            from repro.wal.log import (
+                DEFAULT_SEGMENT_BYTES,
+                WriteAheadLog,
+            )
+
+            wal = WriteAheadLog(
+                sink=sink,
+                segment_bytes=(
+                    DEFAULT_SEGMENT_BYTES
+                    if segment_bytes is None
+                    else segment_bytes
+                ),
+                observer=self.obs,
+            )
+        wal.open(self.scheme_name, self.specs.values())
+        self._wal = wal
+        return wal
 
     @property
     def store(self):
@@ -278,6 +321,9 @@ class Engine:
         obs = self.obs
         if obs is not None:
             obs.txn_begin(name)
+        wal = self._wal
+        if wal is not None:
+            wal.log_begin(name)
         return txn
 
     def _begin_child(self, parent: Transaction) -> Transaction:
@@ -355,6 +401,16 @@ class Engine:
         elif owner != access:
             # Flat policy: the leaf never held the lock; re-home it.
             managed.rehome(access, owner, mode)
+        wal = self._wal
+        if wal is not None:
+            # After the full transition, so the logged generation is the
+            # post-movement value recovery cross-checks on replay.  The
+            # *original* operation is logged (not the policy's write
+            # reclassification): replay re-derives the mode the same way
+            # this perform did.
+            wal.log_acquire(
+                access, object_name, operation, managed.generation
+            )
         return result
 
     def _commit(self, txn: Transaction, value: Any) -> None:
@@ -383,6 +439,13 @@ class Engine:
             touched = self.locks.on_commit(txn.name)
             for object_name in touched:
                 self.recorder.record(InformCommitAt(object_name, txn.name))
+        wal = self._wal
+        if wal is not None:
+            wal.log_commit(txn.name)
+            if txn.is_top_level:
+                # Top-level commits are the durability points: a crash
+                # after the flush returns must preserve this commit.
+                wal.flush()
 
     def _abort(self, txn: Transaction) -> None:
         if self.policy.escalates_aborts and not txn.is_top_level:
@@ -399,6 +462,15 @@ class Engine:
         touched = self.locks.on_abort(txn.name)
         for object_name in touched:
             self.recorder.record(InformAbortAt(object_name, txn.name))
+        wal = self._wal
+        if wal is not None:
+            # Logged after any escalation redirect, so the record names
+            # the subtree root that actually aborted.  Presumed-abort
+            # makes abort records advisory (a missing one recovers the
+            # same way), but logging them keeps replay exact.
+            wal.log_abort(txn.name)
+            if txn.is_top_level:
+                wal.flush()
 
     def _mark_aborted_subtree(
         self, txn: Transaction, root: bool = True

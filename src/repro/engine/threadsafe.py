@@ -75,7 +75,7 @@ from typing import Any, Dict, Iterable, Optional, Set
 from repro.core.names import TransactionName, pretty_name
 from repro.core.object_spec import ObjectSpec, Operation
 from repro.engine.transaction import Transaction, TransactionStatus
-from repro.errors import LockDenied, TransactionAborted
+from repro.errors import EngineError, LockDenied, TransactionAborted
 from repro.kernel import get_scheme
 
 #: Default stripe count in auto mode (clamped to the object count by
@@ -321,6 +321,32 @@ class ThreadSafeEngine:
                     locks.obs = obs
             obs.attach_auditor(auditor)
         return auditor
+
+    def attach_wal(self, wal=None, sink=None, segment_bytes=None):
+        """Attach a write-ahead log to the wrapped engine; returns it.
+
+        Mirrors :meth:`repro.engine.engine.Engine.attach_wal`
+        (capability-gated on ``capabilities.durable``).  The log writer
+        carries its own lock, so striped performs may append
+        concurrently; the append order is then the log's serialization
+        of those (non-conflicting) transitions.  Attach before starting
+        worker threads.
+        """
+        if not self.capabilities.durable:
+            raise EngineError(
+                "scheme %r is not durable "
+                "(capabilities.durable is False)" % self.scheme.name
+            )
+        attach = getattr(self._engine, "attach_wal", None)
+        if attach is None:
+            raise EngineError(
+                "scheme %r has no write-ahead log support"
+                % self.scheme.name
+            )
+        with self._mutex:
+            return attach(
+                wal=wal, sink=sink, segment_bytes=segment_bytes
+            )
 
     def install_hooks(self, hooks) -> None:
         """Install (or clear, with ``None``) the scheduler hooks.

@@ -107,6 +107,10 @@ class FuzzCaseResult:
     #: online serializability audit of the run (``run_case(audit=True)``);
     #: a :class:`repro.audit.AuditReport`, or None when auditing was off
     audit: Optional[object] = None
+    #: write-ahead log of the run (``run_case(wal=True)``); a
+    #: :class:`repro.wal.WriteAheadLog` over an in-memory sink, or None
+    #: when logging was off or the scheme declares ``durable=False``
+    wal: Optional[object] = None
 
     @property
     def failed(self) -> bool:
@@ -176,6 +180,17 @@ def _run_program(facade, injector, worker_id, top, program, log):
         child = top.begin_child()
         orphan_attempt = injector.orphan_now(worker_id)
         for access in step.steps:
+            if injector.crash_now(worker_id):
+                # A real crash does not wait for in-flight children to
+                # return: abort the top while the child handle is
+                # live, tearing the whole subtree down mid-block.
+                # Without this draw, crashes only ever fired between
+                # top-level steps and recovery's orphan handling went
+                # untested.
+                log.crashed += 1
+                log.crashed_with_live_child += 1
+                top.abort()
+                return
             result = child.perform(
                 access.object_name, access.operation
             )
@@ -223,6 +238,7 @@ def run_case(
     observer=None,
     trace_limit: Optional[int] = None,
     audit: bool = False,
+    wal: bool = False,
 ) -> FuzzCaseResult:
     """Execute one fuzz case deterministically and judge it.
 
@@ -239,8 +255,12 @@ def run_case(
     the capability dial would under-audit exactly the runs that need
     it most), a witnessed cycle fails the case with kind ``"audit"``
     when no stronger oracle fired first, and the report rides on
-    :attr:`FuzzCaseResult.audit`.  None of the three affect the
-    schedule, the other oracles, or the digest inputs.
+    :attr:`FuzzCaseResult.audit`.  *wal* attaches an in-memory
+    write-ahead log (:mod:`repro.wal`) before the run and ships it on
+    :attr:`FuzzCaseResult.wal` -- the crash-recovery harness truncates
+    and recovers it; schemes declaring ``durable=False`` run without
+    one (the field stays None).  None of the four affect the schedule,
+    the other oracles, or the digest inputs.
     """
     if strategy is None:
         if choices is not None:
@@ -266,6 +286,9 @@ def run_case(
         trace_limit=trace_limit,
         observer=observer,
     )
+    wal_log = None
+    if wal and facade.capabilities.durable:
+        wal_log = facade.attach_wal()
     injector = FaultInjector(config.seed, plan, config.workers)
     controller = InterleavingController(strategy, injector=injector)
     facade.install_hooks(controller)
@@ -360,6 +383,7 @@ def run_case(
         finding_lines=finding_lines,
         logs=logs,
         audit=audit_report,
+        wal=wal_log,
     )
 
 

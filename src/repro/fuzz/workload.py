@@ -129,4 +129,8 @@ class WorkerLog:
     performed: List[Tuple[str, object]] = field(default_factory=list)
     wounded: int = 0
     crashed: int = 0
+    #: Crashes that fired while a nested child handle was in flight
+    #: (the subtree is torn down mid-block, the orphan-handling case
+    #: recovery must cope with).
+    crashed_with_live_child: int = 0
     orphan_guard_hits: int = 0

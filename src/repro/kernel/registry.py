@@ -105,6 +105,7 @@ def _locking_scheme(policy) -> Scheme:
         moves_locks=policy.moves_locks,
         model_conformant=policy.model_conformant,
         object_local_performs=True,
+        durable=True,
     )
 
     def factory(specs, observer=None, trace=False, trace_limit=None,

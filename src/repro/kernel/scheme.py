@@ -61,6 +61,14 @@ class SchemeCapabilities:
     #: buffers across every object from inside ``perform``.
     object_local_performs: bool = True
 
+    #: The scheme's state transitions are fully described by its begin /
+    #: granted-access / commit / abort events, so a write-ahead log of
+    #: those events (:mod:`repro.wal`) can rebuild it by deterministic
+    #: replay -- ``attach_wal`` is capability-gated on this flag.  False
+    #: for MVTO: its pending tree buffers and timestamp watermarks are
+    #: not reconstructible from the lock-movement vocabulary.
+    durable: bool = True
+
 
 @runtime_checkable
 class ConcurrencyScheme(Protocol):

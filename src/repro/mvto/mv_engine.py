@@ -57,9 +57,20 @@ class MVTOEngine:
         moves_locks=False,
         model_conformant=False,
         object_local_performs=False,
+        # Pending tree buffers and rts/wts watermarks cannot be rebuilt
+        # from the WAL's lock-movement vocabulary, so MVTO opts out of
+        # durability (attach_wal refuses; see docs/DURABILITY.md).
+        durable=False,
     )
 
     scheme_name = "mvto"
+
+    def attach_wal(self, wal=None, sink=None, segment_bytes=None):
+        """MVTO declares no durability; refuse the attach."""
+        raise EngineError(
+            "scheme %r is not durable "
+            "(capabilities.durable is False)" % self.scheme_name
+        )
 
     def __init__(
         self,

@@ -1,0 +1,73 @@
+"""Write-ahead logging and crash-restart recovery.
+
+The paper scopes crashes out of its model; this package is the
+durability layer that closes the gap (ROADMAP open item 3).  Three
+modules:
+
+* :mod:`repro.wal.records` -- the CRC-framed, varint-length record
+  format (pinned by a golden test);
+* :mod:`repro.wal.log` -- segmented append-only sinks (in-memory and
+  file-backed) and the :class:`WriteAheadLog` writer the engine calls;
+* :mod:`repro.wal.recovery` -- logical replay of a log prefix into a
+  fresh engine, with the nested presumed-abort pass.
+
+Attach with ``engine.attach_wal()`` (capability-gated on
+``capabilities.durable``); recover with :func:`recover` or the
+``repro recover`` CLI command.  See docs/DURABILITY.md.
+"""
+
+from repro.wal.records import (
+    ABORT,
+    ACQUIRE,
+    BEGIN,
+    COMMIT,
+    FORMAT_VERSION,
+    SEGMENT,
+    Record,
+    ScanResult,
+    WalFormatError,
+    encode_record,
+    iter_frames,
+    scan_records,
+)
+from repro.wal.log import (
+    DEFAULT_SEGMENT_BYTES,
+    FileWalSink,
+    MemoryWalSink,
+    WriteAheadLog,
+    read_log_bytes,
+)
+from repro.wal.recovery import (
+    RecoveredState,
+    RecoveryError,
+    RecoveryReport,
+    committed_values,
+    holder_snapshot,
+    recover,
+)
+
+__all__ = [
+    "ABORT",
+    "ACQUIRE",
+    "BEGIN",
+    "COMMIT",
+    "DEFAULT_SEGMENT_BYTES",
+    "FORMAT_VERSION",
+    "FileWalSink",
+    "MemoryWalSink",
+    "Record",
+    "RecoveredState",
+    "RecoveryError",
+    "RecoveryReport",
+    "ScanResult",
+    "SEGMENT",
+    "WalFormatError",
+    "WriteAheadLog",
+    "committed_values",
+    "encode_record",
+    "holder_snapshot",
+    "iter_frames",
+    "read_log_bytes",
+    "recover",
+    "scan_records",
+]

@@ -1,0 +1,647 @@
+"""The write-ahead log: segmented append-only sinks plus the writer.
+
+A :class:`WriteAheadLog` is attached to an engine
+(:meth:`repro.engine.engine.Engine.attach_wal`) and receives one call
+per durable transition -- begin, granted access, commit boundary,
+abort boundary.  It frames each event as a CRC-checked record
+(:mod:`repro.wal.records`), appends it to the active segment of its
+*sink*, and rolls to a new segment (with a fresh segment header) when
+the active one exceeds ``segment_bytes``.
+
+Two sinks ship:
+
+* :class:`MemoryWalSink` -- a list of ``bytearray`` segments; the
+  default, used by the crash-fuzzing harness (truncating a byte string
+  simulates a crash) and by the overhead benchmark;
+* :class:`FileWalSink` -- one ``wal-NNNNNNNN.seg`` file per segment in
+  a directory; ``flush`` does ``flush`` + ``os.fsync`` so a flushed
+  prefix survives a process (or machine) crash.
+
+The writer is internally locked: under the striped thread-safe facade
+two performs on different stripes may append concurrently, and the
+append order then *is* the log's serialization of those transitions
+(concurrent transitions never conflict -- same-object and same-tree
+transitions are already ordered by the facade's locks, so any append
+interleaving of the rest replays to the same state).
+
+Observability: with an observer attached the writer counts
+``wal.append`` (labelled by record kind), ``wal.flush``, ``wal.fsync``
+and ``wal.segment_roll``, and feeds the ``wal.append_bytes``
+histogram -- see ``docs/OBSERVABILITY.md`` for the catalogue idiom.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from zlib import crc32
+
+from repro.errors import EngineError
+from repro.wal import records as rec
+from repro.wal.records import (
+    _BYTE,
+    _acquire_tail,
+    encode_acquire_record,
+    encode_txn_record,
+    encode_varint,
+)
+
+#: Default segment size before rolling to a new one.
+DEFAULT_SEGMENT_BYTES = 64 * 1024
+
+# Body templates for the writer's inlined fast paths, one per record
+# kind x transaction depth (the leading byte is the kind tag).  Depths
+# 1-3 cover every hot workload; deeper trees fall back to the generic
+# encoders.  ``bytes %% int`` renders the same decimal digits as
+# ``json.dumps``, so the output is byte-identical to
+# :func:`repro.wal.records.encode_record` -- pinned by
+# ``tests/wal/test_format.py::TestWriterMatchesEncodeRecord``.
+_BEGIN1 = b'\x01{"lsn":%d,"txn":[%d]}'
+_BEGIN2 = b'\x01{"lsn":%d,"txn":[%d,%d]}'
+_BEGIN3 = b'\x01{"lsn":%d,"txn":[%d,%d,%d]}'
+_COMMIT1 = b'\x03{"lsn":%d,"txn":[%d]}'
+_COMMIT2 = b'\x03{"lsn":%d,"txn":[%d,%d]}'
+_COMMIT3 = b'\x03{"lsn":%d,"txn":[%d,%d,%d]}'
+_ABORT1 = b'\x04{"lsn":%d,"txn":[%d]}'
+_ABORT2 = b'\x04{"lsn":%d,"txn":[%d,%d]}'
+_ABORT3 = b'\x04{"lsn":%d,"txn":[%d,%d,%d]}'
+_ACQ1 = b'\x02{"access":[%d],"gen":%d,"lsn":%d,'
+_ACQ2 = b'\x02{"access":[%d,%d],"gen":%d,"lsn":%d,'
+_ACQ3 = b'\x02{"access":[%d,%d,%d],"gen":%d,"lsn":%d,'
+
+#: Rendered ``"object":...,"op":{...}}`` tails keyed by
+#: ``(id(operation), object_name)``.  The identity key makes the
+#: lookup pure C (a frozen dataclass ``__hash__`` is a Python frame);
+#: the cached entry holds the operation so its id cannot be recycled
+#: while cached, and the ``is`` check keeps correctness independent of
+#: that lifetime argument.
+_TAILS: Dict[Tuple[int, str], Tuple[Any, bytes]] = {}
+_TAILS_LIMIT = 4096
+
+
+class MemoryWalSink:
+    """Append-only segments kept in memory.
+
+    Frames are held unconcatenated (one list entry per append) so the
+    hot path never copies; ``getvalue`` joins on demand.
+    """
+
+    #: Nothing to fsync: the writer skips ``flush`` calls entirely.
+    DURABLE = False
+
+    def __init__(self):
+        self._frames: List[List[bytes]] = [[]]
+        self._active = self._frames[0]
+        # The instance attribute shadows nothing: ``append`` IS the
+        # active segment's ``list.append``, re-bound on roll.
+        self.append = self._active.append
+
+    def roll(self) -> None:
+        self._active = []
+        self._frames.append(self._active)
+        self.append = self._active.append
+
+    def flush(self) -> int:
+        """No durability to add; returns the number of fsyncs (0)."""
+        return 0
+
+    def active_size(self) -> int:
+        return sum(len(data) for data in self._active)
+
+    @property
+    def segments(self) -> List[bytes]:
+        """The segments as byte strings (joined on access)."""
+        return [b"".join(frames) for frames in self._frames]
+
+    def getvalue(self) -> bytes:
+        """The whole log as one byte string (segments concatenated)."""
+        return b"".join(
+            data for frames in self._frames for data in frames
+        )
+
+    def close(self) -> None:
+        pass
+
+
+class FileWalSink:
+    """One file per segment in *directory*; flush fsyncs the active file."""
+
+    #: ``flush`` buys real durability (fsync); the writer must call it.
+    DURABLE = True
+
+    #: Segment file name pattern; sorting file names sorts segments.
+    PATTERN = "wal-%08d.seg"
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self._index = 0
+        self._handle = open(self._path(self._index), "wb")
+        self._active_size = 0
+
+    def _path(self, index: int) -> str:
+        return os.path.join(self.directory, self.PATTERN % index)
+
+    def append(self, data: bytes) -> None:
+        self._handle.write(data)
+        self._active_size += len(data)
+
+    def roll(self) -> None:
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._handle.close()
+        self._index += 1
+        self._handle = open(self._path(self._index), "wb")
+        self._active_size = 0
+
+    def flush(self) -> int:
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        return 1
+
+    def active_size(self) -> int:
+        return self._active_size
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._handle.close()
+
+
+def read_log_bytes(path: str) -> bytes:
+    """Read a log back as one byte string.
+
+    *path* may be a single log file or a :class:`FileWalSink`
+    directory; segment files concatenate in name order (the writer
+    numbers them monotonically).
+    """
+    if os.path.isdir(path):
+        parts = []
+        for name in sorted(os.listdir(path)):
+            if name.startswith("wal-") and name.endswith(".seg"):
+                with open(os.path.join(path, name), "rb") as handle:
+                    parts.append(handle.read())
+        if not parts:
+            raise EngineError("no wal-*.seg segments under %r" % path)
+        return b"".join(parts)
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+class WriteAheadLog:
+    """Frames engine transitions into an append-only segmented log.
+
+    Parameters
+    ----------
+    sink:
+        A :class:`MemoryWalSink` (default) or :class:`FileWalSink`.
+    segment_bytes:
+        Roll to a new segment (writing a fresh header) once the active
+        segment exceeds this size.
+    observer:
+        Optional :class:`repro.obs.Observer`; receives the ``wal.*``
+        counters and histograms through its generic instruments.
+    """
+
+    def __init__(
+        self,
+        sink=None,
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        observer=None,
+    ):
+        if segment_bytes < 1:
+            raise EngineError(
+                "segment_bytes must be >= 1, got %d" % segment_bytes
+            )
+        self.sink = sink if sink is not None else MemoryWalSink()
+        self.segment_bytes = segment_bytes
+        self.obs = observer
+        self._lock = threading.Lock()
+        # Bound methods: the event API runs per engine transition and
+        # a ``with`` block (plus a layer of dispatch) costs a
+        # surprising amount next to ~2us of encoding work.
+        self._acquire_lock = self._lock.acquire
+        self._release_lock = self._lock.release
+        self._sink_append = self.sink.append
+        self._lsn = 0
+        self._segment = 0
+        self._opened = False
+        self._closed = False
+        self._writable = False  # opened and not closed
+        self._scheme = ""
+        self._objects: List[Tuple[str, str]] = []
+        # Hot-path counters are plain ints (``stats`` builds the dict
+        # on demand); the writer tracks the active segment size itself
+        # so appends skip a sink call.
+        self._active_bytes = 0
+        self._n_appends = 0
+        self._n_bytes = 0
+        self._n_flushes = 0
+        self._n_fsyncs = 0
+        self._n_rolls = 0
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Writer counters (appends, bytes, flushes, fsyncs, rolls)."""
+        return {
+            "appends": self._n_appends,
+            "bytes": self._n_bytes,
+            "flushes": self._n_flushes,
+            "fsyncs": self._n_fsyncs,
+            "segment_rolls": self._n_rolls,
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def lsn(self) -> int:
+        """The last assigned log sequence number (0 = nothing logged)."""
+        return self._lsn
+
+    def open(self, scheme: str, specs) -> None:
+        """Write the first segment header; called by ``attach_wal``.
+
+        *specs* are the engine's object specs; their names and ADT
+        class names go into the header so a log is self-describing
+        (``repro recover`` rebuilds the store from it).  Idempotent
+        for the same scheme; re-opening for a different engine is an
+        error -- one log describes one engine's history.
+        """
+        with self._lock:
+            objects = [
+                (spec.name, type(spec).__name__) for spec in specs
+            ]
+            if self._opened:
+                if self._scheme != scheme or self._objects != objects:
+                    raise EngineError(
+                        "write-ahead log already opened for scheme %r"
+                        % self._scheme
+                    )
+                return
+            self._scheme = scheme
+            self._objects = objects
+            self._opened = True
+            self._writable = True
+            self._append_locked(
+                rec.SEGMENT,
+                rec.segment_payload(
+                    self._next_lsn(), self._segment, scheme, objects
+                ),
+            )
+
+    def close(self) -> None:
+        """Flush and close the sink (further appends are errors)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._writable = False
+            self.sink.flush()
+            self.sink.close()
+
+    # ------------------------------------------------------------------
+    # Event API (called by the engine under its own locks)
+    #
+    # These bodies are deliberately flat: encode, frame, append and
+    # count run inline with no helper calls on the common shapes.  The
+    # calls arrive interleaved with ~60us of engine work per
+    # transaction, so every extra Python frame executes cold and costs
+    # several times its tight-loop price; the overhead guard (bench
+    # E22) holds the whole path under 20% of commit throughput.
+    # Byte-compatibility with ``encode_record`` is pinned by
+    # ``tests/wal/test_format.py::TestWriterMatchesEncodeRecord``.
+    # ------------------------------------------------------------------
+    def log_begin(self, name) -> None:
+        self._acquire_lock()
+        try:
+            if not self._writable:
+                self._refuse_locked()
+            lsn = self._lsn = self._lsn + 1
+            body = None
+            count = len(name)
+            if count == 1:
+                n0 = name[0]
+                if type(n0) is int:
+                    body = _BEGIN1 % (lsn, n0)
+            elif count == 2:
+                n0 = name[0]
+                n1 = name[1]
+                if type(n0) is int and type(n1) is int:
+                    body = _BEGIN2 % (lsn, n0, n1)
+            elif count == 3:
+                n0 = name[0]
+                n1 = name[1]
+                n2 = name[2]
+                if (
+                    type(n0) is int
+                    and type(n1) is int
+                    and type(n2) is int
+                ):
+                    body = _BEGIN3 % (lsn, n0, n1, n2)
+            if body is None:
+                self._put_locked(
+                    encode_txn_record(rec.BEGIN, lsn, name), rec.BEGIN
+                )
+                return
+            length = len(body)
+            if length < 0x80:
+                size = length + 5
+                self._sink_append(
+                    _BYTE[length]
+                    + body
+                    + (crc32(body) & 0xFFFFFFFF).to_bytes(4, "little")
+                )
+            else:
+                frame = (
+                    encode_varint(length)
+                    + body
+                    + (crc32(body) & 0xFFFFFFFF).to_bytes(4, "little")
+                )
+                size = len(frame)
+                self._sink_append(frame)
+            self._n_appends += 1
+            self._n_bytes += size
+            active = self._active_bytes = self._active_bytes + size
+            obs = self.obs
+            if obs is not None:
+                obs.count("wal.append", kind="begin")
+                obs.observe("wal.append_bytes", float(size))
+            if active >= self.segment_bytes:
+                self._roll_locked()
+        finally:
+            self._release_lock()
+
+    def log_acquire(
+        self, access, object_name: str, operation, generation: int
+    ) -> None:
+        self._acquire_lock()
+        try:
+            if not self._writable:
+                self._refuse_locked()
+            lsn = self._lsn = self._lsn + 1
+            head = None
+            count = len(access)
+            if count == 1:
+                a0 = access[0]
+                if type(a0) is int:
+                    head = _ACQ1 % (a0, generation, lsn)
+            elif count == 2:
+                a0 = access[0]
+                a1 = access[1]
+                if type(a0) is int and type(a1) is int:
+                    head = _ACQ2 % (a0, a1, generation, lsn)
+            elif count == 3:
+                a0 = access[0]
+                a1 = access[1]
+                a2 = access[2]
+                if (
+                    type(a0) is int
+                    and type(a1) is int
+                    and type(a2) is int
+                ):
+                    head = _ACQ3 % (a0, a1, a2, generation, lsn)
+            if head is None:
+                self._put_locked(
+                    encode_acquire_record(
+                        lsn, access, object_name, operation, generation
+                    ),
+                    rec.ACQUIRE,
+                )
+                return
+            entry = _TAILS.get((id(operation), object_name))
+            if entry is not None and entry[0] is operation:
+                body = head + entry[1]
+            else:
+                tail = _acquire_tail(object_name, operation).encode()
+                if len(_TAILS) < _TAILS_LIMIT:
+                    _TAILS[(id(operation), object_name)] = (
+                        operation,
+                        tail,
+                    )
+                body = head + tail
+            length = len(body)
+            if length < 0x80:
+                size = length + 5
+                self._sink_append(
+                    _BYTE[length]
+                    + body
+                    + (crc32(body) & 0xFFFFFFFF).to_bytes(4, "little")
+                )
+            else:
+                frame = (
+                    encode_varint(length)
+                    + body
+                    + (crc32(body) & 0xFFFFFFFF).to_bytes(4, "little")
+                )
+                size = len(frame)
+                self._sink_append(frame)
+            self._n_appends += 1
+            self._n_bytes += size
+            active = self._active_bytes = self._active_bytes + size
+            obs = self.obs
+            if obs is not None:
+                obs.count("wal.append", kind="acquire")
+                obs.observe("wal.append_bytes", float(size))
+            if active >= self.segment_bytes:
+                self._roll_locked()
+        finally:
+            self._release_lock()
+
+    def log_commit(self, name) -> None:
+        self._acquire_lock()
+        try:
+            if not self._writable:
+                self._refuse_locked()
+            lsn = self._lsn = self._lsn + 1
+            body = None
+            count = len(name)
+            if count == 1:
+                n0 = name[0]
+                if type(n0) is int:
+                    body = _COMMIT1 % (lsn, n0)
+            elif count == 2:
+                n0 = name[0]
+                n1 = name[1]
+                if type(n0) is int and type(n1) is int:
+                    body = _COMMIT2 % (lsn, n0, n1)
+            elif count == 3:
+                n0 = name[0]
+                n1 = name[1]
+                n2 = name[2]
+                if (
+                    type(n0) is int
+                    and type(n1) is int
+                    and type(n2) is int
+                ):
+                    body = _COMMIT3 % (lsn, n0, n1, n2)
+            if body is None:
+                self._put_locked(
+                    encode_txn_record(rec.COMMIT, lsn, name), rec.COMMIT
+                )
+                return
+            length = len(body)
+            if length < 0x80:
+                size = length + 5
+                self._sink_append(
+                    _BYTE[length]
+                    + body
+                    + (crc32(body) & 0xFFFFFFFF).to_bytes(4, "little")
+                )
+            else:
+                frame = (
+                    encode_varint(length)
+                    + body
+                    + (crc32(body) & 0xFFFFFFFF).to_bytes(4, "little")
+                )
+                size = len(frame)
+                self._sink_append(frame)
+            self._n_appends += 1
+            self._n_bytes += size
+            active = self._active_bytes = self._active_bytes + size
+            obs = self.obs
+            if obs is not None:
+                obs.count("wal.append", kind="commit")
+                obs.observe("wal.append_bytes", float(size))
+            if active >= self.segment_bytes:
+                self._roll_locked()
+        finally:
+            self._release_lock()
+
+    def log_abort(self, name) -> None:
+        self._acquire_lock()
+        try:
+            if not self._writable:
+                self._refuse_locked()
+            lsn = self._lsn = self._lsn + 1
+            body = None
+            count = len(name)
+            if count == 1:
+                n0 = name[0]
+                if type(n0) is int:
+                    body = _ABORT1 % (lsn, n0)
+            elif count == 2:
+                n0 = name[0]
+                n1 = name[1]
+                if type(n0) is int and type(n1) is int:
+                    body = _ABORT2 % (lsn, n0, n1)
+            elif count == 3:
+                n0 = name[0]
+                n1 = name[1]
+                n2 = name[2]
+                if (
+                    type(n0) is int
+                    and type(n1) is int
+                    and type(n2) is int
+                ):
+                    body = _ABORT3 % (lsn, n0, n1, n2)
+            if body is None:
+                self._put_locked(
+                    encode_txn_record(rec.ABORT, lsn, name), rec.ABORT
+                )
+                return
+            length = len(body)
+            if length < 0x80:
+                size = length + 5
+                self._sink_append(
+                    _BYTE[length]
+                    + body
+                    + (crc32(body) & 0xFFFFFFFF).to_bytes(4, "little")
+                )
+            else:
+                frame = (
+                    encode_varint(length)
+                    + body
+                    + (crc32(body) & 0xFFFFFFFF).to_bytes(4, "little")
+                )
+                size = len(frame)
+                self._sink_append(frame)
+            self._n_appends += 1
+            self._n_bytes += size
+            active = self._active_bytes = self._active_bytes + size
+            obs = self.obs
+            if obs is not None:
+                obs.count("wal.append", kind="abort")
+                obs.observe("wal.append_bytes", float(size))
+            if active >= self.segment_bytes:
+                self._roll_locked()
+        finally:
+            self._release_lock()
+
+    def flush(self) -> None:
+        """Force the log durable (top-level commits are flush points)."""
+        self._acquire_lock()
+        try:
+            # A non-durable sink (``DURABLE = False``) has nothing to
+            # add; unknown sinks are flushed to stay on the safe side.
+            if getattr(self.sink, "DURABLE", True):
+                fsyncs = self.sink.flush()
+            else:
+                fsyncs = 0
+            self._n_flushes += 1
+            self._n_fsyncs += fsyncs
+        finally:
+            self._release_lock()
+        obs = self.obs
+        if obs is not None:
+            obs.count("wal.flush")
+            if fsyncs:
+                obs.count("wal.fsync", fsyncs)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _next_lsn(self) -> int:
+        self._lsn += 1
+        return self._lsn
+
+    def _append_locked(self, kind: int, payload: Dict[str, Any]) -> None:
+        self._write_locked(kind, rec.encode_record(kind, payload))
+
+    def _write_locked(self, kind: int, frame: bytes) -> None:
+        if not self._writable:
+            self._refuse_locked()
+        self._put_locked(frame, kind)
+
+    def _put_locked(self, frame: bytes, kind: int) -> None:
+        self._sink_append(frame)
+        size = len(frame)
+        self._n_appends += 1
+        self._n_bytes += size
+        active = self._active_bytes = self._active_bytes + size
+        obs = self.obs
+        if obs is not None:
+            obs.count("wal.append", kind=rec.KIND_NAMES[kind])
+            obs.observe("wal.append_bytes", float(size))
+        if active >= self.segment_bytes and kind != rec.SEGMENT:
+            self._roll_locked()
+
+    def _refuse_locked(self) -> None:
+        if self._closed:
+            raise EngineError("write-ahead log is closed")
+        raise EngineError(
+            "write-ahead log not opened; attach it to an engine"
+        )
+
+    def _roll_locked(self) -> None:
+        self.sink.flush()
+        self.sink.roll()
+        self._sink_append = self.sink.append
+        self._segment += 1
+        self._active_bytes = 0
+        self._n_rolls += 1
+        obs = self.obs
+        if obs is not None:
+            obs.count("wal.segment_roll")
+        self._append_locked(
+            rec.SEGMENT,
+            rec.segment_payload(
+                self._next_lsn(),
+                self._segment,
+                self._scheme,
+                self._objects,
+            ),
+        )

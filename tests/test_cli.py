@@ -257,3 +257,72 @@ class TestCommands:
         lines = output.strip().splitlines()
         assert len(lines) == 5  # header + 4 site counts
         assert lines[1].startswith("1")
+
+
+class TestRecoverCommand:
+    """Exit codes mirror ``repro audit``: 0/1/4/2."""
+
+    @pytest.fixture()
+    def wal_dir(self, tmp_path):
+        from repro.adt import Counter, IntRegister
+        from repro.engine.engine import Engine
+        from repro.wal import FileWalSink
+
+        engine = Engine(
+            [Counter("c"), IntRegister("x")], policy="moss-rw"
+        )
+        wal = engine.attach_wal(sink=FileWalSink(str(tmp_path)))
+        top = engine.begin_top()
+        top.perform("c", Counter.increment(5))
+        top.commit()
+        dangling = engine.begin_top()
+        dangling.perform("x", IntRegister.write(9))
+        wal.flush()
+        return tmp_path
+
+    def test_complete_log_exits_zero(self, capsys, wal_dir):
+        code = main(["recover", str(wal_dir)])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "recovery: complete" in output
+        assert "committed c = 5" in output
+        assert "presumed-abort: T1" in output
+
+    def test_no_presume_abort_keeps_the_top(self, capsys, wal_dir):
+        code = main(["recover", str(wal_dir), "--no-presume-abort"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "presumed-abort" not in output
+
+    def test_torn_log_exits_one(self, capsys, wal_dir):
+        from repro.wal import read_log_bytes
+
+        torn = wal_dir / "torn.bin"
+        torn.write_bytes(read_log_bytes(str(wal_dir))[:-3])
+        code = main(["recover", str(torn)])
+        output = capsys.readouterr().out
+        assert code == 1
+        assert "recovery: partial" in output
+        assert "stopped: torn" in output
+
+    def test_headerless_log_exits_four(self, capsys, wal_dir):
+        empty = wal_dir / "empty.bin"
+        empty.write_bytes(b"")
+        code = main(["recover", str(empty)])
+        captured = capsys.readouterr()
+        assert code == 4
+        assert "no segment header" in captured.err
+
+    def test_missing_log_exits_two(self, capsys, tmp_path):
+        code = main(["recover", str(tmp_path / "missing.bin")])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "repro recover:" in captured.err
+
+    def test_out_writes_report(self, capsys, wal_dir, tmp_path):
+        report = tmp_path / "recovery.txt"
+        code = main(["recover", str(wal_dir), "--out", str(report)])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "recovery report : %s" % report in output
+        assert "recovery: complete" in report.read_text()

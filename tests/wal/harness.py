@@ -1,0 +1,353 @@
+"""Shared machinery for the crash-recovery test harness.
+
+Three independent pieces, deliberately *not* built on the production
+recovery module so its answers can be checked differentially:
+
+* a **scripted driver**: a seeded random sequence of engine API calls
+  (begin/child/perform/commit/abort) that replays deterministically,
+  with a measured step -> WAL-record-count mapping so every record
+  boundary of a log maps back to a script prefix -- the never-crashed
+  reference run the recovered state must match byte-for-byte;
+* a **mini replayer**: an ~80-line holder-table reconstruction straight
+  from the record payloads and the locking policy's published rules
+  (grant owner, lock inheritance on commit, subtree discard on abort,
+  presumed abort), sharing no code with ``repro.wal.recovery``;
+* a **serial oracle**: committed values computed by applying each
+  committed top-level's *surviving* operations (every enclosing
+  subtransaction committed, no enclosing abort) serially in top-level
+  commit order -- the paper's serializability contract for values.
+
+``save_log_artifact`` writes a failing log to ``WAL_ARTIFACT_DIR`` (the
+CI recovery-smoke job uploads that directory), so harness failures ship
+their reproducer bytes.
+"""
+
+import os
+import random
+
+from repro.adt import Counter, IntRegister
+from repro.core.names import ROOT
+from repro.engine.engine import Engine
+from repro.engine.locks import LockMode
+from repro.engine.policies import make_policy
+from repro.errors import LockDenied
+from repro.wal import records as rec
+
+#: Objects the scripted driver uses (mirrors the fuzz workload store:
+#: even index -> Counter, odd -> IntRegister).
+SCRIPT_OBJECTS = ("c", "x", "q")
+
+
+def make_specs(objects=SCRIPT_OBJECTS):
+    specs = []
+    for index, name in enumerate(objects):
+        if index % 2 == 0:
+            specs.append(Counter(name))
+        else:
+            specs.append(IntRegister(name))
+    return specs
+
+
+def _operation_menu(objects=SCRIPT_OBJECTS):
+    menu = []
+    for index, name in enumerate(objects):
+        if index % 2 == 0:
+            menu.append((name, Counter.increment(1)))
+            menu.append((name, Counter.increment(3)))
+            menu.append((name, Counter.value()))
+        else:
+            menu.append((name, IntRegister.add(2)))
+            menu.append((name, IntRegister.write(7)))
+            menu.append((name, IntRegister.read()))
+    return menu
+
+
+# ----------------------------------------------------------------------
+# Scripted driver
+# ----------------------------------------------------------------------
+def generate_script(
+    seed, policy="moss-rw", objects=SCRIPT_OBJECTS, steps=60, rng=None
+):
+    """A seeded, replayable list of engine API calls.
+
+    Steps: ``("begin_top",)``, ``("begin_child", parent_name)``,
+    ``("perform", name, object, operation)``, ``("commit", name)``,
+    ``("abort", name)``.  Generated against a scratch engine so every
+    step is valid when replayed in order on a fresh engine of the same
+    policy (perform steps may be denied -- deterministically so).
+    """
+    if rng is None:
+        rng = random.Random(seed)
+    menu = _operation_menu(objects)
+    scratch = Engine(make_specs(objects), policy=policy)
+    live = []  # live handles, generation order
+    script = []
+    for _ in range(steps):
+        roll = rng.random()
+        if not live or roll < 0.2:
+            top = scratch.begin_top()
+            live.append(top)
+            script.append(("begin_top",))
+            continue
+        txn = rng.choice(live)
+        if not txn.is_active:
+            live = [t for t in live if t.is_active]
+            continue
+        if roll < 0.5:
+            object_name, operation = rng.choice(menu)
+            try:
+                txn.perform(object_name, operation)
+            except LockDenied:
+                pass
+            script.append(
+                ("perform", txn.name, object_name, operation)
+            )
+        elif roll < 0.65 and txn.depth < 4:
+            child = txn.begin_child()
+            live.append(child)
+            script.append(("begin_child", txn.name))
+        elif roll < 0.9:
+            if txn.live_children():
+                continue
+            txn.commit()
+            live.remove(txn)
+            script.append(("commit", txn.name))
+        else:
+            txn.abort()
+            live = [t for t in live if t.is_active]
+            script.append(("abort", txn.name))
+    return script
+
+
+def run_script(engine, script, wal=None):
+    """Drive *engine* through *script*; return per-step record counts.
+
+    The returned list has one entry per executed step: the total WAL
+    record count (``wal.stats["appends"]``) after that step, or 0 when
+    no *wal* is given.  Entry 0 of a WAL-attached run is preceded by
+    the segment header (record count 1 before any step).
+    """
+    counts = []
+    for step in script:
+        kind = step[0]
+        if kind == "begin_top":
+            engine.begin_top()
+        elif kind == "begin_child":
+            engine.transactions[step[1]].begin_child()
+        elif kind == "perform":
+            try:
+                engine.transactions[step[1]].perform(step[2], step[3])
+            except LockDenied:
+                pass
+        elif kind == "commit":
+            engine.transactions[step[1]].commit()
+        elif kind == "abort":
+            engine.transactions[step[1]].abort()
+        else:  # pragma: no cover - script bug
+            raise AssertionError("unknown step %r" % (step,))
+        counts.append(wal.stats["appends"] if wal is not None else 0)
+    return counts
+
+
+def step_prefix_for(counts, record_count):
+    """How many script steps a *record_count*-record prefix covers.
+
+    Returns ``None`` when the boundary falls inside a step (possible
+    only across a segment roll, where one step emits two records).
+    """
+    if record_count < 1:
+        return None  # not even the segment header survived
+    steps = 0
+    for count in counts:
+        if count <= record_count:
+            steps += 1
+        else:
+            break
+    covered = counts[steps - 1] if steps else 1
+    return steps if covered == record_count else None
+
+
+# ----------------------------------------------------------------------
+# Independent mini replayer (holder tables only)
+# ----------------------------------------------------------------------
+def mini_replay_holders(records, policy_name, presume_abort=True):
+    """Rebuild per-object holder tables straight from the payloads.
+
+    Returns ``{object: {"write": sorted names, "read": sorted names}}``
+    using only the policy's published rules -- no engine, no
+    ``repro.wal.recovery`` code.
+    """
+    policy = make_policy(policy_name)
+    header = rec.first_segment_header(records)
+    objects = (
+        [name for name, _ in header.payload["objects"]]
+        if header
+        else []
+    )
+    writes = {name: {ROOT} for name in objects}
+    reads = {name: set() for name in objects}
+    begun = []
+    finished = set()
+
+    def discard_subtree(doomed):
+        for table in (writes, reads):
+            for holders in table.values():
+                for holder in [
+                    h
+                    for h in holders
+                    if h != ROOT and h[: len(doomed)] == doomed
+                ]:
+                    holders.discard(holder)
+
+    def move_up(name):
+        mother = name[:-1]
+        for table in (writes, reads):
+            for holders in table.values():
+                if name in holders:
+                    holders.discard(name)
+                    holders.add(mother)
+
+    for record in records:
+        payload = record.payload
+        if record.kind == rec.BEGIN:
+            begun.append(rec.name_from_wire(payload["txn"]))
+        elif record.kind == rec.ACQUIRE:
+            access = rec.name_from_wire(payload["access"])
+            operation = rec.operation_from_wire(payload["op"])
+            mode = policy.mode_for(operation)
+            if policy.moves_locks:
+                # The access leaf commits instantly, passing its lock
+                # to the performer (Moss' instantaneous-leaf model).
+                holder = access[:-1]
+            else:
+                holder = policy.owner_for(access)
+            table = writes if mode is LockMode.WRITE else reads
+            table[payload["object"]].add(holder)
+        elif record.kind == rec.COMMIT:
+            name = rec.name_from_wire(payload["txn"])
+            finished.add(name)
+            if policy.moves_locks or len(name) == 1:
+                move_up(name)
+        elif record.kind == rec.ABORT:
+            name = rec.name_from_wire(payload["txn"])
+            finished.add(name)
+            discard_subtree(name)
+    if presume_abort:
+        for name in begun:
+            if len(name) == 1 and name not in finished:
+                discard_subtree(name)
+    return {
+        name: {
+            "write": sorted(writes[name]),
+            "read": sorted(reads[name]),
+        }
+        for name in objects
+    }
+
+
+def engine_holders(engine):
+    """The engine's holder tables in the mini replayer's shape."""
+    result = {}
+    for object_name, managed in sorted(engine.locks.objects.items()):
+        write_holders, read_holders = managed.holders_view()
+        result[object_name] = {
+            "write": sorted(write_holders),
+            "read": sorted(read_holders),
+        }
+    return result
+
+
+# ----------------------------------------------------------------------
+# Serial oracle (committed values only)
+# ----------------------------------------------------------------------
+def serial_committed(records, objects=SCRIPT_OBJECTS):
+    """Committed values by serial application of surviving operations.
+
+    An ACQUIRE survives when every enclosing transaction up to its
+    top level has a COMMIT record in the prefix and no enclosing
+    transaction has an ABORT record.  Surviving operations apply in
+    top-level commit order (strict locking makes that a correct
+    serialization order), LSN order within a top level.
+    """
+    header = rec.first_segment_header(records)
+    if header is not None:
+        objects = tuple(
+            name for name, _ in header.payload["objects"]
+        )
+    specs = {spec.name: spec for spec in make_specs(objects)}
+    committed = {}
+    aborted = []
+    acquires = []
+    for record in records:
+        payload = record.payload
+        if record.kind == rec.COMMIT:
+            committed[rec.name_from_wire(payload["txn"])] = payload[
+                "lsn"
+            ]
+        elif record.kind == rec.ABORT:
+            aborted.append(rec.name_from_wire(payload["txn"]))
+        elif record.kind == rec.ACQUIRE:
+            acquires.append(
+                (
+                    payload["lsn"],
+                    rec.name_from_wire(payload["access"]),
+                    payload["object"],
+                    rec.operation_from_wire(payload["op"]),
+                )
+            )
+
+    def survives(access):
+        for doomed in aborted:
+            if access[: len(doomed)] == doomed:
+                return False
+        # Every proper ancestor (performer .. top) must have committed;
+        # the leaf itself commits instantly and is never logged.
+        for depth in range(1, len(access)):
+            if access[:depth] not in committed:
+                return False
+        return True
+
+    tops = sorted(
+        {name for name in committed if len(name) == 1},
+        key=lambda name: committed[name],
+    )
+    values = {
+        name: specs[name].initial_value() for name in specs
+    }
+    for top in tops:
+        ops = sorted(
+            (lsn, object_name, operation)
+            for lsn, access, object_name, operation in acquires
+            if access[:1] == top and survives(access)
+        )
+        for _, object_name, operation in ops:
+            _, values[object_name] = specs[object_name].apply(
+                values[object_name], operation
+            )
+    return values
+
+
+# ----------------------------------------------------------------------
+# Failure artifacts
+# ----------------------------------------------------------------------
+def save_log_artifact(name, data):
+    """Write *data* under ``WAL_ARTIFACT_DIR`` (no-op when unset)."""
+    directory = os.environ.get("WAL_ARTIFACT_DIR")
+    if not directory:
+        return None
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, name)
+    with open(path, "wb") as handle:
+        handle.write(data)
+    return path
+
+
+def sampled_boundaries(boundaries, cap=12):
+    """All boundaries when few, else an even sample (last kept)."""
+    if len(boundaries) <= cap:
+        return list(boundaries)
+    stride = len(boundaries) // cap
+    sampled = list(boundaries[::stride])
+    if sampled[-1] != boundaries[-1]:
+        sampled.append(boundaries[-1])
+    return sampled

@@ -1,0 +1,256 @@
+"""The crash-recovery harness: truncate, recover, validate three ways.
+
+1. **Holder-table identity** against a never-crashed reference run of
+   the surviving prefix (the scripted driver's step -> record-count
+   mapping makes the reference non-circular: it is a fresh engine
+   driven through the same script prefix, never through recovery);
+2. the PR 6 **serializability auditor** over post-recovery history on
+   the recovered engine;
+3. the **serial oracle** for committed values (surviving operations
+   applied serially in top-level commit order).
+
+The independent mini replayer in :mod:`tests.wal.harness` additionally
+differential-checks the production recovery module's holder tables on
+every fuzz log, including every sampled truncation prefix.
+"""
+
+import pytest
+
+from repro.adt import Counter
+from repro.audit import AuditConfig
+from repro.engine.engine import Engine
+from repro.fuzz import FuzzConfig, run_case
+from repro.wal import (
+    MemoryWalSink,
+    RecoveryError,
+    WriteAheadLog,
+    holder_snapshot,
+    recover,
+    scan_records,
+)
+
+from tests.wal.harness import (
+    engine_holders,
+    generate_script,
+    make_specs,
+    mini_replay_holders,
+    run_script,
+    sampled_boundaries,
+    save_log_artifact,
+    serial_committed,
+    step_prefix_for,
+)
+
+SCRIPT_SEEDS = range(6)
+FUZZ_SEEDS = (2, 6, 7, 8)  # seeds whose crashes hit live-child blocks
+
+
+class TestScriptedTruncation:
+    """Every record boundary of a scripted run recovers to the exact
+    state of a never-crashed reference run of the same prefix."""
+
+    @pytest.mark.parametrize("seed", SCRIPT_SEEDS)
+    @pytest.mark.parametrize("policy", ["moss-rw", "exclusive"])
+    def test_every_boundary_matches_reference_run(self, seed, policy):
+        script = generate_script(seed, policy=policy)
+        engine = Engine(make_specs(), policy=policy)
+        wal = engine.attach_wal()
+        counts = run_script(engine, script, wal=wal)
+        data = wal.sink.getvalue()
+        scan = scan_records(data)
+        assert scan.clean
+
+        for record_count, boundary in enumerate(scan.boundaries()):
+            steps = step_prefix_for(counts, record_count)
+            if steps is None:
+                # Nothing before the header survives a crash usefully.
+                with pytest.raises(RecoveryError):
+                    recover(data[:boundary])
+                continue
+            state = recover(data[:boundary], presume_abort=False)
+            assert state.report.verdict == "complete"
+            assert state.report.records_applied == record_count
+
+            reference = Engine(make_specs(), policy=policy)
+            run_script(reference, script[:steps])
+            if holder_snapshot(reference) != holder_snapshot(
+                state.engine
+            ):
+                save_log_artifact(
+                    "script-%s-%d-%d.wal" % (policy, seed, boundary),
+                    data[:boundary],
+                )
+                assert holder_snapshot(reference) == holder_snapshot(
+                    state.engine
+                )
+
+    @pytest.mark.parametrize("seed", SCRIPT_SEEDS)
+    def test_presumed_abort_matches_oracle_at_boundaries(self, seed):
+        script = generate_script(seed)
+        engine = Engine(make_specs(), policy="moss-rw")
+        wal = engine.attach_wal()
+        run_script(engine, script, wal=wal)
+        data = wal.sink.getvalue()
+        scan = scan_records(data)
+        for boundary in sampled_boundaries(scan.boundaries()[1:]):
+            prefix = data[:boundary]
+            state = recover(prefix)
+            expected = serial_committed(scan_records(prefix).records)
+            if state.report.committed != expected:
+                save_log_artifact(
+                    "oracle-%d-%d.wal" % (seed, boundary), prefix
+                )
+            assert state.report.committed == expected
+
+    def test_torn_tail_recovers_to_previous_boundary(self):
+        script = generate_script(0)
+        engine = Engine(make_specs(), policy="moss-rw")
+        wal = engine.attach_wal()
+        run_script(engine, script, wal=wal)
+        data = wal.sink.getvalue()
+        scan = scan_records(data)
+        # Cut mid-record (three bytes past a boundary): torn write.
+        boundary = scan.boundaries()[-3]
+        torn = data[: boundary + 3]
+        state = recover(torn)
+        assert state.report.verdict == "partial"
+        assert state.report.stopped == "torn"
+        clean = recover(data[:boundary])
+        assert holder_snapshot(state.engine) == holder_snapshot(
+            clean.engine
+        )
+        assert state.report.committed == clean.report.committed
+
+    def test_segment_roll_boundaries_recover(self):
+        # A tiny segment budget forces rolls mid-script; recovery must
+        # read across segment headers transparently.
+        script = generate_script(1)
+        engine = Engine(make_specs(), policy="moss-rw")
+        wal = engine.attach_wal(
+            WriteAheadLog(sink=MemoryWalSink(), segment_bytes=256)
+        )
+        run_script(engine, script, wal=wal)
+        assert wal.stats["segment_rolls"] > 0
+        data = wal.sink.getvalue()
+        scan = scan_records(data)
+        assert scan.clean
+        state = recover(data, presume_abort=False)
+        assert state.report.verdict == "complete"
+        assert state.report.segments == wal.stats["segment_rolls"] + 1
+        assert holder_snapshot(state.engine) == holder_snapshot(engine)
+
+
+class TestCrashFuzzRecovery:
+    """Fuzzer-driven runs with the seeded crash injector: recover the
+    log (full and truncated), then validate all three ways."""
+
+    def _fuzz_log(self, seed, faults="crash"):
+        result = run_case(
+            FuzzConfig(
+                seed=seed,
+                faults=faults,
+                workers=3,
+                transactions_per_worker=3,
+                steps_per_transaction=5,
+            ),
+            wal=True,
+        )
+        assert result.wal is not None
+        return result, result.wal.sink.getvalue()
+
+    @pytest.mark.parametrize("seed", FUZZ_SEEDS)
+    def test_crashed_runs_recover_with_holder_identity(self, seed):
+        result, data = self._fuzz_log(seed)
+        assert sum(log.crashed for log in result.logs) > 0
+        scan = scan_records(data)
+        assert scan.clean
+        for boundary in sampled_boundaries(scan.boundaries()[1:]):
+            prefix = data[:boundary]
+            state = recover(prefix)
+            assert state.report.verdict == "complete"
+            expected = mini_replay_holders(
+                scan_records(prefix).records, "moss-rw"
+            )
+            if engine_holders(state.engine) != expected:
+                save_log_artifact(
+                    "fuzz-%d-%d.wal" % (seed, boundary), prefix
+                )
+            assert engine_holders(state.engine) == expected
+            assert state.report.committed == serial_committed(
+                scan_records(prefix).records
+            )
+
+    @pytest.mark.parametrize("seed", FUZZ_SEEDS)
+    def test_recovered_engine_passes_post_crash_audit(self, seed):
+        _, data = self._fuzz_log(seed)
+        state = recover(data)
+        engine = state.engine
+        auditor = engine.attach_auditor(
+            config=AuditConfig(sample_every=1)
+        )
+        # Post-recovery history: new transactions against the
+        # recovered store must serialize cleanly with each other.
+        for _ in range(4):
+            top = engine.begin_top()
+            top.perform("c", Counter.increment(1))
+            top.perform("c", Counter.value())
+            top.commit()
+        report = auditor.report()
+        assert report.verdict == "clean", report.render()
+
+    def test_crash_with_live_child_recovers(self):
+        # The fixed injector crashes workers mid-child-block; the log
+        # then carries BEGIN records for children whose top aborted
+        # around them, exactly the orphan shape recovery must handle.
+        result, data = self._fuzz_log(2)
+        assert (
+            sum(log.crashed_with_live_child for log in result.logs) > 0
+        )
+        state = recover(data)
+        assert state.report.verdict == "complete"
+        assert engine_holders(state.engine) == mini_replay_holders(
+            scan_records(data).records, "moss-rw"
+        )
+
+    def test_recovery_is_idempotent(self):
+        _, data = self._fuzz_log(6)
+        first = recover(data)
+        second = recover(data)
+        assert holder_snapshot(first.engine) == holder_snapshot(
+            second.engine
+        )
+        assert first.report.committed == second.report.committed
+        assert (
+            first.report.presumed_aborted
+            == second.report.presumed_aborted
+        )
+
+
+@pytest.mark.slow
+class TestDenseTruncation:
+    """Every boundary (no sampling) across fuzz crash logs."""
+
+    @pytest.mark.parametrize("seed", FUZZ_SEEDS)
+    def test_all_boundaries(self, seed):
+        result = run_case(
+            FuzzConfig(
+                seed=seed,
+                faults="chaos",
+                workers=3,
+                transactions_per_worker=3,
+                steps_per_transaction=5,
+            ),
+            wal=True,
+        )
+        data = result.wal.sink.getvalue()
+        scan = scan_records(data)
+        for boundary in scan.boundaries()[1:]:
+            prefix = data[:boundary]
+            state = recover(prefix)
+            assert state.report.verdict == "complete"
+            assert engine_holders(state.engine) == mini_replay_holders(
+                scan_records(prefix).records, "moss-rw"
+            )
+            assert state.report.committed == serial_committed(
+                scan_records(prefix).records
+            )

@@ -1,0 +1,131 @@
+"""Cross-scheme recovery matrix over the deterministic fuzzer.
+
+The acceptance bar of the durability layer: for every durable scheme,
+>= 25 fuzz seeds under the ``crash`` and ``chaos`` fault presets
+recover to a state whose post-recovery history the serializability
+auditor certifies clean, and whose committed values match the serial
+oracle.  Schemes that opt out of durability (``mvto``) are
+capability-gated: ``run_case(wal=True)`` runs them without a log and
+``attach_wal`` refuses.
+
+Tier-1 runs a reduced seed slice per cell; the full >= 25-seed matrix
+is marked slow and runs in the CI ``recovery-smoke`` job.
+"""
+
+import pytest
+
+from repro.adt import Counter
+from repro.audit import AuditConfig
+from repro.errors import EngineError
+from repro.engine.threadsafe import ThreadSafeEngine
+from repro.fuzz import FuzzConfig, run_case
+from repro.kernel import get_scheme
+from repro.wal import recover, scan_records
+
+from tests.wal.harness import (
+    engine_holders,
+    mini_replay_holders,
+    save_log_artifact,
+    serial_committed,
+)
+
+DURABLE_SCHEMES = ("moss-rw", "exclusive", "flat-2pl")
+PRESETS = ("crash", "chaos")
+QUICK_SEEDS = range(4)
+FULL_SEEDS = range(25)
+
+
+def _recover_and_check(scheme, preset, seed):
+    result = run_case(
+        FuzzConfig(
+            seed=seed,
+            faults=preset,
+            scheme=scheme,
+            workers=3,
+            transactions_per_worker=2,
+            steps_per_transaction=4,
+        ),
+        wal=True,
+    )
+    assert result.wal is not None
+    data = result.wal.sink.getvalue()
+    scan = scan_records(data)
+    assert scan.clean
+
+    state = recover(data)
+    report = state.report
+    assert report.verdict == "complete", report.render()
+    assert report.scheme == scheme
+
+    failures = []
+    if engine_holders(state.engine) != mini_replay_holders(
+        scan.records, scheme
+    ):
+        failures.append("holder tables diverge from mini replayer")
+    if report.committed != serial_committed(scan.records):
+        failures.append("committed values diverge from serial oracle")
+
+    engine = state.engine
+    auditor = engine.attach_auditor(config=AuditConfig(sample_every=1))
+    for _ in range(3):
+        top = engine.begin_top()
+        top.perform("c", Counter.increment(1))
+        top.commit()
+    audit = auditor.report()
+    if audit.verdict != "clean":
+        failures.append("post-recovery audit: %s" % audit.verdict)
+
+    if failures:
+        save_log_artifact(
+            "matrix-%s-%s-%d.wal" % (scheme, preset, seed), data
+        )
+    return failures
+
+
+class TestDurableSchemes:
+    @pytest.mark.parametrize("preset", PRESETS)
+    @pytest.mark.parametrize("scheme", DURABLE_SCHEMES)
+    def test_quick_matrix(self, scheme, preset):
+        dirty = {}
+        for seed in QUICK_SEEDS:
+            failures = _recover_and_check(scheme, preset, seed)
+            if failures:
+                dirty[seed] = failures
+        assert dirty == {}
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("preset", PRESETS)
+    @pytest.mark.parametrize("scheme", DURABLE_SCHEMES)
+    def test_full_matrix(self, scheme, preset):
+        dirty = {}
+        for seed in FULL_SEEDS:
+            failures = _recover_and_check(scheme, preset, seed)
+            if failures:
+                dirty[seed] = failures
+        assert dirty == {}
+
+
+class TestCapabilityGate:
+    def test_durable_flags(self):
+        for scheme in DURABLE_SCHEMES:
+            assert get_scheme(scheme).capabilities.durable
+        assert not get_scheme("mvto").capabilities.durable
+
+    def test_mvto_runs_without_a_log(self):
+        result = run_case(
+            FuzzConfig(seed=0, scheme="mvto", faults="crash"), wal=True
+        )
+        assert result.wal is None
+        assert result.kind == "ok"
+
+    def test_mvto_attach_wal_refuses(self):
+        facade = ThreadSafeEngine([Counter("c")], policy="mvto")
+        with pytest.raises(EngineError, match="durable"):
+            facade.attach_wal()
+
+    def test_attach_after_transactions_refuses(self):
+        facade = ThreadSafeEngine([Counter("c")], policy="moss-rw")
+        top = facade.begin_top()
+        top.commit()
+        with pytest.raises(EngineError, match="before any transaction"):
+            facade.attach_wal()
