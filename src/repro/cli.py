@@ -21,6 +21,11 @@ One command per way of exercising the reproduction:
   online serializability auditor and print the witness-cycle report.
 * ``recover``      -- replay a write-ahead log and print the
   crash-recovery report (exit 0 complete, 1 partial, 4 inconclusive).
+* ``serve``        -- run the async transaction service front-end
+  (``repro.serve``) until interrupted; exit codes mirror ``audit``
+  when ``--audit`` is attached (0 clean, 1 violation, 4 inconclusive).
+* ``loadgen``      -- drive a running service with the open-loop
+  Poisson or closed-loop generator and print latency percentiles.
 * ``top``          -- run a contended simulation and print the
   hot-object lock-contention table.
 * ``orphan``       -- print the orphan-inconsistency witness (E15).
@@ -544,6 +549,163 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_specs(args: argparse.Namespace):
+    from repro.adt import BankAccount, Counter, IntRegister
+
+    spec_classes = {
+        "register": IntRegister,
+        "counter": Counter,
+        "bank": BankAccount,
+    }
+    spec_class = spec_classes[args.object_type]
+    return [
+        spec_class("x%d" % index) for index in range(args.objects)
+    ]
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+    import signal
+
+    from repro.errors import EngineError
+    from repro.serve import (
+        PROTOCOL_VERSION,
+        ServeConfig,
+        TransactionServer,
+    )
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_batch=args.max_batch,
+        max_inflight=args.max_inflight,
+        max_inflight_per_conn=args.max_inflight_per_conn,
+        rate=args.rate,
+        burst=args.burst,
+        op_timeout=args.op_timeout,
+        idle_timeout=args.idle_timeout,
+    )
+    server = TransactionServer(
+        _serve_specs(args),
+        args.scheme,
+        config=config,
+        stripes=args.stripes,
+    )
+    if args.wal_dir:
+        from repro.wal import FileWalSink
+
+        try:
+            server.attach_wal(sink=FileWalSink(args.wal_dir))
+        except (EngineError, OSError) as exc:
+            print("repro serve: %s" % exc, file=sys.stderr)
+            return 2
+    if args.audit:
+        server.attach_auditor()
+
+    async def main() -> int:
+        try:
+            host, port = await server.start()
+        except OSError as exc:
+            print("repro serve: %s" % exc, file=sys.stderr)
+            return 2
+        # One parseable line, flushed before load arrives: wrappers
+        # (tests, the serve-smoke CI job) read the bound port here.
+        print(
+            "serving on %s:%d scheme=%s objects=%d protocol=%d"
+            % (
+                host,
+                port,
+                server.facade.scheme.name,
+                len(server.object_names),
+                PROTOCOL_VERSION,
+            ),
+            flush=True,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass
+        try:
+            if args.duration is not None:
+                try:
+                    await asyncio.wait_for(
+                        stop.wait(), timeout=args.duration
+                    )
+                except asyncio.TimeoutError:
+                    pass
+            else:
+                await stop.wait()
+        except KeyboardInterrupt:  # pragma: no cover - no handler
+            pass
+        await server.stop()
+        return 0
+
+    try:
+        code = asyncio.run(main())
+    except KeyboardInterrupt:  # pragma: no cover - teardown race
+        code = 0
+    if code:
+        return code
+    stats = server.stats()
+    print(
+        "served %d connections, shed %d, engine %s"
+        % (
+            stats["metrics"]["gauges"]
+            .get("serve.connections", {})
+            .get("high_water", 0),
+            stats["shed"],
+            json.dumps(stats["engine"], sort_keys=True),
+        )
+    )
+    auditor = server.auditor
+    if auditor is not None:
+        report = auditor.report()
+        print(report.render())
+        if report.verdict == "violation":
+            return 1
+        if report.verdict == "inconclusive":
+            return 4
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve import LoadgenConfig, run_loadgen
+
+    config = LoadgenConfig(
+        host=args.host,
+        port=args.port,
+        mode=args.mode,
+        clients=args.clients,
+        duration=args.duration,
+        rate=args.rate,
+        ops_per_txn=args.ops,
+        read_fraction=args.read_fraction,
+        seed=args.seed,
+        think_time=args.think_time,
+    )
+    try:
+        report = run_loadgen(config)
+    except (ConnectionError, OSError) as exc:
+        print("repro loadgen: %s" % exc, file=sys.stderr)
+        return 2
+    print(report.render())
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report.to_json(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("latency report  : %s" % args.json)
+    # Mirrors audit/recover: 0 when the run produced commits, 1 when
+    # the service refused or failed every single transaction.
+    return 0 if report.committed > 0 else 1
+
+
 def _cmd_top(args: argparse.Namespace) -> int:
     from repro.obs import Observer
     from repro.obs.workloads import run_contended_sim
@@ -876,6 +1038,125 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the recovery report to this file",
     )
     recover.set_defaults(handler=_cmd_recover)
+
+    serve = commands.add_parser(
+        "serve",
+        help=(
+            "run the async transaction service front-end until "
+            "interrupted (SIGINT/SIGTERM) or --duration elapses"
+        ),
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=7437,
+        help="TCP port (0 = pick a free one; printed on stdout)",
+    )
+    serve.add_argument(
+        "--scheme", default="moss-rw",
+        help="registered concurrency scheme to serve",
+    )
+    serve.add_argument(
+        "--objects", type=int, default=16,
+        help="number of served objects (named x0..xN-1)",
+    )
+    serve.add_argument(
+        "--object-type",
+        default="register",
+        choices=["register", "counter", "bank"],
+        help="ADT class of the served objects",
+    )
+    serve.add_argument(
+        "--stripes", type=int, default=None,
+        help="facade stripe count (default: auto)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=8,
+        help="engine worker threads (bounds concurrent lock waiters)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=32,
+        help="per-connection batch ceiling (1 = no coalescing)",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=256,
+        help="global admitted-but-unanswered request cap",
+    )
+    serve.add_argument(
+        "--max-inflight-per-conn", type=int, default=32,
+        help="per-connection pipelining cap",
+    )
+    serve.add_argument(
+        "--rate", type=float, default=None,
+        help="token-bucket arrival limit, requests/s (default: off)",
+    )
+    serve.add_argument(
+        "--burst", type=float, default=None,
+        help="token-bucket depth (default: --rate)",
+    )
+    serve.add_argument(
+        "--op-timeout", type=float, default=5.0,
+        help="per-op engine wait budget in seconds",
+    )
+    serve.add_argument(
+        "--idle-timeout", type=float, default=None,
+        help="reap connections idle this many seconds (default: never)",
+    )
+    serve.add_argument(
+        "--wal-dir",
+        help="attach a file write-ahead log in this directory",
+    )
+    serve.add_argument(
+        "--audit", action="store_true",
+        help=(
+            "attach the online serializability auditor; exit 1 on "
+            "violation, 4 inconclusive (mirrors `repro audit`)"
+        ),
+    )
+    serve.add_argument(
+        "--duration", type=float, default=None,
+        help="stop after this many seconds (default: run until signal)",
+    )
+    serve.set_defaults(handler=_cmd_serve)
+
+    loadgen = commands.add_parser(
+        "loadgen",
+        help=(
+            "drive a running service: open-loop Poisson or "
+            "closed-loop workers, latency percentiles via repro.obs"
+        ),
+    )
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, default=7437)
+    loadgen.add_argument(
+        "--mode", default="closed", choices=["closed", "open"],
+    )
+    loadgen.add_argument(
+        "--clients", type=int, default=8,
+        help="closed-loop workers / open-loop connections",
+    )
+    loadgen.add_argument(
+        "--duration", type=float, default=2.0,
+        help="run length in seconds",
+    )
+    loadgen.add_argument(
+        "--rate", type=float, default=200.0,
+        help="open loop: offered arrivals/second",
+    )
+    loadgen.add_argument(
+        "--ops", type=int, default=4,
+        help="accesses per transaction",
+    )
+    loadgen.add_argument("--read-fraction", type=float, default=0.5)
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument(
+        "--think-time", type=float, default=0.0,
+        help="closed loop: sleep between transactions",
+    )
+    loadgen.add_argument(
+        "--json",
+        help="also write the latency report as JSON here",
+    )
+    loadgen.set_defaults(handler=_cmd_loadgen)
 
     top = commands.add_parser(
         "top",

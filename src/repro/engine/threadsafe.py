@@ -75,12 +75,37 @@ from typing import Any, Dict, Iterable, Optional, Set
 from repro.core.names import TransactionName, pretty_name
 from repro.core.object_spec import ObjectSpec, Operation
 from repro.engine.transaction import Transaction, TransactionStatus
-from repro.errors import EngineError, LockDenied, TransactionAborted
+from repro.errors import (
+    EngineError,
+    LockDenied,
+    RetryLater,
+    TransactionAborted,
+)
 from repro.kernel import get_scheme
 
 #: Default stripe count in auto mode (clamped to the object count by
 #: the store; more stripes than objects would only idle).
 DEFAULT_STRIPES = 16
+
+
+def _timeout_denial(object_name: str, denial: LockDenied) -> LockDenied:
+    """The exception a timed-out blocking wait raises.
+
+    Preserves the :class:`~repro.errors.RetryLater` subtype (and its
+    ``retry_after_ms`` hint) when the underlying denial was an ordered
+    wait, so remote callers keep the never-a-deadlock signal and the
+    backoff hint across the facade's timeout translation.
+    """
+    if isinstance(denial, RetryLater):
+        return RetryLater(
+            "timed out waiting for %r" % object_name,
+            blockers=denial.blockers,
+            retry_after_ms=denial.retry_after_ms,
+        )
+    return LockDenied(
+        "timed out waiting for %r" % object_name,
+        blockers=denial.blockers,
+    )
 
 
 class _LockedObserver:
@@ -135,6 +160,12 @@ class ThreadSafeTransaction:
         # ops additionally hold every stripe), so the mutex suffices.
         with self._facade._mutex:
             return self._inner.is_active
+
+    @property
+    def status(self) -> TransactionStatus:
+        """The current status (a dead handle may have been wounded)."""
+        with self._facade._mutex:
+            return self._inner.status
 
     def begin_child(self) -> "ThreadSafeTransaction":
         with self._facade._mutex:
@@ -364,6 +395,63 @@ class ThreadSafeEngine:
         with self._mutex:
             inner = self._engine.begin_top()
         return ThreadSafeTransaction(self, inner)
+
+    def abort_top(self, name, cause: Optional[str] = None) -> bool:
+        """Idempotently abort the top-level tree containing *name*.
+
+        Safe to call from any thread, including one that does not own
+        the transaction's handle -- the session reaper of the network
+        front-end (:mod:`repro.serve`) uses it to clean up after
+        disconnected clients.  *name* is a transaction name tuple (any
+        member of the tree; its top-level ancestor is the victim).
+
+        Returns True when an active tree was aborted, False when the
+        name is unknown or the tree already finished -- double aborts
+        and abort-after-commit races are no-ops, never errors.  The
+        owning thread's next engine call on an aborted handle raises
+        :class:`~repro.errors.TransactionAborted` (same contract as a
+        wound).  ``cause`` optionally tags the abort for the observer's
+        ``txn.abort`` cause label.
+        """
+        top = tuple(name)[:1]
+        if not top:
+            return False
+        if self._striped and self._hooks is None:
+
+            def try_abort():
+                # Under the mutex plus every stripe (structural op).
+                table = (
+                    self._engine.transactions  # repro-lint: ignore[CD002]
+                )
+                victim = table.get(top)
+                if victim is None or not victim.is_active:
+                    return False
+                obs = self._obs
+                if obs is not None and cause is not None:
+                    obs.mark_abort_cause(top, cause)
+                victim.abort()
+                return True
+
+            def released_stripes():
+                touched = self._touched.pop(top, None)
+                if not touched:
+                    return ()
+                return sorted(touched)
+
+            return self._run_structural(
+                try_abort, bump="if-true", stripes=released_stripes
+            )
+        with self._mutex:
+            victim = self._engine.transactions.get(top)
+            if victim is None or not victim.is_active:
+                return False
+            obs = self._obs
+            if obs is not None and cause is not None:
+                obs.mark_abort_cause(top, cause)
+            victim.abort()
+            self._touched.pop(top, None)
+            self._released.notify_all()
+            return True
 
     def object_value(self, object_name: str) -> Any:
         if self._striped:
@@ -599,9 +687,8 @@ class ThreadSafeEngine:
                                     txn.name, object_name,
                                     wait_started, obs.now(),
                                 )
-                            raise LockDenied(
-                                "timed out waiting for %r" % object_name,
-                                blockers=denial.blockers,
+                            raise _timeout_denial(
+                                object_name, denial
                             ) from None
                     self._released.wait(timeout=remaining)
                     # Loop: a timed-out wait is re-checked against the
@@ -710,9 +797,8 @@ class ThreadSafeEngine:
                             txn.name, object_name,
                             wait_started, obs.now(),
                         )
-                    raise LockDenied(
-                        "timed out waiting for %r" % object_name,
-                        blockers=denial.blockers,
+                    raise _timeout_denial(
+                        object_name, denial
                     ) from None
             with cond:
                 if self._stripe_gens[index] == gen:

@@ -101,4 +101,18 @@ class RetryLater(LockDenied):
     existing ``except LockDenied`` retry loop handles it unchanged, but
     callers can now tell an ordered wait (never a deadlock) from a
     genuine lock denial.
+
+    ``retry_after_ms`` is an optional backoff hint in milliseconds
+    (default ``None`` = no hint).  Producers that know how long the
+    wait is likely to last (the service front-end's shed/backoff
+    policy, MVTO's ordered waits) populate it; consumers (the
+    ``repro.serve`` protocol maps it to a typed ``retry_after_ms``
+    response field) treat it as advisory.  The hint rides as an
+    attribute only -- ``str()`` and pickling behave exactly like
+    :class:`LockDenied` (message-only ``args``), pinned by
+    ``tests/test_errors.py``.
     """
+
+    def __init__(self, message, blockers=(), retry_after_ms=None):
+        super().__init__(message, blockers=blockers)
+        self.retry_after_ms = retry_after_ms

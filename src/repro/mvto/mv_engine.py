@@ -209,6 +209,11 @@ class MVTOEngine:
                     "mvto: ts=%d waits on %s at %s"
                     % (ts, sorted(blockers), object_name),
                     blockers=blockers,
+                    # Ordered waits clear as soon as the earlier-ts
+                    # writers finish; a nominal 1ms hint tells remote
+                    # callers "poll soon" without pretending the engine
+                    # can predict the blockers' remaining runtime.
+                    retry_after_ms=1,
                 )
         version = mv_object.version_before(ts)
         if operation.is_read:

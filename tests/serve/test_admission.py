@@ -1,0 +1,118 @@
+"""Unit tests for admission control (deterministic, injected clock)."""
+
+import pytest
+
+from repro.serve.admission import AdmissionController, TokenBucket
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_dry(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=3.0, clock=clock)
+        assert [bucket.try_take() for _ in range(3)] == [0.0] * 3
+        wait = bucket.try_take()
+        assert wait == pytest.approx(0.1)
+
+    def test_refills_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=1.0, clock=clock)
+        assert bucket.try_take() == 0.0
+        assert bucket.try_take() > 0.0
+        clock.advance(0.1)  # exactly one token
+        assert bucket.try_take() == 0.0
+        assert bucket.try_take() > 0.0
+
+    def test_never_exceeds_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=2.0, clock=clock)
+        clock.advance(60.0)
+        assert [bucket.try_take() for _ in range(2)] == [0.0] * 2
+        assert bucket.try_take() > 0.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.0)
+
+
+class TestAdmissionController:
+    def test_admits_until_global_cap(self):
+        control = AdmissionController(
+            max_inflight=3, max_inflight_per_conn=10
+        )
+        for _ in range(3):
+            admitted, hint = control.admit(0)
+            assert admitted and hint is None
+        admitted, hint = control.admit(0)
+        assert not admitted
+        assert hint >= 1
+        assert control.shed_total == 1
+        assert control.inflight == 3
+        assert control.inflight_high_water == 3
+
+    def test_per_connection_cap_binds_first(self):
+        control = AdmissionController(
+            max_inflight=100, max_inflight_per_conn=2
+        )
+        admitted, hint = control.admit(2)
+        assert not admitted
+        assert control.inflight == 0  # shed requests never count
+
+    def test_release_reopens_admission(self):
+        control = AdmissionController(
+            max_inflight=1, max_inflight_per_conn=8
+        )
+        assert control.admit(0)[0]
+        assert not control.admit(0)[0]
+        control.release()
+        assert control.admit(0)[0]
+
+    def test_release_is_clamped(self):
+        control = AdmissionController()
+        control.release(5)
+        assert control.inflight == 0
+
+    def test_hint_grows_with_pressure(self):
+        control = AdmissionController(
+            max_inflight=4, max_inflight_per_conn=1, shed_backoff_ms=25
+        )
+        empty_hint = control.admit(1)[1]
+        for _ in range(4):
+            assert control.admit(0)[0]
+        full_hint = control.admit(1)[1]
+        assert full_hint > empty_hint
+
+    def test_token_bucket_gate(self):
+        clock = FakeClock()
+        control = AdmissionController(
+            max_inflight=100,
+            max_inflight_per_conn=100,
+            rate=10.0,
+            burst=2.0,
+            clock=clock,
+        )
+        assert control.admit(0)[0]
+        assert control.admit(0)[0]
+        admitted, hint = control.admit(0)
+        assert not admitted
+        assert hint == 100  # (1 token) / (10/s) = 100ms
+        clock.advance(0.2)
+        assert control.admit(0)[0]
+
+    def test_rejects_bad_caps(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_inflight=0)
+        with pytest.raises(ValueError):
+            AdmissionController(max_inflight_per_conn=0)

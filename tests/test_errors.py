@@ -96,3 +96,33 @@ class TestPayloads:
         with pytest.raises(RetryLater) as excinfo:
             reader.perform("c", Counter.value())
         assert excinfo.value.blockers == frozenset({writer.name})
+
+    def test_retry_later_hint_defaults_to_none(self):
+        assert RetryLater("later").retry_after_ms is None
+
+    def test_retry_later_hint_is_attribute_only(self):
+        # The hint must not change str()/args/pickle compatibility:
+        # logs and wire formats built before the field keep working.
+        import pickle
+
+        plain = RetryLater("later", blockers=[(2,)])
+        hinted = RetryLater("later", blockers=[(2,)], retry_after_ms=7)
+        assert str(hinted) == str(plain) == "later"
+        assert hinted.args == plain.args == ("later",)
+        assert hinted.retry_after_ms == 7
+        clone = pickle.loads(pickle.dumps(hinted))
+        assert str(clone) == "later"
+        assert clone.blockers == frozenset({(2,)})
+
+    def test_mvto_wait_carries_a_hint(self):
+        from repro.adt import Counter
+        from repro.kernel import get_scheme
+
+        engine = get_scheme("mvto").build([Counter("c")])
+        writer = engine.begin_top()
+        writer.perform("c", Counter.increment(1))
+        reader = engine.begin_top()
+        with pytest.raises(RetryLater) as excinfo:
+            reader.perform("c", Counter.value())
+        assert excinfo.value.retry_after_ms is not None
+        assert excinfo.value.retry_after_ms >= 1
