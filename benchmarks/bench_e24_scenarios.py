@@ -1,0 +1,111 @@
+"""E24 (scenario league table): one spec, every scheme, every backend.
+
+Not a paper claim -- the cross-backend contract of the declarative
+scenario layer (``repro.scenario``).  Each bundled library scenario
+(bank, inventory, social-feed, ticketing) is compiled once per seed
+and executed on two backends (the DES simulator and the threaded
+:class:`ThreadSafeEngine`) under three locking schemes (moss-rw,
+flat-2pl, exclusive), producing a league table of committed /
+aborted / retries / throughput per cell.
+
+Guards pin the contract rather than any absolute number:
+
+* every cell of one scenario reports the *same* operation-stream
+  digest -- the compiler, not the backend, owns the workload;
+* every cell conserves transactions (committed + aborted == total)
+  and commits at least one;
+* moss-rw commits everything the serial-equivalent simulator commits
+  (lock inheritance never loses transactions that exclusive-mode
+  retries could strand).
+
+Environment knobs (for the CI scenario-smoke job):
+
+* ``E24_QUICK=1`` shrinks each run to a 12-transaction prefix;
+* ``E24_JSON=<path>`` overrides where the JSON artifact is written
+  (default: ``BENCH_E24.json`` at the repo root).
+"""
+
+import json
+import os
+
+from conftest import print_table, run_once
+
+from repro.scenario import (
+    compile_scenario,
+    get_driver,
+    library_names,
+    load_library_scenario,
+)
+
+SEED = 7
+BACKENDS = ("sim", "threadsafe")
+SCHEMES = ("moss-rw", "flat-2pl", "exclusive")
+
+
+def run_league(quick):
+    transactions = 12 if quick else None
+    rows = []
+    digests = {}
+    for name in library_names():
+        spec = load_library_scenario(name)
+        compiled = compile_scenario(
+            spec, SEED, transactions=transactions
+        )
+        digests[name] = compiled.digest()
+        for backend in BACKENDS:
+            driver = get_driver(backend)
+            for scheme in SCHEMES:
+                result = driver.run(compiled, scheme=scheme)
+                rows.append(result.row())
+    return rows, digests
+
+
+def test_e24_scenario_league(benchmark):
+    quick = bool(os.environ.get("E24_QUICK"))
+
+    def experiment():
+        rows, digests = run_league(quick)
+        return {"rows": rows, "digests": digests}
+
+    outcome = run_once(benchmark, experiment)
+    rows, digests = outcome["rows"], outcome["digests"]
+    print_table("E24: scenario league table", rows)
+
+    json_path = os.environ.get("E24_JSON") or os.path.join(
+        os.path.dirname(os.path.abspath(__file__)),
+        os.pardir,
+        "BENCH_E24.json",
+    )
+    with open(json_path, "w") as handle:
+        json.dump(
+            {
+                "experiment": "e24_scenario_league",
+                "seed": SEED,
+                "quick": quick,
+                "backends": list(BACKENDS),
+                "schemes": list(SCHEMES),
+                "rows": rows,
+            },
+            handle,
+            indent=2,
+        )
+
+    # Guard 1: the compiler owns the workload -- every cell of one
+    # scenario reports the same digest regardless of backend/scheme.
+    for row in rows:
+        expected = digests[row["scenario"]][:16]
+        assert row["digest"] == expected, (
+            "digest drift in %r" % (row,)
+        )
+
+    # Guard 2: transaction conservation and liveness in every cell.
+    for row in rows:
+        total = row["committed"] + row["aborted"]
+        assert total == row["transactions"], row
+        assert row["committed"] > 0, row
+
+    # Guard 3: moss-rw never strands transactions that the scheme's
+    # retries could not push through -- on either backend.
+    for row in rows:
+        if row["scheme"] == "moss-rw":
+            assert row["aborted"] == 0, row

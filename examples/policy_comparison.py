@@ -1,64 +1,91 @@
 """Policy comparison: the system evaluation the paper motivates.
 
-Sweeps the read fraction of a contended workload across the engine's
-locking policies (Moss R/W, exclusive locking, flat 2PL, serial execution,
-and the Reed-style MVTO extension) and prints throughput / latency /
-abort tables.  This is a human-readable preview of benchmark E9.
+Runs the bundled ``bank`` scenario (a skewed debit/credit OLTP mix
+against a long-running balance audit -- exactly the reader/writer
+tension Moss R/W locking is about) across the engine's locking
+policies and prints a league table.  A second sweep rewrites the
+scenario's read mix inline to show how the declarative TOML layer
+(docs/SCENARIOS.md) replaces the old hand-wired WorkloadConfig.
 
 Run:  python examples/policy_comparison.py
 """
 
-from repro.sim import (
-    SimulationConfig,
-    WorkloadConfig,
-    make_store,
-    make_workload,
-    run_simulation,
+from repro.scenario import (
+    compile_scenario,
+    get_driver,
+    load_library_scenario,
+    load_scenario_text,
 )
 
 POLICIES = ("serial", "exclusive", "flat-2pl", "moss-rw", "mvto")
-READ_FRACTIONS = (0.1, 0.5, 0.9)
+
+#: A custom spec, varied by read mix below: the same declarative text
+#: a user would put in their own TOML file.
+SWEEP_TOML = """
+name = "sweep"
+transactions = 40
+
+[arrival]
+process = "closed"
+clients = 8
+
+[[population]]
+name = "r"
+kind = "register"
+count = 12
+zipf_skew = 0.6
+
+[[class]]
+name = "work"
+
+[[class.level]]
+fanout = 2
+accesses = 2
+read_fraction = %(read_fraction)s
+
+[[class.level]]
+accesses = 2
+read_fraction = %(read_fraction)s
+"""
 
 
-def sweep(read_fraction):
-    config = WorkloadConfig(
-        programs=40,
-        objects=12,
-        read_fraction=read_fraction,
-        zipf_skew=0.6,
-        depth=2,
-        fanout=2,
-        accesses_per_block=2,
-    )
-    programs = make_workload(11, config)
-    store = make_store(config)
+def league(compiled):
     rows = []
     for policy in POLICIES:
-        metrics = run_simulation(
-            programs,
-            store,
-            SimulationConfig(mpl=8, policy=policy, seed=1),
-        )
-        rows.append(metrics.row())
+        result = get_driver("sim").run(compiled, scheme=policy)
+        rows.append(result.row())
     return rows
 
 
-def print_table(read_fraction, rows):
-    print("\nread fraction = %.0f%%" % (read_fraction * 100))
-    header = ("policy", "committed", "throughput", "mean_latency",
-              "p95_latency", "deadlock_aborts", "restarts")
-    print("  " + "  ".join("%-12s" % column for column in header))
+def print_table(title, rows):
+    print("\n%s" % title)
+    header = ("scheme", "committed", "aborted", "retries",
+              "throughput", "p95_latency")
+    print("  " + "  ".join("%-11s" % column for column in header))
     for row in rows:
         print(
             "  "
-            + "  ".join("%-12s" % row[column] for column in header)
+            + "  ".join("%-11s" % row[column] for column in header)
         )
 
 
 def main():
-    for read_fraction in READ_FRACTIONS:
-        rows = sweep(read_fraction)
-        print_table(read_fraction, rows)
+    bank = compile_scenario(load_library_scenario("bank"), 11,
+                            transactions=40)
+    print_table(
+        "library scenario: bank (digest %s)" % bank.digest()[:16],
+        league(bank),
+    )
+    for read_fraction in (0.1, 0.5, 0.9):
+        spec = load_scenario_text(
+            SWEEP_TOML % {"read_fraction": read_fraction}
+        )
+        compiled = compile_scenario(spec, 11)
+        print_table(
+            "custom spec, read fraction = %.0f%%"
+            % (read_fraction * 100),
+            league(compiled),
+        )
     print("\npolicy comparison OK")
 
 

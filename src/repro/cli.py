@@ -25,7 +25,11 @@ One command per way of exercising the reproduction:
   (``repro.serve``) until interrupted; exit codes mirror ``audit``
   when ``--audit`` is attached (0 clean, 1 violation, 4 inconclusive).
 * ``loadgen``      -- drive a running service with the open-loop
-  Poisson or closed-loop generator and print latency percentiles.
+  Poisson or closed-loop generator (or a declarative scenario via
+  ``--scenario``) and print latency percentiles.
+* ``scenario``     -- declarative workloads: list the bundled library,
+  validate TOML specs, or compile-and-run one spec across backends
+  and schemes (league table).
 * ``top``          -- run a contended simulation and print the
   hot-object lock-contention table.
 * ``orphan``       -- print the orphan-inconsistency witness (E15).
@@ -549,9 +553,25 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_scenario_ref(ref: str):
+    """Resolve a scenario reference: a TOML path or a library name."""
+    import os
+
+    from repro.scenario import load_scenario
+    from repro.scenario.library import library_path
+
+    if os.path.exists(ref):
+        return load_scenario(ref)
+    return load_scenario(library_path(ref))
+
+
 def _serve_specs(args: argparse.Namespace):
     from repro.adt import BankAccount, Counter, IntRegister
 
+    if getattr(args, "scenario", None):
+        from repro.scenario import build_store
+
+        return build_store(_load_scenario_ref(args.scenario))
     spec_classes = {
         "register": IntRegister,
         "counter": Counter,
@@ -587,8 +607,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         op_timeout=args.op_timeout,
         idle_timeout=args.idle_timeout,
     )
+    try:
+        specs = _serve_specs(args)
+    except ValueError as exc:  # bad --scenario reference or TOML
+        print("repro serve: %s" % exc, file=sys.stderr)
+        return 2
     server = TransactionServer(
-        _serve_specs(args),
+        specs,
         args.scheme,
         config=config,
         stripes=args.stripes,
@@ -689,10 +714,11 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         read_fraction=args.read_fraction,
         seed=args.seed,
         think_time=args.think_time,
+        scenario=args.scenario,
     )
     try:
         report = run_loadgen(config)
-    except (ConnectionError, OSError) as exc:
+    except (ConnectionError, OSError, ValueError) as exc:
         print("repro loadgen: %s" % exc, file=sys.stderr)
         return 2
     print(report.render())
@@ -775,6 +801,119 @@ def _cmd_dist(args: argparse.Namespace) -> int:
         )
         print("  ".join("%-10s" % cell for cell in row))
     return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.scenario import ScenarioError
+
+    try:
+        if args.action == "list":
+            return _scenario_list()
+        if args.action == "validate":
+            return _scenario_validate(args)
+        return _scenario_run(args)
+    except ScenarioError as exc:
+        print("repro scenario: %s" % exc, file=sys.stderr)
+        return 2
+
+
+def _scenario_list() -> int:
+    from repro.scenario.library import library_names, library_path
+    from repro.scenario.spec import load_scenario
+
+    for name in library_names():
+        spec = load_scenario(library_path(name))
+        print(
+            "%-12s %4d txns, %d classes, %d populations -- %s"
+            % (
+                name,
+                spec.transactions,
+                len(spec.classes),
+                len(spec.populations),
+                spec.description,
+            )
+        )
+        print("  %s" % library_path(name))
+    return 0
+
+
+def _scenario_validate(args: argparse.Namespace) -> int:
+    from repro.scenario import ScenarioError, library_names
+
+    failures = 0
+    for ref in args.scenarios or library_names():
+        try:
+            spec = _load_scenario_ref(ref)
+        except ScenarioError as exc:
+            print("FAIL %s: %s" % (ref, exc))
+            failures += 1
+            continue
+        print(
+            "OK   %s (%d txns, %d classes, %d populations, %s arrivals)"
+            % (
+                spec.name,
+                spec.transactions,
+                len(spec.classes),
+                len(spec.populations),
+                spec.arrival.process,
+            )
+        )
+    return 2 if failures else 0
+
+
+def _scenario_run(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.scenario import compile_scenario, get_driver
+
+    spec = _load_scenario_ref(args.scenario)
+    compiled = compile_scenario(
+        spec, args.seed, transactions=args.transactions
+    )
+    backends = args.backends.split(",")
+    schemes = args.schemes.split(",")
+    options = {}
+    if args.port is not None:
+        options["host"] = args.host
+        options["port"] = args.port
+    results = []
+    for backend in backends:
+        driver = get_driver(backend)
+        for scheme in schemes:
+            results.append(driver.run(compiled, scheme=scheme, **options))
+    if len(results) == 1:
+        print(results[0].render())
+    else:
+        # League table: one row per backend x scheme combination.
+        header = (
+            "backend", "scheme", "committed", "aborted", "retries",
+            "throughput", "p95_lat",
+        )
+        print("scenario %s, seed %d, digest %s"
+              % (spec.name, args.seed, compiled.digest()[:16]))
+        print("  ".join("%-10s" % column for column in header))
+        for result in results:
+            row = (
+                result.backend,
+                result.scheme,
+                str(result.committed),
+                str(result.aborted),
+                str(result.retries),
+                "%.3f" % result.throughput,
+                "%.2f" % result.latency(0.95),
+            )
+            print("  ".join("%-10s" % cell for cell in row))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(
+                [result.row() for result in results],
+                handle,
+                indent=2,
+                sort_keys=True,
+            )
+            handle.write("\n")
+        print("results json : %s" % args.json)
+    return 0 if all(r.committed > 0 for r in results) else 1
 
 
 def _cmd_orphan(args: argparse.Namespace) -> int:
@@ -969,8 +1108,10 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--workload",
         default="quickstart",
-        choices=["quickstart", "banking", "threads"],
-        help="which demo workload to observe",
+        help=(
+            "which workload to observe: quickstart, banking, threads, "
+            "or scenario:<library name> (e.g. scenario:bank)"
+        ),
     )
     trace.add_argument(
         "--out",
@@ -1066,6 +1207,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="ADT class of the served objects",
     )
     serve.add_argument(
+        "--scenario",
+        help=(
+            "serve a scenario's object populations (TOML path or "
+            "library name) instead of --objects/--object-type"
+        ),
+    )
+    serve.add_argument(
         "--stripes", type=int, default=None,
         help="facade stripe count (default: auto)",
     )
@@ -1156,7 +1304,80 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         help="also write the latency report as JSON here",
     )
+    loadgen.add_argument(
+        "--scenario",
+        help=(
+            "shape traffic from a scenario TOML file or library name "
+            "(full nested trees, per-class mix and think times; "
+            "overrides --mode/--duration/--ops)"
+        ),
+    )
     loadgen.set_defaults(handler=_cmd_loadgen)
+
+    scenario = commands.add_parser(
+        "scenario",
+        help=(
+            "declarative workload scenarios: list the library, "
+            "validate specs, run one across backends and schemes"
+        ),
+    )
+    scenario_actions = scenario.add_subparsers(
+        dest="action", required=True
+    )
+    scenario_list = scenario_actions.add_parser(
+        "list", help="list the bundled scenario library"
+    )
+    scenario_list.set_defaults(handler=_cmd_scenario)
+    scenario_validate = scenario_actions.add_parser(
+        "validate",
+        help="validate scenario TOML files (or library names)",
+    )
+    scenario_validate.add_argument(
+        "scenarios",
+        nargs="*",
+        help="TOML paths or library names (default: whole library)",
+    )
+    scenario_validate.set_defaults(handler=_cmd_scenario)
+    scenario_run = scenario_actions.add_parser(
+        "run",
+        help=(
+            "compile one scenario and run it on one or more backends "
+            "and schemes (comma lists produce a league table)"
+        ),
+    )
+    scenario_run.add_argument(
+        "scenario", help="TOML path or library name"
+    )
+    scenario_run.add_argument("--seed", type=int, default=0)
+    scenario_run.add_argument(
+        "--transactions", type=int, default=None,
+        help="override the spec's transaction count",
+    )
+    scenario_run.add_argument(
+        "--backend",
+        dest="backends",
+        default="sim",
+        help="comma list of backends: sim, threadsafe, dist, serve",
+    )
+    scenario_run.add_argument(
+        "--scheme",
+        dest="schemes",
+        default="moss-rw",
+        help="comma list of registered schemes",
+    )
+    scenario_run.add_argument(
+        "--host", default="127.0.0.1",
+        help="serve backend: server host",
+    )
+    scenario_run.add_argument(
+        "--port", type=int, default=None,
+        help="serve backend: server port (required for serve)",
+    )
+    scenario_run.add_argument(
+        "--json",
+        help="also write all result rows as JSON here",
+    )
+    scenario_run.set_defaults(handler=_cmd_scenario)
 
     top = commands.add_parser(
         "top",

@@ -1,0 +1,86 @@
+"""Seeded sampling primitives shared by every workload layer.
+
+Before this module existed the repo grew three independent skew
+samplers: the DES workload generator's ``_zipf_weights``
+(:mod:`repro.sim.workload`), the observed thread workload's inline
+hot/warm/cold threshold roll (:mod:`repro.obs.workloads`), and the
+uniform ``rng.choice`` op pickers in the CLI's random driver and the
+service load generator.  They are now all expressed over this one
+module, and the scenario compiler (:mod:`repro.scenario`) builds on the
+same primitives -- "all randomness via injected RNG streams".
+
+Byte-compatibility matters more than elegance here: every helper
+consumes *exactly* the same RNG calls as the inline code it replaced,
+so existing seeded runs (and their pinned digests) are unchanged.
+``tests/core/test_sampling.py`` locks this in.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_right
+from typing import List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+__all__ = [
+    "RngStreams",
+    "threshold_index",
+    "weighted_index",
+    "zipf_weights",
+]
+
+
+def zipf_weights(count: int, skew: float) -> List[float]:
+    """Unnormalised Zipf(``skew``) weights over ``count`` ranks.
+
+    ``skew <= 0`` degenerates to uniform.  Rank 0 is the hottest
+    object; weight of rank *r* is ``1 / (r + 1) ** skew``.  This is the
+    exact formula the simulation workload generator has always used, so
+    seeded workloads are unchanged.
+    """
+    if skew <= 0.0:
+        return [1.0] * count
+    return [1.0 / ((rank + 1) ** skew) for rank in range(count)]
+
+
+def weighted_index(rng: random.Random, weights: Sequence[float]) -> int:
+    """One weighted draw: an index into *weights*.
+
+    Consumes exactly one ``rng.choices`` call, matching the historical
+    ``rng.choices(range(n), weights=weights, k=1)[0]`` call sites
+    byte-for-byte.
+    """
+    return rng.choices(range(len(weights)), weights=weights, k=1)[0]
+
+
+def threshold_index(rng: random.Random, cuts: Sequence[float]) -> int:
+    """One uniform roll bucketed by cumulative *cuts*.
+
+    ``cuts`` are ascending cumulative probabilities; the return value
+    is how many cuts the roll cleared (so ``len(cuts)`` buckets plus a
+    tail bucket).  Consumes exactly one ``rng.random()`` call --
+    equivalent to the classic ``roll < c0 ... elif roll < c1 ...``
+    ladder, e.g. the hot/warm/cold pick in
+    :func:`repro.obs.workloads.run_threads`.
+    """
+    return bisect_right(list(cuts), rng.random())
+
+
+class RngStreams:
+    """Named, independently-seeded RNG streams for one run.
+
+    Every consumer of randomness in a scenario run draws from its own
+    named stream (``"class"``, ``"ops"``, ``"arrival"``, ...), so
+    adding a draw to one concern never perturbs another -- the ab-sim
+    design goal ("all randomness via injected RNG streams").  Streams
+    are deterministic functions of ``(seed, name)``: Python seeds
+    :class:`random.Random` from the string's bytes, which is stable
+    across processes and platforms.
+    """
+
+    def __init__(self, seed: int):
+        self.seed = seed
+
+    def stream(self, name: str) -> random.Random:
+        return random.Random("%d:%s" % (self.seed, name))

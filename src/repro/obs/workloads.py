@@ -111,22 +111,23 @@ def run_threads(
     from repro.engine.threadsafe import ThreadSafeEngine
     from repro.errors import LockDenied, TransactionAborted
 
+    from repro.core.sampling import threshold_index
+
     facade = ThreadSafeEngine(
         [Counter("hot"), Counter("warm"), Counter("cold")],
         observer=observer,
     )
     wounded = [0] * workers
+    # Zipf-ish skew: most increments hit the hot counter.  The cut
+    # points reproduce the historical inline ladder
+    # (roll < 0.7 -> hot, < 0.9 -> warm, else cold) exactly.
+    names = ("hot", "warm", "cold")
+    cuts = (0.7, 0.9)
 
     def body(worker_id: int) -> None:
         rng = random.Random(seed * 1000 + worker_id)
         for _ in range(increments):
-            # Zipf-ish skew: most increments hit the hot counter.
-            roll = rng.random()
-            name = (
-                "hot" if roll < 0.7
-                else "warm" if roll < 0.9
-                else "cold"
-            )
+            name = names[threshold_index(rng, cuts)]
             top = facade.begin_top()
             try:
                 top.perform(name, Counter.increment(1))
@@ -193,11 +194,58 @@ def run_contended_sim(
     return metrics
 
 
+def run_scenario_workload(
+    observer: Observer,
+    seed: int = 0,
+    name: str = "bank",
+    transactions: int = 30,
+) -> Dict[str, int]:
+    """A library scenario on the DES simulator, observed.
+
+    Backs the ``scenario:<name>`` entries in :data:`WORKLOADS` so
+    ``repro trace --workload scenario:bank`` traces declarative
+    scenarios through the same pipeline as the hand-written demos.
+    """
+    from repro.scenario import compile_scenario, get_driver
+    from repro.scenario.library import load_library_scenario
+
+    spec = load_library_scenario(name)
+    compiled = compile_scenario(
+        spec, seed, transactions=min(transactions, spec.transactions)
+    )
+    result = get_driver("sim").run(
+        compiled, scheme="moss-rw", observer=observer
+    )
+    observer.finish()
+    return {
+        "committed": result.committed,
+        "aborted": result.aborted,
+        "accesses": result.ops,
+    }
+
+
+def _scenario_runner(name: str):
+    def runner(observer: Observer, seed: int = 0) -> Dict[str, int]:
+        return run_scenario_workload(observer, seed=seed, name=name)
+
+    return runner
+
+
+def _scenario_workloads() -> Dict[str, object]:
+    from repro.scenario.library import library_names
+
+    return {
+        "scenario:%s" % name: _scenario_runner(name)
+        for name in library_names()
+    }
+
+
 WORKLOADS = {
     "quickstart": run_quickstart,
     "banking": run_banking,
     "threads": run_threads,
 }
+WORKLOADS.update(_scenario_workloads())
 
 
 def run_workload(

@@ -1,0 +1,86 @@
+"""Declarative workload scenarios compiled onto every backend.
+
+ROADMAP item 5: workload shapes used to be hand-wired three separate
+times (the DES workload generator, the observed demo workloads, and the
+service load generator).  This package replaces them with one
+declarative layer:
+
+* :mod:`repro.scenario.spec` -- frozen dataclasses describing a
+  scenario (arrival process, zipfian hotspot skew, nested fan-out
+  topology per tree level, read/write mix per level, per-ADT object
+  populations, OLTP vs. analytic transaction classes, think times),
+  loadable from TOML with typed validation errors;
+* :mod:`repro.scenario.programs` -- the nested program-tree vocabulary
+  (:class:`Program` / :class:`Block` / :class:`AccessOp`) and the
+  seeded per-ADT access generator, shared with the legacy
+  :mod:`repro.sim.workload` entry points;
+* :mod:`repro.scenario.compiler` -- lowers one spec + seed to a
+  :class:`CompiledScenario`: an object store, a deterministic list of
+  nested transaction programs, think times and (open-loop) arrival
+  offsets, plus a digest over the logical operation stream;
+* :mod:`repro.scenario.backends` -- a common :class:`Driver` protocol
+  with four implementations: the DES simulator, the blocking
+  :class:`~repro.engine.threadsafe.ThreadSafeEngine`, the distributed
+  runner, and the live ``repro.serve`` service;
+* :mod:`repro.scenario.library` -- the built-in scenario catalogue
+  (bank, inventory, social-feed, ticketing).
+
+The same spec + seed yields a digest-identical logical operation
+stream on every deterministic backend; ``repro scenario run`` and
+benchmark E24 build cross-scheme x cross-backend league tables on top.
+See docs/SCENARIOS.md.
+"""
+
+from repro.scenario.backends import (
+    Driver,
+    ScenarioResult,
+    driver_names,
+    get_driver,
+)
+from repro.scenario.compiler import (
+    CompiledScenario,
+    build_store,
+    compile_scenario,
+)
+from repro.scenario.library import (
+    library_names,
+    library_path,
+    load_library_scenario,
+)
+from repro.scenario.programs import AccessOp, Block, Program
+from repro.scenario.spec import (
+    Arrival,
+    Level,
+    Population,
+    ScenarioError,
+    ScenarioSpec,
+    TxnClass,
+    load_scenario,
+    load_scenario_text,
+    spec_from_dict,
+)
+
+__all__ = [
+    "AccessOp",
+    "Arrival",
+    "Block",
+    "CompiledScenario",
+    "Driver",
+    "Level",
+    "Population",
+    "Program",
+    "ScenarioError",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "TxnClass",
+    "build_store",
+    "compile_scenario",
+    "driver_names",
+    "get_driver",
+    "library_names",
+    "library_path",
+    "load_library_scenario",
+    "load_scenario",
+    "load_scenario_text",
+    "spec_from_dict",
+]

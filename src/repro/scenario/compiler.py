@@ -1,0 +1,247 @@
+"""Lower a scenario spec + seed onto a concrete logical workload.
+
+:func:`compile_scenario` is deterministic: one spec + one seed always
+produces the same :class:`CompiledScenario` -- the same object store,
+the same transaction class sequence, the same nested program trees
+with the same operations, the same think times and arrival offsets.
+Backends differ only in *how* they execute that logical stream, which
+is what makes cross-backend and cross-scheme comparisons meaningful.
+
+All randomness flows through named :class:`~repro.core.sampling.RngStreams`:
+
+* ``"class"``  -- which transaction class each of the N transactions is;
+* ``"ops"``    -- object picks and operation payloads inside the trees;
+* ``"arrival"`` -- open-loop Poisson interarrival gaps.
+
+Adding draws to one stream never perturbs the others, so e.g. turning
+a closed-loop scenario into an open-loop one does not change which
+objects its transactions touch.
+
+:meth:`CompiledScenario.digest` hashes the canonical serialization of
+the logical operation stream (every transaction's class, tree shape,
+objects, operation kind/args, durations, failure injection).  Two
+backends given the same spec + seed drive digest-identical streams;
+the cross-backend tests and benchmark E24 assert exactly that.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.object_spec import ObjectSpec
+from repro.core.sampling import RngStreams, weighted_index, zipf_weights
+from repro.scenario.programs import (
+    POPULATION_KINDS,
+    AccessOp,
+    Block,
+    Program,
+    random_access,
+)
+from repro.scenario.spec import (
+    Population,
+    ScenarioSpec,
+    TxnClass,
+    _as_dict,
+)
+
+__all__ = [
+    "CompiledScenario",
+    "build_store",
+    "compile_scenario",
+    "workload_digest",
+]
+
+
+def build_store(spec: ScenarioSpec) -> List[ObjectSpec]:
+    """The object store a scenario runs against (all populations)."""
+    store: List[ObjectSpec] = []
+    for population in spec.populations:
+        factory = POPULATION_KINDS[population.kind]
+        for name in population.object_names():
+            store.append(factory(name, population.initial))
+    return store
+
+
+@dataclass
+class CompiledScenario:
+    """One spec + seed lowered to an executable logical workload.
+
+    ``programs[i]`` is the nested tree of transaction *i*;
+    ``class_names[i]`` / ``think_times[i]`` its class and post-commit
+    client pause.  ``arrival_offsets`` is ``None`` for a closed-loop
+    scenario, else the Poisson arrival time of each transaction.
+    """
+
+    spec: ScenarioSpec
+    seed: int
+    programs: List[Program] = field(default_factory=list)
+    class_names: List[str] = field(default_factory=list)
+    think_times: List[float] = field(default_factory=list)
+    arrival_offsets: Optional[List[float]] = None
+
+    def store(self) -> List[ObjectSpec]:
+        """A fresh object store (stores are stateless specs, but each
+        backend gets its own list)."""
+        return build_store(self.spec)
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical logical operation stream."""
+        payload = {
+            "spec": _as_dict(self.spec),
+            "seed": self.seed,
+            "arrivals": self.arrival_offsets,
+            "txns": [
+                {
+                    "label": program.label,
+                    "class": self.class_names[index],
+                    "think": self.think_times[index],
+                    "body": _serialize_block(program.body),
+                }
+                for index, program in enumerate(self.programs)
+            ],
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _serialize_block(block: Block) -> Dict[str, object]:
+    return {
+        "parallel": block.parallel,
+        "fail_prob": block.fail_prob,
+        "retries": block.retries,
+        "steps": [
+            {
+                "object": step.object_name,
+                "kind": step.operation.kind,
+                "args": list(step.operation.args),
+                "read": step.operation.is_read,
+                "duration": step.duration,
+            }
+            if isinstance(step, AccessOp)
+            else _serialize_block(step)
+            for step in block.steps
+        ],
+    }
+
+
+def workload_digest(programs: List[Program]) -> str:
+    """SHA-256 over a bare program list (no spec context).
+
+    Used by the byte-pinning tests for the legacy
+    :func:`repro.sim.workload.make_workload` shim.
+    """
+    blob = json.dumps(
+        [
+            {"label": program.label, "body": _serialize_block(program.body)}
+            for program in programs
+        ],
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class _PopulationSampler:
+    """Cached names/kinds/zipf-weights per population."""
+
+    def __init__(self, spec: ScenarioSpec):
+        self._cache: Dict[str, Tuple[tuple, tuple, list]] = {}
+        for population in spec.populations:
+            names = population.object_names()
+            kind = (
+                "commutative"
+                if population.kind == "commutative"
+                else type(POPULATION_KINDS[population.kind]("_probe", 0))
+            )
+            kinds = tuple(kind for _ in names)
+            weights = zipf_weights(population.count, population.zipf_skew)
+            self._cache[population.name] = (names, kinds, weights)
+
+    def parts(self, population: Population):
+        return self._cache[population.name]
+
+
+def _build_block(
+    rng,
+    spec: ScenarioSpec,
+    sampler: _PopulationSampler,
+    cls: TxnClass,
+    level_index: int,
+) -> Block:
+    level = cls.levels[level_index]
+    population = spec.population(level.population or cls.population)
+    names, kinds, weights = sampler.parts(population)
+    steps: List[Union[Block, AccessOp]] = []
+    for _ in range(level.accesses):
+        steps.append(
+            random_access(
+                rng,
+                names,
+                kinds,
+                weights,
+                level.read_fraction,
+                level.access_time,
+            )
+        )
+    if level_index + 1 < len(cls.levels):
+        for _ in range(level.fanout):
+            steps.append(
+                _build_block(rng, spec, sampler, cls, level_index + 1)
+            )
+    return Block(
+        steps=steps,
+        parallel=level.parallel,
+        fail_prob=level.fail_prob,
+        retries=level.retries,
+    )
+
+
+def compile_scenario(
+    spec: ScenarioSpec,
+    seed: int,
+    transactions: Optional[int] = None,
+) -> CompiledScenario:
+    """Deterministically lower *spec* + *seed* to a logical workload.
+
+    *transactions* overrides ``spec.transactions`` (benchmarks use it
+    for quick modes) without otherwise perturbing the stream prefix:
+    the first N transactions of a longer compile are identical to a
+    compile asked for N.
+    """
+    count = spec.transactions if transactions is None else transactions
+    streams = RngStreams(seed)
+    class_rng = streams.stream("class")
+    op_rng = streams.stream("ops")
+    weights = [cls.weight for cls in spec.classes]
+    compiled = CompiledScenario(spec=spec, seed=seed)
+    for index in range(count):
+        cls = spec.classes[weighted_index(class_rng, weights)]
+        body = _build_block(op_rng, spec, _sampler_for(spec), cls, 0)
+        # The top level never carries injected failure: aborting the
+        # whole program models a client error, not a subtransaction
+        # fault (same convention as the legacy workload generator).
+        body.fail_prob = 0.0
+        body.retries = 0
+        compiled.programs.append(
+            Program(body=body, label="%s-%d" % (cls.name, index))
+        )
+        compiled.class_names.append(cls.name)
+        compiled.think_times.append(cls.think_time)
+    if spec.arrival.process == "poisson":
+        arrival_rng = streams.stream("arrival")
+        offsets: List[float] = []
+        clock = 0.0
+        for _ in range(count):
+            clock += arrival_rng.expovariate(spec.arrival.rate)
+            offsets.append(clock)
+        compiled.arrival_offsets = offsets
+    return compiled
+
+
+# Specs are frozen (and therefore hashable), so the per-spec
+# name/kind/weight tables can be memoised across compiles.
+_sampler_for = functools.lru_cache(maxsize=64)(_PopulationSampler)

@@ -1,0 +1,55 @@
+"""The built-in scenario catalogue.
+
+Four scenarios, each stressing a different axis of the nested
+read/write-locking design space:
+
+* ``bank``        -- classic debit/credit OLTP over skewed accounts
+  with a long-running analytic balance audit riding alongside
+  (readers-vs-writers, the paper's core tension);
+* ``inventory``   -- deep nested fan-out (order -> per-line reserve)
+  over commutative stock counters, where semantic locking should pull
+  ahead of pure read/write modes;
+* ``social-feed`` -- read-dominated zipfian fan-in over a kvmap of
+  profiles with a small write burst class (hotspot inheritance);
+* ``ticketing``   -- open-loop Poisson bursts fighting over a tiny
+  set of hot rows with failure-injected holds (abort/retry churn).
+
+Each lives as a TOML file next to this module so ``repro scenario``
+can also print the path and users can copy one as a starting point.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+from repro.scenario.spec import ScenarioError, ScenarioSpec, load_scenario
+
+__all__ = ["library_names", "library_path", "load_library_scenario"]
+
+_LIBRARY_DIR = os.path.join(os.path.dirname(__file__), "library")
+
+
+def library_names() -> List[str]:
+    """The bundled scenario names, sorted."""
+    return sorted(
+        entry[: -len(".toml")]
+        for entry in os.listdir(_LIBRARY_DIR)
+        if entry.endswith(".toml")
+    )
+
+
+def library_path(name: str) -> str:
+    """Absolute path of a bundled scenario's TOML file."""
+    path = os.path.join(_LIBRARY_DIR, os.path.basename(name) + ".toml")
+    if not os.path.exists(path):
+        raise ScenarioError(
+            "no library scenario %r (choose from %s)"
+            % (name, ", ".join(library_names()))
+        )
+    return path
+
+
+def load_library_scenario(name: str) -> ScenarioSpec:
+    """Load a bundled scenario by name (``bank``, ``inventory``, ...)."""
+    return load_scenario(library_path(name))

@@ -1,0 +1,172 @@
+"""Nested program trees and the seeded per-ADT access generator.
+
+This is the vocabulary every backend executes: a :class:`Program` is a
+top-level transaction's script, a :class:`Block` a subtransaction
+(optionally parallel, optionally failing with a retry budget), an
+:class:`AccessOp` one data access with a simulated duration.
+
+The classes and the access generator lived in :mod:`repro.sim.workload`
+for most of this repo's history; they moved here so the scenario
+compiler and the legacy workload generator share one implementation.
+``repro.sim.workload`` re-exports everything, and
+:func:`random_access` consumes the exact RNG call sequence of the code
+it replaced, so seeded legacy workloads are byte-for-byte unchanged
+(pinned by ``tests/scenario/test_compiler.py``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Sequence, Union
+
+from repro.adt import (
+    BankAccount,
+    Counter,
+    FifoQueue,
+    IntRegister,
+    KVMap,
+    SetObject,
+)
+from repro.core.object_spec import ObjectSpec, Operation
+from repro.core.sampling import weighted_index
+
+__all__ = [
+    "AccessOp",
+    "Block",
+    "KIND_OPERATIONS",
+    "POPULATION_KINDS",
+    "Program",
+    "random_access",
+]
+
+
+@dataclass
+class AccessOp:
+    """One data access: which object, which operation, how long it takes."""
+
+    object_name: str
+    operation: Operation
+    duration: float = 1.0
+
+
+@dataclass
+class Block:
+    """A subtransaction: steps run in order (or in parallel).
+
+    ``fail_prob`` injects an abort after the block's work completes;
+    ``retries`` is how many times the parent re-runs the block (as a fresh
+    subtransaction, redoing the work) before giving up and treating the
+    child as aborted.
+    """
+
+    steps: List[Union["Block", AccessOp]] = field(default_factory=list)
+    parallel: bool = False
+    fail_prob: float = 0.0
+    retries: int = 0
+
+    def access_count(self) -> int:
+        """Total accesses in this block's subtree."""
+        total = 0
+        for step in self.steps:
+            if isinstance(step, AccessOp):
+                total += 1
+            else:
+                total += step.access_count()
+        return total
+
+
+@dataclass
+class Program:
+    """A top-level transaction script."""
+
+    body: Block
+    label: str = ""
+
+    def access_count(self) -> int:
+        return self.body.access_count()
+
+
+#: Per-ADT operation makers: read and write constructors, each drawing
+#: any payload randomness from the injected RNG.  One table for every
+#: workload layer (the service load generator keeps its own *wire*
+#: profiles -- ops there are JSON kind/args, not Operation objects).
+KIND_OPERATIONS = {
+    IntRegister: {
+        "read": lambda rng: IntRegister.read(),
+        "write": lambda rng: IntRegister.add(1),
+    },
+    Counter: {
+        "read": lambda rng: Counter.value(),
+        "write": lambda rng: Counter.increment(rng.randrange(1, 4)),
+    },
+    BankAccount: {
+        "read": lambda rng: BankAccount.balance(),
+        "write": lambda rng: (
+            BankAccount.deposit(rng.randrange(1, 20))
+            if rng.random() < 0.5
+            else BankAccount.withdraw(rng.randrange(1, 20))
+        ),
+    },
+    SetObject: {
+        "read": lambda rng: SetObject.contains(rng.randrange(8)),
+        "write": lambda rng: SetObject.insert(rng.randrange(8)),
+    },
+    KVMap: {
+        "read": lambda rng: KVMap.get("k%d" % rng.randrange(8)),
+        "write": lambda rng: KVMap.put(
+            "k%d" % rng.randrange(8), rng.randrange(1 << 8)
+        ),
+    },
+    FifoQueue: {
+        "read": lambda rng: FifoQueue.length(),
+        "write": lambda rng: FifoQueue.enqueue(rng.randrange(1 << 8)),
+    },
+}
+
+#: Population kinds a scenario spec may name, with their ObjectSpec
+#: factories.  ``commutative`` is Counter driven by effect-only bumps
+#: (the semantic-locking workload); it shares Counter's spec class.
+POPULATION_KINDS = {
+    "register": lambda name, initial: IntRegister(name, initial or 0),
+    "counter": lambda name, initial: Counter(name, initial or 0),
+    "commutative": lambda name, initial: Counter(name, initial or 0),
+    "bank": lambda name, initial: BankAccount(name, initial or 0),
+    "set": lambda name, initial: SetObject(name),
+    "kvmap": lambda name, initial: KVMap(name),
+    "queue": lambda name, initial: FifoQueue(name),
+}
+
+
+def random_access(
+    rng: random.Random,
+    names: Sequence[str],
+    kinds: Sequence,
+    weights: Sequence[float],
+    read_fraction: float,
+    access_time: float,
+) -> AccessOp:
+    """One seeded access over a weighted object population.
+
+    ``kinds[i]`` is the ADT class of ``names[i]``, or the string
+    ``"commutative"`` for bump-driven counters.  RNG consumption per
+    call is exactly: one weighted index draw, then one uniform
+    read/write roll, then whatever payload draws the chosen operation
+    maker performs -- the historical sequence of
+    ``repro.sim.workload._random_access``.
+    """
+    index = weighted_index(rng, weights)
+    name = names[index]
+    kind = kinds[index]
+    if kind == "commutative":
+        if rng.random() < read_fraction:
+            operation = Counter.value()
+        else:
+            operation = Counter.bump(rng.randrange(1, 4))
+        return AccessOp(name, operation, duration=access_time)
+    makers = KIND_OPERATIONS[kind]
+    if rng.random() < read_fraction:
+        operation = makers["read"](rng)
+    else:
+        operation = makers["write"](rng)
+    return AccessOp(name, operation, duration=access_time)

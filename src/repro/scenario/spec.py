@@ -1,0 +1,493 @@
+"""Scenario specifications: frozen dataclasses, TOML loading, validation.
+
+A :class:`ScenarioSpec` declares *what* a workload looks like --
+object populations (per-ADT, with zipfian hotspot skew), weighted
+transaction classes (each a nested fan-out topology with a read/write
+mix per tree level, think times, and failure injection), and an
+arrival process (closed loop or open-loop Poisson).  It says nothing
+about *how* the workload runs: the compiler lowers one spec onto any
+backend (:mod:`repro.scenario.backends`).
+
+Every constructor validates eagerly and raises :class:`ScenarioError`
+(a ``ValueError``) with a field-path message -- bad TOML surfaces as a
+typed error, never a traceback from deep inside the compiler.
+Specs are frozen: a loaded scenario can be shared between threads and
+reused across runs; vary a knob with :func:`dataclasses.replace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Optional, Tuple
+
+from repro.scenario.programs import POPULATION_KINDS
+
+__all__ = [
+    "Arrival",
+    "Level",
+    "Population",
+    "ScenarioError",
+    "ScenarioSpec",
+    "TxnClass",
+    "load_scenario",
+    "load_scenario_text",
+    "spec_from_dict",
+]
+
+
+class ScenarioError(ValueError):
+    """A scenario spec failed validation (bad TOML, bad field, ...)."""
+
+
+def _require(condition: bool, where: str, message: str) -> None:
+    if not condition:
+        raise ScenarioError("%s: %s" % (where, message))
+
+
+def _check_number(
+    value: Any, where: str, minimum: float = None, maximum: float = None
+) -> float:
+    _require(
+        isinstance(value, (int, float)) and not isinstance(value, bool),
+        where,
+        "expected a number, got %r" % (value,),
+    )
+    if minimum is not None:
+        _require(value >= minimum, where, "must be >= %s" % minimum)
+    if maximum is not None:
+        _require(value <= maximum, where, "must be <= %s" % maximum)
+    return value
+
+
+def _check_int(value: Any, where: str, minimum: int = None) -> int:
+    _require(
+        isinstance(value, int) and not isinstance(value, bool),
+        where,
+        "expected an integer, got %r" % (value,),
+    )
+    if minimum is not None:
+        _require(value >= minimum, where, "must be >= %s" % minimum)
+    return value
+
+
+@dataclass(frozen=True)
+class Population:
+    """A group of same-ADT objects, e.g. ``acct0 .. acct31``.
+
+    ``zipf_skew`` skews access *within* the population: rank 0
+    (``<name>0``) is the hottest object.  ``initial`` seeds the ADT's
+    starting value where that is meaningful (counters, bank balances).
+    """
+
+    name: str
+    kind: str = "register"
+    count: int = 16
+    initial: int = 0
+    zipf_skew: float = 0.0
+
+    def __post_init__(self) -> None:
+        where = "population %r" % (self.name,)
+        _require(
+            isinstance(self.name, str) and self.name.isidentifier(),
+            where,
+            "name must be an identifier, got %r" % (self.name,),
+        )
+        _require(
+            self.kind in POPULATION_KINDS,
+            where,
+            "unknown kind %r (choose from %s)"
+            % (self.kind, ", ".join(sorted(POPULATION_KINDS))),
+        )
+        _check_int(self.count, where + ".count", minimum=1)
+        _check_int(self.initial, where + ".initial")
+        _check_number(self.zipf_skew, where + ".zipf_skew", minimum=0.0)
+
+    def object_names(self) -> Tuple[str, ...]:
+        return tuple(
+            "%s%d" % (self.name, index) for index in range(self.count)
+        )
+
+
+@dataclass(frozen=True)
+class Level:
+    """One level of a transaction class's nested tree.
+
+    A node at this level performs ``accesses`` data accesses and (when
+    a deeper level exists) spawns ``fanout`` child subtransactions at
+    the next level, ``parallel`` or sequentially.  ``read_fraction``
+    and ``access_time`` set the level's read/write mix and per-access
+    duration -- a long-running analytic class is simply a level with
+    ``read_fraction = 1.0`` and a large ``access_time``; an OLTP write
+    burst is a level with a low read fraction and many short accesses.
+    ``population`` retargets this level's accesses at a different
+    population than the class default.  ``fail_prob`` aborts the
+    subtransaction after its work with that probability; ``retries``
+    is the parent's re-run budget.
+    """
+
+    fanout: int = 0
+    parallel: bool = False
+    accesses: int = 0
+    read_fraction: float = 0.5
+    access_time: float = 1.0
+    population: Optional[str] = None
+    fail_prob: float = 0.0
+    retries: int = 0
+
+    def __post_init__(self) -> None:
+        where = "level"
+        _check_int(self.fanout, where + ".fanout", minimum=0)
+        _require(
+            isinstance(self.parallel, bool),
+            where + ".parallel",
+            "expected a boolean, got %r" % (self.parallel,),
+        )
+        _check_int(self.accesses, where + ".accesses", minimum=0)
+        _check_number(
+            self.read_fraction,
+            where + ".read_fraction",
+            minimum=0.0,
+            maximum=1.0,
+        )
+        _check_number(self.access_time, where + ".access_time", minimum=0.0)
+        if self.population is not None:
+            _require(
+                isinstance(self.population, str),
+                where + ".population",
+                "expected a string, got %r" % (self.population,),
+            )
+        _check_number(
+            self.fail_prob, where + ".fail_prob", minimum=0.0, maximum=1.0
+        )
+        _check_int(self.retries, where + ".retries", minimum=0)
+
+
+@dataclass(frozen=True)
+class TxnClass:
+    """A weighted transaction class (an OLTP shape, an analytic scan, ...).
+
+    ``levels[0]`` is the top level; nesting depth is ``len(levels)``.
+    ``think_time`` is the client pause after each transaction of this
+    class (closed-loop backends).
+    """
+
+    name: str
+    weight: float = 1.0
+    population: Optional[str] = None
+    levels: Tuple[Level, ...] = (Level(accesses=2),)
+    think_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        where = "class %r" % (self.name,)
+        _require(
+            isinstance(self.name, str) and self.name != "",
+            where,
+            "name must be a non-empty string",
+        )
+        _check_number(self.weight, where + ".weight", minimum=0.0)
+        _require(
+            isinstance(self.levels, tuple) and len(self.levels) >= 1,
+            where,
+            "needs at least one level",
+        )
+        for level in self.levels:
+            _require(
+                isinstance(level, Level),
+                where,
+                "levels must be Level instances",
+            )
+        _require(
+            any(level.accesses > 0 for level in self.levels),
+            where,
+            "no level performs any accesses",
+        )
+        for index, level in enumerate(self.levels):
+            last = index == len(self.levels) - 1
+            if last:
+                _require(
+                    level.fanout == 0,
+                    where,
+                    "deepest level %d must have fanout 0" % index,
+                )
+            else:
+                _require(
+                    level.fanout >= 1,
+                    where,
+                    "level %d has deeper levels but fanout 0" % index,
+                )
+        _check_number(self.think_time, where + ".think_time", minimum=0.0)
+
+    @property
+    def depth(self) -> int:
+        return len(self.levels)
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """How transactions arrive.
+
+    ``closed``: ``clients`` concurrent slots, each running one
+    transaction at a time (``mpl`` in the simulator, worker threads on
+    the live backends).  ``poisson``: open-loop arrivals at ``rate``
+    per time unit; ``clients`` still caps in-flight concurrency on the
+    live backends (connection pool slots).
+    """
+
+    process: str = "closed"
+    clients: int = 8
+    rate: float = 100.0
+
+    def __post_init__(self) -> None:
+        where = "arrival"
+        _require(
+            self.process in ("closed", "poisson"),
+            where + ".process",
+            "must be 'closed' or 'poisson', got %r" % (self.process,),
+        )
+        _check_int(self.clients, where + ".clients", minimum=1)
+        _check_number(self.rate, where + ".rate", minimum=0.0)
+        if self.process == "poisson":
+            _require(self.rate > 0.0, where + ".rate", "must be > 0")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One complete declarative scenario."""
+
+    name: str
+    description: str = ""
+    transactions: int = 100
+    arrival: Arrival = field(default_factory=Arrival)
+    populations: Tuple[Population, ...] = ()
+    classes: Tuple[TxnClass, ...] = ()
+
+    def __post_init__(self) -> None:
+        where = "scenario %r" % (self.name,)
+        _require(
+            isinstance(self.name, str) and self.name != "",
+            "scenario",
+            "name must be a non-empty string",
+        )
+        _require(
+            isinstance(self.description, str),
+            where + ".description",
+            "expected a string",
+        )
+        _check_int(self.transactions, where + ".transactions", minimum=1)
+        _require(
+            isinstance(self.arrival, Arrival),
+            where,
+            "arrival must be an Arrival",
+        )
+        _require(
+            len(self.populations) >= 1, where, "needs >= 1 population"
+        )
+        _require(len(self.classes) >= 1, where, "needs >= 1 class")
+        seen = set()
+        for population in self.populations:
+            _require(
+                isinstance(population, Population),
+                where,
+                "populations must be Population instances",
+            )
+            _require(
+                population.name not in seen,
+                where,
+                "duplicate population %r" % population.name,
+            )
+            seen.add(population.name)
+        _require(
+            sum(cls.weight for cls in self.classes) > 0.0,
+            where,
+            "class weights sum to zero",
+        )
+        names = set()
+        for cls in self.classes:
+            _require(
+                isinstance(cls, TxnClass),
+                where,
+                "classes must be TxnClass instances",
+            )
+            _require(
+                cls.name not in names,
+                where,
+                "duplicate class %r" % cls.name,
+            )
+            names.add(cls.name)
+            targets = [cls.population] + [
+                level.population for level in cls.levels
+            ]
+            for target in targets:
+                _require(
+                    target is None or target in seen,
+                    where,
+                    "class %r targets unknown population %r"
+                    % (cls.name, target),
+                )
+
+    def population(self, name: Optional[str]) -> Population:
+        """Resolve a population reference (``None`` -> the first one)."""
+        if name is None:
+            return self.populations[0]
+        for population in self.populations:
+            if population.name == name:
+                return population
+        raise ScenarioError("unknown population %r" % (name,))
+
+
+# ----------------------------------------------------------------------
+# Dict / TOML loading
+# ----------------------------------------------------------------------
+def _build(cls, data: Any, where: str):
+    """Construct dataclass *cls* from a TOML table, strictly."""
+    _require(
+        isinstance(data, dict),
+        where,
+        "expected a table, got %r" % type(data).__name__,
+    )
+    allowed = {f.name for f in fields(cls)}
+    unknown = set(data) - allowed
+    _require(
+        not unknown,
+        where,
+        "unknown key(s) %s (allowed: %s)"
+        % (", ".join(sorted(unknown)), ", ".join(sorted(allowed))),
+    )
+    try:
+        return cls(**data)
+    except TypeError as exc:
+        raise ScenarioError("%s: %s" % (where, exc)) from None
+
+
+def spec_from_dict(data: Any) -> ScenarioSpec:
+    """Build and validate a :class:`ScenarioSpec` from plain data.
+
+    The shape mirrors the TOML layout: scalar scenario keys at the
+    top, an ``arrival`` table, ``population`` and ``class`` arrays of
+    tables, with ``level`` arrays inside each class.  Raises
+    :class:`ScenarioError` on any problem.
+    """
+    _require(
+        isinstance(data, dict),
+        "scenario",
+        "expected a table at the top level, got %r"
+        % type(data).__name__,
+    )
+    data = dict(data)
+    arrival = _build(Arrival, data.pop("arrival", {}), "arrival")
+    populations = data.pop("population", [])
+    _require(
+        isinstance(populations, list),
+        "population",
+        "expected an array of tables",
+    )
+    populations = tuple(
+        _build(Population, entry, "population[%d]" % index)
+        for index, entry in enumerate(populations)
+    )
+    classes_data = data.pop("class", [])
+    _require(
+        isinstance(classes_data, list),
+        "class",
+        "expected an array of tables",
+    )
+    classes = []
+    for index, entry in enumerate(classes_data):
+        where = "class[%d]" % index
+        _require(
+            isinstance(entry, dict),
+            where,
+            "expected a table, got %r" % type(entry).__name__,
+        )
+        entry = dict(entry)
+        levels_data = entry.pop("level", None)
+        if levels_data is not None:
+            _require(
+                isinstance(levels_data, list) and levels_data,
+                where + ".level",
+                "expected a non-empty array of tables",
+            )
+            entry["levels"] = tuple(
+                _build(Level, level, "%s.level[%d]" % (where, depth))
+                for depth, level in enumerate(levels_data)
+            )
+        classes.append(_build(TxnClass, entry, where))
+    data["arrival"] = arrival
+    data["populations"] = populations
+    data["classes"] = tuple(classes)
+    return _build(ScenarioSpec, data, "scenario")
+
+
+def load_scenario_text(text: str) -> ScenarioSpec:
+    """Parse scenario TOML source into a validated spec."""
+    try:
+        import tomllib
+    except ImportError as exc:  # pragma: no cover - py < 3.11
+        raise ScenarioError(
+            "TOML scenario loading needs Python >= 3.11 (tomllib); "
+            "build specs with spec_from_dict instead"
+        ) from exc
+    try:
+        data = tomllib.loads(text)
+    except tomllib.TOMLDecodeError as exc:
+        raise ScenarioError("invalid TOML: %s" % exc) from None
+    return spec_from_dict(data)
+
+
+def load_scenario(path: str) -> ScenarioSpec:
+    """Load a scenario spec from a TOML file."""
+    with open(path, "rb") as handle:
+        raw = handle.read()
+    try:
+        text = raw.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise ScenarioError("%s: not UTF-8 (%s)" % (path, exc)) from None
+    try:
+        return load_scenario_text(text)
+    except ScenarioError as exc:
+        raise ScenarioError("%s: %s" % (path, exc)) from None
+
+
+def _as_dict(spec: ScenarioSpec) -> Dict[str, Any]:
+    """The canonical plain-data form (used by digests and reports)."""
+    return {
+        "name": spec.name,
+        "transactions": spec.transactions,
+        "arrival": {
+            "process": spec.arrival.process,
+            "clients": spec.arrival.clients,
+            "rate": spec.arrival.rate,
+        },
+        "population": [
+            {
+                "name": population.name,
+                "kind": population.kind,
+                "count": population.count,
+                "initial": population.initial,
+                "zipf_skew": population.zipf_skew,
+            }
+            for population in spec.populations
+        ],
+        "class": [
+            {
+                "name": cls.name,
+                "weight": cls.weight,
+                "population": cls.population,
+                "think_time": cls.think_time,
+                "level": [
+                    {
+                        "fanout": level.fanout,
+                        "parallel": level.parallel,
+                        "accesses": level.accesses,
+                        "read_fraction": level.read_fraction,
+                        "access_time": level.access_time,
+                        "population": level.population,
+                        "fail_prob": level.fail_prob,
+                        "retries": level.retries,
+                    }
+                    for level in cls.levels
+                ],
+            }
+            for cls in spec.classes
+        ],
+    }

@@ -1,4 +1,4 @@
-"""Workload generation: nested-transaction program trees.
+"""Workload generation: nested-transaction program trees (legacy API).
 
 A :class:`Program` is a top-level transaction's script: a :class:`Block`
 of steps, each either an :class:`AccessOp` (touch one object for some
@@ -12,62 +12,47 @@ retry budget for their parent.
 :func:`make_workload` generates seeded random workloads: read fraction,
 Zipf-skewed object selection (hotspots), nesting depth/fan-out, failure
 injection.
+
+This module is now a thin shim: the tree classes and the per-ADT access
+generator live in :mod:`repro.scenario.programs` (shared with the
+declarative scenario compiler), and the samplers in
+:mod:`repro.core.sampling`.  The public surface and -- critically --
+the seeded output are unchanged: ``make_workload(seed, config)``
+consumes the exact RNG sequence it always has, byte-pinned by
+``tests/scenario/test_compiler.py``.  New workload shapes should be
+written as scenario specs (:mod:`repro.scenario`) instead of new knobs
+here.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Union
 
 from repro.adt import BankAccount, Counter, IntRegister, SetObject
-from repro.core.object_spec import ObjectSpec, Operation
+from repro.core.object_spec import ObjectSpec
+from repro.core.sampling import zipf_weights
+from repro.scenario.programs import (
+    KIND_OPERATIONS,
+    AccessOp,
+    Block,
+    Program,
+    random_access,
+)
 
+__all__ = [
+    "AccessOp",
+    "Block",
+    "Program",
+    "WorkloadConfig",
+    "make_store",
+    "make_workload",
+]
 
-@dataclass
-class AccessOp:
-    """One data access: which object, which operation, how long it takes."""
-
-    object_name: str
-    operation: Operation
-    duration: float = 1.0
-
-
-@dataclass
-class Block:
-    """A subtransaction: steps run in order (or in parallel).
-
-    ``fail_prob`` injects an abort after the block's work completes;
-    ``retries`` is how many times the parent re-runs the block (as a fresh
-    subtransaction, redoing the work) before giving up and treating the
-    child as aborted.
-    """
-
-    steps: List[Union["Block", AccessOp]] = field(default_factory=list)
-    parallel: bool = False
-    fail_prob: float = 0.0
-    retries: int = 0
-
-    def access_count(self) -> int:
-        """Total accesses in this block's subtree."""
-        total = 0
-        for step in self.steps:
-            if isinstance(step, AccessOp):
-                total += 1
-            else:
-                total += step.access_count()
-        return total
-
-
-@dataclass
-class Program:
-    """A top-level transaction script."""
-
-    body: Block
-    label: str = ""
-
-    def access_count(self) -> int:
-        return self.body.access_count()
+#: Back-compat aliases for the moved tables (old private names).
+_KIND_OPERATIONS = KIND_OPERATIONS
+_zipf_weights = zipf_weights
 
 
 @dataclass
@@ -116,81 +101,46 @@ def make_store(config: WorkloadConfig) -> List[ObjectSpec]:
     raise ValueError("unknown object_kind %r" % config.object_kind)
 
 
-_KIND_OPERATIONS = {
-    IntRegister: {
-        "read": lambda rng: IntRegister.read(),
-        "write": lambda rng: IntRegister.add(1),
-    },
-    Counter: {
-        "read": lambda rng: Counter.value(),
-        "write": lambda rng: Counter.increment(rng.randrange(1, 4)),
-    },
-    BankAccount: {
-        "read": lambda rng: BankAccount.balance(),
-        "write": lambda rng: (
-            BankAccount.deposit(rng.randrange(1, 20))
-            if rng.random() < 0.5
-            else BankAccount.withdraw(rng.randrange(1, 20))
-        ),
-    },
-    SetObject: {
-        "read": lambda rng: SetObject.contains(rng.randrange(8)),
-        "write": lambda rng: SetObject.insert(rng.randrange(8)),
-    },
-}
-
-
-def _zipf_weights(count: int, skew: float) -> List[float]:
-    if skew <= 0.0:
-        return [1.0] * count
-    return [1.0 / ((rank + 1) ** skew) for rank in range(count)]
-
-
-def _kind_of(config: WorkloadConfig, index: int) -> type:
+def _kinds_of(config: WorkloadConfig) -> tuple:
+    """The per-index ADT kind table ``random_access`` samples over."""
     if config.object_kind == "register":
-        return IntRegister
+        return tuple(IntRegister for _ in range(config.objects))
     if config.object_kind == "commutative":
-        return Counter
-    kinds = (IntRegister, Counter, BankAccount, SetObject)
-    return kinds[index % len(kinds)]
-
-
-def _random_access(
-    rng: random.Random,
-    config: WorkloadConfig,
-    weights: Sequence[float],
-) -> AccessOp:
-    index = rng.choices(range(config.objects), weights=weights, k=1)[0]
-    name = "r%d" % index
-    if config.object_kind == "commutative":
-        if rng.random() < config.read_fraction:
-            operation = Counter.value()
-        else:
-            operation = Counter.bump(rng.randrange(1, 4))
-        return AccessOp(name, operation, duration=config.access_time)
-    kind = _kind_of(config, index)
-    makers = _KIND_OPERATIONS[kind]
-    if rng.random() < config.read_fraction:
-        operation = makers["read"](rng)
-    else:
-        operation = makers["write"](rng)
-    return AccessOp(name, operation, duration=config.access_time)
+        return tuple("commutative" for _ in range(config.objects))
+    rotation = (IntRegister, Counter, BankAccount, SetObject)
+    return tuple(
+        rotation[index % len(rotation)]
+        for index in range(config.objects)
+    )
 
 
 def _random_block(
     rng: random.Random,
     config: WorkloadConfig,
+    names: Sequence[str],
+    kinds: Sequence,
     weights: Sequence[float],
     depth: int,
 ) -> Block:
     steps: List[Union[Block, AccessOp]] = []
     if depth <= 1:
         for _ in range(config.accesses_per_block):
-            steps.append(_random_access(rng, config, weights))
+            steps.append(
+                random_access(
+                    rng,
+                    names,
+                    kinds,
+                    weights,
+                    config.read_fraction,
+                    config.access_time,
+                )
+            )
     else:
         for _ in range(config.fanout):
             steps.append(
-                _random_block(rng, config, weights, depth - 1)
+                _random_block(
+                    rng, config, names, kinds, weights, depth - 1
+                )
             )
     return Block(
         steps=steps,
@@ -206,10 +156,14 @@ def make_workload(
     """Generate a seeded random workload."""
     config = config or WorkloadConfig()
     rng = random.Random(seed)
-    weights = _zipf_weights(config.objects, config.zipf_skew)
+    names = tuple("r%d" % index for index in range(config.objects))
+    kinds = _kinds_of(config)
+    weights = zipf_weights(config.objects, config.zipf_skew)
     programs = []
     for index in range(config.programs):
-        body = _random_block(rng, config, weights, config.depth)
+        body = _random_block(
+            rng, config, names, kinds, weights, config.depth
+        )
         # The top level itself never carries injected failure: aborting the
         # whole program models a client error, not a subtransaction fault.
         body.fail_prob = 0.0

@@ -1,0 +1,106 @@
+"""The shared seeded samplers (`repro.core.sampling`).
+
+The dedupe contract: every call site that moved here must see exactly
+the values (and the RNG consumption) of the inline code it replaced.
+The pinned-weights and ladder-equivalence tests below are that proof.
+"""
+
+import random
+
+from repro.core.sampling import (
+    RngStreams,
+    threshold_index,
+    weighted_index,
+    zipf_weights,
+)
+
+#: zipf_weights(8, 0.9) as computed by the historical
+#: ``repro.sim.workload._zipf_weights`` formula -- pinned so a formula
+#: "cleanup" cannot silently reshuffle every seeded workload.
+_PINNED_ZIPF_8_09 = [
+    1.0,
+    1.0 / (2 ** 0.9),
+    1.0 / (3 ** 0.9),
+    1.0 / (4 ** 0.9),
+    1.0 / (5 ** 0.9),
+    1.0 / (6 ** 0.9),
+    1.0 / (7 ** 0.9),
+    1.0 / (8 ** 0.9),
+]
+
+
+class TestZipfWeights:
+    def test_pinned_values(self):
+        assert zipf_weights(8, 0.9) == _PINNED_ZIPF_8_09
+
+    def test_uniform_when_skew_zero(self):
+        assert zipf_weights(5, 0.0) == [1.0] * 5
+        assert zipf_weights(5, -1.0) == [1.0] * 5
+
+    def test_monotone_decreasing(self):
+        weights = zipf_weights(6, 1.2)
+        assert weights == sorted(weights, reverse=True)
+        assert weights[0] == 1.0
+
+
+class TestWeightedIndex:
+    def test_matches_legacy_choices_call(self):
+        """Byte-compat: same rng state -> same draw as the inline
+        ``rng.choices(range(n), weights=w, k=1)[0]`` it replaced."""
+        weights = zipf_weights(16, 0.9)
+        a, b = random.Random(123), random.Random(123)
+        for _ in range(200):
+            legacy = a.choices(
+                range(16), weights=weights, k=1
+            )[0]
+            assert weighted_index(b, weights) == legacy
+
+    def test_degenerate_single(self):
+        assert weighted_index(random.Random(0), [1.0]) == 0
+
+
+class TestThresholdIndex:
+    def test_matches_legacy_ladder(self):
+        """Byte-compat with obs.workloads' historical inline ladder:
+        roll < 0.7 -> 0, roll < 0.9 -> 1, else 2."""
+        a, b = random.Random(77), random.Random(77)
+        for _ in range(500):
+            roll = a.random()
+            legacy = 0 if roll < 0.7 else 1 if roll < 0.9 else 2
+            assert threshold_index(b, (0.7, 0.9)) == legacy
+
+    def test_boundary_roll_on_cut(self):
+        class Fixed:
+            def random(self):
+                return 0.7
+
+        # bisect_right: a roll equal to the cut falls in the upper
+        # bucket, matching the strict ``<`` ladder it replaced.
+        assert threshold_index(Fixed(), (0.7, 0.9)) == 1
+
+    def test_empty_cuts(self):
+        assert threshold_index(random.Random(0), ()) == 0
+
+
+class TestRngStreams:
+    def test_streams_are_independent(self):
+        streams = RngStreams(42)
+        ops_draws = [streams.stream("ops").random() for _ in range(3)]
+        # Drawing from one stream never perturbs another: fresh stream
+        # objects always restart the named sequence.
+        streams.stream("class").random()
+        assert [
+            streams.stream("ops").random() for _ in range(3)
+        ] == ops_draws
+
+    def test_distinct_names_distinct_sequences(self):
+        streams = RngStreams(1)
+        assert (
+            streams.stream("a").random() != streams.stream("b").random()
+        )
+
+    def test_seed_changes_every_stream(self):
+        assert (
+            RngStreams(1).stream("ops").random()
+            != RngStreams(2).stream("ops").random()
+        )

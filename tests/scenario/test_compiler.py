@@ -1,0 +1,191 @@
+"""Compiler determinism, stream independence, and the legacy byte-pins.
+
+The pinned digests at the bottom were captured from the pre-refactor
+``repro.sim.workload.make_workload`` (the code that generated every
+seeded workload in this repo's history).  The shim must keep producing
+exactly those streams; a digest change here means every EXPERIMENTS
+number silently shifted.
+"""
+
+import dataclasses
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.scenario import compile_scenario, load_scenario_text
+from repro.scenario.compiler import workload_digest
+from repro.sim.workload import WorkloadConfig, make_workload
+
+SPEC = load_scenario_text(
+    """
+name = "det"
+transactions = 40
+
+[arrival]
+process = "closed"
+clients = 4
+
+[[population]]
+name = "obj"
+kind = "mixed_probe"
+count = 8
+zipf_skew = 0.7
+
+[[class]]
+name = "oltp"
+weight = 3.0
+
+[[class.level]]
+fanout = 2
+accesses = 1
+read_fraction = 0.2
+
+[[class.level]]
+accesses = 2
+fail_prob = 0.2
+retries = 1
+
+[[class]]
+name = "scan"
+weight = 1.0
+think_time = 1.0
+
+[[class.level]]
+accesses = 6
+read_fraction = 1.0
+access_time = 2.0
+""".replace("mixed_probe", "bank")
+)
+
+
+class TestDeterminism:
+    def test_same_spec_seed_same_digest(self):
+        assert (
+            compile_scenario(SPEC, 11).digest()
+            == compile_scenario(SPEC, 11).digest()
+        )
+
+    def test_different_seed_different_digest(self):
+        assert (
+            compile_scenario(SPEC, 11).digest()
+            != compile_scenario(SPEC, 12).digest()
+        )
+
+    def test_prefix_property(self):
+        """The first N transactions of a longer compile are identical
+        to a compile asked for N (quick benchmark modes rely on it)."""
+        full = compile_scenario(SPEC, 5)
+        short = compile_scenario(SPEC, 5, transactions=7)
+        assert short.class_names == full.class_names[:7]
+        assert [p.label for p in short.programs] == [
+            p.label for p in full.programs[:7]
+        ]
+        assert (
+            workload_digest(short.programs)
+            == workload_digest(full.programs[:7])
+        )
+
+    def test_arrival_stream_independent_of_ops(self):
+        """Switching closed -> poisson must not change which objects
+        the transactions touch (named streams are independent)."""
+        open_spec = dataclasses.replace(
+            SPEC,
+            arrival=dataclasses.replace(
+                SPEC.arrival, process="poisson", rate=2.0
+            ),
+        )
+        closed = compile_scenario(SPEC, 9)
+        opened = compile_scenario(open_spec, 9)
+        assert closed.arrival_offsets is None
+        assert opened.arrival_offsets is not None
+        assert len(opened.arrival_offsets) == len(opened.programs)
+        assert workload_digest(closed.programs) == workload_digest(
+            opened.programs
+        )
+
+    def test_think_times_follow_class(self):
+        compiled = compile_scenario(SPEC, 3)
+        for name, think in zip(
+            compiled.class_names, compiled.think_times
+        ):
+            assert think == (1.0 if name == "scan" else 0.0)
+
+    @settings(
+        max_examples=20,
+        suppress_health_check=[HealthCheck.too_slow],
+        deadline=None,
+    )
+    @given(seed=st.integers(min_value=0, max_value=2 ** 32))
+    def test_digest_stable_across_recompiles(self, seed):
+        a = compile_scenario(SPEC, seed, transactions=6)
+        b = compile_scenario(SPEC, seed, transactions=6)
+        assert a.digest() == b.digest()
+
+
+class TestTopLevelConvention:
+    def test_top_block_never_fails(self):
+        """Top-level bodies carry no injected failure (the legacy
+        make_workload convention, kept by the compiler)."""
+        for program in compile_scenario(SPEC, 2).programs:
+            assert program.body.fail_prob == 0.0
+            assert program.body.retries == 0
+
+
+#: SHA-256 digests of make_workload's output captured from the
+#: pre-refactor implementation (git history: the version before
+#: repro.scenario existed).  (seed, config kwargs) -> digest.
+_LEGACY_PINS = [
+    (
+        1,
+        {},
+        "646a550eae6c5c7894410b188fc8ea80"
+        "fdd511730aa595a67752e9748b563cc1",
+    ),
+    (
+        7,
+        dict(
+            programs=30,
+            objects=12,
+            zipf_skew=0.9,
+            depth=3,
+            fanout=2,
+            object_kind="mixed",
+            fail_prob=0.2,
+            retries=2,
+        ),
+        "feb6d815a2f915f5559d44e672c004ec"
+        "5e987e40465f97bf988c8192831b7983",
+    ),
+    (
+        42,
+        dict(object_kind="commutative", read_fraction=0.3),
+        "e129b47a5a2f327267987d87124a1e2d"
+        "c61a10b16084225cba0eec70f6a424b1",
+    ),
+    (
+        13,
+        dict(programs=20, objects=8, depth=1, parallel_blocks=False),
+        "5fa69676955180cf772152b809ce1932"
+        "1cb4cb95e3c131516e53c28826e69136",
+    ),
+]
+
+
+class TestLegacyBytePins:
+    def test_make_workload_byte_pinned(self):
+        for seed, kwargs, expected in _LEGACY_PINS:
+            programs = make_workload(seed, WorkloadConfig(**kwargs))
+            assert workload_digest(programs) == expected, (
+                "make_workload(%d, %r) drifted from its pre-refactor "
+                "output" % (seed, kwargs)
+            )
+
+    def test_shim_reexports_tree_classes(self):
+        """One class set everywhere: the sim runner's isinstance
+        checks must see scenario-compiled programs as its own."""
+        import repro.scenario.programs as programs
+        import repro.sim.workload as workload
+
+        assert workload.AccessOp is programs.AccessOp
+        assert workload.Block is programs.Block
+        assert workload.Program is programs.Program

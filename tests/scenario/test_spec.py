@@ -1,0 +1,223 @@
+"""Spec validation: bad TOML surfaces as ScenarioError, never a
+traceback from deeper in the stack.
+
+The Hypothesis properties fuzz both the TOML text layer and the plain
+data layer; any exception other than :class:`ScenarioError` escaping
+``load_scenario_text`` / ``spec_from_dict`` is a bug.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.scenario import (
+    Arrival,
+    Level,
+    Population,
+    ScenarioError,
+    ScenarioSpec,
+    TxnClass,
+    load_scenario_text,
+    spec_from_dict,
+)
+
+VALID_TOML = """
+name = "t"
+transactions = 10
+
+[arrival]
+process = "closed"
+clients = 4
+
+[[population]]
+name = "obj"
+kind = "counter"
+count = 4
+
+[[class]]
+name = "work"
+
+[[class.level]]
+accesses = 2
+"""
+
+
+class TestLoading:
+    def test_valid_toml_loads(self):
+        spec = load_scenario_text(VALID_TOML)
+        assert spec.name == "t"
+        assert spec.transactions == 10
+        assert spec.populations[0].kind == "counter"
+        assert spec.classes[0].levels[0].accesses == 2
+
+    def test_invalid_toml_syntax(self):
+        with pytest.raises(ScenarioError, match="invalid TOML"):
+            load_scenario_text("name = [unclosed")
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown key"):
+            load_scenario_text(VALID_TOML + "\nbogus_key = 1\n")
+
+    def test_unknown_population_kind(self):
+        with pytest.raises(ScenarioError, match="unknown kind"):
+            spec_from_dict(
+                {
+                    "name": "t",
+                    "population": [{"name": "p", "kind": "blob"}],
+                    "class": [{"name": "c"}],
+                }
+            )
+
+    def test_unknown_population_reference(self):
+        with pytest.raises(ScenarioError, match="unknown population"):
+            spec_from_dict(
+                {
+                    "name": "t",
+                    "population": [{"name": "p"}],
+                    "class": [{"name": "c", "population": "nope"}],
+                }
+            )
+
+    def test_fanout_zero_with_deeper_levels(self):
+        with pytest.raises(ScenarioError, match="fanout 0"):
+            spec_from_dict(
+                {
+                    "name": "t",
+                    "population": [{"name": "p"}],
+                    "class": [
+                        {
+                            "name": "c",
+                            "level": [
+                                {"accesses": 1},
+                                {"accesses": 1},
+                            ],
+                        }
+                    ],
+                }
+            )
+
+    def test_deepest_level_must_not_fan_out(self):
+        with pytest.raises(ScenarioError, match="deepest level"):
+            spec_from_dict(
+                {
+                    "name": "t",
+                    "population": [{"name": "p"}],
+                    "class": [
+                        {"name": "c", "level": [{"accesses": 1,
+                                                 "fanout": 2}]}
+                    ],
+                }
+            )
+
+    def test_duplicate_class_names(self):
+        with pytest.raises(ScenarioError, match="duplicate class"):
+            spec_from_dict(
+                {
+                    "name": "t",
+                    "population": [{"name": "p"}],
+                    "class": [{"name": "c"}, {"name": "c"}],
+                }
+            )
+
+    def test_poisson_needs_positive_rate(self):
+        with pytest.raises(ScenarioError, match="rate"):
+            spec_from_dict(
+                {
+                    "name": "t",
+                    "arrival": {"process": "poisson", "rate": 0.0},
+                    "population": [{"name": "p"}],
+                    "class": [{"name": "c"}],
+                }
+            )
+
+    def test_specs_are_frozen_and_hashable(self):
+        spec = load_scenario_text(VALID_TOML)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            spec.transactions = 5
+        assert hash(spec) == hash(load_scenario_text(VALID_TOML))
+
+    def test_direct_construction_validates_too(self):
+        with pytest.raises(ScenarioError):
+            Population(name="p", count=0)
+        with pytest.raises(ScenarioError):
+            Level(read_fraction=1.5)
+        with pytest.raises(ScenarioError):
+            Arrival(process="sometimes")
+        with pytest.raises(ScenarioError):
+            TxnClass(name="c", levels=(Level(accesses=0),))
+        with pytest.raises(ScenarioError):
+            ScenarioSpec(name="t", populations=(), classes=())
+
+
+# Printable-ish text keeps the corpus focused on structural breakage
+# rather than TOML's (separately tested) unicode handling.
+_text = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+    max_size=30,
+)
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10 ** 6), max_value=10 ** 6),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    _text,
+)
+_data = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(_text, children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+class TestProperties:
+    @settings(
+        max_examples=150,
+        suppress_health_check=[HealthCheck.too_slow],
+        deadline=None,
+    )
+    @given(data=_data)
+    def test_spec_from_dict_raises_only_scenario_error(self, data):
+        try:
+            spec = spec_from_dict(data)
+        except ScenarioError:
+            return
+        assert isinstance(spec, ScenarioSpec)
+
+    @settings(
+        max_examples=100,
+        suppress_health_check=[HealthCheck.too_slow],
+        deadline=None,
+    )
+    @given(text=_text)
+    def test_load_text_raises_only_scenario_error(self, text):
+        try:
+            load_scenario_text(text)
+        except ScenarioError:
+            return
+
+    @settings(
+        max_examples=60,
+        suppress_health_check=[HealthCheck.too_slow],
+        deadline=None,
+    )
+    @given(
+        key=st.sampled_from(
+            ["transactions", "name", "arrival", "population", "class"]
+        ),
+        value=_scalars,
+    )
+    def test_mutated_valid_spec_never_tracebacks(self, key, value):
+        """Corrupt one top-level field of a known-good spec."""
+        import tomllib
+
+        data = tomllib.loads(VALID_TOML)
+        data[key] = value
+        try:
+            spec_from_dict(data)
+        except ScenarioError:
+            pass

@@ -186,11 +186,14 @@ class TestCommands:
         assert records[-2]["type"] == "metrics"
         assert records[-1]["type"] == "contention"
 
-    def test_trace_rejects_unknown_workload(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(
-                ["trace", "--workload", "frobnicate"]
-            )
+    def test_trace_rejects_unknown_workload(self, capsys):
+        # Workload names are resolved at run time (scenario:<name>
+        # entries are dynamic), so rejection is exit code 2, not a
+        # parse-time SystemExit.
+        code = main(["trace", "--workload", "frobnicate"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "unknown workload" in captured.err
 
     def test_top_prints_contention_table(self, capsys):
         code = main(
