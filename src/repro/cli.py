@@ -525,8 +525,43 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _is_sharded_wal_layout(path: str) -> bool:
+    """True when *path* looks like a ShardedEngine WAL directory."""
+    import glob
+    import os
+
+    if not os.path.isdir(path):
+        return False
+    return bool(glob.glob(os.path.join(path, "shard-*")))
+
+
 def _cmd_recover(args: argparse.Namespace) -> int:
+    from repro.errors import EngineError
     from repro.wal import RecoveryError, recover
+
+    if _is_sharded_wal_layout(args.log):
+        from repro.shard import recover_sharded
+
+        try:
+            sharded = recover_sharded(
+                args.log, presume_abort=not args.no_presume_abort
+            )
+        except OSError as exc:
+            print("repro recover: %s" % exc, file=sys.stderr)
+            return 2
+        except (RecoveryError, EngineError) as exc:
+            print("repro recover: %s" % exc, file=sys.stderr)
+            return 4
+        rendered = sharded.render()
+        print(rendered)
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(rendered)
+                handle.write("\n")
+            print("recovery report : %s" % args.out)
+        if sharded.verdict == "partial":
+            return 1
+        return 0
 
     try:
         state = recover(args.log, presume_abort=not args.no_presume_abort)
@@ -612,13 +647,38 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except ValueError as exc:  # bad --scenario reference or TOML
         print("repro serve: %s" % exc, file=sys.stderr)
         return 2
+    facade = None
+    if args.sharded:
+        from repro.shard import ShardedEngine
+
+        placement = None
+        if getattr(args, "scenario", None):
+            placement = (
+                _load_scenario_ref(args.scenario).placement_map() or None
+            )
+        try:
+            facade = ShardedEngine(
+                specs,
+                policy=args.scheme,
+                workers=args.shard_workers,
+                placement=placement,
+            )
+            if args.wal_dir:
+                facade.attach_wal(
+                    wal_dir=args.wal_dir,
+                    group_ms=args.wal_group_ms,
+                )
+        except (EngineError, OSError) as exc:
+            print("repro serve: %s" % exc, file=sys.stderr)
+            return 2
     server = TransactionServer(
         specs,
         args.scheme,
         config=config,
         stripes=args.stripes,
+        facade=facade,
     )
-    if args.wal_dir:
+    if args.wal_dir and facade is None:
         from repro.wal import FileWalSink
 
         try:
@@ -628,6 +688,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             return 2
     if args.audit:
         server.attach_auditor()
+    if facade is not None:
+        try:
+            facade.start()
+        except (EngineError, OSError) as exc:
+            print("repro serve: %s" % exc, file=sys.stderr)
+            facade.close()
+            return 2
 
     async def main() -> int:
         try:
@@ -637,17 +704,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             return 2
         # One parseable line, flushed before load arrives: wrappers
         # (tests, the serve-smoke CI job) read the bound port here.
-        print(
-            "serving on %s:%d scheme=%s objects=%d protocol=%d"
-            % (
-                host,
-                port,
-                server.facade.scheme.name,
-                len(server.object_names),
-                PROTOCOL_VERSION,
-            ),
-            flush=True,
+        line = "serving on %s:%d scheme=%s objects=%d protocol=%d" % (
+            host,
+            port,
+            server.facade.scheme.name,
+            len(server.object_names),
+            PROTOCOL_VERSION,
         )
+        if facade is not None:
+            line += " shards=%d" % facade.shards
+        print(line, flush=True)
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()
         for signum in (signal.SIGINT, signal.SIGTERM):
@@ -674,6 +740,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         code = asyncio.run(main())
     except KeyboardInterrupt:  # pragma: no cover - teardown race
         code = 0
+    finally:
+        if facade is not None:
+            facade.close()
     if code:
         return code
     stats = server.stats()
@@ -876,6 +945,8 @@ def _scenario_run(args: argparse.Namespace) -> int:
     if args.port is not None:
         options["host"] = args.host
         options["port"] = args.port
+    if args.workers is not None:
+        options["workers"] = args.workers
     results = []
     for backend in backends:
         driver = get_driver(backend)
@@ -886,18 +957,23 @@ def _scenario_run(args: argparse.Namespace) -> int:
     else:
         # League table: one row per backend x scheme combination.
         header = (
-            "backend", "scheme", "committed", "aborted", "retries",
-            "throughput", "p95_lat",
+            "backend", "scheme", "committed", "aborted", "txn_abort",
+            "retries", "throughput", "p95_lat",
         )
         print("scenario %s, seed %d, digest %s"
               % (spec.name, args.seed, compiled.digest()[:16]))
         print("  ".join("%-10s" % column for column in header))
         for result in results:
+            # Engine-decided aborts, where the driver distinguishes
+            # them from admission sheds / lock denials ("-" where it
+            # cannot: sim and dist count only engine aborts already).
+            txn_aborted = result.extras.get("txn_aborted")
             row = (
                 result.backend,
                 result.scheme,
                 str(result.committed),
                 str(result.aborted),
+                "-" if txn_aborted is None else str(txn_aborted),
                 str(result.retries),
                 "%.3f" % result.throughput,
                 "%.2f" % result.latency(0.95),
@@ -1250,8 +1326,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="reap connections idle this many seconds (default: never)",
     )
     serve.add_argument(
+        "--sharded", action="store_true",
+        help=(
+            "back the service with the multiprocess sharded engine "
+            "(spawn workers + cross-shard 2PC) instead of the "
+            "striped in-process facade"
+        ),
+    )
+    serve.add_argument(
+        "--shard-workers", type=int, default=None,
+        help="sharded: worker process count (default: auto)",
+    )
+    serve.add_argument(
+        "--wal-group-ms", type=float, default=None,
+        help=(
+            "sharded: group-commit window in milliseconds for the "
+            "per-shard WAL sinks (default: fsync per flush)"
+        ),
+    )
+    serve.add_argument(
         "--wal-dir",
-        help="attach a file write-ahead log in this directory",
+        help=(
+            "attach a file write-ahead log in this directory "
+            "(sharded: per-shard segments under shard-NN/ plus "
+            "coordinator decisions under coord/)"
+        ),
     )
     serve.add_argument(
         "--audit", action="store_true",
@@ -1357,13 +1456,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend",
         dest="backends",
         default="sim",
-        help="comma list of backends: sim, threadsafe, dist, serve",
+        help=(
+            "comma list of backends: sim, threadsafe, sharded, "
+            "dist, serve"
+        ),
     )
     scenario_run.add_argument(
         "--scheme",
         dest="schemes",
         default="moss-rw",
         help="comma list of registered schemes",
+    )
+    scenario_run.add_argument(
+        "--workers", type=int, default=None,
+        help=(
+            "threadsafe/sharded backends: worker thread or shard "
+            "process count (default: backend-specific)"
+        ),
     )
     scenario_run.add_argument(
         "--host", default="127.0.0.1",

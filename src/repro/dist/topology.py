@@ -67,14 +67,27 @@ def uniform_topology(
     sites: int,
     one_way_latency: float = 1.0,
     seed: Optional[int] = None,
+    affinities: Optional[Dict[str, int]] = None,
 ) -> Topology:
-    """Spread objects over *sites* (round-robin, or shuffled by *seed*)."""
+    """Spread objects over *sites* (round-robin, or shuffled by *seed*).
+
+    *affinities* (e.g. a scenario spec's ``placement_map()``) pins the
+    named objects to ``affinity % sites``; the rest still spread
+    round-robin over all sites.
+    """
     names: List[str] = list(object_names)
     if seed is not None:
         random.Random(seed).shuffle(names)
-    placement = {
-        name: index % sites for index, name in enumerate(names)
-    }
+    affinities = affinities or {}
+    placement = {}
+    index = 0
+    for name in names:
+        affinity = affinities.get(name)
+        if affinity is not None:
+            placement[name] = affinity % sites
+        else:
+            placement[name] = index % sites
+            index += 1
     return Topology(
         sites=sites,
         placement=placement,

@@ -115,6 +115,13 @@ class Engine:
         # Optional write-ahead log (attach_wal); one attribute lookup
         # per transition when absent, like `obs`.
         self._wal = None
+        # Group-commit seam: a concurrency facade that holds coarse
+        # locks around commit/abort sets `wal_defers` so the top-level
+        # flush is only *ticketed* here (``pending_flush`` holds the
+        # waiter) and awaited by the facade after its locks release --
+        # otherwise concurrent flush waits could never overlap.
+        self.wal_defers = False
+        self.pending_flush = None
         # Bumped by every abort; lets _check_not_orphan cache clean
         # ancestor walks per handle between aborts.
         self._abort_epoch = 0
@@ -445,7 +452,10 @@ class Engine:
             if txn.is_top_level:
                 # Top-level commits are the durability points: a crash
                 # after the flush returns must preserve this commit.
-                wal.flush()
+                if self.wal_defers:
+                    self.pending_flush = wal.flush_async()
+                else:
+                    wal.flush()
 
     def _abort(self, txn: Transaction) -> None:
         if self.policy.escalates_aborts and not txn.is_top_level:
@@ -470,7 +480,10 @@ class Engine:
             # same way), but logging them keeps replay exact.
             wal.log_abort(txn.name)
             if txn.is_top_level:
-                wal.flush()
+                if self.wal_defers:
+                    self.pending_flush = wal.flush_async()
+                else:
+                    wal.flush()
 
     def _mark_aborted_subtree(
         self, txn: Transaction, root: bool = True

@@ -375,9 +375,20 @@ class ThreadSafeEngine:
                 % self.scheme.name
             )
         with self._mutex:
-            return attach(
+            attached = attach(
                 wal=wal, sink=sink, segment_bytes=segment_bytes
             )
+            # Group-commit sinks coalesce fsyncs across concurrent
+            # committers, but only if their flush *waits* overlap --
+            # impossible inside this facade's commit locks.  Defer:
+            # the engine tickets the flush during commit and the
+            # facade awaits it after releasing its locks.
+            sink_obj = getattr(attached, "sink", None)
+            if hasattr(sink_obj, "flush_begin") and hasattr(
+                self._engine, "wal_defers"
+            ):
+                self._engine.wal_defers = True
+            return attached
 
     def install_hooks(self, hooks) -> None:
         """Install (or clear, with ``None``) the scheduler hooks.
@@ -416,42 +427,58 @@ class ThreadSafeEngine:
         top = tuple(name)[:1]
         if not top:
             return False
-        if self._striped and self._hooks is None:
+        pending = []
+        try:
+            if self._striped and self._hooks is None:
 
-            def try_abort():
-                # Under the mutex plus every stripe (structural op).
-                table = (
-                    self._engine.transactions  # repro-lint: ignore[CD002]
+                def try_abort():
+                    # Under the mutex plus every stripe (structural
+                    # op).
+                    table = (
+                        self._engine.transactions  # repro-lint: ignore[CD002]
+                    )
+                    victim = table.get(top)
+                    if victim is None or not victim.is_active:
+                        return False
+                    obs = self._obs
+                    if obs is not None and cause is not None:
+                        obs.mark_abort_cause(top, cause)
+                    try:
+                        victim.abort()
+                    finally:
+                        waiter = self._pop_pending_flush()
+                        if waiter is not None:
+                            pending.append(waiter)
+                    return True
+
+                def released_stripes():
+                    touched = self._touched.pop(top, None)
+                    if not touched:
+                        return ()
+                    return sorted(touched)
+
+                return self._run_structural(
+                    try_abort, bump="if-true", stripes=released_stripes
                 )
-                victim = table.get(top)
+            with self._mutex:
+                victim = self._engine.transactions.get(top)
                 if victim is None or not victim.is_active:
                     return False
                 obs = self._obs
                 if obs is not None and cause is not None:
                     obs.mark_abort_cause(top, cause)
-                victim.abort()
+                try:
+                    victim.abort()
+                finally:
+                    waiter = self._pop_pending_flush()
+                    if waiter is not None:
+                        pending.append(waiter)
+                self._touched.pop(top, None)
+                self._released.notify_all()
                 return True
-
-            def released_stripes():
-                touched = self._touched.pop(top, None)
-                if not touched:
-                    return ()
-                return sorted(touched)
-
-            return self._run_structural(
-                try_abort, bump="if-true", stripes=released_stripes
-            )
-        with self._mutex:
-            victim = self._engine.transactions.get(top)
-            if victim is None or not victim.is_active:
-                return False
-            obs = self._obs
-            if obs is not None and cause is not None:
-                obs.mark_abort_cause(top, cause)
-            victim.abort()
-            self._touched.pop(top, None)
-            self._released.notify_all()
-            return True
+        finally:
+            for waiter in pending:
+                waiter()
 
     def object_value(self, object_name: str) -> Any:
         if self._striped:
@@ -549,8 +576,47 @@ class ThreadSafeEngine:
             inner.abort()
         return True
 
+    def _pop_pending_flush(self):
+        """Pop the engine's deferred-flush waiter; locks held.
+
+        Must run inside the same locked section as the finish that
+        ticketed it -- a pop after the locks release could steal a
+        *later* committer's waiter and leave that commit acknowledged
+        before its fsync.  Waiters left un-popped (a wound-path abort
+        whose slot a later finish overwrites) are harmless: the group
+        sink's syncer services every ticket whether or not anyone
+        waits on it.
+        """
+        # getattr: alternative engines (MVTO) have no deferred-flush
+        # seam and never set `wal_defers`, so there is nothing to pop.
+        waiter = getattr(  # repro-lint: ignore[CD002]
+            self._engine, "pending_flush", None
+        )
+        if waiter is not None:
+            self._engine.pending_flush = None  # repro-lint: ignore[CD002]
+        return waiter
+
     def _finish(self, inner: Transaction, action: str, value: Any) -> None:
         """Commit or abort *inner* under the active regime's locks."""
+        pending = []
+
+        def apply():
+            try:
+                return self._apply_finish(inner, action, value)
+            finally:
+                waiter = self._pop_pending_flush()
+                if waiter is not None:
+                    pending.append(waiter)
+
+        try:
+            self._finish_locked(inner, apply)
+        finally:
+            # Await the group fsync *outside* the locks, so concurrent
+            # committers' waits overlap and share one fsync.
+            for waiter in pending:
+                waiter()
+
+    def _finish_locked(self, inner: Transaction, apply) -> None:
         if self._striped and self._hooks is None:
             # Names are immutable after construction.
             name = inner.name  # repro-lint: ignore[CD002]
@@ -574,13 +640,11 @@ class ThreadSafeEngine:
                 return sorted(touched)
 
             self._run_structural(
-                lambda: self._apply_finish(inner, action, value),
-                bump="if-true",
-                stripes=released_stripes,
+                apply, bump="if-true", stripes=released_stripes
             )
             return
         with self._mutex:
-            if self._apply_finish(inner, action, value):
+            if apply():
                 self._released.notify_all()
 
     # ------------------------------------------------------------------

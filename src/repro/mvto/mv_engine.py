@@ -108,14 +108,34 @@ class MVTOEngine:
     # ------------------------------------------------------------------
     # Handles (same protocol as repro.engine.Engine)
     # ------------------------------------------------------------------
-    def begin_top(self, at: Optional[float] = None) -> Transaction:
+    def begin_top(
+        self, at: Optional[float] = None, ts: Optional[int] = None
+    ) -> Transaction:
+        """Begin a top-level tree; optional *ts* pins its timestamp.
+
+        By default timestamps are assigned in local admission order.
+        A caller that spans several engines (the sharded coordinator)
+        passes an explicit *ts* instead, so every engine serializes
+        the same tree at the same position -- the cross-engine orders
+        then compose into one order.  Pinned timestamps must be fresh
+        and, like the default, are consumed monotonically.
+        """
+        if ts is not None:
+            if ts in self._ts_owner:
+                raise EngineError(
+                    "timestamp %d is already owned by %r"
+                    % (ts, self._ts_owner[ts])
+                )
+            self._next_ts = max(self._next_ts, ts + 1)
         name = (self._next_top,)
         self._next_top += 1
         txn = Transaction(self, name, parent=None)
         self.transactions[name] = txn
-        self.started_at[name] = at if at is not None else float(self._next_ts)
-        ts = self._next_ts
-        self._next_ts += 1
+        started = ts if ts is not None else self._next_ts
+        self.started_at[name] = at if at is not None else float(started)
+        if ts is None:
+            ts = self._next_ts
+            self._next_ts += 1
         self._tree_ts[name] = ts
         self._ts_owner[ts] = name
         obs = self.obs

@@ -2,7 +2,7 @@
 
 Every backend implements the same small protocol::
 
-    driver = get_driver("sim")            # sim | threadsafe | dist | serve
+    driver = get_driver("sim")     # sim | threadsafe | sharded | dist | serve
     result = driver.run(compiled, scheme="moss-rw", seed=3, ...)
 
 and returns a :class:`ScenarioResult` -- committed counts, throughput,
@@ -20,6 +20,9 @@ and benchmark E24 assert that equality.
   workers execute the transaction list with blocking waits and
   wound-wait retries; the *work* is deterministic (and verified
   against the plan), wall-clock timings are not.
+* ``sharded``    -- the multiprocess engine (:mod:`repro.shard`): the
+  threadsafe drive loop over ``workers`` worker *processes* with a
+  real cross-shard 2PC coordinator; honours ``[placement]`` sections.
 * ``dist``       -- the distributed runner: the same programs over a
   uniform multi-site topology with hierarchical 2PC costs.
 * ``serve``      -- a live ``repro.serve`` server: the full nested
@@ -220,6 +223,7 @@ class DistDriver(Driver):
         topology = uniform_topology(
             [obj.name for obj in store],
             sites=int(options.get("sites", 4)),
+            affinities=spec.placement_map() or None,
         )
         if "latency" in options:
             topology.one_way_latency = float(options["latency"])
@@ -321,12 +325,15 @@ class ThreadSafeDriver(Driver):
     def _run(self, compiled, scheme, result, options) -> None:
         from repro.engine.threadsafe import ThreadSafeEngine
 
-        spec = compiled.spec
         facade = ThreadSafeEngine(
             compiled.store(),
             policy=scheme,
             stripes=options.get("stripes"),
         )
+        self._drive(compiled, facade, result, options)
+
+    def _drive(self, compiled, facade, result, options) -> None:
+        spec = compiled.spec
         max_retries = int(options.get("max_retries", 100))
         op_timeout = float(options.get("op_timeout", 30.0))
         pace = bool(options.get("pace", False))
@@ -429,6 +436,37 @@ class ThreadSafeDriver(Driver):
             )
         result.extras["workers"] = workers
         result.extras["engine"] = dict(facade.engine.stats)
+
+
+class ShardedDriver(ThreadSafeDriver):
+    """The multiprocess sharded engine behind the same plan walker.
+
+    Identical drive loop to ``threadsafe`` (same compiled plan, same
+    failure injection, same executed-matches-plan check, hence the
+    same digest), but the facade is a
+    :class:`~repro.shard.ShardedEngine`: ``workers`` option processes
+    (default 2), object placement honoured when the spec carries a
+    ``[placement]`` section, wound-wait resolved at the coordinator.
+    """
+
+    name = "sharded"
+
+    def _run(self, compiled, scheme, result, options) -> None:
+        from repro.shard import ShardedEngine
+
+        spec = compiled.spec
+        placement = spec.placement_map()
+        workers = int(options.get("workers", 2))
+        facade = ShardedEngine(
+            compiled.store(),
+            policy=scheme,
+            workers=workers,
+            placement=placement or None,
+        )
+        with facade:
+            self._drive(compiled, facade, result, options)
+            result.extras["shards"] = facade.shards
+            result.extras["placement"] = len(placement)
 
 
 class _FacadePort:
@@ -549,7 +587,11 @@ class ServeDriver(Driver):
         lock = threading.Lock()
         latencies: List[float] = []
         state = {"committed": 0, "aborted": 0, "retries": 0, "ops": 0}
-        shed = {"count": 0}
+        # Failure accounting by wire code: admission sheds are load
+        # shedding (the server never saw the transaction), txn_aborted
+        # is an engine-side abort (wound, MVTO conflict) -- the league
+        # table reports them separately.
+        shed = {"count": 0, "txn_aborted": 0, "denied": 0}
         errors: List[BaseException] = []
 
         # The scenario's objects must exist server-side; fail with a
@@ -584,9 +626,13 @@ class ServeDriver(Driver):
                     if exc.code == "overloaded":
                         with lock:
                             shed["count"] += 1
-                    elif exc.code not in (
-                        "txn_aborted", "lock_denied", "retry_later"
-                    ):
+                    elif exc.code == "txn_aborted":
+                        with lock:
+                            shed["txn_aborted"] += 1
+                    elif exc.code in ("lock_denied", "retry_later"):
+                        with lock:
+                            shed["denied"] += 1
+                    else:
                         raise
                     if top_name is not None:
                         try:
@@ -658,6 +704,8 @@ class ServeDriver(Driver):
         result.latencies = latencies
         result.extras["workers"] = workers
         result.extras["shed"] = shed["count"]
+        result.extras["txn_aborted"] = shed["txn_aborted"]
+        result.extras["denied"] = shed["denied"]
 
 
 _DRIVERS = {
@@ -665,6 +713,7 @@ _DRIVERS = {
     for driver in (
         SimDriver(),
         ThreadSafeDriver(),
+        ShardedDriver(),
         DistDriver(),
         ServeDriver(),
     )

@@ -260,6 +260,11 @@ class ScenarioSpec:
     arrival: Arrival = field(default_factory=Arrival)
     populations: Tuple[Population, ...] = ()
     classes: Tuple[TxnClass, ...] = ()
+    #: Optional shard/site affinities: ``((population_name, index), ...)``,
+    #: sorted; loaded from a ``[placement]`` TOML table.  Consumed by
+    #: the sharded backend (worker affinity) and the dist topology
+    #: builder (site affinity); other backends ignore it.
+    placement: Tuple[Tuple[str, int], ...] = ()
 
     def __post_init__(self) -> None:
         where = "scenario %r" % (self.name,)
@@ -324,6 +329,54 @@ class ScenarioSpec:
                     "class %r targets unknown population %r"
                     % (cls.name, target),
                 )
+        _require(
+            isinstance(self.placement, tuple),
+            where + ".placement",
+            "expected a tuple of (population, affinity) pairs",
+        )
+        placed = set()
+        for entry in self.placement:
+            _require(
+                isinstance(entry, tuple) and len(entry) == 2,
+                where + ".placement",
+                "expected (population, affinity) pairs, got %r" % (entry,),
+            )
+            target, affinity = entry
+            _require(
+                isinstance(target, str) and target in seen,
+                where + ".placement",
+                "unknown population %r" % (target,),
+            )
+            _require(
+                target not in placed,
+                where + ".placement",
+                "duplicate population %r" % (target,),
+            )
+            placed.add(target)
+            _check_int(
+                affinity,
+                "%s.placement[%s]" % (where, target),
+                minimum=0,
+            )
+
+    def placement_map(self) -> Dict[str, int]:
+        """Per-object affinities (populations expanded to objects).
+
+        An affinity is an abstract home index: the sharded backend
+        folds it onto its worker count (``affinity % workers``), the
+        dist topology builder onto its site count.  Objects of
+        unplaced populations are absent -- consumers fall back to
+        their default (CRC32 / round-robin) for those.
+        """
+        affinities = dict(self.placement)
+        mapping: Dict[str, int] = {}
+        for population in self.populations:
+            affinity = affinities.get(population.name)
+            if affinity is None:
+                continue
+            for object_name in population.object_names():
+                mapping[object_name] = affinity
+        return mapping
 
     def population(self, name: Optional[str]) -> Population:
         """Resolve a population reference (``None`` -> the first one)."""
@@ -375,6 +428,13 @@ def spec_from_dict(data: Any) -> ScenarioSpec:
     )
     data = dict(data)
     arrival = _build(Arrival, data.pop("arrival", {}), "arrival")
+    placement_data = data.pop("placement", {})
+    _require(
+        isinstance(placement_data, dict),
+        "placement",
+        "expected a table of population = affinity entries",
+    )
+    placement = tuple(sorted(placement_data.items()))
     populations = data.pop("population", [])
     _require(
         isinstance(populations, list),
@@ -415,6 +475,8 @@ def spec_from_dict(data: Any) -> ScenarioSpec:
     data["arrival"] = arrival
     data["populations"] = populations
     data["classes"] = tuple(classes)
+    if placement:
+        data["placement"] = placement
     return _build(ScenarioSpec, data, "scenario")
 
 
@@ -449,7 +511,21 @@ def load_scenario(path: str) -> ScenarioSpec:
 
 
 def _as_dict(spec: ScenarioSpec) -> Dict[str, Any]:
-    """The canonical plain-data form (used by digests and reports)."""
+    """The canonical plain-data form (used by digests and reports).
+
+    ``placement`` appears only when non-empty, so pre-placement specs
+    keep their digests (placement does not change the logical op
+    stream anyway -- only where objects live).
+    """
+    data = _as_dict_base(spec)
+    if spec.placement:
+        data["placement"] = {
+            name: affinity for name, affinity in spec.placement
+        }
+    return data
+
+
+def _as_dict_base(spec: ScenarioSpec) -> Dict[str, Any]:
     return {
         "name": spec.name,
         "transactions": spec.transactions,

@@ -88,6 +88,11 @@ class LoadReport:
         self.mode = mode
         self.committed = 0
         self.aborted = 0
+        #: Engine-side aborts (``txn_aborted``: wounds, MVTO
+        #: conflicts) -- a subset of ``aborted``, surfaced separately
+        #: so league tables never fold real aborts into admission
+        #: sheds or retryable lock denials.
+        self.txn_aborted = 0
         self.shed = 0
         self.failed = 0
         self.ops = 0
@@ -112,8 +117,10 @@ class LoadReport:
             self.errors[code] = self.errors.get(code, 0) + 1
             if code == proto.ERR_OVERLOADED:
                 self.shed += 1
+            elif code == proto.ERR_TXN_ABORTED:
+                self.aborted += 1
+                self.txn_aborted += 1
             elif code in (
-                proto.ERR_TXN_ABORTED,
                 proto.ERR_LOCK_DENIED,
                 proto.ERR_RETRY_LATER,
             ):
@@ -152,6 +159,7 @@ class LoadReport:
             "wall_seconds": round(self.wall_seconds, 4),
             "committed": self.committed,
             "aborted": self.aborted,
+            "txn_aborted": self.txn_aborted,
             "shed": self.shed,
             "failed": self.failed,
             "retries": self.retries,
@@ -177,10 +185,11 @@ class LoadReport:
                 % (self.scenario, (self.digest or "")[:16])
             )
         lines += [
-            "%s-loop: %d committed (%d aborted, %d shed, %d failed) "
-            "in %.2fs" % (
-                self.mode, self.committed, self.aborted, self.shed,
-                self.failed, self.wall_seconds,
+            "%s-loop: %d committed (%d aborted [%d txn_aborted], "
+            "%d shed, %d failed) in %.2fs" % (
+                self.mode, self.committed, self.aborted,
+                self.txn_aborted, self.shed, self.failed,
+                self.wall_seconds,
             ),
             "throughput : %.1f txn/s  (%.1f op/s)"
             % (self.throughput, self.op_throughput),
@@ -536,6 +545,7 @@ def run_scenario_loop(config: LoadgenConfig) -> LoadReport:
     report = LoadReport("scenario")
     report.committed = result.committed
     report.aborted = result.aborted
+    report.txn_aborted = int(result.extras.get("txn_aborted", 0))
     report.retries = result.retries
     report.ops = result.ops
     report.shed = int(result.extras.get("shed", 0))

@@ -121,9 +121,15 @@ class TransactionServer:
         config: Optional[ServeConfig] = None,
         observer=None,
         stripes: Optional[int] = None,
+        facade=None,
     ):
         self.config = config or ServeConfig()
-        self.facade = ThreadSafeEngine(
+        # Any object with the facade surface works -- in particular a
+        # ``repro.shard.ShardedEngine`` (``repro serve --sharded``).
+        # A passed-in facade's lifecycle stays with the caller; the
+        # server never closes it.
+        self._owns_facade = facade is None
+        self.facade = facade or ThreadSafeEngine(
             specs,
             policy=scheme,
             observer=observer,

@@ -1,0 +1,38 @@
+"""Multiprocess sharded engine: real parallelism behind the facade API.
+
+Everything else in the repo executes behind one GIL; this package
+promotes the CRC32-sharded :class:`~repro.kernel.store.ObjectStore`
+and the :mod:`repro.dist` two-phase-commit *model* to reality.  One
+worker process per shard runs the proven single-threaded engine over
+its slice of the object store; a coordinator in the client process
+routes accesses by ``ObjectStore.shard_of``, lazily mirrors nested
+tree names onto participant shards, and runs presumed-abort two-phase
+commit at top-level commit (single-shard trees take a one-phase fast
+path).  Workers speak the version-pinned framed-JSON protocol of
+:mod:`repro.serve.protocol` over spawn-safe pipes.
+
+Per the paper's footnote 9, distribution is orthogonal to locking
+correctness: each object's lock automaton only consults tree *names*
+(ancestry), which the mirrored name tuples carry shard-locally.  See
+``docs/SHARDING.md`` for the architecture and failure matrix.
+"""
+
+from repro.shard.engine import ShardedEngine, ShardedTransaction
+from repro.shard.link import ShardDown
+from repro.shard.recovery import (
+    ShardedRecovery,
+    read_decisions,
+    recover_sharded,
+)
+from repro.shard.worker import WorkerConfig, worker_main
+
+__all__ = [
+    "ShardedEngine",
+    "ShardedTransaction",
+    "ShardDown",
+    "ShardedRecovery",
+    "WorkerConfig",
+    "read_decisions",
+    "recover_sharded",
+    "worker_main",
+]

@@ -1,0 +1,185 @@
+"""Coordinator-side RPC link to one shard worker.
+
+A :class:`ShardLink` wraps one duplex pipe connection with the framed
+JSON protocol and a dedicated receiver thread, so any number of client
+threads can pipeline requests onto the same worker: ``send`` assigns a
+request id and writes the frame under a short lock, ``wait`` blocks on
+the caller's own waiter until the receiver thread dispatches the
+matching reply.  Replies therefore arrive in the worker's execution
+order, and per-reply hooks (observer access events) fire in that order
+on the receiver thread -- which is what keeps the merged audit stream
+faithful to each shard's actual history.
+
+A dead pipe (worker SIGKILLed, or exited) fails every pending waiter
+and every later call with :class:`ShardDown`, a typed
+:class:`~repro.errors.EngineError`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import EngineError
+from repro.serve import protocol as proto
+
+
+class ShardDown(EngineError):
+    """The worker process behind a shard link is gone."""
+
+    def __init__(self, shard: int, detail: str = ""):
+        self.shard = shard
+        message = "shard %d worker is down" % shard
+        if detail:
+            message = "%s (%s)" % (message, detail)
+        super().__init__(message)
+
+
+class _Waiter:
+    """One in-flight request: an event plus its reply slot."""
+
+    __slots__ = ("event", "reply", "on_ok")
+
+    def __init__(self, on_ok: Optional[Callable[[Dict[str, Any]], None]]):
+        self.event = threading.Event()
+        self.reply: Optional[Dict[str, Any]] = None
+        self.on_ok = on_ok
+
+
+class ShardLink:
+    """Pipelined request/reply over one worker pipe."""
+
+    def __init__(self, shard: int, conn):
+        self.shard = shard
+        self.conn = conn
+        self._send_lock = threading.Lock()
+        self._pending_lock = threading.Lock()
+        self._pending: Dict[int, _Waiter] = {}
+        self._next_id = 0
+        self._down: Optional[ShardDown] = None
+        self._receiver = threading.Thread(
+            target=self._receive_loop,
+            name="repro-shard-%d" % shard,
+            daemon=True,
+        )
+        self._receiver.start()
+
+    # ------------------------------------------------------------------
+    # Request/reply
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        op: str,
+        on_ok: Optional[Callable[[Dict[str, Any]], None]] = None,
+        **fields: Any,
+    ) -> _Waiter:
+        """Fire one request; returns the waiter to pass to ``wait``.
+
+        *on_ok* runs on the receiver thread right before the waiter is
+        released, only for ok replies -- the coordinator uses it to
+        emit observer events in the shard's execution order.
+        """
+        if self._down is not None:
+            raise self._down
+        waiter = _Waiter(on_ok)
+        with self._send_lock:
+            request_id = self._next_id
+            self._next_id += 1
+            with self._pending_lock:
+                self._pending[request_id] = waiter
+            frame = proto.encode_frame(
+                proto.request(op, request_id, **fields)
+            )
+            try:
+                self.conn.send_bytes(frame)
+            except (OSError, ValueError, BrokenPipeError) as exc:
+                with self._pending_lock:
+                    self._pending.pop(request_id, None)
+                self._mark_down(str(exc))
+                raise self._down from None
+        return waiter
+
+    def wait(
+        self, waiter: _Waiter, timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """Block for the reply; raises :class:`ShardDown` on link death."""
+        if not waiter.event.wait(timeout):
+            raise EngineError(
+                "shard %d reply timed out after %ss" % (self.shard, timeout)
+            )
+        reply = waiter.reply
+        if reply is None:
+            raise self._down or ShardDown(self.shard)
+        return reply
+
+    def call(
+        self,
+        op: str,
+        timeout: Optional[float] = None,
+        on_ok: Optional[Callable[[Dict[str, Any]], None]] = None,
+        **fields: Any,
+    ) -> Dict[str, Any]:
+        """``send`` + ``wait`` in one step."""
+        return self.wait(self.send(op, on_ok=on_ok, **fields), timeout)
+
+    @property
+    def alive(self) -> bool:
+        return self._down is None
+
+    # ------------------------------------------------------------------
+    # Receiver
+    # ------------------------------------------------------------------
+    def _receive_loop(self) -> None:
+        conn = self.conn
+        while True:
+            try:
+                data = conn.recv_bytes()
+            except (EOFError, OSError, ValueError):
+                self._mark_down("pipe closed")
+                return
+            try:
+                message = proto.decode_frame(data)
+            except proto.ProtocolError:
+                self._mark_down("bad frame from worker")
+                return
+            waiter = None
+            request_id = message.get("id")
+            if request_id is not None:
+                with self._pending_lock:
+                    waiter = self._pending.pop(request_id, None)
+            if waiter is None:
+                # A boot-failure report (id None) poisons the link.
+                if message.get("ok") is False:
+                    error = message.get("error") or {}
+                    self._mark_down(
+                        str(error.get("message", "worker boot failed"))
+                    )
+                    return
+                continue
+            if message.get("ok") and waiter.on_ok is not None:
+                try:
+                    waiter.on_ok(message)
+                except Exception:  # noqa: BLE001 - hooks must not kill I/O
+                    pass
+            waiter.reply = message
+            waiter.event.set()
+
+    def _mark_down(self, detail: str) -> None:
+        if self._down is None:
+            self._down = ShardDown(self.shard, detail)
+        with self._pending_lock:
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for waiter in pending:
+            waiter.event.set()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        self._mark_down("closed")
+        self._receiver.join(timeout=1.0)

@@ -171,6 +171,124 @@ class FileWalSink:
             self._handle.close()
 
 
+class GroupCommitSink(FileWalSink):
+    """A :class:`FileWalSink` that coalesces fsyncs across flushers.
+
+    Plain ``FileWalSink`` pays one fsync per top-level commit.  Under
+    many concurrent committers (the async service, the sharded
+    coordinator's decision log) most of those fsyncs cover each other:
+    any fsync that happens after an append makes it durable.  This
+    sink runs one background syncer thread; ``flush`` becomes *take a
+    ticket for everything appended so far, wake the syncer, wait until
+    a group fsync covers the ticket*.  Committers whose tickets land
+    within ``window_ms`` of each other share one fsync.
+
+    The split API lets callers wait without holding their own locks:
+
+    * :meth:`flush_begin` -- snapshot the ticket and nudge the syncer
+      (cheap; safe under a lock);
+    * :meth:`flush_wait` -- block until the ticket is durable (call
+      *outside* the lock so other committers can reach their own
+      ``flush_begin`` and join the group).
+
+    Appends must be externally serialized (they are: the WAL writer's
+    lock, or the decision log's), exactly as for ``FileWalSink``.
+    ``flush``/``roll``/``close`` stay synchronous and durable, so the
+    sink is a drop-in replacement.
+    """
+
+    #: Default coalescing window (milliseconds).
+    DEFAULT_WINDOW_MS = 2.0
+
+    def __init__(self, directory: str, window_ms: float = DEFAULT_WINDOW_MS):
+        super().__init__(directory)
+        self._window_s = max(0.0, float(window_ms)) / 1000.0
+        self._cv = threading.Condition()
+        self._seq = 0  # appends so far (the ticket source)
+        self._synced = 0  # highest ticket covered by a finished fsync
+        self._fsyncs = 0
+        self._stopping = False
+        self._syncer = threading.Thread(
+            target=self._sync_loop,
+            name="repro-wal-group-sync",
+            daemon=True,
+        )
+        self._syncer.start()
+
+    @property
+    def fsync_count(self) -> int:
+        """Fsyncs actually issued (the writer reports this figure)."""
+        return self._fsyncs
+
+    def append(self, data: bytes) -> None:
+        super().append(data)
+        # The write above happens-before this publish, so a ticket
+        # equal to the new _seq covers it.
+        self._seq += 1
+
+    def flush_begin(self) -> int:
+        """Snapshot the durability target and wake the syncer."""
+        with self._cv:
+            ticket = self._seq
+            self._cv.notify_all()
+        return ticket
+
+    def flush_wait(self, ticket: int) -> None:
+        """Block until a group fsync has covered *ticket*."""
+        with self._cv:
+            while self._synced < ticket:
+                if self._stopping:
+                    self._sync_locked(ticket)
+                    return
+                self._cv.wait()
+
+    def flush(self) -> int:
+        """Synchronous durable flush; returns fsyncs newly issued."""
+        before = self._fsyncs
+        self.flush_wait(self.flush_begin())
+        return max(0, self._fsyncs - before)
+
+    def roll(self) -> None:
+        # Swap segments under the condition variable so the syncer
+        # never fsyncs a mid-swap handle.
+        with self._cv:
+            self._sync_locked(self._seq)
+            super().roll()
+
+    def close(self) -> None:
+        with self._cv:
+            self._stopping = True
+            self._cv.notify_all()
+        self._syncer.join(timeout=5.0)
+        super().close()
+
+    def _sync_locked(self, target: int) -> None:
+        """One flush+fsync covering *target*; caller holds the cv."""
+        try:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+        except ValueError:
+            return  # closed underneath us (shutdown race)
+        self._fsyncs += 1
+        if target > self._synced:
+            self._synced = target
+        self._cv.notify_all()
+
+    def _sync_loop(self) -> None:
+        cv = self._cv
+        while True:
+            with cv:
+                while self._synced >= self._seq:
+                    if self._stopping:
+                        return
+                    cv.wait()
+                if self._window_s and not self._stopping:
+                    # Let more committers reach flush_begin and share
+                    # the fsync about to happen.
+                    cv.wait(self._window_s)
+                self._sync_locked(self._seq)
+
+
 def read_log_bytes(path: str) -> bytes:
     """Read a log back as one byte string.
 
@@ -572,24 +690,94 @@ class WriteAheadLog:
             self._release_lock()
 
     def flush(self) -> None:
-        """Force the log durable (top-level commits are flush points)."""
-        self._acquire_lock()
-        try:
-            # A non-durable sink (``DURABLE = False``) has nothing to
-            # add; unknown sinks are flushed to stay on the safe side.
-            if getattr(self.sink, "DURABLE", True):
-                fsyncs = self.sink.flush()
-            else:
-                fsyncs = 0
-            self._n_flushes += 1
-            self._n_fsyncs += fsyncs
-        finally:
-            self._release_lock()
+        """Force the log durable (top-level commits are flush points).
+
+        With a group-commit sink the wait happens *outside* the
+        writer's lock: the ticket is taken under it (so it covers this
+        committer's appends), then the lock is released while the
+        group fsync completes -- concurrent committers reach their own
+        tickets and share the fsync instead of queueing one each.
+        """
+        sink = self.sink
+        flush_begin = getattr(sink, "flush_begin", None)
+        if flush_begin is not None:
+            self._acquire_lock()
+            try:
+                ticket = flush_begin()
+                self._n_flushes += 1
+            finally:
+                self._release_lock()
+            sink.flush_wait(ticket)
+            fsyncs = 0
+            self._acquire_lock()
+            try:
+                issued = sink.fsync_count
+                if issued > self._n_fsyncs:
+                    fsyncs = issued - self._n_fsyncs
+                    self._n_fsyncs = issued
+            finally:
+                self._release_lock()
+        else:
+            self._acquire_lock()
+            try:
+                # A non-durable sink (``DURABLE = False``) has nothing
+                # to add; unknown sinks are flushed to be safe.
+                if getattr(sink, "DURABLE", True):
+                    fsyncs = sink.flush()
+                else:
+                    fsyncs = 0
+                self._n_flushes += 1
+                self._n_fsyncs += fsyncs
+            finally:
+                self._release_lock()
         obs = self.obs
         if obs is not None:
             obs.count("wal.flush")
             if fsyncs:
                 obs.count("wal.fsync", fsyncs)
+
+    def flush_async(self):
+        """Take a flush ticket now; return a waiter to call later.
+
+        The seam group commit needs: callers holding coarse locks (the
+        thread-safe facade commits under its mutex plus stripe set) take
+        the ticket *inside* the critical section -- it covers every
+        append made so far -- and run the returned waiter *after*
+        releasing their locks, so concurrent committers' waits overlap
+        and share one fsync.  With a plain (non-group) sink there is
+        nothing to overlap; the flush happens inline here and ``None``
+        is returned.
+        """
+        sink = self.sink
+        flush_begin = getattr(sink, "flush_begin", None)
+        if flush_begin is None:
+            self.flush()
+            return None
+        self._acquire_lock()
+        try:
+            ticket = flush_begin()
+            self._n_flushes += 1
+        finally:
+            self._release_lock()
+
+        def waiter() -> None:
+            sink.flush_wait(ticket)
+            fsyncs = 0
+            self._acquire_lock()
+            try:
+                issued = sink.fsync_count
+                if issued > self._n_fsyncs:
+                    fsyncs = issued - self._n_fsyncs
+                    self._n_fsyncs = issued
+            finally:
+                self._release_lock()
+            obs = self.obs
+            if obs is not None:
+                obs.count("wal.flush")
+                if fsyncs:
+                    obs.count("wal.fsync", fsyncs)
+
+        return waiter
 
     # ------------------------------------------------------------------
     # Internals

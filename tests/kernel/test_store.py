@@ -1,5 +1,8 @@
 """Tests for the shared sharded object store."""
 
+import multiprocessing
+import zlib
+
 import pytest
 
 from repro.adt import Counter
@@ -60,3 +63,68 @@ class TestSharding:
     def test_out_of_range_sharding_rejected(self):
         with pytest.raises(EngineError):
             make_store(4, shards=2, sharding=lambda name, n: 7)
+
+    def test_negative_sharding_rejected(self):
+        with pytest.raises(EngineError):
+            make_store(4, shards=2, sharding=lambda name, n: -1)
+
+    def test_custom_sharding_sees_clamped_shard_count(self):
+        seen = []
+
+        def spy(name, shards):
+            seen.append(shards)
+            return 0
+
+        make_store(3, shards=16, sharding=spy)
+        # The callable is offered the *effective* count, so affinity
+        # folds (affinity % shards) stay in range after clamping.
+        assert seen == [3, 3, 3]
+
+    def test_rank_preserves_registration_order(self):
+        store = make_store(5, shards=2)
+        assert [store.rank_of(n) for n in store.names()] == [
+            0,
+            1,
+            2,
+            3,
+            4,
+        ]
+
+
+def _child_sharding(names_and_shards):
+    """Spawn target: recompute CRC32 sharding in a fresh interpreter."""
+    return [
+        default_sharding(name, shards)
+        for name, shards in names_and_shards
+    ]
+
+
+class TestCrossProcessDeterminism:
+    """The sharded engine routes in the coordinator and re-checks in
+    each spawn worker; both sides must compute identical CRC32 shard
+    assignments whatever ``PYTHONHASHSEED`` the interpreter drew."""
+
+    NAMES = ["r%d" % i for i in range(16)] + ["account-7", "μ-obj"]
+
+    def test_default_sharding_is_crc32_pinned(self):
+        # The exact function, not just "some stable hash": workers
+        # recompute it independently, so the definition is part of
+        # the wire contract.
+        for name in self.NAMES:
+            for shards in (1, 2, 4, 7):
+                assert default_sharding(name, shards) == zlib.crc32(
+                    name.encode("utf-8")
+                ) % shards
+
+    def test_spawned_interpreter_agrees(self):
+        jobs = [
+            (name, shards)
+            for name in self.NAMES
+            for shards in (2, 4, 7)
+        ]
+        ctx = multiprocessing.get_context("spawn")
+        with ctx.Pool(1) as pool:
+            child = pool.apply(_child_sharding, (jobs,))
+        assert child == [
+            default_sharding(name, shards) for name, shards in jobs
+        ]

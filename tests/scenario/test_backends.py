@@ -69,7 +69,13 @@ SPEC = load_scenario_text(SMALL_TOML)
 
 class TestRegistry:
     def test_driver_names(self):
-        assert driver_names() == ["dist", "serve", "sim", "threadsafe"]
+        assert driver_names() == [
+            "dist",
+            "serve",
+            "sharded",
+            "sim",
+            "threadsafe",
+        ]
 
     def test_unknown_backend(self):
         with pytest.raises(ScenarioError, match="unknown backend"):

@@ -1,0 +1,161 @@
+"""The ``[placement]`` section: spec parsing plus both consumers.
+
+Placement maps population names to abstract home indices; the sharded
+backend folds them onto its worker count, the dist topology builder
+onto its site count.  Bad placement must surface as
+:class:`ScenarioError` with a path-shaped message, never a traceback.
+"""
+
+import pytest
+
+from repro.scenario import (
+    ScenarioError,
+    compile_scenario,
+    load_scenario_text,
+)
+
+PLACED_TOML = """
+name = "placed"
+transactions = 10
+
+[arrival]
+process = "closed"
+clients = 2
+
+[placement]
+hot = 0
+cold = 3
+
+[[population]]
+name = "hot"
+kind = "counter"
+count = 2
+
+[[population]]
+name = "cold"
+kind = "register"
+count = 3
+
+[[class]]
+name = "work"
+population = "hot"
+
+[[class.level]]
+accesses = 2
+"""
+
+
+def _strip_placement(text):
+    lines = text.splitlines()
+    out = []
+    skip = False
+    for line in lines:
+        if line.strip() == "[placement]":
+            skip = True
+            continue
+        if skip and (line.startswith("[") or not line.strip()):
+            skip = line.strip() == ""
+            if line.startswith("["):
+                skip = False
+                out.append(line)
+            continue
+        if not skip:
+            out.append(line)
+    return "\n".join(out)
+
+
+class TestParsing:
+    def test_placement_parses_sorted(self):
+        spec = load_scenario_text(PLACED_TOML)
+        assert spec.placement == (("cold", 3), ("hot", 0))
+
+    def test_placement_map_expands_populations(self):
+        spec = load_scenario_text(PLACED_TOML)
+        mapping = spec.placement_map()
+        assert mapping == {
+            "hot0": 0,
+            "hot1": 0,
+            "cold0": 3,
+            "cold1": 3,
+            "cold2": 3,
+        }
+
+    def test_unknown_population_rejected(self):
+        bad = PLACED_TOML.replace("cold = 3", "ghost = 3")
+        with pytest.raises(
+            ScenarioError, match="unknown population 'ghost'"
+        ):
+            load_scenario_text(bad)
+
+    def test_negative_affinity_rejected(self):
+        bad = PLACED_TOML.replace("cold = 3", "cold = -1")
+        with pytest.raises(ScenarioError, match="placement"):
+            load_scenario_text(bad)
+
+    def test_non_integer_affinity_rejected(self):
+        bad = PLACED_TOML.replace("cold = 3", 'cold = "east"')
+        with pytest.raises(ScenarioError, match="placement"):
+            load_scenario_text(bad)
+
+    def test_placement_table_must_be_a_table(self):
+        bad = PLACED_TOML.replace(
+            "[placement]\nhot = 0\ncold = 3", "placement = 3"
+        )
+        with pytest.raises(ScenarioError, match="placement"):
+            load_scenario_text(bad)
+
+
+class TestDigests:
+    def test_placement_does_not_change_the_operation_stream(self):
+        # Placement changes where objects *live*, not what the
+        # workload logically does: the compiled program stream must be
+        # byte-identical with and without it.  The *spec* digest does
+        # move (placement is part of a scenario's identity), but a
+        # spec that never had a ``[placement]`` section keeps its
+        # pre-placement digest -- ``_as_dict`` only emits the key when
+        # non-empty.
+        from repro.scenario.compiler import workload_digest
+
+        unplaced = load_scenario_text(_strip_placement(PLACED_TOML))
+        assert unplaced.placement == ()
+        placed = load_scenario_text(PLACED_TOML)
+        assert workload_digest(
+            compile_scenario(placed, 7).programs
+        ) == workload_digest(compile_scenario(unplaced, 7).programs)
+        assert (
+            compile_scenario(placed, 7).digest()
+            != compile_scenario(unplaced, 7).digest()
+        )
+
+    def test_placement_digest_is_stable(self):
+        one = compile_scenario(load_scenario_text(PLACED_TOML), 3)
+        two = compile_scenario(load_scenario_text(PLACED_TOML), 3)
+        assert one.digest() == two.digest()
+
+
+class TestConsumers:
+    def test_dist_topology_honours_affinities(self):
+        from repro.dist.topology import uniform_topology
+
+        spec = load_scenario_text(PLACED_TOML)
+        names = sorted(spec.placement_map())
+        topology = uniform_topology(
+            names, sites=2, affinities=spec.placement_map()
+        )
+        # hot -> site 0, cold -> site 3 % 2 == 1.
+        assert topology.site_of("hot0") == 0
+        assert topology.site_of("hot1") == 0
+        assert topology.site_of("cold0") == 1
+
+    def test_sharded_backend_consumes_placement(self):
+        from repro.scenario import compile_scenario
+        from repro.scenario.backends import get_driver
+
+        spec = load_scenario_text(PLACED_TOML)
+        compiled = compile_scenario(spec, 0)
+        result = get_driver("sharded").run(
+            compiled, scheme="moss-rw", workers=2
+        )
+        assert result.extras.get("placement") == len(spec.placement_map())
+        assert result.extras.get("shards") == 2
+        assert result.committed > 0

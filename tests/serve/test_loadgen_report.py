@@ -1,0 +1,48 @@
+"""LoadReport accounting: engine aborts never fold into sheds.
+
+League tables compare schemes by their *real* abort rates; admission
+sheds (``overloaded``) and retryable lock denials are operational
+noise.  ``txn_aborted`` carves the engine-side aborts (wounds, MVTO
+conflicts) out of the aborted column so the distinction survives
+into JSON artifacts and rendered tables.
+"""
+
+from repro.serve import protocol as proto
+from repro.serve.loadgen import LoadReport
+
+
+class TestTxnAbortedAccounting:
+    def test_txn_aborted_is_a_subset_of_aborted(self):
+        report = LoadReport("open")
+        report.outcome(proto.ERR_TXN_ABORTED)
+        report.outcome(proto.ERR_TXN_ABORTED)
+        report.outcome(proto.ERR_LOCK_DENIED)
+        report.outcome(proto.ERR_RETRY_LATER)
+        report.outcome(proto.ERR_OVERLOADED)
+        assert report.aborted == 4
+        assert report.txn_aborted == 2
+        assert report.shed == 1
+        assert report.failed == 0
+
+    def test_unknown_codes_count_as_failures(self):
+        report = LoadReport("open")
+        report.outcome(proto.ERR_INTERNAL)
+        assert report.failed == 1
+        assert report.aborted == 0
+        assert report.txn_aborted == 0
+
+    def test_json_and_render_carry_the_split(self):
+        report = LoadReport("closed")
+        report.outcome(proto.ERR_TXN_ABORTED)
+        report.outcome(proto.ERR_OVERLOADED)
+        data = report.to_json()
+        assert data["txn_aborted"] == 1
+        assert data["aborted"] == 1
+        assert data["shed"] == 1
+        assert "1 txn_aborted" in report.render()
+
+    def test_error_codes_tallied_by_code(self):
+        report = LoadReport("open")
+        for _ in range(3):
+            report.outcome(proto.ERR_TXN_ABORTED)
+        assert report.errors[proto.ERR_TXN_ABORTED] == 3
